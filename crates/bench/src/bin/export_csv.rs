@@ -1,0 +1,10 @@
+//! Exports the Table A1 dataset (with recomputed densities) as CSV on
+//! stdout, for analysis outside Rust.
+//!
+//! Run with: `cargo run -p nanocost-bench --bin export_csv > table_a1.csv`
+
+use nanocost_devices::{table_a1, to_csv};
+
+fn main() {
+    print!("{}", to_csv(&table_a1()));
+}

@@ -1,0 +1,32 @@
+//! EXT-SIM: wafer-map Monte-Carlo defect simulation vs the analytic yield
+//! models.
+//!
+//! Run with: `cargo run -p nanocost-bench --bin wafer_map`
+
+use nanocost_bench::figures::wafer_map_study;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("EXT-SIM — 150 wafers, 1.5 cm² die, D0 = 0.6 /cm², 50% critical area");
+    println!();
+    println!(
+        "{:<10} {:>10} {:>12} {:>12} {:>12}",
+        "process", "yield", "mean/die", "dispersion", "fitted α"
+    );
+    for (name, result) in wafer_map_study()? {
+        let alpha = result
+            .fitted_alpha()
+            .map_or_else(|| "-".to_string(), |a| format!("{a:.2}"));
+        println!(
+            "{name:<10} {:>10} {:>12.3} {:>12.2} {:>12}",
+            result.empirical_yield,
+            result.mean_defects_per_die,
+            result.dispersion(),
+            alpha
+        );
+    }
+    println!();
+    println!("uniform defects reproduce the Poisson model; clustering (same mean");
+    println!("density) raises yield and is captured by a negative binomial with the");
+    println!("α recovered from per-die statistics — the models are earned, not assumed.");
+    Ok(())
+}

@@ -1,0 +1,11 @@
+//! Shared figure- and table-regeneration routines for the `nanocost`
+//! reproduction.
+//!
+//! Each function builds the artifact behind one of the paper's exhibits;
+//! the `src/bin/*` regeneration binaries print them and the Criterion
+//! benches time them, so the two can never drift apart.
+
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod report;

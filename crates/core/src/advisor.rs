@@ -1,0 +1,300 @@
+//! The DfM advisor: §3's prescriptions as an executable checklist.
+//!
+//! The paper closes by demanding that design "be guided by an adequately
+//! accurate cost objective function and performed by using all design
+//! variables … simultaneously". The advisor composes the workspace's
+//! models into exactly that: evaluate a design point on the generalized
+//! model, locate the density optimum, rank the cost levers by elasticity,
+//! and emit typed recommendations with the dollars each is worth.
+
+use serde::{Deserialize, Serialize};
+
+use nanocost_units::{DecompressionIndex, Dollars, UnitError};
+
+use crate::generalized::{DesignPoint, GeneralizedCostModel, GeneralizedReport};
+use crate::optimize::{optimal_sd_generalized, DensityOptimum, OptimizeError};
+use crate::sensitivity::{elasticities, Elasticity, SensitivityPoint};
+use crate::total::TotalCostModel;
+
+/// One typed recommendation, with its estimated per-transistor saving.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum Recommendation {
+    /// Move the density toward the located optimum.
+    MoveDensity {
+        /// Current `s_d`.
+        from_sd: f64,
+        /// Recommended `s_d`.
+        to_sd: f64,
+        /// Per-transistor saving of the move.
+        saving: Dollars,
+    },
+    /// The design-cost share is dominant: pursue §3.2 reuse/regularity to
+    /// amortize it (per-transistor design share reported).
+    AmortizeDesignCost {
+        /// Design-and-mask share of the per-transistor cost.
+        design_share: f64,
+    },
+    /// Yield is the binding constraint: the dominant lever is defect/
+    /// maturity work, not layout.
+    ImproveYield {
+        /// Yield at the point.
+        current_yield: f64,
+    },
+    /// The point is within tolerance of optimal — ship it.
+    NearOptimal,
+}
+
+/// The advisor's full report for one design point. Serializable for
+/// archiving; reports are model outputs and are not meant to round-trip
+/// back in (no `Deserialize` — the elasticity labels are static strings).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct DfmReport {
+    /// The generalized-model evaluation at the point.
+    pub at_point: GeneralizedReport,
+    /// The density optimum on the advisor's search bracket.
+    pub optimum: DensityOptimum,
+    /// Cost penalty of the current density versus the optimum
+    /// (`cost/optimal − 1`).
+    pub density_penalty: f64,
+    /// Eq.-4 elasticities at the point, most influential first.
+    pub elasticities: Vec<Elasticity>,
+    /// Typed recommendations, most valuable first.
+    pub recommendations: Vec<Recommendation>,
+}
+
+/// The advisor configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DfmAdvisor {
+    /// The substrate-backed cost model to advise against.
+    pub model: GeneralizedCostModel,
+    /// Density search bracket.
+    pub sd_bracket: (f64, f64),
+    /// Relative cost penalty below which the point counts as optimal.
+    pub tolerance: f64,
+}
+
+impl DfmAdvisor {
+    /// An advisor over the default generalized model, searching
+    /// `s_d ∈ [105, 2500]` with a 2 % optimality tolerance.
+    #[must_use]
+    pub fn nanometer_default() -> Self {
+        DfmAdvisor {
+            model: GeneralizedCostModel::nanometer_default(),
+            sd_bracket: (105.0, 2_500.0),
+            tolerance: 0.02,
+        }
+    }
+
+    /// Produces the report for a design point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimizeError`] if the point or bracket violates the
+    /// effort model's domain.
+    pub fn advise(&self, point: DesignPoint) -> Result<DfmReport, OptimizeError> {
+        let at_point = self.model.evaluate(point)?;
+        let optimum = optimal_sd_generalized(
+            &self.model,
+            point.lambda,
+            point.transistors,
+            point.volume,
+            self.sd_bracket.0,
+            self.sd_bracket.1,
+        )?;
+        let density_penalty =
+            at_point.transistor_cost.amount() / optimum.cost.amount() - 1.0;
+
+        // Elasticity ranking on the eq.-4 surface around the same point
+        // (the closed-form model keeps the ranking interpretable).
+        let sens_point = SensitivityPoint {
+            lambda_um: point.lambda.microns(),
+            sd: point.sd.squares(),
+            transistors_millions: point.transistors.millions(),
+            volume: point.volume.count(),
+            fab_yield: at_point.fab_yield.value(),
+            mask_cost: 200_000.0,
+        };
+        let ranked = elasticities(&TotalCostModel::paper_figure4(), &sens_point)
+            .map_err(OptimizeError::Model)?;
+
+        let mut recommendations = Vec::new();
+        if density_penalty > self.tolerance {
+            let saving = at_point.transistor_cost - optimum.cost;
+            recommendations.push(Recommendation::MoveDensity {
+                from_sd: point.sd.squares(),
+                to_sd: optimum.sd,
+                saving,
+            });
+        }
+        let design_share = at_point.cd_sq.dollars_per_cm2()
+            / (at_point.cd_sq.dollars_per_cm2() + at_point.cm_sq.dollars_per_cm2());
+        if design_share > 0.4 {
+            recommendations.push(Recommendation::AmortizeDesignCost { design_share });
+        }
+        if at_point.fab_yield.value() < 0.5 {
+            recommendations.push(Recommendation::ImproveYield {
+                current_yield: at_point.fab_yield.value(),
+            });
+        }
+        if recommendations.is_empty() {
+            recommendations.push(Recommendation::NearOptimal);
+        }
+        Ok(DfmReport {
+            at_point,
+            optimum,
+            density_penalty,
+            elasticities: ranked,
+            recommendations,
+        })
+    }
+}
+
+impl DfmReport {
+    /// Renders the report as human-readable text.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "cost at point: {} per transistor (optimum {} at s_d* = {:.0}; penalty {:+.1}%)\n",
+            self.at_point.transistor_cost,
+            self.optimum.cost,
+            self.optimum.sd,
+            self.density_penalty * 100.0
+        ));
+        out.push_str("levers by |elasticity|: ");
+        for (k, e) in self.elasticities.iter().enumerate() {
+            if k > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("{} ({:+.2})", e.parameter, e.value));
+        }
+        out.push('\n');
+        for r in &self.recommendations {
+            match r {
+                Recommendation::MoveDensity { from_sd, to_sd, saving } => out.push_str(&format!(
+                    "- move s_d {from_sd:.0} → {to_sd:.0}: saves {saving} per transistor\n"
+                )),
+                Recommendation::AmortizeDesignCost { design_share } => out.push_str(&format!(
+                    "- design cost is {:.0}% of the silicon-cost density: amortize via reuse/regularity (§3.2) or volume\n",
+                    design_share * 100.0
+                )),
+                Recommendation::ImproveYield { current_yield } => out.push_str(&format!(
+                    "- yield {:.0}% binds: defect/maturity work outranks layout changes\n",
+                    current_yield * 100.0
+                )),
+                Recommendation::NearOptimal => {
+                    out.push_str("- near-optimal: no density move worth more than the tolerance\n");
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A convenience wrapper: advise at a raw `(λ µm, s_d, Mtr, wafers)`
+/// tuple.
+///
+/// # Errors
+///
+/// Returns [`OptimizeError`] for invalid raw values or domain violations.
+pub fn advise_raw(
+    advisor: &DfmAdvisor,
+    lambda_um: f64,
+    sd: f64,
+    transistors_millions: f64,
+    volume: u64,
+) -> Result<DfmReport, OptimizeError> {
+    let point = DesignPoint {
+        lambda: nanocost_units::FeatureSize::from_microns(lambda_um)
+            .map_err(OptimizeError::Model)?,
+        sd: DecompressionIndex::new(sd).map_err(OptimizeError::Model)?,
+        transistors: nanocost_units::TransistorCount::new(transistors_millions * 1.0e6)
+            .map_err(|e: UnitError| OptimizeError::Model(e))?,
+        volume: nanocost_units::WaferCount::new(volume).map_err(OptimizeError::Model)?,
+    };
+    advisor.advise(point)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn advise(sd: f64, volume: u64) -> DfmReport {
+        advise_raw(&DfmAdvisor::nanometer_default(), 0.18, sd, 10.0, volume).unwrap()
+    }
+
+    #[test]
+    fn far_from_optimum_recommends_a_density_move() {
+        let report = advise(1_800.0, 50_000);
+        assert!(report.density_penalty > 0.1);
+        assert!(matches!(
+            report.recommendations[0],
+            Recommendation::MoveDensity { .. }
+        ));
+        if let Recommendation::MoveDensity { from_sd, to_sd, saving } =
+            &report.recommendations[0]
+        {
+            assert!(*to_sd < *from_sd);
+            assert!(saving.amount() > 0.0);
+        }
+    }
+
+    #[test]
+    fn near_the_optimum_the_advisor_says_so() {
+        let probe = advise(300.0, 50_000);
+        let report = advise(probe.optimum.sd, 50_000);
+        assert!(report.density_penalty < 0.02);
+        assert!(report
+            .recommendations
+            .iter()
+            .any(|r| matches!(r, Recommendation::NearOptimal))
+            || !report
+                .recommendations
+                .iter()
+                .any(|r| matches!(r, Recommendation::MoveDensity { .. })));
+    }
+
+    #[test]
+    fn low_volume_flags_design_cost_amortization() {
+        let report = advise(300.0, 1_500);
+        assert!(report
+            .recommendations
+            .iter()
+            .any(|r| matches!(r, Recommendation::AmortizeDesignCost { .. })));
+    }
+
+    #[test]
+    fn young_process_flags_yield_work() {
+        // Tiny volume ⇒ immature line ⇒ low composite yield.
+        let report = advise(300.0, 1_000);
+        if report.at_point.fab_yield.value() < 0.5 {
+            assert!(report
+                .recommendations
+                .iter()
+                .any(|r| matches!(r, Recommendation::ImproveYield { .. })));
+        }
+    }
+
+    #[test]
+    fn elasticities_are_ranked_by_magnitude() {
+        let report = advise(400.0, 20_000);
+        for w in report.elasticities.windows(2) {
+            assert!(w[0].value.abs() >= w[1].value.abs() - 1e-12);
+        }
+        assert_eq!(report.elasticities.len(), 6);
+    }
+
+    #[test]
+    fn text_render_mentions_every_recommendation() {
+        let report = advise(1_500.0, 1_500);
+        let text = report.to_text();
+        assert!(text.contains("per transistor"));
+        assert!(text.contains("levers by |elasticity|"));
+        assert!(text.lines().count() >= 3);
+    }
+
+    #[test]
+    fn domain_violations_surface() {
+        assert!(advise_raw(&DfmAdvisor::nanometer_default(), 0.18, 90.0, 10.0, 1_000).is_err());
+    }
+}

@@ -1,0 +1,173 @@
+//! Sensitivity analysis over the eq.-4 cost model.
+//!
+//! §3.1 argues cost-oriented design needs "an adequately accurate cost
+//! objective function" used across *all* design variables simultaneously.
+//! Elasticities — `∂ln C_tr / ∂ln x` — rank which lever matters where, and
+//! the tornado summary shows the ranking flip between low-volume
+//! (design-dominated) and high-volume (silicon-dominated) products.
+
+use serde::{Deserialize, Serialize};
+
+use nanocost_units::{
+    DecompressionIndex, Dollars, FeatureSize, TransistorCount, UnitError, WaferCount, Yield,
+};
+
+use crate::total::TotalCostModel;
+
+/// The design point around which sensitivities are taken.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SensitivityPoint {
+    /// Process node λ, microns.
+    pub lambda_um: f64,
+    /// Density `s_d`.
+    pub sd: f64,
+    /// Design size, millions of transistors.
+    pub transistors_millions: f64,
+    /// Volume, wafers.
+    pub volume: u64,
+    /// Yield.
+    pub fab_yield: f64,
+    /// Mask-set cost, dollars.
+    pub mask_cost: f64,
+}
+
+/// One parameter's elasticity at the point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Elasticity {
+    /// Parameter name.
+    pub parameter: &'static str,
+    /// `∂ln C_tr / ∂ln x` estimated by a central log-difference.
+    pub value: f64,
+}
+
+/// Evaluates eq. 4 at a raw point.
+fn cost_at(model: &TotalCostModel, p: &SensitivityPoint) -> Result<f64, UnitError> {
+    let b = model.transistor_cost(
+        FeatureSize::from_microns(p.lambda_um)?,
+        DecompressionIndex::new(p.sd)?,
+        TransistorCount::from_millions(p.transistors_millions),
+        WaferCount::new(p.volume.max(1)).expect("clamped to >= 1"),
+        Yield::new(p.fab_yield)?,
+        Dollars::new(p.mask_cost),
+    )?;
+    Ok(b.total().amount())
+}
+
+/// Computes the elasticity of `C_tr` with respect to each continuous
+/// parameter of the point, by central differences with a ±2 % bump.
+///
+/// # Errors
+///
+/// Returns [`UnitError`] if the point (or a bumped neighbor) violates a
+/// model domain — e.g. `sd` within 2 % of `s_d0`, or yield bumping past 1.
+pub fn elasticities(
+    model: &TotalCostModel,
+    point: &SensitivityPoint,
+) -> Result<Vec<Elasticity>, UnitError> {
+    const REL: f64 = 0.02;
+    let mut out = Vec::new();
+    let bump = |p: &SensitivityPoint, which: usize, factor: f64| -> SensitivityPoint {
+        let mut q = *p;
+        match which {
+            0 => q.lambda_um *= factor,
+            1 => q.sd *= factor,
+            2 => q.transistors_millions *= factor,
+            3 => q.volume = ((q.volume as f64) * factor).round().max(1.0) as u64,
+            4 => q.fab_yield *= factor,
+            _ => q.mask_cost *= factor,
+        }
+        q
+    };
+    let names = ["lambda", "sd", "transistors", "volume", "yield", "mask_cost"];
+    for (which, name) in names.into_iter().enumerate() {
+        let up = cost_at(model, &bump(point, which, 1.0 + REL))?;
+        let down = cost_at(model, &bump(point, which, 1.0 - REL))?;
+        let d_ln_c = (up / down).ln();
+        let d_ln_x = ((1.0 + REL) / (1.0 - REL)).ln();
+        out.push(Elasticity {
+            parameter: name,
+            value: d_ln_c / d_ln_x,
+        });
+    }
+    // Most influential first.
+    out.sort_by(|a, b| {
+        b.value
+            .abs()
+            .partial_cmp(&a.value.abs())
+            .expect("elasticities are finite")
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn low_volume_point() -> SensitivityPoint {
+        SensitivityPoint {
+            lambda_um: 0.18,
+            sd: 300.0,
+            transistors_millions: 10.0,
+            volume: 5_000,
+            fab_yield: 0.4,
+            mask_cost: 200_000.0,
+        }
+    }
+
+    fn high_volume_point() -> SensitivityPoint {
+        SensitivityPoint {
+            volume: 1_000_000,
+            fab_yield: 0.9,
+            ..low_volume_point()
+        }
+    }
+
+    fn find(es: &[Elasticity], name: &str) -> f64 {
+        es.iter().find(|e| e.parameter == name).expect("present").value
+    }
+
+    #[test]
+    fn analytic_elasticities_recovered_at_high_volume() {
+        // At infinite volume eq. 4 → eq. 3 = C_sq·λ²·s_d/Y: elasticity of
+        // λ is 2, of s_d is 1, of yield is −1, of volume/transistors/mask
+        // is ~0.
+        let model = TotalCostModel::paper_figure4();
+        let es = elasticities(&model, &high_volume_point()).unwrap();
+        assert!((find(&es, "lambda") - 2.0).abs() < 0.05);
+        assert!((find(&es, "sd") - 1.0).abs() < 0.1);
+        assert!((find(&es, "yield") + 1.0).abs() < 0.05);
+        assert!(find(&es, "volume").abs() < 0.05);
+        assert!(find(&es, "mask_cost").abs() < 0.05);
+    }
+
+    #[test]
+    fn low_volume_is_volume_and_design_sensitive() {
+        let model = TotalCostModel::paper_figure4();
+        let es = elasticities(&model, &low_volume_point()).unwrap();
+        // Design cost dominates: volume elasticity approaches −1 and the
+        // transistor count matters (C_DE ∝ N_tr but C_tr also divides by
+        // nothing — the per-transistor design share is flat in N_tr at
+        // p1 = 1, so expect ≈ +0.? — what must hold is volume ≈ −0.5..−1).
+        let vol = find(&es, "volume");
+        assert!(vol < -0.4, "volume elasticity {vol}");
+        // s_d elasticity is *negative* here: relaxing density cuts total
+        // cost because the design term falls faster than silicon grows.
+        assert!(find(&es, "sd") < 0.5);
+    }
+
+    #[test]
+    fn ranking_flips_between_volume_regimes() {
+        let model = TotalCostModel::paper_figure4();
+        let low = elasticities(&model, &low_volume_point()).unwrap();
+        let high = elasticities(&model, &high_volume_point()).unwrap();
+        assert!(find(&low, "volume").abs() > find(&high, "volume").abs() * 5.0);
+    }
+
+    #[test]
+    fn domain_violation_is_an_error() {
+        let model = TotalCostModel::paper_figure4();
+        let mut p = low_volume_point();
+        p.sd = 101.0; // the −2 % bump crosses s_d0 = 100
+        assert!(elasticities(&model, &p).is_err());
+    }
+}

@@ -1,0 +1,247 @@
+//! The total transistor cost model: eqs. (4)–(5).
+//!
+//! ```text
+//! (4)  C_tr  = λ²·s_d·(Cm_sq + Cd_sq) / Y
+//! (5)  Cd_sq = (C_MA + C_DE) / (N_w · A_w)
+//! ```
+//!
+//! Design and mask costs are fixed per project; spreading them over the
+//! silicon actually fabricated (`N_w·A_w`) converts them into a per-cm²
+//! density commensurable with manufacturing cost. High-volume products
+//! make `Cd_sq → 0` and recover eq. 3.
+
+use serde::{Deserialize, Serialize};
+
+use nanocost_flow::DesignEffortModel;
+use nanocost_units::{
+    Area, CostPerArea, DecompressionIndex, Dollars, FeatureSize, TransistorCount, UnitError,
+    WaferCount, Yield,
+};
+
+/// The per-transistor cost split of eq. 4.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostBreakdown {
+    /// Manufacturing share `λ²·s_d·Cm_sq/Y`.
+    pub manufacturing: Dollars,
+    /// Design-and-mask share `λ²·s_d·Cd_sq/Y`.
+    pub design: Dollars,
+    /// The design cost surface density `Cd_sq` that produced the split.
+    pub design_per_cm2: CostPerArea,
+}
+
+impl CostBreakdown {
+    /// Total cost per functioning transistor.
+    #[must_use]
+    pub fn total(&self) -> Dollars {
+        self.manufacturing + self.design
+    }
+
+    /// The design share of the total, in `[0, 1]`.
+    #[must_use]
+    pub fn design_fraction(&self) -> f64 {
+        self.design.amount() / self.total().amount()
+    }
+}
+
+/// Eq. 5: spreads a project's fixed costs (masks + design effort) over the
+/// fabricated silicon.
+#[must_use]
+pub fn design_cost_per_cm2(
+    mask_cost: Dollars,
+    design_cost: Dollars,
+    volume: WaferCount,
+    wafer_area: Area,
+) -> CostPerArea {
+    (mask_cost + design_cost) / (wafer_area * volume.as_f64())
+}
+
+/// The eq.-4 total cost model: eq. 3's manufacturing term plus eq. 5's
+/// design term, with the design effort coming from eq. 6.
+///
+/// ```
+/// use nanocost_core::TotalCostModel;
+/// use nanocost_units::{DecompressionIndex, Dollars, TransistorCount, WaferCount};
+///
+/// let model = TotalCostModel::paper_figure4();
+/// let breakdown = model.transistor_cost(
+///     nanocost_units::FeatureSize::from_microns(0.18)?,
+///     DecompressionIndex::new(300.0)?,
+///     TransistorCount::from_millions(10.0),
+///     WaferCount::new(5_000)?,
+///     nanocost_units::Yield::new(0.4)?,
+///     Dollars::new(200_000.0),
+/// )?;
+/// assert!(breakdown.total().amount() > 0.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TotalCostModel {
+    /// Manufacturing cost per cm² `Cm_sq`.
+    pub manufacturing_per_cm2: CostPerArea,
+    /// Wafer area `A_w` over which fixed costs spread.
+    pub wafer_area: Area,
+    /// The eq.-6 design-effort model.
+    pub effort: DesignEffortModel,
+}
+
+impl TotalCostModel {
+    /// Creates the model.
+    #[must_use]
+    pub fn new(
+        manufacturing_per_cm2: CostPerArea,
+        wafer_area: Area,
+        effort: DesignEffortModel,
+    ) -> Self {
+        TotalCostModel {
+            manufacturing_per_cm2,
+            wafer_area,
+            effort,
+        }
+    }
+
+    /// The configuration behind the paper's Figure 4: `Cm_sq = 8 $/cm²`, a
+    /// 200 mm wafer (A_w ≈ 314 cm²), and the eq.-6 paper constants.
+    #[must_use]
+    pub fn paper_figure4() -> Self {
+        TotalCostModel::new(
+            CostPerArea::per_cm2(8.0),
+            Area::from_cm2(std::f64::consts::PI * 100.0),
+            DesignEffortModel::paper_defaults(),
+        )
+    }
+
+    /// Eq. 4 end to end: the per-transistor cost breakdown at a design
+    /// point. `mask_cost` is the mask-set price `C_MA` (node-dependent;
+    /// supplied by the caller, typically from
+    /// [`MaskCostModel`](nanocost_fab::MaskCostModel)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitError`] if `sd` is at or below the effort model's
+    /// `s_d0` (eq. 6's domain).
+    pub fn transistor_cost(
+        &self,
+        lambda: FeatureSize,
+        sd: DecompressionIndex,
+        transistors: TransistorCount,
+        volume: WaferCount,
+        fab_yield: Yield,
+        mask_cost: Dollars,
+    ) -> Result<CostBreakdown, UnitError> {
+        let c_de = self.effort.design_cost(transistors, sd)?;
+        let cd_sq = design_cost_per_cm2(mask_cost, c_de, volume, self.wafer_area);
+        let geometric = lambda.square().cm2() * sd.squares() / fab_yield.value();
+        Ok(CostBreakdown {
+            manufacturing: Dollars::new(
+                geometric * self.manufacturing_per_cm2.dollars_per_cm2(),
+            ),
+            design: Dollars::new(geometric * cd_sq.dollars_per_cm2()),
+            design_per_cm2: cd_sq,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn um(x: f64) -> FeatureSize {
+        FeatureSize::from_microns(x).unwrap()
+    }
+
+    fn sd(v: f64) -> DecompressionIndex {
+        DecompressionIndex::new(v).unwrap()
+    }
+
+    fn point(
+        model: &TotalCostModel,
+        s: f64,
+        volume: u64,
+        y: f64,
+    ) -> CostBreakdown {
+        model
+            .transistor_cost(
+                um(0.18),
+                sd(s),
+                TransistorCount::from_millions(10.0),
+                WaferCount::new(volume).unwrap(),
+                Yield::new(y).unwrap(),
+                Dollars::new(200_000.0),
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn eq5_spreads_fixed_costs() {
+        let cd = design_cost_per_cm2(
+            Dollars::from_millions(0.2),
+            Dollars::from_millions(39.8),
+            WaferCount::new(5_000).unwrap(),
+            Area::from_cm2(314.16),
+        );
+        // (0.2M + 39.8M) / (5000·314.16) ≈ 25.5 $/cm².
+        assert!((cd.dollars_per_cm2() - 25.46).abs() < 0.05, "{cd}");
+    }
+
+    #[test]
+    fn low_volume_is_design_dominated_high_volume_is_not() {
+        let m = TotalCostModel::paper_figure4();
+        let low = point(&m, 200.0, 5_000, 0.4);
+        let high = point(&m, 200.0, 500_000, 0.4);
+        assert!(low.design_fraction() > 0.5, "{}", low.design_fraction());
+        assert!(high.design_fraction() < 0.1, "{}", high.design_fraction());
+    }
+
+    #[test]
+    fn eq4_reduces_to_eq3_at_infinite_volume() {
+        // Paper: "for high volume IC products (large N_w) C_tr described by
+        // (3) and (4) becomes equal."
+        use crate::manufacturing::ManufacturingCostModel;
+        let m = TotalCostModel::paper_figure4();
+        let huge = point(&m, 250.0, 100_000_000, 0.8);
+        let eq3 = ManufacturingCostModel::paper_anchor()
+            .transistor_cost(um(0.18), sd(250.0))
+            .amount();
+        assert!(
+            (huge.total().amount() - eq3).abs() / eq3 < 1e-3,
+            "eq4 {} vs eq3 {}",
+            huge.total().amount(),
+            eq3
+        );
+    }
+
+    #[test]
+    fn design_term_falls_with_sd_manufacturing_rises() {
+        let m = TotalCostModel::paper_figure4();
+        let dense = point(&m, 150.0, 5_000, 0.4);
+        let sparse = point(&m, 600.0, 5_000, 0.4);
+        assert!(dense.design.amount() > sparse.design.amount());
+        assert!(dense.manufacturing.amount() < sparse.manufacturing.amount());
+    }
+
+    #[test]
+    fn interior_minimum_exists_for_figure4a_parameters() {
+        // The headline of Figure 4: neither extreme density is optimal.
+        let m = TotalCostModel::paper_figure4();
+        let probe = |s: f64| point(&m, s, 5_000, 0.4).total().amount();
+        let at_min_side = probe(110.0);
+        let middle = probe(350.0);
+        let at_max_side = probe(2000.0);
+        assert!(middle < at_min_side, "{middle} vs dense-side {at_min_side}");
+        assert!(middle < at_max_side, "{middle} vs sparse-side {at_max_side}");
+    }
+
+    #[test]
+    fn domain_error_propagates_from_eq6() {
+        let m = TotalCostModel::paper_figure4();
+        let err = m.transistor_cost(
+            um(0.18),
+            sd(90.0),
+            TransistorCount::from_millions(10.0),
+            WaferCount::new(5_000).unwrap(),
+            Yield::new(0.4).unwrap(),
+            Dollars::ZERO,
+        );
+        assert!(err.is_err());
+    }
+}

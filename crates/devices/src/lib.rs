@@ -1,0 +1,73 @@
+//! The published-design dataset behind the paper's empirical study.
+//!
+//! Maly's Table A1 collects die size, feature size, and transistor counts
+//! (with memory/logic splits where available) for 49 industrial designs
+//! published 1992–2000 (ISSCC and journal sources, the paper's refs.
+//! [5–29]). This crate embeds that table as typed [`DeviceRecord`]s,
+//! recomputes every printed `s_d` from the raw columns, and provides the
+//! grouping/trend analysis behind Figure 1:
+//!
+//! * [`table_a1`] — the dataset;
+//! * [`DeviceRecord::computed_sd_logic`] / [`DeviceRecord::computed_sd_mem`]
+//!   — eq. 2 applied to each row;
+//! * [`figure1_by_class`] / [`figure1_by_vendor`] — the Figure-1 scatter;
+//! * [`vendor_density_trend`] / [`vendor_mean_sd`] — the §2.2.2 narrative
+//!   (worsening MPU density; AMD-vs-Intel positioning);
+//! * [`DeviceQuery`] / [`to_csv`] — filtering and export.
+//!
+//! # Example
+//!
+//! ```
+//! use nanocost_devices::{table_a1, DeviceClass};
+//!
+//! let rows = table_a1();
+//! assert_eq!(rows.len(), 49);
+//! let k7 = rows.iter().find(|r| r.label == "K7").expect("K7 present");
+//! assert!(k7.computed_sd_logic().expect("split reported").squares() > 300.0);
+//! assert_eq!(k7.class, DeviceClass::Cpu);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod analysis;
+mod query;
+mod record;
+mod table_a1;
+mod taxonomy;
+
+pub use analysis::{
+    chronology_series, class_summaries, density_time_trend, estimated_year, figure1_by_class,
+    figure1_by_vendor, vendor_density_trend, vendor_mean_sd, ClassSummary,
+};
+pub use query::{to_csv, DeviceQuery};
+pub use record::DeviceRecord;
+pub use table_a1::{table_a1, INCONSISTENT_ROWS, RECONSTRUCTED_ROWS};
+pub use taxonomy::{DeviceClass, Vendor};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn effective_sd_scales_inversely_with_assumed_density(idx in 0usize..49) {
+            // Doubling a record's transistor count at fixed area halves its
+            // whole-die s_d — the eq.-2 linearity, exercised on real rows.
+            let rows = table_a1();
+            let r = &rows[idx];
+            let base = r.computed_sd_total().squares();
+            let mut doubled = r.clone();
+            doubled.total_mtr *= 2.0;
+            let halved = doubled.computed_sd_total().squares();
+            prop_assert!((halved * 2.0 - base).abs() < base * 1e-9);
+        }
+
+        #[test]
+        fn effective_sd_positive_for_all_rows(idx in 0usize..49) {
+            let rows = table_a1();
+            prop_assert!(rows[idx].effective_sd_logic().squares() > 0.0);
+        }
+    }
+}

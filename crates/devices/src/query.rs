@@ -1,0 +1,190 @@
+//! Query and export helpers over the device dataset.
+
+use crate::record::DeviceRecord;
+use crate::taxonomy::{DeviceClass, Vendor};
+
+/// A fluent filter over device records.
+///
+/// ```
+/// use nanocost_devices::{table_a1, DeviceClass, DeviceQuery};
+///
+/// let rows = table_a1();
+/// let quarter_micron_cpus = DeviceQuery::new(&rows)
+///     .class(DeviceClass::Cpu)
+///     .feature_um(0.2, 0.3)
+///     .collect();
+/// assert!(!quarter_micron_cpus.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeviceQuery<'a> {
+    rows: &'a [DeviceRecord],
+    class: Option<DeviceClass>,
+    vendor: Option<Vendor>,
+    feature_um: Option<(f64, f64)>,
+    split_only: bool,
+}
+
+impl<'a> DeviceQuery<'a> {
+    /// Starts a query over `rows`.
+    #[must_use]
+    pub fn new(rows: &'a [DeviceRecord]) -> Self {
+        DeviceQuery {
+            rows,
+            class: None,
+            vendor: None,
+            feature_um: None,
+            split_only: false,
+        }
+    }
+
+    /// Keep only records of `class`.
+    #[must_use]
+    pub fn class(mut self, class: DeviceClass) -> Self {
+        self.class = Some(class);
+        self
+    }
+
+    /// Keep only records whose label infers to `vendor`.
+    #[must_use]
+    pub fn vendor(mut self, vendor: Vendor) -> Self {
+        self.vendor = Some(vendor);
+        self
+    }
+
+    /// Keep only records with feature size in `[lo_um, hi_um]`.
+    #[must_use]
+    pub fn feature_um(mut self, lo_um: f64, hi_um: f64) -> Self {
+        self.feature_um = Some((lo_um, hi_um));
+        self
+    }
+
+    /// Keep only records reporting a memory/logic split.
+    #[must_use]
+    pub fn with_split(mut self) -> Self {
+        self.split_only = true;
+        self
+    }
+
+    fn matches(&self, r: &DeviceRecord) -> bool {
+        if let Some(c) = self.class {
+            if r.class != c {
+                return false;
+            }
+        }
+        if let Some(v) = self.vendor {
+            if Vendor::from_label(r.label) != v {
+                return false;
+            }
+        }
+        if let Some((lo, hi)) = self.feature_um {
+            if r.feature_um < lo || r.feature_um > hi {
+                return false;
+            }
+        }
+        if self.split_only && !r.has_split() {
+            return false;
+        }
+        true
+    }
+
+    /// Materializes the matching records.
+    #[must_use]
+    pub fn collect(&self) -> Vec<&'a DeviceRecord> {
+        self.rows.iter().filter(|r| self.matches(r)).collect()
+    }
+
+    /// Number of matching records without materializing.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.rows.iter().filter(|r| self.matches(r)).count()
+    }
+}
+
+/// Exports records as CSV with both published and recomputed `s_d`
+/// columns — for downstream analysis outside Rust.
+#[must_use]
+pub fn to_csv(rows: &[DeviceRecord]) -> String {
+    let mut out = String::from(
+        "id,die_cm2,feature_um,total_mtr,mem_mtr,logic_mtr,mem_area_cm2,logic_area_cm2,\
+         published_sd_mem,published_sd_logic,computed_sd_mem,computed_sd_logic,\
+         computed_sd_total,class,label\n",
+    );
+    let opt = |v: Option<f64>| v.map_or(String::new(), |x| format!("{x}"));
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            r.id,
+            r.die_cm2,
+            r.feature_um,
+            r.total_mtr,
+            opt(r.mem_mtr),
+            opt(r.logic_mtr),
+            opt(r.mem_area_cm2),
+            opt(r.logic_area_cm2),
+            opt(r.published_sd_mem),
+            opt(r.published_sd_logic),
+            opt(r.computed_sd_mem().map(|s| s.squares())),
+            opt(r.computed_sd_logic().map(|s| s.squares())),
+            r.computed_sd_total().squares(),
+            r.class,
+            r.label
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table_a1::table_a1;
+
+    #[test]
+    fn unfiltered_query_returns_everything() {
+        let rows = table_a1();
+        assert_eq!(DeviceQuery::new(&rows).count(), rows.len());
+    }
+
+    #[test]
+    fn filters_compose() {
+        let rows = table_a1();
+        let intel_quarter = DeviceQuery::new(&rows)
+            .class(DeviceClass::Cpu)
+            .vendor(Vendor::Intel)
+            .feature_um(0.2, 0.3)
+            .collect();
+        assert!(!intel_quarter.is_empty());
+        for r in &intel_quarter {
+            assert_eq!(r.class, DeviceClass::Cpu);
+            assert_eq!(Vendor::from_label(r.label), Vendor::Intel);
+            assert!((0.2..=0.3).contains(&r.feature_um));
+        }
+    }
+
+    #[test]
+    fn split_filter_matches_has_split() {
+        let rows = table_a1();
+        let split = DeviceQuery::new(&rows).with_split().collect();
+        assert!(split.len() > 15 && split.len() < rows.len());
+        assert!(split.iter().all(|r| r.has_split()));
+    }
+
+    #[test]
+    fn csv_has_header_plus_one_line_per_row() {
+        let rows = table_a1();
+        let csv = to_csv(&rows);
+        assert_eq!(csv.lines().count(), rows.len() + 1);
+        assert!(csv.starts_with("id,die_cm2"));
+        // Spot-check the K7 row carries its published density.
+        let k7_line = csv.lines().find(|l| l.ends_with(",K7")).expect("K7 row");
+        assert!(k7_line.contains("335.6"));
+    }
+
+    #[test]
+    fn empty_optional_cells_stay_empty_in_csv() {
+        let rows = table_a1();
+        let csv = to_csv(&rows);
+        // Row 1 reports no memory split: consecutive commas.
+        let row1 = csv.lines().nth(1).expect("row 1");
+        assert!(row1.contains(",,"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Device and vendor taxonomy for the Table A1 dataset.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Broad device class, following the paper's "type of device" column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceClass {
+    /// General-purpose microprocessors (x86, RISC, mainframe).
+    Cpu,
+    /// Digital signal processors.
+    Dsp,
+    /// Stand-alone or cache SRAM.
+    Sram,
+    /// MPEG/video codecs.
+    Mpeg,
+    /// Application-specific ICs (telecom, misc).
+    Asic,
+    /// ATM switch / network devices.
+    Network,
+    /// Game console processors.
+    VideoGame,
+}
+
+impl DeviceClass {
+    /// All classes, for iteration in reports.
+    pub const ALL: [DeviceClass; 7] = [
+        DeviceClass::Cpu,
+        DeviceClass::Dsp,
+        DeviceClass::Sram,
+        DeviceClass::Mpeg,
+        DeviceClass::Asic,
+        DeviceClass::Network,
+        DeviceClass::VideoGame,
+    ];
+}
+
+impl fmt::Display for DeviceClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DeviceClass::Cpu => "CPU",
+            DeviceClass::Dsp => "DSP",
+            DeviceClass::Sram => "SRAM",
+            DeviceClass::Mpeg => "MPEG",
+            DeviceClass::Asic => "ASIC",
+            DeviceClass::Network => "network",
+            DeviceClass::VideoGame => "video game",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Vendor attribution for the microprocessor rows, used by the Figure-1
+/// market-position analysis (the paper's Intel-vs-AMD narrative).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Vendor {
+    /// Intel x86 parts (Pentium family).
+    Intel,
+    /// AMD x86 parts (K5/K6/K7).
+    Amd,
+    /// Motorola/IBM PowerPC parts.
+    PowerPcAlliance,
+    /// Digital/Compaq Alpha parts.
+    Alpha,
+    /// Other or unattributed.
+    Other,
+}
+
+impl Vendor {
+    /// Infers the vendor from the paper's device label.
+    #[must_use]
+    pub fn from_label(label: &str) -> Vendor {
+        let l = label.to_ascii_lowercase();
+        if l.starts_with("pent") {
+            Vendor::Intel
+        } else if l.starts_with('k') && l.chars().nth(1).is_some_and(|c| c.is_ascii_digit()) {
+            Vendor::Amd
+        } else if l.contains("powerpc") || l.contains("power pc") {
+            Vendor::PowerPcAlliance
+        } else if l.contains("alpha") {
+            Vendor::Alpha
+        } else {
+            Vendor::Other
+        }
+    }
+}
+
+impl fmt::Display for Vendor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Vendor::Intel => "Intel",
+            Vendor::Amd => "AMD",
+            Vendor::PowerPcAlliance => "PowerPC alliance",
+            Vendor::Alpha => "Alpha",
+            Vendor::Other => "other",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vendor_inference_from_labels() {
+        assert_eq!(Vendor::from_label("Pentium (P5)"), Vendor::Intel);
+        assert_eq!(Vendor::from_label("Pent. Pro"), Vendor::Intel);
+        assert_eq!(Vendor::from_label("K6-2 (Mod. 8)"), Vendor::Amd);
+        assert_eq!(Vendor::from_label("K7"), Vendor::Amd);
+        assert_eq!(Vendor::from_label("PowerPC"), Vendor::PowerPcAlliance);
+        assert_eq!(Vendor::from_label("Alpha (SOI)"), Vendor::Alpha);
+        assert_eq!(Vendor::from_label("MIPS64TM"), Vendor::Other);
+    }
+
+    #[test]
+    fn class_display_is_stable() {
+        assert_eq!(DeviceClass::Cpu.to_string(), "CPU");
+        assert_eq!(DeviceClass::VideoGame.to_string(), "video game");
+        assert_eq!(DeviceClass::ALL.len(), 7);
+    }
+}

@@ -1,0 +1,115 @@
+//! Fab economics for the `nanocost` workspace: everything that turns
+//! silicon processing into dollars.
+//!
+//! The Maly cost model needs, beyond the headline `C_sq` constant, a set of
+//! manufacturing substrates (paper §2.5 lists the simplifications this
+//! crate un-simplifies):
+//!
+//! * [`WaferSpec`] — wafer geometry, usable area, and the exact gross
+//!   dice-per-wafer count `N_ch` of eq. 1;
+//! * [`FablineModel`] — "Moore's second law" capital cost of a fabline and
+//!   its per-wafer depreciation — the *billions of dollars* of the paper's
+//!   title;
+//! * [`WaferCostModel`] — processed-wafer cost `C_w(diameter, λ, volume,
+//!   maturity)` in the spirit of the paper's ref. \[30\], and the `Cm_sq`
+//!   per-cm² density it implies;
+//! * [`MaskCostModel`] — the mask-set cost `C_MA` of eq. 5;
+//! * [`ProximityModel`] — the growing lithography interaction neighborhood
+//!   that drives prediction error in §3.2;
+//! * [`TestCostModel`] — the cost-of-test extension the paper invites;
+//! * [`ProcessNode`]/[`standard_nodes`] — the node ladder tying it together.
+//!
+//! # Example
+//!
+//! ```
+//! use nanocost_units::{Area, FeatureSize, WaferCount};
+//! use nanocost_fab::{WaferCostModel, WaferSpec};
+//!
+//! let wafer = WaferSpec::standard_200mm();
+//! let cost = WaferCostModel::default();
+//! let node = FeatureSize::from_microns(0.25)?;
+//! let volume = WaferCount::new(50_000)?;
+//!
+//! let per_wafer = cost.cost_per_wafer(wafer, node, volume);
+//! let dice = wafer.gross_dice(Area::from_cm2(1.0));
+//! let per_die = per_wafer / dice.as_f64();
+//! assert!(per_die.amount() > 1.0 && per_die.amount() < 100.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod fabline;
+mod litho;
+mod mask;
+mod process;
+mod test_cost;
+mod wafer;
+mod wafer_cost;
+
+pub use fabline::FablineModel;
+pub use litho::ProximityModel;
+pub use mask::MaskCostModel;
+pub use process::{nearest_node, standard_nodes, ProcessNode};
+pub use test_cost::TestCostModel;
+pub use wafer::{DieSite, WaferSpec};
+pub use wafer_cost::{WaferCostBreakdown, WaferCostModel};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use nanocost_units::{Area, FeatureSize, WaferCount};
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn gross_dice_monotone_in_die_area(
+            a in 0.1f64..5.0, extra in 0.05f64..5.0
+        ) {
+            let w = WaferSpec::standard_200mm();
+            let small = w.gross_dice(Area::from_cm2(a)).count();
+            let large = w.gross_dice(Area::from_cm2(a + extra)).count();
+            prop_assert!(large <= small);
+        }
+
+        #[test]
+        fn gross_dice_exact_at_most_usable_area_over_die_area(
+            a in 0.05f64..10.0
+        ) {
+            let w = WaferSpec::standard_200mm();
+            let n = w.gross_dice(Area::from_cm2(a)).as_f64();
+            let bound = w.usable_area().cm2() / a;
+            prop_assert!(n <= bound + 1e-9, "n={n} bound={bound}");
+        }
+
+        #[test]
+        fn wafer_cost_monotone_decreasing_in_volume(
+            v in 100u64..1_000_000, extra in 1u64..1_000_000
+        ) {
+            let m = WaferCostModel::default();
+            let w = WaferSpec::standard_200mm();
+            let l = FeatureSize::from_microns(0.25).unwrap();
+            let c1 = m.cost_per_wafer(w, l, WaferCount::new(v).unwrap());
+            let c2 = m.cost_per_wafer(w, l, WaferCount::new(v + extra).unwrap());
+            prop_assert!(c2.amount() <= c1.amount() + 1e-9);
+        }
+
+        #[test]
+        fn capex_monotone_in_shrink(l1 in 0.03f64..1.5, shrink in 0.3f64..0.95) {
+            let fab = FablineModel::default();
+            let big = FeatureSize::from_microns(l1).unwrap();
+            let small = FeatureSize::from_microns(l1 * shrink).unwrap();
+            prop_assert!(fab.capex(small).amount() > fab.capex(big).amount());
+        }
+
+        #[test]
+        fn mask_set_cost_positive_and_monotone(l in 0.03f64..1.5) {
+            let m = MaskCostModel::default();
+            let lambda = FeatureSize::from_microns(l).unwrap();
+            let next = FeatureSize::from_microns(l * 0.7).unwrap();
+            prop_assert!(m.mask_set_cost(lambda).amount() > 0.0);
+            prop_assert!(m.mask_set_cost(next).amount() > m.mask_set_cost(lambda).amount());
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! IC design-process economics for the `nanocost` workspace.
+//!
+//! Implements both sides of the paper's §2.4/§3.2 argument:
+//!
+//! * **top-down** — [`DesignEffortModel`], the closed-form eq. 6
+//!   (`C_DE = A0·N_tr^p1/(s_d − s_d0)^p2`) with the paper's constants;
+//! * **bottom-up** — the mechanism eq. 6 summarizes:
+//!   [`PredictionModel`] (pre-layout prediction error growing as λ shrinks,
+//!   falling with pattern reuse), the [`ClosureSimulator`] iteration loop,
+//!   the [`DesignTeamModel`] pricing each spin, and
+//!   [`calibrate_effort_shape`] which fits the simulated process back to
+//!   the eq.-6 form, recovering a p2-shaped exponent;
+//! * **physical grounding** — [`DelayStudy`] builds the §2.4 motivating
+//!   example concretely: Elmore delays of random nets, HPWL-based
+//!   pre-layout estimates, and coupling from aggressors inside the
+//!   lithography interaction radius, yielding the σ(λ) the abstract
+//!   model parameterizes;
+//! * **time-to-market** — [`DesignSchedule`] and [`MarketModel`] price
+//!   lateness (ASP erosion), the force §2.2.2 blames for worsening
+//!   industrial densities;
+//! * **cross-product reuse** — [`PortfolioModel`] amortizes a
+//!   pre-characterized block library over a product family, §3.2's
+//!   "across many products" economics with a break-even calculator;
+//! * **the regularity bridge** — [`RegularityEffect`] turns a measured
+//!   layout [`RegularityReport`](nanocost_layout::RegularityReport) into a
+//!   simulation-reuse factor and an iteration-count ratio, quantifying the
+//!   paper's closing prescription.
+//!
+//! # Example
+//!
+//! ```
+//! use nanocost_flow::DesignEffortModel;
+//! use nanocost_units::{DecompressionIndex, TransistorCount};
+//!
+//! let model = DesignEffortModel::paper_defaults();
+//! let cost = model.design_cost(
+//!     TransistorCount::from_millions(10.0),
+//!     DecompressionIndex::new(200.0)?,
+//! )?;
+//! assert!(cost.to_millions() > 30.0 && cost.to_millions() < 50.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod calibrate;
+mod effort;
+mod interconnect;
+mod iteration;
+mod portfolio;
+mod predictor;
+mod regularity_link;
+mod schedule;
+mod team;
+
+pub use calibrate::{calibrate_effort_shape, CalibrateError, CalibrationPoint, CalibrationResult};
+pub use effort::DesignEffortModel;
+pub use interconnect::{elmore_delay, DelayErrorReport, DelayStudy, Net};
+pub use iteration::ClosureSimulator;
+pub use portfolio::{PortfolioModel, PortfolioProduct};
+pub use predictor::PredictionModel;
+pub use regularity_link::RegularityEffect;
+pub use schedule::{DesignSchedule, MarketModel};
+pub use team::DesignTeamModel;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use nanocost_units::{DecompressionIndex, TransistorCount};
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn effort_monotone_decreasing_in_sd(
+            sd in 101.0f64..2000.0, extra in 1.0f64..500.0, m in 0.1f64..500.0
+        ) {
+            let model = DesignEffortModel::paper_defaults();
+            let n = TransistorCount::from_millions(m);
+            let tight = model.design_cost(n, DecompressionIndex::new(sd).unwrap()).unwrap();
+            let loose = model.design_cost(n, DecompressionIndex::new(sd + extra).unwrap()).unwrap();
+            prop_assert!(loose.amount() < tight.amount());
+        }
+
+        #[test]
+        fn effort_monotone_increasing_in_transistors(
+            m in 0.1f64..500.0, factor in 1.1f64..10.0
+        ) {
+            let model = DesignEffortModel::paper_defaults();
+            let sd = DecompressionIndex::new(300.0).unwrap();
+            let small = model.design_cost(TransistorCount::from_millions(m), sd).unwrap();
+            let big = model
+                .design_cost(TransistorCount::from_millions(m * factor), sd)
+                .unwrap();
+            prop_assert!(big.amount() > small.amount());
+        }
+
+        #[test]
+        fn tolerance_is_bounded_by_base(sd in 100.5f64..5000.0) {
+            let sim = ClosureSimulator::nanometer_default();
+            let t = sim.tolerance(DecompressionIndex::new(sd).unwrap()).unwrap();
+            prop_assert!(t > 0.0 && t < 0.20);
+        }
+
+        #[test]
+        fn market_price_monotone_decreasing_in_time(
+            t1 in 0.0f64..300.0, dt in 0.1f64..300.0
+        ) {
+            let m = MarketModel::competitive_mpu();
+            prop_assert!(m.unit_price(t1 + dt).amount() < m.unit_price(t1).amount());
+        }
+
+        #[test]
+        fn portfolio_sharing_never_raises_product_cost(
+            shared in 0.0f64..=1.0, extra in 0.01f64..0.5
+        ) {
+            let model = PortfolioModel::nanometer_default();
+            let product = |f: f64| {
+                PortfolioProduct::new(
+                    TransistorCount::from_millions(10.0),
+                    DecompressionIndex::new(250.0).unwrap(),
+                    f,
+                )
+                .unwrap()
+            };
+            let hi = (shared + extra).min(1.0);
+            let lo_cost = model.product_cost(&product(shared)).unwrap();
+            let hi_cost = model.product_cost(&product(hi)).unwrap();
+            prop_assert!(hi_cost.amount() <= lo_cost.amount() + 1e-9);
+        }
+
+        #[test]
+        fn sigma_positive_and_monotone_in_reuse(
+            um in 0.03f64..1.0, r1 in 1.0f64..100.0, bump in 1.0f64..100.0
+        ) {
+            let p = PredictionModel::nanometer_default();
+            let lambda = nanocost_units::FeatureSize::from_microns(um).unwrap();
+            let lo = p.sigma(lambda, r1 + bump);
+            let hi = p.sigma(lambda, r1);
+            prop_assert!(lo > 0.0);
+            prop_assert!(lo <= hi);
+        }
+    }
+}

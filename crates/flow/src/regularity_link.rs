@@ -1,0 +1,102 @@
+//! The layout-regularity → design-cost linkage (§3.2 end-to-end).
+//!
+//! Takes a measured [`RegularityReport`] from the layout substrate and
+//! produces the inputs the flow models need: a simulation-reuse factor for
+//! the [`PredictionModel`](crate::PredictionModel) and an effective
+//! design-effort multiplier relative to fully irregular artwork.
+
+use serde::{Deserialize, Serialize};
+
+use nanocost_layout::RegularityReport;
+use nanocost_numeric::McConfig;
+use nanocost_units::{DecompressionIndex, FeatureSize, UnitError};
+
+use crate::iteration::ClosureSimulator;
+
+/// Flow-relevant summary of a layout's regularity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RegularityEffect {
+    /// Simulation-reuse factor: scanned windows per unique pattern.
+    pub reuse_factor: f64,
+    /// Fraction of the layout covered by its ten most frequent patterns.
+    pub top10_coverage: f64,
+    /// Pattern entropy in bits.
+    pub entropy_bits: f64,
+}
+
+impl RegularityEffect {
+    /// Extracts the effect from a pattern-extraction report.
+    #[must_use]
+    pub fn from_report(report: &RegularityReport) -> Self {
+        RegularityEffect {
+            reuse_factor: report.reuse_factor(),
+            top10_coverage: report.coverage_top(10),
+            entropy_bits: report.entropy_bits(),
+        }
+    }
+
+    /// The iteration-count ratio of this layout versus fully irregular
+    /// artwork at the same design point: simulates both and divides.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitError`] if `sd` is at or below the simulator's
+    /// `s_d0`.
+    pub fn iteration_ratio(
+        &self,
+        simulator: &ClosureSimulator,
+        config: McConfig,
+        lambda: FeatureSize,
+        sd: DecompressionIndex,
+    ) -> Result<f64, UnitError> {
+        let regular = simulator.mean_iterations(config, lambda, sd, self.reuse_factor)?;
+        let irregular = simulator.mean_iterations(config, lambda, sd, 1.0)?;
+        Ok(regular / irregular)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nanocost_layout::{MemoryArrayGenerator, RandomBlockGenerator, RegularityAnalysis};
+
+    #[test]
+    fn memory_array_effect_shows_high_reuse() {
+        let array = MemoryArrayGenerator::new(16, 16).unwrap().generate().unwrap();
+        let report = RegularityAnalysis::tiling_rect(14, 13).unwrap().analyze(array.grid()).unwrap();
+        let effect = RegularityEffect::from_report(&report);
+        assert!(effect.reuse_factor > 10.0);
+        assert!(effect.top10_coverage > 0.5);
+    }
+
+    #[test]
+    fn regular_layout_closes_in_fewer_iterations() {
+        let array = MemoryArrayGenerator::new(16, 16).unwrap().generate().unwrap();
+        let report = RegularityAnalysis::tiling_rect(14, 13).unwrap().analyze(array.grid()).unwrap();
+        let effect = RegularityEffect::from_report(&report);
+        let sim = ClosureSimulator::nanometer_default();
+        let ratio = effect
+            .iteration_ratio(
+                &sim,
+                McConfig { seed: 5, trials: 400 },
+                FeatureSize::from_microns(0.1).unwrap(),
+                DecompressionIndex::new(150.0).unwrap(),
+            )
+            .unwrap();
+        assert!(ratio < 0.9, "regular/irregular iteration ratio {ratio}");
+    }
+
+    #[test]
+    fn random_block_effect_is_weak() {
+        let block = RandomBlockGenerator::new(224, 208, 250, 11)
+            .unwrap()
+            .generate()
+            .unwrap();
+        let report = RegularityAnalysis::tiling_rect(14, 13).unwrap().analyze(block.grid()).unwrap();
+        let effect = RegularityEffect::from_report(&report);
+        let array = MemoryArrayGenerator::new(16, 16).unwrap().generate().unwrap();
+        let mem_report = RegularityAnalysis::tiling_rect(14, 13).unwrap().analyze(array.grid()).unwrap();
+        let mem_effect = RegularityEffect::from_report(&mem_report);
+        assert!(effect.reuse_factor < mem_effect.reuse_factor / 3.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Error type for layout construction and analysis.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by layout geometry, raster, and analysis routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayoutError {
+    /// A rectangle with zero or negative extent.
+    EmptyRect {
+        /// Left edge.
+        x0: i64,
+        /// Bottom edge.
+        y0: i64,
+        /// Right edge.
+        x1: i64,
+        /// Top edge.
+        y1: i64,
+    },
+    /// A raster with a zero dimension.
+    EmptyGrid {
+        /// Requested width.
+        width: usize,
+        /// Requested height.
+        height: usize,
+    },
+    /// A write or read outside the raster bounds.
+    OutOfBounds {
+        /// Requested x.
+        x: i64,
+        /// Requested y.
+        y: i64,
+        /// Grid width.
+        width: usize,
+        /// Grid height.
+        height: usize,
+    },
+    /// A window larger than the raster it is applied to.
+    WindowTooLarge {
+        /// Window side, in λ.
+        window: usize,
+        /// Grid width.
+        width: usize,
+        /// Grid height.
+        height: usize,
+    },
+    /// Invalid generator or analysis parameter.
+    InvalidParameter {
+        /// Which parameter.
+        name: &'static str,
+        /// Explanation.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayoutError::EmptyRect { x0, y0, x1, y1 } => {
+                write!(f, "rectangle [{x0},{y0})x[{x1},{y1}) has no area")
+            }
+            LayoutError::EmptyGrid { width, height } => {
+                write!(f, "grid dimensions {width}x{height} must both be positive")
+            }
+            LayoutError::OutOfBounds {
+                x,
+                y,
+                width,
+                height,
+            } => write!(f, "cell ({x},{y}) outside {width}x{height} grid"),
+            LayoutError::WindowTooLarge {
+                window,
+                width,
+                height,
+            } => write!(f, "window {window} exceeds grid {width}x{height}"),
+            LayoutError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter {name}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for LayoutError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = LayoutError::OutOfBounds {
+            x: 10,
+            y: 20,
+            width: 5,
+            height: 5,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("10") && msg.contains("5x5"));
+    }
+}

@@ -1,0 +1,186 @@
+//! Integer geometry on the λ grid.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::LayoutError;
+
+/// A point on the λ grid (coordinates in λ units).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Point {
+    /// Horizontal coordinate, in λ.
+    pub x: i64,
+    /// Vertical coordinate, in λ.
+    pub y: i64,
+}
+
+impl Point {
+    /// Creates a point.
+    #[must_use]
+    pub fn new(x: i64, y: i64) -> Self {
+        Point { x, y }
+    }
+
+    /// Translates by `(dx, dy)`.
+    #[must_use]
+    pub fn translated(self, dx: i64, dy: i64) -> Self {
+        Point::new(self.x + dx, self.y + dy)
+    }
+}
+
+/// An axis-aligned rectangle on the λ grid, `[x0, x1) × [y0, y1)`
+/// (half-open, so width = `x1 − x0`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Rect {
+    /// Left edge (inclusive).
+    pub x0: i64,
+    /// Bottom edge (inclusive).
+    pub y0: i64,
+    /// Right edge (exclusive).
+    pub x1: i64,
+    /// Top edge (exclusive).
+    pub y1: i64,
+}
+
+impl Rect {
+    /// Creates a rectangle from corners.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError::EmptyRect`] if the rectangle would have zero
+    /// or negative extent.
+    pub fn new(x0: i64, y0: i64, x1: i64, y1: i64) -> Result<Self, LayoutError> {
+        if x1 <= x0 || y1 <= y0 {
+            return Err(LayoutError::EmptyRect { x0, y0, x1, y1 });
+        }
+        Ok(Rect { x0, y0, x1, y1 })
+    }
+
+    /// Creates a rectangle from an origin and a size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError::EmptyRect`] if either dimension is zero.
+    pub fn with_size(origin: Point, width: i64, height: i64) -> Result<Self, LayoutError> {
+        Rect::new(origin.x, origin.y, origin.x + width, origin.y + height)
+    }
+
+    /// Width in λ.
+    #[must_use]
+    pub fn width(self) -> i64 {
+        self.x1 - self.x0
+    }
+
+    /// Height in λ.
+    #[must_use]
+    pub fn height(self) -> i64 {
+        self.y1 - self.y0
+    }
+
+    /// Area in λ² squares.
+    #[must_use]
+    pub fn area(self) -> i64 {
+        self.width() * self.height()
+    }
+
+    /// True if `p` lies inside the (half-open) rectangle.
+    #[must_use]
+    pub fn contains(self, p: Point) -> bool {
+        p.x >= self.x0 && p.x < self.x1 && p.y >= self.y0 && p.y < self.y1
+    }
+
+    /// True if the rectangles share any area.
+    #[must_use]
+    pub fn intersects(self, other: Rect) -> bool {
+        self.x0 < other.x1 && other.x0 < self.x1 && self.y0 < other.y1 && other.y0 < self.y1
+    }
+
+    /// The overlapping region, if any.
+    #[must_use]
+    pub fn intersection(self, other: Rect) -> Option<Rect> {
+        let x0 = self.x0.max(other.x0);
+        let y0 = self.y0.max(other.y0);
+        let x1 = self.x1.min(other.x1);
+        let y1 = self.y1.min(other.y1);
+        Rect::new(x0, y0, x1, y1).ok()
+    }
+
+    /// The rectangle translated by `(dx, dy)`.
+    #[must_use]
+    pub fn translated(self, dx: i64, dy: i64) -> Rect {
+        Rect {
+            x0: self.x0 + dx,
+            y0: self.y0 + dy,
+            x1: self.x1 + dx,
+            y1: self.y1 + dy,
+        }
+    }
+
+    /// The smallest rectangle containing both.
+    #[must_use]
+    pub fn union_bounds(self, other: Rect) -> Rect {
+        Rect {
+            x0: self.x0.min(other.x0),
+            y0: self.y0.min(other.y0),
+            x1: self.x1.max(other.x1),
+            y1: self.y1.max(other.y1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_dimensions() {
+        let r = Rect::new(1, 2, 4, 8).unwrap();
+        assert_eq!(r.width(), 3);
+        assert_eq!(r.height(), 6);
+        assert_eq!(r.area(), 18);
+    }
+
+    #[test]
+    fn empty_rects_rejected() {
+        assert!(Rect::new(0, 0, 0, 5).is_err());
+        assert!(Rect::new(0, 0, 5, 0).is_err());
+        assert!(Rect::new(5, 0, 0, 5).is_err());
+        assert!(Rect::with_size(Point::new(0, 0), 0, 3).is_err());
+    }
+
+    #[test]
+    fn containment_is_half_open() {
+        let r = Rect::new(0, 0, 2, 2).unwrap();
+        assert!(r.contains(Point::new(0, 0)));
+        assert!(r.contains(Point::new(1, 1)));
+        assert!(!r.contains(Point::new(2, 0)));
+        assert!(!r.contains(Point::new(0, 2)));
+    }
+
+    #[test]
+    fn intersection_cases() {
+        let a = Rect::new(0, 0, 4, 4).unwrap();
+        let b = Rect::new(2, 2, 6, 6).unwrap();
+        let c = Rect::new(4, 0, 6, 2).unwrap();
+        assert!(a.intersects(b));
+        assert_eq!(a.intersection(b), Some(Rect::new(2, 2, 4, 4).unwrap()));
+        // Touching edges do not intersect (half-open).
+        assert!(!a.intersects(c));
+        assert_eq!(a.intersection(c), None);
+    }
+
+    #[test]
+    fn translation_and_union() {
+        let a = Rect::new(0, 0, 2, 2).unwrap();
+        let b = a.translated(5, 5);
+        assert_eq!(b, Rect::new(5, 5, 7, 7).unwrap());
+        let u = a.union_bounds(b);
+        assert_eq!(u, Rect::new(0, 0, 7, 7).unwrap());
+    }
+
+    #[test]
+    fn point_translation() {
+        assert_eq!(Point::new(1, 2).translated(-3, 4), Point::new(-2, 6));
+    }
+}

@@ -1,0 +1,192 @@
+//! Channel routing by the classical left-edge algorithm.
+//!
+//! Given the horizontal spans the nets need inside one routing channel,
+//! the left-edge algorithm packs them into the minimum number of tracks
+//! (for spans without vertical constraints, it is exactly optimal: the
+//! track count equals the maximum overlap density). Routed track counts
+//! turn the placer's congestion *estimate* into a real channel height —
+//! and hence into real routing area in the achieved `s_d`.
+//!
+//! Simplification, documented: vertical constraint graphs (pin conflicts
+//! at identical x) are not modeled; spans are intervals, which matches
+//! the congestion abstraction the rest of the workspace uses.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::LayoutError;
+
+/// One net's horizontal span inside a channel, in λ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Span {
+    /// Net identifier (caller-defined).
+    pub net: usize,
+    /// Left edge, inclusive.
+    pub x0: i64,
+    /// Right edge, exclusive.
+    pub x1: i64,
+}
+
+impl Span {
+    /// Creates a span.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError::EmptyRect`] for a zero or negative extent.
+    pub fn new(net: usize, x0: i64, x1: i64) -> Result<Self, LayoutError> {
+        if x1 <= x0 {
+            return Err(LayoutError::EmptyRect {
+                x0,
+                y0: 0,
+                x1,
+                y1: 1,
+            });
+        }
+        Ok(Span { net, x0, x1 })
+    }
+
+    /// True if two spans overlap (half-open intervals).
+    #[must_use]
+    pub fn overlaps(&self, other: &Span) -> bool {
+        self.x0 < other.x1 && other.x0 < self.x1
+    }
+}
+
+/// A routed channel: spans assigned to tracks.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoutedChannel {
+    tracks: Vec<Vec<Span>>,
+}
+
+impl RoutedChannel {
+    /// Number of tracks used.
+    #[must_use]
+    pub fn track_count(&self) -> usize {
+        self.tracks.len()
+    }
+
+    /// The spans on each track.
+    #[must_use]
+    pub fn tracks(&self) -> &[Vec<Span>] {
+        &self.tracks
+    }
+
+    /// True if no track contains overlapping spans (the router's
+    /// correctness invariant; exposed for property tests).
+    #[must_use]
+    pub fn is_overlap_free(&self) -> bool {
+        self.tracks.iter().all(|track| {
+            track
+                .iter()
+                .enumerate()
+                .all(|(i, a)| track.iter().skip(i + 1).all(|b| !a.overlaps(b)))
+        })
+    }
+}
+
+/// The maximum overlap density of a set of spans — the lower bound on any
+/// routing's track count (and the left-edge algorithm's exact result).
+#[must_use]
+pub fn channel_density(spans: &[Span]) -> usize {
+    let mut events: Vec<(i64, i32)> = Vec::with_capacity(spans.len() * 2);
+    for s in spans {
+        events.push((s.x0, 1));
+        events.push((s.x1, -1));
+    }
+    // Ends before starts at the same coordinate (half-open intervals).
+    events.sort_by_key(|&(x, delta)| (x, delta));
+    let mut depth = 0i32;
+    let mut max_depth = 0i32;
+    for (_, delta) in events {
+        depth += delta;
+        max_depth = max_depth.max(depth);
+    }
+    max_depth.max(0) as usize
+}
+
+/// Routes one channel by the left-edge algorithm: spans sorted by left
+/// edge, each placed on the first track whose rightmost span ends at or
+/// before the span's start.
+#[must_use]
+pub fn route_channel(spans: &[Span]) -> RoutedChannel {
+    let mut sorted: Vec<Span> = spans.to_vec();
+    sorted.sort_by_key(|s| (s.x0, s.x1));
+    let mut tracks: Vec<Vec<Span>> = Vec::new();
+    let mut track_ends: Vec<i64> = Vec::new();
+    for span in sorted {
+        match track_ends.iter().position(|&end| end <= span.x0) {
+            Some(t) => {
+                tracks[t].push(span);
+                track_ends[t] = span.x1;
+            }
+            None => {
+                tracks.push(vec![span]);
+                track_ends.push(span.x1);
+            }
+        }
+    }
+    RoutedChannel { tracks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(net: usize, x0: i64, x1: i64) -> Span {
+        Span::new(net, x0, x1).unwrap()
+    }
+
+    #[test]
+    fn disjoint_spans_share_one_track() {
+        let routed = route_channel(&[span(0, 0, 10), span(1, 10, 20), span(2, 25, 30)]);
+        assert_eq!(routed.track_count(), 1);
+        assert!(routed.is_overlap_free());
+    }
+
+    #[test]
+    fn nested_spans_need_stacked_tracks() {
+        let spans = [span(0, 0, 100), span(1, 10, 20), span(2, 30, 40)];
+        let routed = route_channel(&spans);
+        assert_eq!(routed.track_count(), 2);
+        assert!(routed.is_overlap_free());
+        assert_eq!(routed.track_count(), channel_density(&spans));
+    }
+
+    #[test]
+    fn left_edge_is_density_optimal() {
+        // A classic staircase: pairwise overlaps chain, density 2, and the
+        // left-edge algorithm achieves it.
+        let spans = [
+            span(0, 0, 15),
+            span(1, 10, 25),
+            span(2, 20, 35),
+            span(3, 30, 45),
+        ];
+        let routed = route_channel(&spans);
+        assert_eq!(channel_density(&spans), 2);
+        assert_eq!(routed.track_count(), 2);
+        assert!(routed.is_overlap_free());
+    }
+
+    #[test]
+    fn density_counts_half_open_correctly() {
+        // Touching at an endpoint is not an overlap.
+        assert_eq!(channel_density(&[span(0, 0, 10), span(1, 10, 20)]), 1);
+        assert_eq!(channel_density(&[span(0, 0, 11), span(1, 10, 20)]), 2);
+        assert_eq!(channel_density(&[]), 0);
+    }
+
+    #[test]
+    fn span_validation_and_overlap() {
+        assert!(Span::new(0, 5, 5).is_err());
+        assert!(Span::new(0, 5, 3).is_err());
+        assert!(span(0, 0, 10).overlaps(&span(1, 9, 12)));
+        assert!(!span(0, 0, 10).overlaps(&span(1, 10, 12)));
+    }
+
+    #[test]
+    fn empty_channel_routes_to_zero_tracks() {
+        let routed = route_channel(&[]);
+        assert_eq!(routed.track_count(), 0);
+        assert!(routed.is_overlap_free());
+    }
+}

@@ -1,0 +1,276 @@
+//! Fixed-bin histograms and bootstrap confidence intervals for
+//! Monte-Carlo outputs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::NumericError;
+use crate::mc::Sampler;
+
+/// A histogram over uniform bins spanning `[lo, hi]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    /// Samples below `lo` or above `hi`.
+    outliers: u64,
+}
+
+impl Histogram {
+    /// Builds a histogram of `samples` with `bins` uniform bins on
+    /// `[lo, hi]`; out-of-range samples are tallied as outliers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError`] if `bins` is zero, the range is invalid,
+    /// or any sample is non-finite.
+    pub fn new(samples: &[f64], lo: f64, hi: f64, bins: usize) -> Result<Self, NumericError> {
+        const ROUTINE: &str = "Histogram::new";
+        if bins == 0 {
+            return Err(NumericError::InvalidInput {
+                routine: ROUTINE,
+                reason: "need at least one bin",
+            });
+        }
+        if !(lo.is_finite() && hi.is_finite()) || lo >= hi {
+            return Err(NumericError::InvalidInput {
+                routine: ROUTINE,
+                reason: "range must be finite with lo < hi",
+            });
+        }
+        if samples.iter().any(|v| !v.is_finite()) {
+            return Err(NumericError::InvalidInput {
+                routine: ROUTINE,
+                reason: "samples must be finite",
+            });
+        }
+        let mut counts = vec![0u64; bins];
+        let mut outliers = 0u64;
+        let width = (hi - lo) / bins as f64;
+        for &x in samples {
+            if x < lo || x > hi {
+                outliers += 1;
+                continue;
+            }
+            let idx = (((x - lo) / width) as usize).min(bins - 1);
+            counts[idx] += 1;
+        }
+        Ok(Histogram {
+            lo,
+            hi,
+            counts,
+            outliers,
+        })
+    }
+
+    /// Per-bin counts.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Samples outside the range.
+    #[must_use]
+    pub fn outliers(&self) -> u64 {
+        self.outliers
+    }
+
+    /// Total samples tallied (in-range + outliers).
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.outliers
+    }
+
+    /// The center of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.counts.len(), "bin {i} out of range");
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + width * (i as f64 + 0.5)
+    }
+
+    /// The index of the fullest bin (ties: lowest index).
+    #[must_use]
+    pub fn mode_bin(&self) -> usize {
+        let mut best = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c > self.counts[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Renders a horizontal ASCII bar chart (one line per bin).
+    #[must_use]
+    pub fn to_ascii(&self, width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let bar = (c as f64 / max as f64 * width as f64).round() as usize;
+            out.push_str(&format!(
+                "{:>12.4} | {:<width$} {}\n",
+                self.bin_center(i),
+                "#".repeat(bar),
+                c,
+                width = width
+            ));
+        }
+        out
+    }
+}
+
+/// A bootstrap confidence interval for the mean.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceInterval {
+    /// Point estimate (sample mean).
+    pub mean: f64,
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+    /// Nominal confidence level, e.g. 0.95.
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// True if `value` falls inside the interval.
+    #[must_use]
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.lo && value <= self.hi
+    }
+
+    /// Interval width.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+/// Percentile-bootstrap confidence interval for the mean of `samples`.
+///
+/// # Errors
+///
+/// Returns [`NumericError`] if `samples` is empty or non-finite,
+/// `resamples` is zero, or `level` is outside `(0, 1)`.
+pub fn bootstrap_mean_ci(
+    samples: &[f64],
+    resamples: usize,
+    level: f64,
+    seed: u64,
+) -> Result<ConfidenceInterval, NumericError> {
+    const ROUTINE: &str = "bootstrap_mean_ci";
+    if samples.is_empty() {
+        return Err(NumericError::Empty { routine: ROUTINE });
+    }
+    if samples.iter().any(|v| !v.is_finite()) {
+        return Err(NumericError::InvalidInput {
+            routine: ROUTINE,
+            reason: "samples must be finite",
+        });
+    }
+    if resamples == 0 {
+        return Err(NumericError::InvalidInput {
+            routine: ROUTINE,
+            reason: "need at least one resample",
+        });
+    }
+    if !(0.0 < level && level < 1.0) {
+        return Err(NumericError::InvalidInput {
+            routine: ROUTINE,
+            reason: "confidence level must lie in (0, 1)",
+        });
+    }
+    let n = samples.len();
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    let mut sampler = Sampler::seeded(seed);
+    let mut means = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        let mut total = 0.0;
+        for _ in 0..n {
+            let idx = sampler.uniform(0.0, n as f64) as usize;
+            total += samples[idx.min(n - 1)];
+        }
+        means.push(total / n as f64);
+    }
+    means.sort_by(|a, b| a.partial_cmp(b).expect("finite by construction"));
+    let alpha = (1.0 - level) / 2.0;
+    let pick = |q: f64| {
+        let idx = (q * (means.len() as f64 - 1.0)).round() as usize;
+        means[idx.min(means.len() - 1)]
+    };
+    Ok(ConfidenceInterval {
+        mean,
+        lo: pick(alpha),
+        hi: pick(1.0 - alpha),
+        level,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bins_and_outliers() {
+        let xs = [0.1, 0.2, 0.25, 0.8, 1.5, -0.5];
+        let h = Histogram::new(&xs, 0.0, 1.0, 4).unwrap();
+        assert_eq!(h.counts(), &[2, 1, 0, 1]);
+        assert_eq!(h.outliers(), 2);
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.mode_bin(), 0);
+        assert!((h.bin_center(0) - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn upper_boundary_lands_in_last_bin() {
+        let h = Histogram::new(&[1.0], 0.0, 1.0, 4).unwrap();
+        assert_eq!(h.counts(), &[0, 0, 0, 1]);
+        assert_eq!(h.outliers(), 0);
+    }
+
+    #[test]
+    fn histogram_validation() {
+        assert!(Histogram::new(&[1.0], 0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(&[1.0], 1.0, 0.0, 4).is_err());
+        assert!(Histogram::new(&[f64::NAN], 0.0, 1.0, 4).is_err());
+    }
+
+    #[test]
+    fn ascii_render_has_one_line_per_bin() {
+        let h = Histogram::new(&[0.1, 0.6, 0.61, 0.62], 0.0, 1.0, 5).unwrap();
+        assert_eq!(h.to_ascii(20).lines().count(), 5);
+    }
+
+    #[test]
+    fn bootstrap_ci_covers_the_true_mean_of_gaussian_data() {
+        let mut s = Sampler::seeded(1);
+        let xs: Vec<f64> = (0..400).map(|_| s.normal(10.0, 3.0)).collect();
+        let ci = bootstrap_mean_ci(&xs, 500, 0.95, 9).unwrap();
+        assert!(ci.contains(10.0), "CI [{}, {}] misses 10", ci.lo, ci.hi);
+        assert!(ci.width() < 1.5, "CI too wide: {}", ci.width());
+        assert!(ci.lo < ci.mean && ci.mean < ci.hi);
+    }
+
+    #[test]
+    fn bootstrap_ci_narrows_with_sample_size() {
+        let mut s = Sampler::seeded(2);
+        let small: Vec<f64> = (0..50).map(|_| s.normal(0.0, 1.0)).collect();
+        let big: Vec<f64> = (0..2_000).map(|_| s.normal(0.0, 1.0)).collect();
+        let ci_small = bootstrap_mean_ci(&small, 400, 0.95, 3).unwrap();
+        let ci_big = bootstrap_mean_ci(&big, 400, 0.95, 3).unwrap();
+        assert!(ci_big.width() < ci_small.width());
+    }
+
+    #[test]
+    fn bootstrap_validation() {
+        assert!(bootstrap_mean_ci(&[], 10, 0.95, 0).is_err());
+        assert!(bootstrap_mean_ci(&[1.0], 0, 0.95, 0).is_err());
+        assert!(bootstrap_mean_ci(&[1.0], 10, 1.5, 0).is_err());
+        assert!(bootstrap_mean_ci(&[f64::NAN], 10, 0.95, 0).is_err());
+    }
+}

@@ -1,0 +1,246 @@
+//! Piecewise interpolation over tabulated data.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::NumericError;
+
+/// How to evaluate requests outside the tabulated domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Extrapolation {
+    /// Return an error for abscissae outside the table.
+    Refuse,
+    /// Hold the boundary ordinate constant outside the table.
+    Clamp,
+    /// Extend the first/last segment linearly.
+    Linear,
+}
+
+/// A piecewise-linear interpolation table over strictly increasing abscissae.
+///
+/// Roadmap data (year → transistor count, λ → defect density, …) is sparse
+/// and tabular; this type is the standard way the workspace evaluates it at
+/// intermediate points.
+///
+/// ```
+/// use nanocost_numeric::{Extrapolation, InterpTable};
+///
+/// let t = InterpTable::new(vec![(1999.0, 180.0), (2002.0, 130.0), (2005.0, 100.0)])?;
+/// assert_eq!(t.eval(2002.0, Extrapolation::Refuse)?, 130.0);
+/// assert!((t.eval(2000.5, Extrapolation::Refuse)? - 155.0).abs() < 1e-9);
+/// # Ok::<(), nanocost_numeric::NumericError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InterpTable {
+    points: Vec<(f64, f64)>,
+}
+
+impl InterpTable {
+    /// Builds a table from `(x, y)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError`] if fewer than two points are given, if any
+    /// coordinate is non-finite, or if the abscissae are not strictly
+    /// increasing.
+    pub fn new(points: Vec<(f64, f64)>) -> Result<Self, NumericError> {
+        if points.len() < 2 {
+            return Err(NumericError::TooFewPoints {
+                routine: "InterpTable::new",
+                got: points.len(),
+                need: 2,
+            });
+        }
+        for &(x, y) in &points {
+            if !x.is_finite() || !y.is_finite() {
+                return Err(NumericError::InvalidInput {
+                    routine: "InterpTable::new",
+                    reason: "coordinates must be finite",
+                });
+            }
+        }
+        if points.windows(2).any(|w| w[0].0 >= w[1].0) {
+            return Err(NumericError::InvalidInput {
+                routine: "InterpTable::new",
+                reason: "abscissae must be strictly increasing",
+            });
+        }
+        Ok(InterpTable { points })
+    }
+
+    /// The tabulated points.
+    #[must_use]
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// The domain `[x_min, x_max]` of the table.
+    #[must_use]
+    pub fn domain(&self) -> (f64, f64) {
+        (
+            self.points[0].0,
+            self.points[self.points.len() - 1].0,
+        )
+    }
+
+    /// Evaluates the table at `x`.
+    ///
+    /// # Errors
+    ///
+    /// With [`Extrapolation::Refuse`], returns [`NumericError::OutOfDomain`]
+    /// when `x` lies outside the tabulated range.
+    pub fn eval(&self, x: f64, extrapolation: Extrapolation) -> Result<f64, NumericError> {
+        let (lo, hi) = self.domain();
+        if x < lo || x > hi {
+            match extrapolation {
+                Extrapolation::Refuse => {
+                    return Err(NumericError::OutOfDomain {
+                        routine: "InterpTable::eval",
+                        x,
+                        lo,
+                        hi,
+                    })
+                }
+                Extrapolation::Clamp => {
+                    return Ok(if x < lo {
+                        self.points[0].1
+                    } else {
+                        self.points[self.points.len() - 1].1
+                    });
+                }
+                Extrapolation::Linear => {
+                    let seg = if x < lo {
+                        [self.points[0], self.points[1]]
+                    } else {
+                        [
+                            self.points[self.points.len() - 2],
+                            self.points[self.points.len() - 1],
+                        ]
+                    };
+                    return Ok(lerp(seg[0], seg[1], x));
+                }
+            }
+        }
+        // Binary search for the bracketing segment.
+        let idx = match self
+            .points
+            .binary_search_by(|&(px, _)| px.partial_cmp(&x).expect("finite by construction"))
+        {
+            Ok(i) => return Ok(self.points[i].1),
+            Err(i) => i,
+        };
+        let a = self.points[idx - 1];
+        let b = self.points[idx];
+        Ok(lerp(a, b, x))
+    }
+
+    /// Evaluates in log-log space: linear interpolation of `ln y` against
+    /// `ln x`, which is exact for power laws `y = c·x^p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::InvalidInput`] if `x` or any tabulated
+    /// coordinate is not strictly positive, or propagates domain errors as
+    /// [`InterpTable::eval`] does.
+    pub fn eval_loglog(&self, x: f64, extrapolation: Extrapolation) -> Result<f64, NumericError> {
+        if x <= 0.0 {
+            return Err(NumericError::InvalidInput {
+                routine: "InterpTable::eval_loglog",
+                reason: "abscissa must be positive for log-log interpolation",
+            });
+        }
+        if self.points.iter().any(|&(px, py)| px <= 0.0 || py <= 0.0) {
+            return Err(NumericError::InvalidInput {
+                routine: "InterpTable::eval_loglog",
+                reason: "all tabulated coordinates must be positive",
+            });
+        }
+        let log_points: Vec<(f64, f64)> = self
+            .points
+            .iter()
+            .map(|&(px, py)| (px.ln(), py.ln()))
+            .collect();
+        let log_table = InterpTable { points: log_points };
+        Ok(log_table.eval(x.ln(), extrapolation)?.exp())
+    }
+}
+
+fn lerp(a: (f64, f64), b: (f64, f64), x: f64) -> f64 {
+    let t = (x - a.0) / (b.0 - a.0);
+    a.1 + t * (b.1 - a.1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> InterpTable {
+        InterpTable::new(vec![(0.0, 0.0), (1.0, 10.0), (3.0, 30.0)]).unwrap()
+    }
+
+    #[test]
+    fn exact_at_knots() {
+        let t = table();
+        assert_eq!(t.eval(0.0, Extrapolation::Refuse).unwrap(), 0.0);
+        assert_eq!(t.eval(1.0, Extrapolation::Refuse).unwrap(), 10.0);
+        assert_eq!(t.eval(3.0, Extrapolation::Refuse).unwrap(), 30.0);
+    }
+
+    #[test]
+    fn linear_between_knots() {
+        let t = table();
+        assert!((t.eval(0.5, Extrapolation::Refuse).unwrap() - 5.0).abs() < 1e-12);
+        assert!((t.eval(2.0, Extrapolation::Refuse).unwrap() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn refuse_errors_outside_domain() {
+        let t = table();
+        assert!(matches!(
+            t.eval(-1.0, Extrapolation::Refuse),
+            Err(NumericError::OutOfDomain { .. })
+        ));
+        assert!(matches!(
+            t.eval(3.5, Extrapolation::Refuse),
+            Err(NumericError::OutOfDomain { .. })
+        ));
+    }
+
+    #[test]
+    fn clamp_holds_boundary() {
+        let t = table();
+        assert_eq!(t.eval(-5.0, Extrapolation::Clamp).unwrap(), 0.0);
+        assert_eq!(t.eval(99.0, Extrapolation::Clamp).unwrap(), 30.0);
+    }
+
+    #[test]
+    fn linear_extends_end_segments() {
+        let t = table();
+        // Left segment slope 10, right segment slope 10.
+        assert!((t.eval(-1.0, Extrapolation::Linear).unwrap() + 10.0).abs() < 1e-12);
+        assert!((t.eval(4.0, Extrapolation::Linear).unwrap() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loglog_is_exact_for_power_laws() {
+        // y = 3 x^2
+        let t = InterpTable::new(vec![(1.0, 3.0), (10.0, 300.0), (100.0, 30000.0)]).unwrap();
+        let y = t.eval_loglog(5.0, Extrapolation::Refuse).unwrap();
+        assert!((y - 75.0).abs() < 1e-9, "{y}");
+    }
+
+    #[test]
+    fn loglog_rejects_nonpositive() {
+        let t = table(); // contains (0, 0)
+        assert!(t.eval_loglog(1.0, Extrapolation::Refuse).is_err());
+        let t2 = InterpTable::new(vec![(1.0, 1.0), (2.0, 2.0)]).unwrap();
+        assert!(t2.eval_loglog(-1.0, Extrapolation::Refuse).is_err());
+    }
+
+    #[test]
+    fn constructor_validates() {
+        assert!(InterpTable::new(vec![(0.0, 1.0)]).is_err());
+        assert!(InterpTable::new(vec![(0.0, 1.0), (0.0, 2.0)]).is_err());
+        assert!(InterpTable::new(vec![(1.0, 1.0), (0.0, 2.0)]).is_err());
+        assert!(InterpTable::new(vec![(0.0, f64::NAN), (1.0, 2.0)]).is_err());
+    }
+}

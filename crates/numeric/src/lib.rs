@@ -1,0 +1,123 @@
+//! Numeric primitives for the `nanocost` workspace.
+//!
+//! Everything the cost models need and nothing more: piecewise
+//! [interpolation](InterpTable), least-squares [fits](linear_fit)
+//! (linear / power-law / exponential trends), derivative-free
+//! [minimization](golden_section_min), [root finding](bisect), descriptive
+//! [statistics](summarize), seeded [Monte-Carlo sampling](Sampler), and the
+//! [`Series`]/[`Chart`] types that carry reproduced figures.
+//!
+//! # Example
+//!
+//! Fit Moore's-law style density growth and project it:
+//!
+//! ```
+//! use nanocost_numeric::exponential_fit;
+//!
+//! let years = [1994.0, 1996.0, 1998.0, 2000.0];
+//! let density = [1.0e6, 2.0e6, 4.0e6, 8.0e6]; // doubles every 2 years
+//! let fit = exponential_fit(&years, &density)?;
+//! assert!((fit.doubling_time() - 2.0).abs() < 1e-9);
+//! # Ok::<(), nanocost_numeric::NumericError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod error;
+mod histogram;
+mod interp;
+mod mc;
+mod optimize;
+mod regression;
+mod roots;
+mod series;
+mod stats;
+
+pub use error::NumericError;
+pub use histogram::{bootstrap_mean_ci, ConfidenceInterval, Histogram};
+pub use interp::{Extrapolation, InterpTable};
+pub use mc::{McConfig, Sampler};
+pub use optimize::{golden_section_min, grid_min, refine_min, Minimum};
+pub use regression::{
+    exponential_fit, linear_fit, power_law_fit, ExponentialFit, LinearFit, PowerLawFit,
+};
+pub use roots::bisect;
+pub use series::{Chart, Series};
+pub use stats::{geometric_mean, percentile, summarize, Summary};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn golden_section_lands_inside_bracket(
+            lo in -100.0f64..0.0, span in 1.0f64..100.0, vertex in -50.0f64..50.0
+        ) {
+            let hi = lo + span;
+            let m = golden_section_min(lo, hi, 1e-9, |x| (x - vertex).powi(2)).unwrap();
+            prop_assert!(m.x >= lo - 1e-9 && m.x <= hi + 1e-9);
+            // The located minimum is the projection of the vertex onto the bracket.
+            let expect = vertex.clamp(lo, hi);
+            prop_assert!((m.x - expect).abs() < 1e-4);
+        }
+
+        #[test]
+        fn grid_min_never_beats_true_minimum(
+            vertex in -5.0f64..5.0
+        ) {
+            let m = grid_min(-5.0, 5.0, 501, |x| (x - vertex).powi(2)).unwrap();
+            prop_assert!(m.value >= 0.0);
+            prop_assert!(m.value <= 0.02 * 0.02 + 1e-9); // grid step is 0.02
+        }
+
+        #[test]
+        fn linear_fit_is_exact_on_lines(
+            a in -10.0f64..10.0, b in -10.0f64..10.0
+        ) {
+            let xs: Vec<f64> = (0..6).map(|k| k as f64).collect();
+            let ys: Vec<f64> = xs.iter().map(|&x| a + b * x).collect();
+            let fit = linear_fit(&xs, &ys).unwrap();
+            prop_assert!((fit.intercept - a).abs() < 1e-8);
+            prop_assert!((fit.slope - b).abs() < 1e-8);
+        }
+
+        #[test]
+        fn interp_is_within_ordinate_hull(
+            x in 0.0f64..3.0
+        ) {
+            let t = InterpTable::new(vec![(0.0, 1.0), (1.0, 4.0), (3.0, 2.0)]).unwrap();
+            let y = t.eval(x, Extrapolation::Refuse).unwrap();
+            prop_assert!((1.0..=4.0).contains(&y));
+        }
+
+        #[test]
+        fn percentile_is_monotone_in_p(
+            p1 in 0.0f64..100.0, p2 in 0.0f64..100.0
+        ) {
+            let xs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+            let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+            let a = percentile(&xs, lo).unwrap();
+            let b = percentile(&xs, hi).unwrap();
+            prop_assert!(a <= b + 1e-12);
+        }
+
+        #[test]
+        fn bisect_inverts_monotone_functions(target in 0.1f64..99.0) {
+            // Solve x^3 = target on [0, 100].
+            let r = bisect(0.0, 100.0, 1e-10, |x| x * x * x - target).unwrap();
+            prop_assert!((r.powi(3) - target).abs() < 1e-4);
+        }
+
+        #[test]
+        fn sampler_uniform_stays_in_range(seed in 0u64..1000, lo in -10.0f64..0.0, span in 0.1f64..10.0) {
+            let mut s = Sampler::seeded(seed);
+            for _ in 0..32 {
+                let v = s.uniform(lo, lo + span);
+                prop_assert!(v >= lo && v < lo + span);
+            }
+        }
+    }
+}

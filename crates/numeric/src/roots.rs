@@ -1,0 +1,133 @@
+//! Scalar root finding by bisection.
+
+use crate::error::NumericError;
+
+/// Finds a root of `f` in `[lo, hi]` by bisection.
+///
+/// Requires a sign change across the interval. Runs until the bracket is
+/// narrower than `tol`.
+///
+/// The workspace uses this to invert monotone cost relations, e.g. "what
+/// yield makes two scenarios cost the same" or "at which volume does the
+/// design-cost term stop dominating".
+///
+/// # Errors
+///
+/// Returns [`NumericError::InvalidInput`] if the interval is invalid, `tol`
+/// is not positive, `f` is non-finite at the endpoints, or `f(lo)` and
+/// `f(hi)` have the same (nonzero) sign.
+///
+/// ```
+/// use nanocost_numeric::bisect;
+///
+/// let root = bisect(0.0, 2.0, 1e-12, |x| x * x - 2.0)?;
+/// assert!((root - 2f64.sqrt()).abs() < 1e-9);
+/// # Ok::<(), nanocost_numeric::NumericError>(())
+/// ```
+pub fn bisect(
+    lo: f64,
+    hi: f64,
+    tol: f64,
+    mut f: impl FnMut(f64) -> f64,
+) -> Result<f64, NumericError> {
+    const ROUTINE: &str = "bisect";
+    const MAX_ITER: usize = 10_000;
+    if !(lo.is_finite() && hi.is_finite()) || lo >= hi {
+        return Err(NumericError::InvalidInput {
+            routine: ROUTINE,
+            reason: "interval must be finite with lo < hi",
+        });
+    }
+    if !(tol.is_finite() && tol > 0.0) {
+        return Err(NumericError::InvalidInput {
+            routine: ROUTINE,
+            reason: "tolerance must be positive",
+        });
+    }
+    let mut a = lo;
+    let mut b = hi;
+    let mut fa = f(a);
+    let fb = f(b);
+    if !fa.is_finite() || !fb.is_finite() {
+        return Err(NumericError::InvalidInput {
+            routine: ROUTINE,
+            reason: "function is non-finite at an endpoint",
+        });
+    }
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(NumericError::InvalidInput {
+            routine: ROUTINE,
+            reason: "no sign change across the interval",
+        });
+    }
+    for _ in 0..MAX_ITER {
+        let mid = 0.5 * (a + b);
+        if (b - a) <= tol {
+            return Ok(mid);
+        }
+        let fm = f(mid);
+        if !fm.is_finite() {
+            return Err(NumericError::InvalidInput {
+                routine: ROUTINE,
+                reason: "function returned a non-finite value",
+            });
+        }
+        if fm == 0.0 {
+            return Ok(mid);
+        }
+        if fm.signum() == fa.signum() {
+            a = mid;
+            fa = fm;
+        } else {
+            b = mid;
+        }
+    }
+    Err(NumericError::NoConvergence {
+        routine: ROUTINE,
+        iterations: MAX_ITER,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_sqrt_two() {
+        let r = bisect(0.0, 2.0, 1e-12, |x| x * x - 2.0).unwrap();
+        assert!((r - 2f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_root_at_endpoint_returns_immediately() {
+        assert_eq!(bisect(0.0, 1.0, 1e-9, |x| x).unwrap(), 0.0);
+        assert_eq!(bisect(-1.0, 0.0, 1e-9, |x| x).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn rejects_same_sign_interval() {
+        assert!(matches!(
+            bisect(1.0, 2.0, 1e-9, |x| x * x + 1.0),
+            Err(NumericError::InvalidInput { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_interval_and_tolerance() {
+        assert!(bisect(2.0, 1.0, 1e-9, |x| x).is_err());
+        assert!(bisect(0.0, 1.0, -1.0, |x| x).is_err());
+        assert!(bisect(0.0, 1.0, 1e-9, |_| f64::NAN).is_err());
+    }
+
+    #[test]
+    fn decreasing_function_also_works() {
+        let r = bisect(0.0, 10.0, 1e-10, |x| 5.0 - x).unwrap();
+        assert!((r - 5.0).abs() < 1e-8);
+    }
+}

@@ -1,0 +1,85 @@
+//! ITRS-1999-style technology roadmap data and the constant-die-cost
+//! analysis of the paper's §2.2.3 (Figures 2 and 3).
+//!
+//! * [`itrs_1999`] — the embedded cost-performance-MPU roadmap (1999–2014)
+//!   with the paper's economic [`anchors`];
+//! * [`RoadmapEntry::implied_sd`] — the Figure-2 computation
+//!   (`s_d = 1/(T_d·λ²)`);
+//! * [`ConstantCostAssumptions::required_sd`] and [`figure3`] — the
+//!   Figure-3 ratio exposing the *cost contradiction*;
+//! * [`RoadmapTrends`] — Moore's-law trend fitting and projection;
+//! * [`Scenario`] — pessimistic `C_sq`/yield erosion variants.
+//!
+//! # Example
+//!
+//! ```
+//! use nanocost_roadmap::{figure3, itrs_1999, ConstantCostAssumptions};
+//!
+//! let pts = figure3(&itrs_1999(), &ConstantCostAssumptions::paper_1999())?;
+//! // The affordability gap grows toward the nanometer era.
+//! assert!(pts.last().expect("non-empty").ratio > pts[0].ratio);
+//! # Ok::<(), nanocost_units::UnitError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod constant_cost;
+mod entry;
+mod itrs1999;
+mod projection;
+mod scenarios;
+
+pub use constant_cost::{figure3, ConstantCostAssumptions, Figure3Point};
+pub use entry::RoadmapEntry;
+pub use itrs1999::{anchors, itrs_1999};
+pub use projection::RoadmapTrends;
+pub use scenarios::Scenario;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use nanocost_units::{FeatureSize, TransistorCount};
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn required_sd_monotone_in_every_argument(
+            um in 0.03f64..0.5, m in 1.0f64..1000.0
+        ) {
+            let a = ConstantCostAssumptions::paper_1999();
+            let l1 = FeatureSize::from_microns(um).unwrap();
+            let l2 = FeatureSize::from_microns(um * 0.9).unwrap();
+            let n1 = TransistorCount::from_millions(m);
+            let n2 = TransistorCount::from_millions(m * 1.5);
+            let base = a.required_sd(l1, n1).unwrap().squares();
+            // Smaller node: more s_d headroom (λ² in the denominator).
+            prop_assert!(a.required_sd(l2, n1).unwrap().squares() > base);
+            // More transistors: less headroom.
+            prop_assert!(a.required_sd(l1, n2).unwrap().squares() < base);
+        }
+
+        #[test]
+        fn die_cost_round_trips_through_required_sd(
+            um in 0.03f64..0.5, m in 1.0f64..1000.0
+        ) {
+            let a = ConstantCostAssumptions::paper_1999();
+            let lambda = FeatureSize::from_microns(um).unwrap();
+            let n = TransistorCount::from_millions(m);
+            let sd = a.required_sd(lambda, n).unwrap();
+            let cost = a.die_cost_for(lambda, n, sd).amount();
+            prop_assert!((cost - 34.0).abs() < 1e-6);
+        }
+
+        #[test]
+        fn projections_are_continuous_in_year(year in 2000u32..2013) {
+            let roadmap = itrs_1999();
+            let trends = RoadmapTrends::fit(&roadmap).unwrap();
+            let a = trends.project(&roadmap, year);
+            let b = trends.project(&roadmap, year + 1);
+            // Adjacent years differ by less than the biennial growth factor.
+            prop_assert!(b.transistors_millions / a.transistors_millions < 2.0);
+            prop_assert!(b.feature_nm < a.feature_nm);
+        }
+    }
+}

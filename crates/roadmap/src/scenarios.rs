@@ -1,0 +1,123 @@
+//! Pessimistic variants of the constant-cost analysis.
+//!
+//! The paper stresses that Figure 3 already uses "a very optimistic
+//! scenario, i.e. assuming no increase in `C_sq` and no decrease in yield".
+//! This module parameterizes those two relaxations so the cost
+//! contradiction can be quantified under realistic erosion.
+
+use serde::{Deserialize, Serialize};
+
+use nanocost_units::{CostPerArea, UnitError, Yield};
+
+use crate::constant_cost::{figure3, ConstantCostAssumptions, Figure3Point};
+use crate::entry::RoadmapEntry;
+
+/// A scenario: per-generation growth of `C_sq` and erosion of yield
+/// relative to the paper's optimistic anchors.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Short name for reports.
+    pub name: &'static str,
+    /// Multiplicative growth of `C_sq` per roadmap generation (1.0 = the
+    /// paper's optimistic flat assumption).
+    pub csq_growth_per_generation: f64,
+    /// Multiplicative yield factor per generation (1.0 = flat).
+    pub yield_factor_per_generation: f64,
+}
+
+impl Scenario {
+    /// The paper's optimistic baseline: flat `C_sq`, flat yield.
+    pub const OPTIMISTIC: Scenario = Scenario {
+        name: "optimistic",
+        csq_growth_per_generation: 1.0,
+        yield_factor_per_generation: 1.0,
+    };
+
+    /// A moderate scenario: `C_sq` +10 % and yield −3 % per generation.
+    pub const MODERATE: Scenario = Scenario {
+        name: "moderate",
+        csq_growth_per_generation: 1.10,
+        yield_factor_per_generation: 0.97,
+    };
+
+    /// A pessimistic scenario: `C_sq` +25 % and yield −7 % per generation.
+    pub const PESSIMISTIC: Scenario = Scenario {
+        name: "pessimistic",
+        csq_growth_per_generation: 1.25,
+        yield_factor_per_generation: 0.93,
+    };
+
+    /// Evaluates the Figure-3 ratio under this scenario: generation `k`
+    /// uses `C_sq · g^k` and `Y · f^k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitError`] if the eroded yield degenerates to zero (only
+    /// possible for absurd factors over long horizons).
+    pub fn figure3(
+        &self,
+        roadmap: &[RoadmapEntry],
+        base: &ConstantCostAssumptions,
+    ) -> Result<Vec<Figure3Point>, UnitError> {
+        let mut out = Vec::with_capacity(roadmap.len());
+        for (k, entry) in roadmap.iter().enumerate() {
+            let csq = base.cost_per_cm2.dollars_per_cm2()
+                * self.csq_growth_per_generation.powi(k as i32);
+            let y = base.fab_yield.value() * self.yield_factor_per_generation.powi(k as i32);
+            let assumptions = ConstantCostAssumptions {
+                die_cost: base.die_cost,
+                cost_per_cm2: CostPerArea::try_per_cm2(csq)?,
+                fab_yield: Yield::new(y)?,
+            };
+            let pts = figure3(std::slice::from_ref(entry), &assumptions)?;
+            out.extend(pts);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::itrs1999::itrs_1999;
+
+    #[test]
+    fn optimistic_scenario_matches_baseline_figure3() {
+        let roadmap = itrs_1999();
+        let base = ConstantCostAssumptions::paper_1999();
+        let a = Scenario::OPTIMISTIC.figure3(&roadmap, &base).unwrap();
+        let b = figure3(&roadmap, &base).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x.ratio - y.ratio).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pessimism_worsens_the_contradiction() {
+        let roadmap = itrs_1999();
+        let base = ConstantCostAssumptions::paper_1999();
+        let opt = Scenario::OPTIMISTIC.figure3(&roadmap, &base).unwrap();
+        let mid = Scenario::MODERATE.figure3(&roadmap, &base).unwrap();
+        let bad = Scenario::PESSIMISTIC.figure3(&roadmap, &base).unwrap();
+        // At the horizon the ratio ordering is optimistic < moderate <
+        // pessimistic, and the gap is material.
+        let last = roadmap.len() - 1;
+        assert!(mid[last].ratio > opt[last].ratio * 1.3);
+        assert!(bad[last].ratio > mid[last].ratio * 1.3);
+        // First generation is identical (no erosion applied yet).
+        assert!((bad[0].ratio - opt[0].ratio).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scenario_names_are_distinct() {
+        let names = [
+            Scenario::OPTIMISTIC.name,
+            Scenario::MODERATE.name,
+            Scenario::PESSIMISTIC.name,
+        ];
+        assert_eq!(
+            names.len(),
+            names.iter().collect::<std::collections::HashSet<_>>().len()
+        );
+    }
+}

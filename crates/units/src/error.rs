@@ -1,0 +1,181 @@
+//! Error type shared by all quantity constructors in this crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a quantity is constructed from an invalid raw value.
+///
+/// Every fallible constructor in this crate (`Yield::new`,
+/// [`crate::FeatureSize::from_microns`], …) returns this type so that callers
+/// can handle all unit-validation failures uniformly.
+///
+/// ```
+/// use nanocost_units::{UnitError, Yield};
+///
+/// let err = Yield::new(1.5).unwrap_err();
+/// assert!(matches!(err, UnitError::OutOfRange { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum UnitError {
+    /// The raw value was NaN or infinite.
+    NonFinite {
+        /// Human-readable name of the quantity being constructed.
+        quantity: &'static str,
+    },
+    /// The raw value fell outside the closed range `[min, max]`.
+    OutOfRange {
+        /// Human-readable name of the quantity being constructed.
+        quantity: &'static str,
+        /// The offending value.
+        value: f64,
+        /// Smallest permitted value.
+        min: f64,
+        /// Largest permitted value.
+        max: f64,
+    },
+    /// The raw value was negative or zero where a strictly positive value is
+    /// required.
+    NotPositive {
+        /// Human-readable name of the quantity being constructed.
+        quantity: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for UnitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnitError::NonFinite { quantity } => {
+                write!(f, "{quantity} must be a finite number")
+            }
+            UnitError::OutOfRange {
+                quantity,
+                value,
+                min,
+                max,
+            } => write!(f, "{quantity} {value} is outside the range [{min}, {max}]"),
+            UnitError::NotPositive { quantity, value } => {
+                write!(f, "{quantity} {value} must be strictly positive")
+            }
+        }
+    }
+}
+
+impl Error for UnitError {}
+
+/// Validates that `value` is finite and strictly positive.
+pub(crate) fn ensure_positive(quantity: &'static str, value: f64) -> Result<f64, UnitError> {
+    if !value.is_finite() {
+        return Err(UnitError::NonFinite { quantity });
+    }
+    if value <= 0.0 {
+        return Err(UnitError::NotPositive { quantity, value });
+    }
+    Ok(value)
+}
+
+/// Validates that `value` is finite and non-negative.
+pub(crate) fn ensure_non_negative(quantity: &'static str, value: f64) -> Result<f64, UnitError> {
+    if !value.is_finite() {
+        return Err(UnitError::NonFinite { quantity });
+    }
+    if value < 0.0 {
+        return Err(UnitError::OutOfRange {
+            quantity,
+            value,
+            min: 0.0,
+            max: f64::INFINITY,
+        });
+    }
+    Ok(value)
+}
+
+/// Validates that `value` is finite and in `[min, max]`.
+pub(crate) fn ensure_in_range(
+    quantity: &'static str,
+    value: f64,
+    min: f64,
+    max: f64,
+) -> Result<f64, UnitError> {
+    if !value.is_finite() {
+        return Err(UnitError::NonFinite { quantity });
+    }
+    if value < min || value > max {
+        return Err(UnitError::OutOfRange {
+            quantity,
+            value,
+            min,
+            max,
+        });
+    }
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ensure_positive_accepts_positive() {
+        assert_eq!(ensure_positive("x", 1.0), Ok(1.0));
+    }
+
+    #[test]
+    fn ensure_positive_rejects_zero_and_negative() {
+        assert!(matches!(
+            ensure_positive("x", 0.0),
+            Err(UnitError::NotPositive { .. })
+        ));
+        assert!(matches!(
+            ensure_positive("x", -3.0),
+            Err(UnitError::NotPositive { .. })
+        ));
+    }
+
+    #[test]
+    fn ensure_positive_rejects_non_finite() {
+        assert!(matches!(
+            ensure_positive("x", f64::NAN),
+            Err(UnitError::NonFinite { .. })
+        ));
+        assert!(matches!(
+            ensure_positive("x", f64::INFINITY),
+            Err(UnitError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn ensure_non_negative_accepts_zero() {
+        assert_eq!(ensure_non_negative("x", 0.0), Ok(0.0));
+    }
+
+    #[test]
+    fn ensure_in_range_bounds_are_inclusive() {
+        assert_eq!(ensure_in_range("x", 0.0, 0.0, 1.0), Ok(0.0));
+        assert_eq!(ensure_in_range("x", 1.0, 0.0, 1.0), Ok(1.0));
+        assert!(ensure_in_range("x", 1.0001, 0.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn display_messages_are_lowercase_without_trailing_punctuation() {
+        let msgs = [
+            UnitError::NonFinite { quantity: "yield" }.to_string(),
+            UnitError::OutOfRange {
+                quantity: "yield",
+                value: 2.0,
+                min: 0.0,
+                max: 1.0,
+            }
+            .to_string(),
+            UnitError::NotPositive {
+                quantity: "area",
+                value: -1.0,
+            }
+            .to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.ends_with('.'), "message {m:?} ends with punctuation");
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Classical defect-limited yield models.
+//!
+//! All models map a die's critical area `A` and defect density `D0` to a
+//! yield through the dimensionless "fault count" `A·D0`. They differ in the
+//! assumed spatial distribution of defects:
+//!
+//! * [`PoissonModel`] — defects land independently (`Y = e^{-AD}`), the most
+//!   pessimistic classical model for large dice.
+//! * [`MurphyModel`] — triangular compounding of the Poisson rate.
+//! * [`SeedsModel`] — exponential compounding (`Y = 1/(1+AD)`).
+//! * [`NegativeBinomialModel`] — gamma-compounded Poisson with cluster
+//!   parameter α, the industry-standard generalization; α→∞ recovers
+//!   Poisson and α=1 recovers Seeds.
+
+use serde::{Deserialize, Serialize};
+
+use nanocost_units::{Area, UnitError, Yield};
+
+use crate::defect::DefectDensity;
+
+/// A defect-limited yield model: maps critical area × defect density to
+/// yield.
+///
+/// Implementations must be pure and deterministic. The trait is
+/// object-safe so heterogeneous model sets can be compared in benchmarks.
+pub trait YieldModel: std::fmt::Debug {
+    /// The yield of a die with the given defect-critical area under defect
+    /// density `d0`.
+    fn die_yield(&self, critical_area: Area, d0: DefectDensity) -> Yield;
+
+    /// A short human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Poisson yield: `Y = exp(-A·D0)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PoissonModel;
+
+impl YieldModel for PoissonModel {
+    fn die_yield(&self, critical_area: Area, d0: DefectDensity) -> Yield {
+        Yield::clamped((-critical_area.cm2() * d0.value()).exp())
+    }
+
+    fn name(&self) -> &'static str {
+        "poisson"
+    }
+}
+
+/// Murphy's yield: `Y = ((1 - e^{-AD}) / (AD))²`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MurphyModel;
+
+impl YieldModel for MurphyModel {
+    fn die_yield(&self, critical_area: Area, d0: DefectDensity) -> Yield {
+        let ad = critical_area.cm2() * d0.value();
+        if ad == 0.0 {
+            return Yield::PERFECT;
+        }
+        let f = (1.0 - (-ad).exp()) / ad;
+        Yield::clamped(f * f)
+    }
+
+    fn name(&self) -> &'static str {
+        "murphy"
+    }
+}
+
+/// Seeds' yield: `Y = 1 / (1 + AD)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SeedsModel;
+
+impl YieldModel for SeedsModel {
+    fn die_yield(&self, critical_area: Area, d0: DefectDensity) -> Yield {
+        let ad = critical_area.cm2() * d0.value();
+        Yield::clamped(1.0 / (1.0 + ad))
+    }
+
+    fn name(&self) -> &'static str {
+        "seeds"
+    }
+}
+
+/// Negative-binomial yield: `Y = (1 + A·D0/α)^{-α}` with clustering
+/// parameter `α > 0`.
+///
+/// Small α (heavily clustered defects) is kinder to large dice than
+/// Poisson; α ≈ 2 is a common industrial default.
+///
+/// ```
+/// use nanocost_units::Area;
+/// use nanocost_yield::{DefectDensity, NegativeBinomialModel, PoissonModel, YieldModel};
+///
+/// let nb = NegativeBinomialModel::new(2.0)?;
+/// let a = Area::from_cm2(2.0);
+/// let d = DefectDensity::per_cm2(0.8)?;
+/// // Clustering always helps relative to Poisson.
+/// assert!(nb.die_yield(a, d).value() > PoissonModel.die_yield(a, d).value());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NegativeBinomialModel {
+    alpha: f64,
+}
+
+impl NegativeBinomialModel {
+    /// Creates a negative-binomial model with clustering parameter `alpha`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitError`] if `alpha` is not strictly positive and finite.
+    pub fn new(alpha: f64) -> Result<Self, UnitError> {
+        if !alpha.is_finite() {
+            return Err(UnitError::NonFinite {
+                quantity: "clustering parameter alpha",
+            });
+        }
+        if alpha <= 0.0 {
+            return Err(UnitError::NotPositive {
+                quantity: "clustering parameter alpha",
+                value: alpha,
+            });
+        }
+        Ok(NegativeBinomialModel { alpha })
+    }
+
+    /// The clustering parameter α.
+    #[must_use]
+    pub fn alpha(self) -> f64 {
+        self.alpha
+    }
+}
+
+impl YieldModel for NegativeBinomialModel {
+    fn die_yield(&self, critical_area: Area, d0: DefectDensity) -> Yield {
+        let ad = critical_area.cm2() * d0.value();
+        Yield::clamped((1.0 + ad / self.alpha).powf(-self.alpha))
+    }
+
+    fn name(&self) -> &'static str {
+        "negative-binomial"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn area(cm2: f64) -> Area {
+        Area::from_cm2(cm2)
+    }
+
+    fn d0(v: f64) -> DefectDensity {
+        DefectDensity::per_cm2(v).unwrap()
+    }
+
+    #[test]
+    fn zero_fault_count_gives_perfect_yield() {
+        for model in models() {
+            let y = model.die_yield(area(0.0), d0(0.5));
+            assert!((y.value() - 1.0).abs() < 1e-12, "{}", model.name());
+            let y = model.die_yield(area(1.0), d0(0.0));
+            assert!((y.value() - 1.0).abs() < 1e-12, "{}", model.name());
+        }
+    }
+
+    fn models() -> Vec<Box<dyn YieldModel>> {
+        vec![
+            Box::new(PoissonModel),
+            Box::new(MurphyModel),
+            Box::new(SeedsModel),
+            Box::new(NegativeBinomialModel::new(2.0).unwrap()),
+        ]
+    }
+
+    #[test]
+    fn poisson_matches_hand_value() {
+        let y = PoissonModel.die_yield(area(1.0), d0(1.0));
+        assert!((y.value() - (-1.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn murphy_matches_hand_value() {
+        // AD = 2: ((1 - e^-2)/2)² ≈ 0.18685
+        let y = MurphyModel.die_yield(area(2.0), d0(1.0));
+        let expect = ((1.0 - (-2.0f64).exp()) / 2.0).powi(2);
+        assert!((y.value() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn seeds_matches_hand_value() {
+        let y = SeedsModel.die_yield(area(3.0), d0(1.0));
+        assert!((y.value() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negbin_interpolates_between_seeds_and_poisson() {
+        let a = area(1.5);
+        let d = d0(0.7);
+        let seeds = SeedsModel.die_yield(a, d).value();
+        let poisson = PoissonModel.die_yield(a, d).value();
+        let alpha_one = NegativeBinomialModel::new(1.0).unwrap().die_yield(a, d).value();
+        let alpha_huge = NegativeBinomialModel::new(1.0e6).unwrap().die_yield(a, d).value();
+        assert!((alpha_one - seeds).abs() < 1e-12);
+        assert!((alpha_huge - poisson).abs() < 1e-4);
+    }
+
+    #[test]
+    fn all_models_monotone_decreasing_in_area() {
+        for model in models() {
+            let y1 = model.die_yield(area(0.5), d0(1.0)).value();
+            let y2 = model.die_yield(area(1.0), d0(1.0)).value();
+            let y3 = model.die_yield(area(2.0), d0(1.0)).value();
+            assert!(y1 > y2 && y2 > y3, "{}", model.name());
+        }
+    }
+
+    #[test]
+    fn model_ordering_poisson_most_pessimistic() {
+        // For the same AD, Poisson <= Murphy <= Seeds (classical ordering).
+        let a = area(2.0);
+        let d = d0(1.0);
+        let p = PoissonModel.die_yield(a, d).value();
+        let m = MurphyModel.die_yield(a, d).value();
+        let s = SeedsModel.die_yield(a, d).value();
+        assert!(p < m && m < s, "p={p} m={m} s={s}");
+    }
+
+    #[test]
+    fn negbin_rejects_bad_alpha() {
+        assert!(NegativeBinomialModel::new(0.0).is_err());
+        assert!(NegativeBinomialModel::new(-1.0).is_err());
+        assert!(NegativeBinomialModel::new(f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,73 @@
+//! Yield models side by side: the analytic family and the wafer-map
+//! Monte-Carlo ground truth.
+//!
+//! Sweeps die area through the four classical models, then throws real
+//! defects onto a wafer map to show where each model's assumption holds.
+//!
+//! Run with: `cargo run --example yield_models`
+
+use nanocost::fab::WaferSpec;
+use nanocost::numeric::Sampler;
+use nanocost::units::Area;
+use nanocost::yield_model::{
+    DefectDensity, DefectProcess, MurphyModel, NegativeBinomialModel, PoissonModel, SeedsModel,
+    WaferMapSimulator, YieldModel,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let d0 = DefectDensity::per_cm2(0.6)?;
+    let models: Vec<Box<dyn YieldModel>> = vec![
+        Box::new(PoissonModel),
+        Box::new(MurphyModel),
+        Box::new(SeedsModel),
+        Box::new(NegativeBinomialModel::new(2.0)?),
+    ];
+
+    println!("analytic die yield at D0 = {d0}:");
+    println!();
+    print!("{:>10}", "die [cm²]");
+    for m in &models {
+        print!("{:>12}", m.name());
+    }
+    println!();
+    for &cm2 in &[0.25, 0.5, 1.0, 1.5, 2.5, 4.0] {
+        print!("{cm2:>10.2}");
+        for m in &models {
+            print!("{:>12}", m.die_yield(Area::from_cm2(cm2), d0).to_string());
+        }
+        println!();
+    }
+
+    println!();
+    println!("wafer-map Monte Carlo (1.5 cm² die, 50% critical area, 150 wafers):");
+    let sim = WaferMapSimulator::new(WaferSpec::standard_200mm(), Area::from_cm2(1.5), 0.5)?;
+    let mut sampler = Sampler::seeded(404);
+    let uniform = sim.simulate(&mut sampler, DefectProcess::Uniform { density: d0 }, 150);
+    let mut sampler = Sampler::seeded(404);
+    let clustered = sim.simulate(
+        &mut sampler,
+        DefectProcess::Clustered {
+            density: d0,
+            mean_per_cluster: 8.0,
+            sigma_mm: 2.0,
+        },
+        150,
+    );
+    let poisson_prediction = PoissonModel.die_yield(sim.critical_area(), d0);
+    println!(
+        "  uniform process:   empirical {}  (Poisson predicts {})",
+        uniform.empirical_yield, poisson_prediction
+    );
+    println!(
+        "  clustered process: empirical {}  dispersion {:.2}  fitted α = {}",
+        clustered.empirical_yield,
+        clustered.dispersion(),
+        clustered
+            .fitted_alpha()
+            .map_or_else(|| "-".to_string(), |a| format!("{a:.2}"))
+    );
+    println!();
+    println!("clustering at equal mean density wastes fewer dice — the physical");
+    println!("reason the industry's negative-binomial model outperforms Poisson.");
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! `nanocost` — a Rust reproduction of W. Maly, *"IC Design in High-Cost
+//! Nanometer-Technologies Era"* (DAC 2001).
+//!
+//! This facade crate re-exports the whole workspace under one roof:
+//!
+//! * [`units`] — typed quantities (λ, areas, yields, `s_d`, dollars);
+//! * [`numeric`] — interpolation, regression, optimization, Monte Carlo;
+//! * [`yield_model`] — Poisson/Murphy/Seeds/negative-binomial yield,
+//!   critical area, learning curves, the composite eq.-7 yield surface;
+//! * [`fab`] — wafer geometry and cost, fabline capex, masks, litho
+//!   neighborhoods, test cost;
+//! * [`layout`] — λ-grid layouts, synthetic generators, measured `s_d`,
+//!   repetitive-pattern extraction;
+//! * [`devices`] — the Table-A1 dataset of 49 published designs;
+//! * [`roadmap`] — ITRS-1999 data, Figure-2/3 analyses, projections;
+//! * [`flow`] — eq.-6 design effort, the iteration/timing-closure
+//!   simulator, team economics, eq.-6 calibration;
+//! * [`core`] — the paper's cost models (eqs. 1–7), Figure-4 scenarios,
+//!   optimization, sensitivities, tradeoffs.
+//!
+//! # Quickstart
+//!
+//! Price a 10-million-transistor design and find its cost-optimal density:
+//!
+//! ```
+//! use nanocost::core::{Figure4Scenario, TotalCostModel};
+//! use nanocost::fab::MaskCostModel;
+//!
+//! let model = TotalCostModel::paper_figure4();
+//! let masks = MaskCostModel::default();
+//! let optimum = Figure4Scenario::paper_4a().optimum(&model, &masks, 0.18)?;
+//! println!("optimal s_d = {:.0}, cost {} per transistor", optimum.sd, optimum.cost);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the per-figure reproduction index.
+
+#![warn(missing_docs)]
+
+pub use nanocost_core as core;
+pub use nanocost_devices as devices;
+pub use nanocost_fab as fab;
+pub use nanocost_flow as flow;
+pub use nanocost_layout as layout;
+pub use nanocost_numeric as numeric;
+pub use nanocost_roadmap as roadmap;
+pub use nanocost_units as units;
+pub use nanocost_yield as yield_model;
