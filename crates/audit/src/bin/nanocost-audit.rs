@@ -1,0 +1,131 @@
+//! Command-line front-end for the `nanocost-audit` static-analysis pass.
+//!
+//! ```text
+//! nanocost-audit [--root DIR] [--format text|json] [--deny] [--list-rules]
+//! ```
+//!
+//! Exit codes: 0 clean (warnings allowed unless `--deny`), 1 findings failed
+//! the run, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use nanocost_audit::diagnostics::{render_json_report, RuleId, Severity};
+use nanocost_audit::{audit_workspace, verdict, walk, Verdict};
+
+/// Parsed command-line options.
+struct Options {
+    root: Option<PathBuf>,
+    json: bool,
+    deny: bool,
+    list_rules: bool,
+    help: bool,
+}
+
+const USAGE: &str = "usage: nanocost-audit [--root DIR] [--format text|json] [--deny] [--list-rules]";
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts =
+        Options { root: None, json: false, deny: false, list_rules: false, help: false };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                let dir = it.next().ok_or("--root requires a directory argument")?;
+                opts.root = Some(PathBuf::from(dir));
+            }
+            "--format" => match it.next().map(String::as_str) {
+                Some("text") => opts.json = false,
+                Some("json") => opts.json = true,
+                other => {
+                    return Err(format!(
+                        "--format must be `text` or `json`, got `{}`",
+                        other.unwrap_or("<none>")
+                    ))
+                }
+            },
+            "--deny" => opts.deny = true,
+            "--list-rules" => opts.list_rules = true,
+            "--help" | "-h" => opts.help = true,
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.help {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+
+    if opts.list_rules {
+        for rule in RuleId::ALL {
+            println!("{rule} ({}): {}", rule.severity(), rule.describe());
+        }
+        println!("P0 ({}): {}", RuleId::P0.severity(), RuleId::P0.describe());
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match opts.root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("nanocost-audit: cannot determine working directory: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match walk::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "nanocost-audit: no workspace Cargo.toml found above {}; pass --root",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let diags = match audit_workspace(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("nanocost-audit: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.json {
+        print!("{}", render_json_report(&diags));
+    } else {
+        for d in &diags {
+            println!("{}", d.render_text());
+        }
+        let errors = diags.iter().filter(|d| d.severity == Severity::Error).count();
+        let warnings = diags.len() - errors;
+        println!(
+            "nanocost-audit: {} error{}, {} warning{}",
+            errors,
+            if errors == 1 { "" } else { "s" },
+            warnings,
+            if warnings == 1 { "" } else { "s" },
+        );
+    }
+
+    match verdict(&diags, opts.deny) {
+        Verdict::Pass => ExitCode::SUCCESS,
+        Verdict::DeniedWarnings | Verdict::Errors => ExitCode::FAILURE,
+    }
+}

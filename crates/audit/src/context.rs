@@ -1,0 +1,458 @@
+//! A structural pass over the token stream.
+//!
+//! The audit rules need a little more than raw tokens: which regions are
+//! test code (`#[cfg(test)]` modules, `#[test]` functions), which token
+//! spans belong to `const`/`static` items, and where each `fn` item sits
+//! (name, visibility, parameters, attached doc comment, body span). This
+//! module computes exactly that, with a brace-matching scan — no full
+//! parser, but faithful enough for the workspace's idiomatic Rust.
+
+use crate::lexer::{Token, TokenKind};
+
+/// One parameter of a function item.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Binding name (first identifier of the pattern).
+    pub name: String,
+    /// Line the parameter starts on.
+    pub line: u32,
+    /// True when the declared type is exactly the scalar `f64`
+    /// (references/slices/generics of `f64` are not "raw").
+    pub raw_f64: bool,
+}
+
+/// One `fn` item found in the file.
+#[derive(Debug, Clone)]
+pub struct FnInfo {
+    /// Function name.
+    pub name: String,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Declared with `pub` (any visibility qualifier counts).
+    pub is_pub: bool,
+    /// Concatenated doc-comment text attached to the item.
+    pub doc: String,
+    /// Parameters, in order.
+    pub params: Vec<Param>,
+    /// Token-index span of the body `{ … }`, if the fn has one.
+    pub body: Option<(usize, usize)>,
+    /// True when the fn lives in test code.
+    pub in_test: bool,
+}
+
+/// Structural facts about one lexed file.
+#[derive(Debug, Default)]
+pub struct FileContext {
+    /// Token-index spans of test regions (`#[cfg(test)]` mods/impls, `#[test]` fns).
+    pub test_spans: Vec<(usize, usize)>,
+    /// Token-index spans of `const`/`static` items.
+    pub const_spans: Vec<(usize, usize)>,
+    /// Every `fn` item, including test fns (flagged).
+    pub fns: Vec<FnInfo>,
+}
+
+impl FileContext {
+    /// Is token `idx` inside test code?
+    pub fn in_test(&self, idx: usize) -> bool {
+        self.test_spans.iter().any(|&(a, b)| idx >= a && idx <= b)
+    }
+
+    /// Is token `idx` inside a `const`/`static` item?
+    pub fn in_const(&self, idx: usize) -> bool {
+        self.const_spans.iter().any(|&(a, b)| idx >= a && idx <= b)
+    }
+
+    /// Is token `idx` inside any function body?
+    pub fn in_fn_body(&self, idx: usize) -> bool {
+        self.fns
+            .iter()
+            .any(|f| matches!(f.body, Some((a, b)) if idx > a && idx < b))
+    }
+}
+
+/// Index of the token matching the opening brace at `open`, or the last
+/// token if unbalanced.
+fn matching_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Next non-trivia token index at or after `i`.
+fn next_code(tokens: &[Token], mut i: usize) -> Option<usize> {
+    while i < tokens.len() {
+        if !tokens[i].is_trivia() {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Builds the structural context for a lexed file.
+pub fn analyze(tokens: &[Token]) -> FileContext {
+    let mut ctx = FileContext::default();
+    let mut pending_doc: Vec<String> = Vec::new();
+    let mut pending_test = false;
+    let mut pending_pub = false;
+    let mut i = 0usize;
+
+    while i < tokens.len() {
+        match &tokens[i].kind {
+            TokenKind::DocComment(text) => {
+                pending_doc.push(text.clone());
+                i += 1;
+            }
+            TokenKind::Comment(_) => i += 1,
+            TokenKind::Punct(p) if p == "#" => {
+                // Attribute: `#[ … ]` or `#![ … ]`.
+                let mut j = i + 1;
+                if let Some(k) = next_code(tokens, j) {
+                    if tokens[k].is_punct("!") {
+                        j = k + 1;
+                    }
+                }
+                if let Some(open) = next_code(tokens, j).filter(|&k| tokens[k].is_punct("[")) {
+                    let mut depth = 0usize;
+                    let mut end = open;
+                    let mut saw_test = false;
+                    let mut saw_not = false;
+                    for (k, t) in tokens.iter().enumerate().skip(open) {
+                        match &t.kind {
+                            TokenKind::Punct(p) if p == "[" => depth += 1,
+                            TokenKind::Punct(p) if p == "]" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    end = k;
+                                    break;
+                                }
+                            }
+                            TokenKind::Ident(id) if id == "test" => saw_test = true,
+                            TokenKind::Ident(id) if id == "not" => saw_not = true,
+                            _ => {}
+                        }
+                    }
+                    if saw_test && !saw_not {
+                        pending_test = true;
+                    }
+                    i = end + 1;
+                } else {
+                    i += 1;
+                }
+            }
+            TokenKind::Ident(id) if id == "pub" => {
+                pending_pub = true;
+                // Skip `pub(crate)` / `pub(in …)` qualifiers.
+                if let Some(open) = next_code(tokens, i + 1).filter(|&k| tokens[k].is_punct("(")) {
+                    let mut depth = 0usize;
+                    let mut k = open;
+                    while k < tokens.len() {
+                        if tokens[k].is_punct("(") {
+                            depth += 1;
+                        } else if tokens[k].is_punct(")") {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        k += 1;
+                    }
+                    i = k + 1;
+                } else {
+                    i += 1;
+                }
+            }
+            TokenKind::Ident(id) if id == "fn" => {
+                let fn_line = tokens[i].line;
+                let name = next_code(tokens, i + 1)
+                    .and_then(|k| match &tokens[k].kind {
+                        TokenKind::Ident(n) => Some(n.clone()),
+                        _ => None,
+                    })
+                    .unwrap_or_default();
+                // Find the parameter list, skipping generics.
+                let mut k = i + 1;
+                let mut angle = 0i32;
+                let mut params_span: Option<(usize, usize)> = None;
+                while k < tokens.len() {
+                    match &tokens[k].kind {
+                        TokenKind::Punct(p) if p == "<" => angle += 1,
+                        TokenKind::Punct(p) if p == ">" => angle -= 1,
+                        TokenKind::Punct(p) if p == "(" && angle <= 0 => {
+                            let mut depth = 0usize;
+                            let mut close = k;
+                            for (m, t) in tokens.iter().enumerate().skip(k) {
+                                if t.is_punct("(") {
+                                    depth += 1;
+                                } else if t.is_punct(")") {
+                                    depth -= 1;
+                                    if depth == 0 {
+                                        close = m;
+                                        break;
+                                    }
+                                }
+                            }
+                            params_span = Some((k, close));
+                            break;
+                        }
+                        TokenKind::Punct(p) if p == "{" || p == ";" => break,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                let params = params_span
+                    .map(|(a, b)| parse_params(&tokens[a + 1..b]))
+                    .unwrap_or_default();
+                // Find the body `{` (or `;` for a declaration) after params.
+                let search_from = params_span.map(|(_, b)| b + 1).unwrap_or(i + 1);
+                let mut body = None;
+                let mut m = search_from;
+                while m < tokens.len() {
+                    if tokens[m].is_punct("{") {
+                        body = Some((m, matching_brace(tokens, m)));
+                        break;
+                    }
+                    if tokens[m].is_punct(";") {
+                        break;
+                    }
+                    m += 1;
+                }
+                let in_test = pending_test || ctx.in_test(i);
+                if pending_test {
+                    if let Some((a, b)) = body {
+                        ctx.test_spans.push((a, b));
+                    }
+                }
+                ctx.fns.push(FnInfo {
+                    name,
+                    line: fn_line,
+                    is_pub: pending_pub,
+                    doc: pending_doc.join("\n"),
+                    params,
+                    body,
+                    in_test,
+                });
+                pending_doc.clear();
+                pending_test = false;
+                pending_pub = false;
+                i += 1;
+            }
+            TokenKind::Ident(id) if id == "mod" || id == "impl" || id == "trait" => {
+                if pending_test {
+                    // Mark the whole `{ … }` block as test code.
+                    let mut k = i + 1;
+                    while k < tokens.len() && !tokens[k].is_punct("{") && !tokens[k].is_punct(";") {
+                        k += 1;
+                    }
+                    if k < tokens.len() && tokens[k].is_punct("{") {
+                        ctx.test_spans.push((k, matching_brace(tokens, k)));
+                    }
+                }
+                pending_doc.clear();
+                pending_test = false;
+                pending_pub = false;
+                i += 1;
+            }
+            TokenKind::Ident(id) if id == "const" || id == "static" => {
+                // `const fn` is a function modifier, not an item.
+                let is_fn = next_code(tokens, i + 1)
+                    .map(|k| tokens[k].is_ident("fn") || tokens[k].is_ident("unsafe"))
+                    .unwrap_or(false);
+                if is_fn {
+                    i += 1;
+                    continue;
+                }
+                // Item: spans to the first `;` outside nesting.
+                let start = i;
+                let mut depth = 0i64;
+                let mut k = i + 1;
+                while k < tokens.len() {
+                    match &tokens[k].kind {
+                        TokenKind::Punct(p) if p == "{" || p == "(" || p == "[" => depth += 1,
+                        TokenKind::Punct(p) if p == "}" || p == ")" || p == "]" => depth -= 1,
+                        TokenKind::Punct(p) if p == ";" && depth <= 0 => break,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                ctx.const_spans.push((start, k));
+                pending_doc.clear();
+                pending_test = false;
+                pending_pub = false;
+                i = k + 1;
+            }
+            TokenKind::Punct(p) if p == ";" || p == "}" => {
+                pending_doc.clear();
+                pending_test = false;
+                pending_pub = false;
+                i += 1;
+            }
+            TokenKind::Ident(id)
+                if matches!(id.as_str(), "struct" | "enum" | "use" | "type" | "let") =>
+            {
+                pending_doc.clear();
+                // `pending_test` on a struct/enum applies to no region we track;
+                // `pending_pub` is consumed by the item.
+                pending_test = false;
+                pending_pub = false;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    ctx
+}
+
+/// Splits a parameter token slice on top-level commas and extracts
+/// name + raw-f64-ness per parameter.
+fn parse_params(tokens: &[Token]) -> Vec<Param> {
+    let mut params = Vec::new();
+    let mut depth = 0i64;
+    let mut start = 0usize;
+    let mut parts: Vec<&[Token]> = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        match &t.kind {
+            TokenKind::Punct(p) if p == "(" || p == "[" || p == "<" || p == "{" => depth += 1,
+            TokenKind::Punct(p) if p == ")" || p == "]" || p == ">" || p == "}" => depth -= 1,
+            TokenKind::Punct(p) if p == "," && depth <= 0 => {
+                parts.push(&tokens[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if start < tokens.len() {
+        parts.push(&tokens[start..]);
+    }
+    for part in parts {
+        let code: Vec<&Token> = part.iter().filter(|t| !t.is_trivia()).collect();
+        if code.is_empty() {
+            continue;
+        }
+        // Name: first identifier that is not a pattern keyword.
+        let name = code
+            .iter()
+            .find_map(|t| match &t.kind {
+                TokenKind::Ident(id) if id != "mut" && id != "ref" => Some(id.clone()),
+                _ => None,
+            })
+            .unwrap_or_default();
+        if name == "self" {
+            continue;
+        }
+        // Type: everything after the first top-level `:`.
+        let colon = code.iter().position(|t| t.is_punct(":"));
+        let raw_f64 = colon
+            .map(|c| {
+                let ty: Vec<&&Token> = code[c + 1..].iter().collect();
+                ty.len() == 1 && ty[0].is_ident("f64")
+            })
+            .unwrap_or(false);
+        params.push(Param { name, line: code[0].line, raw_f64 });
+    }
+    params
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn ctx_of(src: &str) -> FileContext {
+        analyze(&lex(src))
+    }
+
+    #[test]
+    fn finds_pub_fn_with_doc_and_params() {
+        let src = "/// Implements eq. (3).\npub fn cost(lambda: f64, sd: &f64, xs: &[f64]) -> f64 { 0.0 }\n";
+        let ctx = ctx_of(src);
+        assert_eq!(ctx.fns.len(), 1);
+        let f = &ctx.fns[0];
+        assert_eq!(f.name, "cost");
+        assert!(f.is_pub);
+        assert!(f.doc.contains("eq. (3)"));
+        assert_eq!(f.params.len(), 3);
+        assert!(f.params[0].raw_f64);
+        assert!(!f.params[1].raw_f64, "&f64 is not raw");
+        assert!(!f.params[2].raw_f64, "&[f64] is not raw");
+    }
+
+    #[test]
+    fn cfg_test_mod_is_a_test_span() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn helper() { x.unwrap(); }\n}\n";
+        let ctx = ctx_of(src);
+        let toks = lex(src);
+        let unwrap_idx = toks.iter().position(|t| t.is_ident("unwrap")).unwrap();
+        assert!(ctx.in_test(unwrap_idx));
+        assert_eq!(ctx.fns.len(), 2);
+        assert!(!ctx.fns[0].in_test);
+        assert!(ctx.fns[1].in_test);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_span() {
+        let src = "#[cfg(not(test))]\nmod live { fn f() {} }\n";
+        let ctx = ctx_of(src);
+        assert!(!ctx.fns[0].in_test);
+    }
+
+    #[test]
+    fn test_attribute_marks_fn_body() {
+        let src = "#[test]\nfn check() { v.unwrap(); }\n";
+        let ctx = ctx_of(src);
+        let toks = lex(src);
+        let unwrap_idx = toks.iter().position(|t| t.is_ident("unwrap")).unwrap();
+        assert!(ctx.in_test(unwrap_idx));
+    }
+
+    #[test]
+    fn const_items_are_spanned() {
+        let src = "const K: f64 = 0.123;\nfn f() { let x = 0.456; }\n";
+        let ctx = ctx_of(src);
+        let toks = lex(src);
+        let k123 = toks
+            .iter()
+            .position(|t| matches!(&t.kind, TokenKind::Float(s) if s == "0.123"))
+            .unwrap();
+        let k456 = toks
+            .iter()
+            .position(|t| matches!(&t.kind, TokenKind::Float(s) if s == "0.456"))
+            .unwrap();
+        assert!(ctx.in_const(k123));
+        assert!(!ctx.in_const(k456));
+        assert!(ctx.in_fn_body(k456));
+    }
+
+    #[test]
+    fn const_fn_is_a_function_not_a_const_item() {
+        let ctx = ctx_of("pub const fn half(x: f64) -> f64 { x * 0.5 }\n");
+        assert_eq!(ctx.fns.len(), 1);
+        assert!(ctx.fns[0].is_pub);
+        assert!(ctx.const_spans.is_empty());
+    }
+
+    #[test]
+    fn generic_fn_params_are_found() {
+        let ctx = ctx_of("pub fn eval<F: Fn(f64) -> f64>(f: F, x0: f64) {}\n");
+        assert_eq!(ctx.fns[0].params.len(), 2);
+        assert_eq!(ctx.fns[0].params[1].name, "x0");
+        assert!(ctx.fns[0].params[1].raw_f64);
+        assert!(!ctx.fns[0].params[0].raw_f64);
+    }
+
+    #[test]
+    fn methods_skip_self_param() {
+        let ctx = ctx_of("impl T { pub fn go(&mut self, p: f64) {} }\n");
+        assert_eq!(ctx.fns[0].params.len(), 1);
+        assert_eq!(ctx.fns[0].params[0].name, "p");
+    }
+}

@@ -1,0 +1,226 @@
+//! Diagnostic records and their text/JSON renderings.
+
+use std::fmt;
+
+/// The audit rules. Each maps to one correctness invariant of the
+/// cost-model codebase (see `README.md` § Static analysis & lint policy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleId {
+    /// No `unwrap()`/`expect()`/`panic!`/`unreachable!`/`todo!`/
+    /// `unimplemented!` in library code.
+    R1,
+    /// No direct `==`/`!=` comparison against floating-point operands.
+    R2,
+    /// No bare numeric literals in model functions outside `const` items and
+    /// calibration modules.
+    R3,
+    /// Public model-crate functions must not take raw `f64` where a
+    /// `nanocost-units` newtype exists for the paper symbol.
+    R4,
+    /// Every public model-crate function documents the paper
+    /// equation/figure/table it implements.
+    R5,
+    /// Meta-rule: a `nanocost-audit:` suppression pragma is malformed
+    /// (unknown rule id, missing mandatory reason, or bad syntax).
+    P0,
+}
+
+impl RuleId {
+    /// All rules, in report order.
+    pub const ALL: [RuleId; 5] = [RuleId::R1, RuleId::R2, RuleId::R3, RuleId::R4, RuleId::R5];
+
+    /// Parses `"R1"`…`"R5"` (case-insensitive). `P0` is not parseable:
+    /// pragma hygiene cannot itself be suppressed by a pragma.
+    pub fn parse(s: &str) -> Option<RuleId> {
+        match s.trim().to_ascii_uppercase().as_str() {
+            "R1" => Some(RuleId::R1),
+            "R2" => Some(RuleId::R2),
+            "R3" => Some(RuleId::R3),
+            "R4" => Some(RuleId::R4),
+            "R5" => Some(RuleId::R5),
+            _ => None,
+        }
+    }
+
+    /// One-line description used by `--list-rules` and the docs.
+    pub fn describe(self) -> &'static str {
+        match self {
+            RuleId::R1 => "no unwrap()/expect()/panic!/unreachable!/todo!/unimplemented! in library code",
+            RuleId::R2 => "no direct ==/!= comparison with floating-point operands",
+            RuleId::R3 => "no bare numeric literals in model functions outside const/calibration code",
+            RuleId::R4 => "public model functions must use nanocost-units newtypes, not raw f64",
+            RuleId::R5 => "every public model function cites the paper equation/figure/table it implements",
+            RuleId::P0 => "suppression pragma is malformed (unknown rule, missing reason, or bad syntax)",
+        }
+    }
+
+    /// Default severity for this rule's findings.
+    pub fn severity(self) -> Severity {
+        match self {
+            RuleId::R1 | RuleId::R2 | RuleId::P0 => Severity::Error,
+            RuleId::R3 | RuleId::R4 | RuleId::R5 => Severity::Warning,
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuleId::R1 => write!(f, "R1"),
+            RuleId::R2 => write!(f, "R2"),
+            RuleId::R3 => write!(f, "R3"),
+            RuleId::R4 => write!(f, "R4"),
+            RuleId::R5 => write!(f, "R5"),
+            RuleId::P0 => write!(f, "P0"),
+        }
+    }
+}
+
+/// How bad a finding is. Errors always fail the run; warnings fail it only
+/// under `--deny`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Style/traceability finding; failing only under `--deny`.
+    Warning,
+    /// Correctness finding; always fails the run.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One finding: a rule violated at a file:line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Path relative to the workspace root, with forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// Severity the rule assigns to this finding.
+    pub severity: Severity,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Renders `file:line: severity[rule] message`.
+    pub fn render_text(&self) -> String {
+        format!(
+            "{}:{}: {}[{}] {}",
+            self.file, self.line, self.severity, self.rule, self.message
+        )
+    }
+
+    /// Renders one JSON object (stable key order).
+    pub fn render_json(&self) -> String {
+        format!(
+            r#"{{"file":{},"line":{},"rule":"{}","severity":"{}","message":{}}}"#,
+            json_string(&self.file),
+            self.line,
+            self.rule,
+            self.severity,
+            json_string(&self.message)
+        )
+    }
+}
+
+/// Sorts diagnostics by file, line, then rule, for deterministic output.
+pub fn sort_diagnostics(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule))
+    });
+}
+
+/// Renders the full report as a JSON document:
+/// `{"diagnostics":[…],"counts":{"error":N,"warning":M}}`.
+pub fn render_json_report(diags: &[Diagnostic]) -> String {
+    let items: Vec<String> = diags.iter().map(Diagnostic::render_json).collect();
+    let errors = diags.iter().filter(|d| d.severity == Severity::Error).count();
+    let warnings = diags.iter().filter(|d| d.severity == Severity::Warning).count();
+    format!(
+        "{{\"diagnostics\":[{}],\"counts\":{{\"error\":{},\"warning\":{}}}}}\n",
+        items.join(","),
+        errors,
+        warnings
+    )
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(file: &str, line: u32, rule: RuleId) -> Diagnostic {
+        Diagnostic {
+            file: file.into(),
+            line,
+            rule,
+            severity: rule.severity(),
+            message: format!("msg for {rule}"),
+        }
+    }
+
+    #[test]
+    fn rule_ids_round_trip() {
+        for r in RuleId::ALL {
+            assert_eq!(RuleId::parse(&r.to_string()), Some(r));
+        }
+        assert_eq!(RuleId::parse("r3"), Some(RuleId::R3));
+        assert_eq!(RuleId::parse("R9"), None);
+    }
+
+    #[test]
+    fn text_rendering_has_location_rule_and_severity() {
+        let d = diag("crates/core/src/a.rs", 7, RuleId::R1);
+        assert_eq!(
+            d.render_text(),
+            "crates/core/src/a.rs:7: error[R1] msg for R1"
+        );
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_backslashes() {
+        let mut d = diag("a.rs", 1, RuleId::R2);
+        d.message = "bad \"x\" \\ path".into();
+        assert!(d.render_json().contains(r#""message":"bad \"x\" \\ path""#));
+    }
+
+    #[test]
+    fn report_counts_by_severity() {
+        let out = render_json_report(&[diag("a.rs", 1, RuleId::R1), diag("a.rs", 2, RuleId::R3)]);
+        assert!(out.contains("\"counts\":{\"error\":1,\"warning\":1}"));
+    }
+
+    #[test]
+    fn sorting_is_stable_by_location() {
+        let mut ds = vec![diag("b.rs", 1, RuleId::R1), diag("a.rs", 9, RuleId::R2)];
+        sort_diagnostics(&mut ds);
+        assert_eq!(ds[0].file, "a.rs");
+    }
+}

@@ -1,0 +1,133 @@
+//! `nanocost-audit` — an in-tree static-analysis pass that enforces the
+//! cost-model's correctness invariants.
+//!
+//! The pass lexes every `crates/*/src/**/*.rs` file with its own lightweight
+//! Rust lexer (no dependencies) and checks five rules:
+//!
+//! | rule | severity | invariant |
+//! |------|----------|-----------|
+//! | R1   | error    | no `unwrap()`/`expect()`/`panic!`/`unreachable!`/`todo!`/`unimplemented!` in library code |
+//! | R2   | error    | no direct `==`/`!=` comparison with floating-point operands |
+//! | R3   | warning  | no bare numeric literals in model functions outside `const`/calibration code |
+//! | R4   | warning  | public model functions take `nanocost-units` newtypes, not raw `f64` |
+//! | R5   | warning  | every public model function cites the paper equation/figure/table it implements |
+//!
+//! Findings can be suppressed inline with a reasoned pragma
+//! (`// nanocost-audit: allow(R3, reason = "…")`); a malformed pragma is
+//! itself an error under the meta-rule `P0`. See the crate's `src/pragma.rs`
+//! for the grammar and `README.md` § "Static analysis & lint policy" for
+//! the policy rationale.
+
+pub mod context;
+pub mod diagnostics;
+pub mod lexer;
+pub mod pragma;
+pub mod rules;
+pub mod walk;
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use diagnostics::{sort_diagnostics, Diagnostic, RuleId, Severity};
+
+/// Audits one file's source text (already read) under its workspace-relative
+/// path and crate name. Suppression pragmas are honored here.
+pub fn audit_source(rel_path: &str, crate_name: &str, source: &str) -> Vec<Diagnostic> {
+    let tokens = lexer::lex(source);
+    let ctx = context::analyze(&tokens);
+    let suppressions = pragma::collect(&tokens);
+    let input = rules::FileInput { path: rel_path, crate_name, tokens: &tokens, ctx: &ctx };
+    let mut diags: Vec<Diagnostic> = rules::run_all(&input)
+        .into_iter()
+        .filter(|d| !suppressions.allows(d.rule, d.line))
+        .collect();
+    for (line, why) in &suppressions.malformed {
+        diags.push(Diagnostic {
+            file: rel_path.to_string(),
+            line: *line,
+            rule: RuleId::P0,
+            severity: RuleId::P0.severity(),
+            message: format!("malformed nanocost-audit pragma: {why}"),
+        });
+    }
+    diags
+}
+
+/// Audits the whole workspace rooted at `root`. Returns diagnostics sorted
+/// by file, line, rule.
+pub fn audit_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let mut diags = Vec::new();
+    for file in walk::collect_sources(root)? {
+        let source = fs::read_to_string(&file.abs)?;
+        diags.extend(audit_source(&file.rel, &file.crate_name, &source));
+    }
+    sort_diagnostics(&mut diags);
+    Ok(diags)
+}
+
+/// Outcome classification for exit-code purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// No findings at all, or only warnings without `--deny`.
+    Pass,
+    /// Warnings present and `--deny` given.
+    DeniedWarnings,
+    /// At least one error-severity finding.
+    Errors,
+}
+
+/// Decides the run verdict from the diagnostics and the `--deny` flag.
+pub fn verdict(diags: &[Diagnostic], deny: bool) -> Verdict {
+    if diags.iter().any(|d| d.severity == Severity::Error) {
+        Verdict::Errors
+    } else if deny && !diags.is_empty() {
+        Verdict::DeniedWarnings
+    } else {
+        Verdict::Pass
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suppressed_findings_are_dropped() {
+        let src = "fn f() { x.unwrap(); // nanocost-audit: allow(R1, reason = \"len checked\")\n}\n";
+        assert!(audit_source("crates/fab/src/a.rs", "fab", src).is_empty());
+    }
+
+    #[test]
+    fn unsuppressed_findings_survive() {
+        let src = "fn f() { x.unwrap(); }\n";
+        let diags = audit_source("crates/fab/src/a.rs", "fab", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, RuleId::R1);
+    }
+
+    #[test]
+    fn malformed_pragma_is_a_p0_error() {
+        let src = "fn f() { // nanocost-audit: allow(R1)\n}\n";
+        let diags = audit_source("crates/fab/src/a.rs", "fab", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, RuleId::P0);
+        assert_eq!(diags[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn verdict_logic() {
+        let warn = Diagnostic {
+            file: "a.rs".into(),
+            line: 1,
+            rule: RuleId::R3,
+            severity: Severity::Warning,
+            message: String::new(),
+        };
+        let err = Diagnostic { rule: RuleId::R1, severity: Severity::Error, ..warn.clone() };
+        assert_eq!(verdict(&[], true), Verdict::Pass);
+        assert_eq!(verdict(&[warn.clone()], false), Verdict::Pass);
+        assert_eq!(verdict(&[warn.clone()], true), Verdict::DeniedWarnings);
+        assert_eq!(verdict(&[warn, err], false), Verdict::Errors);
+    }
+}

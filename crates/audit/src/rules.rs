@@ -1,0 +1,414 @@
+//! The audit rules R1–R5.
+//!
+//! Each rule is a pure function over one file's token stream plus its
+//! structural [`FileContext`](crate::context::FileContext); suppression
+//! pragmas are applied by the caller in `lib.rs` so the rules stay simple.
+
+use crate::context::FileContext;
+use crate::diagnostics::{Diagnostic, RuleId};
+use crate::lexer::{Token, TokenKind};
+
+/// Which crates carry the paper's cost model (R3/R4 scope).
+const MODEL_CRATES: &[&str] = &["core", "yield-model", "flow"];
+
+/// Which crates must cite the paper in every public fn doc (R5 scope).
+const DOC_CITED_CRATES: &[&str] = &["core", "yield-model"];
+
+/// File-name stems exempt from R3: they exist to hold named constants.
+const R3_EXEMPT_STEMS: &[&str] = &["const", "calib", "table", "scenario", "data"];
+
+/// Float literal values R3 never flags: structural values that carry no
+/// calibration meaning (identity/half/doubling/percent base) plus
+/// comparison epsilons at or below 1e-6.
+const R3_TRIVIAL: &[f64] = &[0.0, 0.5, 1.0, 2.0, 100.0];
+
+/// Paper-symbol parameter names that have a `nanocost-units` newtype (R4).
+/// Maps the raw-`f64` parameter name to the type that should replace it.
+const R4_SYMBOLS: &[(&str, &str)] = &[
+    ("sd", "DecompressionIndex"),
+    ("s_d", "DecompressionIndex"),
+    ("decompression", "DecompressionIndex"),
+    ("lambda", "FeatureSize"),
+    ("feature_size", "FeatureSize"),
+    ("yield_", "Yield"),
+    ("y0", "Yield"),
+    ("cost", "Dollars"),
+    ("price", "Dollars"),
+    ("capex", "Dollars"),
+    ("budget", "Dollars"),
+    ("area", "Area"),
+    ("wafers", "WaferCount"),
+    ("transistors", "TransistorCount"),
+    ("utilization", "Utilization"),
+    ("density", "DesignDensity"),
+];
+
+/// Keywords whose presence in a doc comment counts as a paper citation (R5).
+/// Matched on word boundaries after lowercasing.
+const R5_KEYWORDS: &[&str] = &[
+    "eq", "equation", "fig", "figure", "table", "sec", "section", "maly", "dac", "itrs",
+    "appendix", "paper", "chapter",
+];
+
+/// Everything the rules need to know about the file being audited.
+pub struct FileInput<'a> {
+    /// Workspace-relative path with forward slashes.
+    pub path: &'a str,
+    /// Crate directory name under `crates/` (e.g. `"yield-model"`),
+    /// or `""` for files outside `crates/`.
+    pub crate_name: &'a str,
+    /// Lexed tokens.
+    pub tokens: &'a [Token],
+    /// Structural context over the tokens.
+    pub ctx: &'a FileContext,
+}
+
+impl FileInput<'_> {
+    fn is_bin(&self) -> bool {
+        self.path.contains("/bin/") || self.path.ends_with("/main.rs")
+    }
+
+    fn is_model_crate(&self) -> bool {
+        MODEL_CRATES.contains(&self.crate_name)
+    }
+
+    fn diag(&self, line: u32, rule: RuleId, message: String) -> Diagnostic {
+        Diagnostic { file: self.path.to_string(), line, rule, severity: rule.severity(), message }
+    }
+}
+
+/// Runs every rule over one file.
+pub fn run_all(input: &FileInput<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    rule_r1(input, &mut out);
+    rule_r2(input, &mut out);
+    rule_r3(input, &mut out);
+    rule_r4(input, &mut out);
+    rule_r5(input, &mut out);
+    out
+}
+
+/// Index of the next non-trivia token after `i`, if any.
+fn next_code(tokens: &[Token], i: usize) -> Option<usize> {
+    tokens
+        .iter()
+        .enumerate()
+        .skip(i + 1)
+        .find(|(_, t)| !t.is_trivia())
+        .map(|(k, _)| k)
+}
+
+/// Index of the previous non-trivia token before `i`, if any.
+fn prev_code(tokens: &[Token], i: usize) -> Option<usize> {
+    tokens[..i].iter().rposition(|t| !t.is_trivia())
+}
+
+/// R1: no `unwrap()`/`expect()`/`panic!`/`unreachable!`/`todo!`/
+/// `unimplemented!` in library code (test regions and binaries exempt).
+fn rule_r1(input: &FileInput<'_>, out: &mut Vec<Diagnostic>) {
+    if input.is_bin() {
+        return;
+    }
+    let toks = input.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        let TokenKind::Ident(name) = &tok.kind else { continue };
+        if input.ctx.in_test(i) {
+            continue;
+        }
+        match name.as_str() {
+            "unwrap" | "expect" => {
+                // Must be a method call: `.name(`.
+                let dotted = prev_code(toks, i).map(|p| toks[p].is_punct(".")).unwrap_or(false);
+                let called = next_code(toks, i).map(|n| toks[n].is_punct("(")).unwrap_or(false);
+                if dotted && called {
+                    out.push(input.diag(
+                        tok.line,
+                        RuleId::R1,
+                        format!("`.{name}()` in library code; propagate the error or prove it impossible"),
+                    ));
+                }
+            }
+            "panic" | "unreachable" | "todo" | "unimplemented" => {
+                let bang = next_code(toks, i).map(|n| toks[n].is_punct("!")).unwrap_or(false);
+                // `debug_assert`-family and `assert` are allowed; only the
+                // bare abort macros are flagged.
+                if bang {
+                    out.push(input.diag(
+                        tok.line,
+                        RuleId::R1,
+                        format!("`{name}!` in library code; return an error instead of aborting"),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// R2: no direct `==`/`!=` with floating-point operands.
+///
+/// An operand is "floating-point" when the adjacent token is a float
+/// literal, or the comparison is against an `f64::`/`f32::` associated
+/// constant (`f64::NAN`, `f64::INFINITY`, …).
+fn rule_r2(input: &FileInput<'_>, out: &mut Vec<Diagnostic>) {
+    let toks = input.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        let TokenKind::Punct(op) = &tok.kind else { continue };
+        if op != "==" && op != "!=" {
+            continue;
+        }
+        if input.ctx.in_test(i) {
+            continue;
+        }
+        let prev_float = prev_code(toks, i)
+            .map(|p| matches!(toks[p].kind, TokenKind::Float(_)))
+            .unwrap_or(false);
+        let next = next_code(toks, i);
+        let next_float =
+            next.map(|n| matches!(toks[n].kind, TokenKind::Float(_))).unwrap_or(false);
+        // `x == f64::NAN`-style path on the right.
+        let next_f64_path = next
+            .map(|n| {
+                (toks[n].is_ident("f64") || toks[n].is_ident("f32"))
+                    && next_code(toks, n).map(|m| toks[m].is_punct("::")).unwrap_or(false)
+            })
+            .unwrap_or(false);
+        if prev_float || next_float || next_f64_path {
+            out.push(input.diag(
+                tok.line,
+                RuleId::R2,
+                format!("direct `{op}` against a floating-point value; compare with an explicit tolerance"),
+            ));
+        }
+    }
+}
+
+/// Parses the numeric value of a float-literal token (`1_000.5f64` → 1000.5).
+fn float_value(text: &str) -> Option<f64> {
+    let cleaned: String = text.chars().filter(|c| *c != '_').collect();
+    let cleaned = cleaned.trim_end_matches("f64").trim_end_matches("f32");
+    cleaned.parse().ok()
+}
+
+/// R3: no bare float literals inside model-crate function bodies.
+///
+/// Exemptions: `const`/`static` items, test code, files whose name marks
+/// them as constant/calibration tables, trivially-structural values
+/// (0, 0.5, 1, 2, 100) and epsilons ≤ 1e-6.
+fn rule_r3(input: &FileInput<'_>, out: &mut Vec<Diagnostic>) {
+    if !input.is_model_crate() {
+        return;
+    }
+    let stem = input.path.rsplit('/').next().unwrap_or("");
+    if R3_EXEMPT_STEMS.iter().any(|s| stem.starts_with(s)) {
+        return;
+    }
+    for (i, tok) in input.tokens.iter().enumerate() {
+        let TokenKind::Float(text) = &tok.kind else { continue };
+        if input.ctx.in_test(i) || input.ctx.in_const(i) || !input.ctx.in_fn_body(i) {
+            continue;
+        }
+        if let Some(v) = float_value(text) {
+            if R3_TRIVIAL.contains(&v) || v.abs() <= 1e-6 {
+                continue;
+            }
+        }
+        out.push(input.diag(
+            tok.line,
+            RuleId::R3,
+            format!("bare numeric literal `{text}` in a model function; hoist it into a named const with a paper reference"),
+        ));
+    }
+}
+
+/// R4: public model-crate fns must not take raw `f64` for a quantity that
+/// has a `nanocost-units` newtype.
+fn rule_r4(input: &FileInput<'_>, out: &mut Vec<Diagnostic>) {
+    if !input.is_model_crate() || input.is_bin() {
+        return;
+    }
+    for f in &input.ctx.fns {
+        if !f.is_pub || f.in_test {
+            continue;
+        }
+        for p in &f.params {
+            if !p.raw_f64 {
+                continue;
+            }
+            let lower = p.name.to_ascii_lowercase();
+            let hit = R4_SYMBOLS
+                .iter()
+                .find(|(sym, _)| lower == *sym || lower.trim_end_matches('_') == *sym);
+            if let Some((_, newtype)) = hit {
+                out.push(input.diag(
+                    p.line,
+                    RuleId::R4,
+                    format!(
+                        "`fn {}` takes `{}: f64`; use the `nanocost_units::{newtype}` newtype",
+                        f.name, p.name
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Does `doc` cite the paper? Word-boundary keyword match, plus `§`.
+fn cites_paper(doc: &str) -> bool {
+    if doc.contains('§') {
+        return true;
+    }
+    let lower = doc.to_ascii_lowercase();
+    let mut word = String::new();
+    let mut words = Vec::new();
+    for c in lower.chars() {
+        if c.is_ascii_alphanumeric() {
+            word.push(c);
+        } else if !word.is_empty() {
+            words.push(std::mem::take(&mut word));
+        }
+    }
+    if !word.is_empty() {
+        words.push(word);
+    }
+    words.iter().any(|w| R5_KEYWORDS.contains(&w.as_str()))
+}
+
+/// R5: every public fn in the cited crates carries a doc comment that
+/// references the paper equation/figure/table/section it implements.
+fn rule_r5(input: &FileInput<'_>, out: &mut Vec<Diagnostic>) {
+    if !DOC_CITED_CRATES.contains(&input.crate_name) || input.is_bin() {
+        return;
+    }
+    for f in &input.ctx.fns {
+        if !f.is_pub || f.in_test || f.body.is_none() {
+            continue;
+        }
+        if f.doc.trim().is_empty() {
+            out.push(input.diag(
+                f.line,
+                RuleId::R5,
+                format!("public `fn {}` has no doc comment; cite the paper equation/figure/table it implements", f.name),
+            ));
+        } else if !cites_paper(&f.doc) {
+            out.push(input.diag(
+                f.line,
+                RuleId::R5,
+                format!("doc comment on public `fn {}` does not reference a paper equation/figure/table/section", f.name),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::analyze;
+    use crate::lexer::lex;
+
+    fn audit(path: &str, crate_name: &str, src: &str) -> Vec<Diagnostic> {
+        let tokens = lex(src);
+        let ctx = analyze(&tokens);
+        run_all(&FileInput { path, crate_name, tokens: &tokens, ctx: &ctx })
+    }
+
+    fn rules_of(diags: &[Diagnostic]) -> Vec<RuleId> {
+        diags.iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn r1_flags_unwrap_and_panic_outside_tests() {
+        let src = "fn f() { x.unwrap(); panic!(\"no\"); }\n#[cfg(test)]\nmod t { fn g() { y.unwrap(); } }\n";
+        let diags = audit("crates/core/src/a.rs", "core", src);
+        let r1: Vec<_> = diags.iter().filter(|d| d.rule == RuleId::R1).collect();
+        assert_eq!(r1.len(), 2);
+        assert_eq!(r1[0].line, 1);
+    }
+
+    #[test]
+    fn r1_ignores_unwrap_or_variants_and_fields() {
+        let src = "fn f() { x.unwrap_or(0); x.unwrap_or_default(); s.expect_count; }\n";
+        assert!(audit("crates/core/src/a.rs", "core", src).iter().all(|d| d.rule != RuleId::R1));
+    }
+
+    #[test]
+    fn r1_skips_binaries() {
+        let src = "fn main() { run().unwrap(); }\n";
+        assert!(audit("crates/core/src/bin/tool.rs", "core", src).is_empty());
+    }
+
+    #[test]
+    fn r2_flags_float_literal_comparison() {
+        let diags = audit("crates/fab/src/a.rs", "fab", "fn f(x: f64) -> bool { x == 0.1 }\n");
+        assert!(rules_of(&diags).contains(&RuleId::R2));
+        let diags = audit("crates/fab/src/a.rs", "fab", "fn f(x: f64) -> bool { x != f64::NAN }\n");
+        assert!(rules_of(&diags).contains(&RuleId::R2));
+    }
+
+    #[test]
+    fn r2_allows_integer_comparison() {
+        let diags = audit("crates/fab/src/a.rs", "fab", "fn f(x: u32) -> bool { x == 10 }\n");
+        assert!(!rules_of(&diags).contains(&RuleId::R2));
+    }
+
+    #[test]
+    fn r3_flags_bare_floats_in_model_fns_only() {
+        let src = "const K: f64 = 0.3;\nfn f() -> f64 { 0.37 * K }\n";
+        let diags = audit("crates/yield-model/src/models.rs", "yield-model", src);
+        let r3: Vec<_> = diags.iter().filter(|d| d.rule == RuleId::R3).collect();
+        assert_eq!(r3.len(), 1);
+        assert_eq!(r3[0].line, 2);
+        // Same source in a non-model crate: clean.
+        assert!(audit("crates/fab/src/x.rs", "fab", src).iter().all(|d| d.rule != RuleId::R3));
+    }
+
+    #[test]
+    fn r3_exempts_trivial_values_and_calibration_files() {
+        let src = "fn f(x: f64) -> f64 { (x * 0.5 + 1.0) * 2.0 / 100.0 + 1e-9 }\n";
+        assert!(audit("crates/core/src/a.rs", "core", src).iter().all(|d| d.rule != RuleId::R3));
+        let src = "fn f() -> f64 { 0.123 }\n";
+        assert!(audit("crates/flow/src/calibrate.rs", "flow", src)
+            .iter()
+            .all(|d| d.rule != RuleId::R3));
+    }
+
+    #[test]
+    fn r4_flags_symbol_named_raw_f64_params() {
+        let src = "pub fn chip_cost(lambda: f64, n: u64) -> f64 { 0.0 }\n";
+        let diags = audit("crates/core/src/a.rs", "core", src);
+        let r4: Vec<_> = diags.iter().filter(|d| d.rule == RuleId::R4).collect();
+        assert_eq!(r4.len(), 1);
+        assert!(r4[0].message.contains("FeatureSize"));
+    }
+
+    #[test]
+    fn r4_ignores_private_fns_and_unmapped_names() {
+        let src = "fn helper(lambda: f64) {}\npub fn g(ratio: f64) {}\n";
+        assert!(audit("crates/core/src/a.rs", "core", src).iter().all(|d| d.rule != RuleId::R4));
+    }
+
+    #[test]
+    fn r5_requires_paper_citation_in_doc() {
+        let src = "/// Computes stuff.\npub fn a() {}\npub fn b() {}\n/// Implements eq. (7) of the paper.\npub fn c() {}\n";
+        let diags = audit("crates/core/src/a.rs", "core", src);
+        let r5: Vec<_> = diags.iter().filter(|d| d.rule == RuleId::R5).collect();
+        assert_eq!(r5.len(), 2);
+        assert_eq!((r5[0].line, r5[1].line), (2, 3));
+    }
+
+    #[test]
+    fn r5_word_boundary_matching() {
+        assert!(cites_paper("See Figure 4."));
+        assert!(cites_paper("Table A1 row."));
+        assert!(cites_paper("per §3.2"));
+        assert!(!cites_paper("frequent sequence"));
+        assert!(!cites_paper("unstable sectioning-free"));
+        assert!(cites_paper("ITRS roadmap"));
+    }
+
+    #[test]
+    fn r5_skips_trait_method_declarations() {
+        let src = "pub trait T { fn m(&self); }\n";
+        assert!(audit("crates/core/src/a.rs", "core", src).iter().all(|d| d.rule != RuleId::R5));
+    }
+}

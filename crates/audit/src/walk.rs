@@ -1,0 +1,125 @@
+//! Workspace discovery: which `.rs` files get audited.
+//!
+//! The scan set is `crates/*/src/**/*.rs` plus a root `src/` if one exists.
+//! `target/`, fixtures, and anything outside those roots are never touched.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One file selected for auditing.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Absolute path on disk.
+    pub abs: PathBuf,
+    /// Workspace-relative path with forward slashes (diagnostic key).
+    pub rel: String,
+    /// Crate directory name under `crates/`, or `""` for root `src/`.
+    pub crate_name: String,
+}
+
+/// Finds the workspace root: the nearest ancestor of `start` containing a
+/// `Cargo.toml` with a `[workspace]` table.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Collects every auditable source file under `root`, sorted by relative
+/// path for deterministic reports.
+pub fn collect_sources(root: &Path) -> io::Result<Vec<SourceFile>> {
+    if !root.is_dir() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("audit root {} is not a directory", root.display()),
+        ));
+    }
+    if !root.join("Cargo.toml").is_file() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("audit root {} has no Cargo.toml", root.display()),
+        ));
+    }
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        crate_dirs.sort();
+        for crate_dir in crate_dirs {
+            let name = crate_dir
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            let src = crate_dir.join("src");
+            if src.is_dir() {
+                walk_rs(&src, root, &name, &mut out)?;
+            }
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        walk_rs(&root_src, root, "", &mut out)?;
+    }
+    out.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(out)
+}
+
+/// Recursively gathers `.rs` files under `dir`.
+fn walk_rs(dir: &Path, root: &Path, crate_name: &str, out: &mut Vec<SourceFile>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> =
+        fs::read_dir(dir)?.filter_map(|e| e.ok()).map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            walk_rs(&path, root, crate_name, out)?;
+        } else if path.extension().map(|e| e == "rs").unwrap_or(false) {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(SourceFile { abs: path, rel, crate_name: crate_name.to_string() });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_this_workspace_root() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("workspace root should exist above the crate");
+        assert!(root.join("Cargo.toml").is_file());
+        assert!(root.join("crates").is_dir());
+    }
+
+    #[test]
+    fn collects_sorted_rs_files_with_crate_names() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("workspace root");
+        let files = collect_sources(&root).expect("scan succeeds");
+        assert!(files.iter().any(|f| f.rel == "crates/audit/src/lexer.rs"));
+        assert!(files.iter().all(|f| f.rel.ends_with(".rs")));
+        assert!(files.windows(2).all(|w| w[0].rel < w[1].rel));
+        let lexer = files.iter().find(|f| f.rel.ends_with("audit/src/lexer.rs")).expect("lexer listed");
+        assert_eq!(lexer.crate_name, "audit");
+        // Fixtures are never part of the scan set.
+        assert!(files.iter().all(|f| !f.rel.contains("fixtures/")));
+    }
+}

@@ -1,0 +1,92 @@
+//! Golden-file tests: fixtures in `fixtures/` are audited as if they were
+//! `crates/core/src/` files, and the rendered text and JSON reports must
+//! match their checked-in `.expected.txt` / `.expected.json` siblings
+//! byte-for-byte. Regenerate with `NANOCOST_AUDIT_BLESS=1 cargo test -p
+//! nanocost-audit`.
+
+use std::fs;
+use std::path::PathBuf;
+
+use nanocost_audit::diagnostics::{render_json_report, sort_diagnostics, Diagnostic, RuleId};
+use nanocost_audit::audit_source;
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+fn audit_fixture(name: &str) -> Vec<Diagnostic> {
+    let src = fs::read_to_string(fixture_dir().join(name)).expect("fixture exists");
+    let rel = format!("crates/core/src/{name}");
+    let mut diags = audit_source(&rel, "core", &src);
+    sort_diagnostics(&mut diags);
+    diags
+}
+
+fn check_golden(name: &str, rendered: &str) {
+    let path = fixture_dir().join(name);
+    if std::env::var_os("NANOCOST_AUDIT_BLESS").is_some() {
+        fs::write(&path, rendered).expect("write golden");
+        return;
+    }
+    let expected = fs::read_to_string(&path)
+        .expect("golden file exists (NANOCOST_AUDIT_BLESS=1 regenerates)");
+    assert_eq!(rendered, expected, "golden mismatch for {name}");
+}
+
+fn render_text_report(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&d.render_text());
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn violations_fixture_matches_goldens() {
+    let diags = audit_fixture("violations.rs");
+    check_golden("violations.expected.txt", &render_text_report(&diags));
+    check_golden("violations.expected.json", &render_json_report(&diags));
+}
+
+#[test]
+fn violations_fixture_trips_every_main_rule() {
+    let diags = audit_fixture("violations.rs");
+    for rule in [RuleId::R1, RuleId::R2, RuleId::R3, RuleId::R4, RuleId::R5] {
+        assert!(
+            diags.iter().any(|d| d.rule == rule),
+            "fixture should trip {rule}: {diags:?}"
+        );
+    }
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    let diags = audit_fixture("clean.rs");
+    assert!(diags.is_empty(), "clean fixture must audit clean: {diags:?}");
+}
+
+#[test]
+fn malformed_pragma_fixture_reports_p0_and_keeps_the_violation() {
+    let diags = audit_fixture("malformed_pragma.rs");
+    check_golden("malformed_pragma.expected.txt", &render_text_report(&diags));
+    assert!(diags.iter().any(|d| d.rule == RuleId::P0));
+    assert!(
+        diags.iter().any(|d| d.rule == RuleId::R1),
+        "a reason-less pragma must not suppress: {diags:?}"
+    );
+}
+
+#[test]
+fn json_report_round_trips_through_the_golden() {
+    // The golden JSON is the source of truth for the output contract:
+    // stable key order, one diagnostics array, and an error/warning count
+    // object. Spot-check the structure without a JSON parser.
+    let json = fs::read_to_string(fixture_dir().join("violations.expected.json"))
+        .expect("golden exists");
+    assert!(json.starts_with("{\"diagnostics\":["));
+    assert!(json.contains("\"counts\":{\"error\":"));
+    assert!(json.ends_with("}\n"));
+    let reports = audit_fixture("violations.rs");
+    assert_eq!(render_json_report(&reports), json);
+}

@@ -1,0 +1,23 @@
+//! Self-audit: the workspace must pass its own static analysis with
+//! `--deny` semantics (no errors, no warnings). This is the in-tree
+//! equivalent of the CI gate in `scripts/ci.sh`.
+
+use std::path::PathBuf;
+
+use nanocost_audit::{audit_workspace, verdict, Verdict};
+
+#[test]
+fn the_workspace_audits_clean_under_deny() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists");
+    let diags = audit_workspace(&root).expect("workspace walk succeeds");
+    let rendered: Vec<String> = diags.iter().map(|d| d.render_text()).collect();
+    assert_eq!(
+        verdict(&diags, true),
+        Verdict::Pass,
+        "workspace must audit clean under --deny:\n{}",
+        rendered.join("\n")
+    );
+}

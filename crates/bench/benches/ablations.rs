@@ -3,7 +3,7 @@
 
 use std::hint::black_box;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use nanocost_bench::harness::{criterion_group, criterion_main, Criterion};
 use nanocost_bench::figures::{
     generalized_vs_simple, optimum_surface_study, test_cost_study, time_to_market_study,
     utilization_study, wafer_map_study,

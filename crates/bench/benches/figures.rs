@@ -3,7 +3,7 @@
 
 use std::hint::black_box;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use nanocost_bench::harness::{criterion_group, criterion_main, Criterion};
 use nanocost_bench::figures::{figure1, figure2, figure3_points, figure4_panel};
 use nanocost_core::Figure4Scenario;
 

@@ -2,7 +2,7 @@
 
 use std::hint::black_box;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use nanocost_bench::harness::{criterion_group, criterion_main, Criterion};
 use nanocost_fab::ProximityModel;
 use nanocost_flow::{ClosureSimulator, DelayStudy, DesignEffortModel};
 use nanocost_numeric::{McConfig, Sampler};

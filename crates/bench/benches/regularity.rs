@@ -3,7 +3,7 @@
 
 use std::hint::black_box;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nanocost_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nanocost_layout::{
     complexity, MemoryArrayGenerator, Netlist, Placer, RandomBlockGenerator, RegularityAnalysis,
 };

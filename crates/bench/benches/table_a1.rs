@@ -3,7 +3,7 @@
 
 use std::hint::black_box;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use nanocost_bench::harness::{criterion_group, criterion_main, Criterion};
 use nanocost_bench::figures::table_a1_rows;
 use nanocost_bench::report::render_table_a1;
 

@@ -2,7 +2,7 @@
 
 use std::hint::black_box;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use nanocost_bench::harness::{criterion_group, criterion_main, Criterion};
 use nanocost_fab::WaferSpec;
 use nanocost_numeric::Sampler;
 use nanocost_units::{Area, DecompressionIndex, FeatureSize, TransistorCount, WaferCount};

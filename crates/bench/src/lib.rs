@@ -2,10 +2,11 @@
 //! reproduction.
 //!
 //! Each function builds the artifact behind one of the paper's exhibits;
-//! the `src/bin/*` regeneration binaries print them and the Criterion
+//! the `src/bin/*` regeneration binaries print them and the in-tree harness
 //! benches time them, so the two can never drift apart.
 
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod harness;
 pub mod report;

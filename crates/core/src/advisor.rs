@@ -7,8 +7,6 @@
 //! model, locate the density optimum, rank the cost levers by elasticity,
 //! and emit typed recommendations with the dollars each is worth.
 
-use serde::{Deserialize, Serialize};
-
 use nanocost_units::{DecompressionIndex, Dollars, UnitError};
 
 use crate::generalized::{DesignPoint, GeneralizedCostModel, GeneralizedReport};
@@ -17,7 +15,7 @@ use crate::sensitivity::{elasticities, Elasticity, SensitivityPoint};
 use crate::total::TotalCostModel;
 
 /// One typed recommendation, with its estimated per-transistor saving.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Recommendation {
     /// Move the density toward the located optimum.
     MoveDensity {
@@ -47,7 +45,7 @@ pub enum Recommendation {
 /// The advisor's full report for one design point. Serializable for
 /// archiving; reports are model outputs and are not meant to round-trip
 /// back in (no `Deserialize` — the elasticity labels are static strings).
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DfmReport {
     /// The generalized-model evaluation at the point.
     pub at_point: GeneralizedReport,
@@ -63,7 +61,7 @@ pub struct DfmReport {
 }
 
 /// The advisor configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DfmAdvisor {
     /// The substrate-backed cost model to advise against.
     pub model: GeneralizedCostModel,
@@ -74,18 +72,21 @@ pub struct DfmAdvisor {
 }
 
 impl DfmAdvisor {
-    /// An advisor over the default generalized model, searching
-    /// `s_d ∈ [105, 2500]` with a 2 % optimality tolerance.
+    /// An advisor over the default eq.-7 generalized model, searching
+    /// `s_d ∈ [105, 2500]` (spanning Figure 4's density axis) with a 2 %
+    /// optimality tolerance.
     #[must_use]
     pub fn nanometer_default() -> Self {
         DfmAdvisor {
             model: GeneralizedCostModel::nanometer_default(),
-            sd_bracket: (105.0, 2_500.0),
-            tolerance: 0.02,
+            sd_bracket: (105.0, 2_500.0), // nanocost-audit: allow(R3, reason = "paper-anchored default; the constructor parameters document each value")
+            tolerance: 0.02, // nanocost-audit: allow(R3, reason = "paper-anchored default; the constructor parameters document each value")
         }
     }
 
-    /// Produces the report for a design point.
+    /// Produces the report for a design point: an eq.-7 evaluation, the
+    /// Figure-4-style density optimum, and the eq.-4 elasticity ranking
+    /// behind §3's "all design variables … simultaneously" prescription.
     ///
     /// # Errors
     ///
@@ -112,7 +113,7 @@ impl DfmAdvisor {
             transistors_millions: point.transistors.millions(),
             volume: point.volume.count(),
             fab_yield: at_point.fab_yield.value(),
-            mask_cost: 200_000.0,
+            mask_cost: 200_000.0, // nanocost-audit: allow(R3, reason = "paper-anchored default; the constructor parameters document each value")
         };
         let ranked = elasticities(&TotalCostModel::paper_figure4(), &sens_point)
             .map_err(OptimizeError::Model)?;
@@ -126,9 +127,12 @@ impl DfmAdvisor {
                 saving,
             });
         }
+        /// Design share of total per-cm² cost above which amortization
+        /// advice fires: past 40 % the NRE term dominates eq. 4's balance.
+        const DESIGN_SHARE_ALERT: f64 = 0.4;
         let design_share = at_point.cd_sq.dollars_per_cm2()
             / (at_point.cd_sq.dollars_per_cm2() + at_point.cm_sq.dollars_per_cm2());
-        if design_share > 0.4 {
+        if design_share > DESIGN_SHARE_ALERT {
             recommendations.push(Recommendation::AmortizeDesignCost { design_share });
         }
         if at_point.fab_yield.value() < 0.5 {
@@ -150,7 +154,8 @@ impl DfmAdvisor {
 }
 
 impl DfmReport {
-    /// Renders the report as human-readable text.
+    /// Renders the report as human-readable text — §3's prescriptions as
+    /// prose, one line per recommendation.
     #[must_use]
     pub fn to_text(&self) -> String {
         let mut out = String::new();
@@ -192,7 +197,8 @@ impl DfmReport {
 }
 
 /// A convenience wrapper: advise at a raw `(λ µm, s_d, Mtr, wafers)`
-/// tuple.
+/// tuple, in the paper's own units (λ in µm as in Table A1, `s_d` in
+/// λ²-squares per transistor as defined by eq. 2).
 ///
 /// # Errors
 ///
@@ -200,7 +206,7 @@ impl DfmReport {
 pub fn advise_raw(
     advisor: &DfmAdvisor,
     lambda_um: f64,
-    sd: f64,
+    sd: f64, // nanocost-audit: allow(R4, reason = "deliberately raw FFI-style entry point; validates and wraps into newtypes immediately below")
     transistors_millions: f64,
     volume: u64,
 ) -> Result<DfmReport, OptimizeError> {
@@ -208,7 +214,7 @@ pub fn advise_raw(
         lambda: nanocost_units::FeatureSize::from_microns(lambda_um)
             .map_err(OptimizeError::Model)?,
         sd: DecompressionIndex::new(sd).map_err(OptimizeError::Model)?,
-        transistors: nanocost_units::TransistorCount::new(transistors_millions * 1.0e6)
+        transistors: nanocost_units::TransistorCount::new(transistors_millions * 1.0e6) // nanocost-audit: allow(R3, reason = "millions-to-units conversion factor")
             .map_err(|e: UnitError| OptimizeError::Model(e))?,
         volume: nanocost_units::WaferCount::new(volume).map_err(OptimizeError::Model)?,
     };

@@ -13,8 +13,6 @@
 //! the omission the paper flags as easily included — is optional and
 //! additive.
 
-use serde::{Deserialize, Serialize};
-
 use nanocost_fab::{MaskCostModel, TestCostModel, WaferCostModel, WaferSpec};
 use nanocost_flow::DesignEffortModel;
 use nanocost_units::{
@@ -27,7 +25,7 @@ use crate::total::design_cost_per_cm2;
 
 /// A design point: the four arguments of eq. 7 the designer controls or
 /// commits to.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DesignPoint {
     /// Process node λ.
     pub lambda: FeatureSize,
@@ -40,7 +38,7 @@ pub struct DesignPoint {
 }
 
 /// Full evaluation of eq. 7 at a design point.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GeneralizedReport {
     /// Substrate-derived manufacturing cost density `Cm_sq`.
     pub cm_sq: CostPerArea,
@@ -60,7 +58,7 @@ pub struct GeneralizedReport {
 }
 
 /// The eq.-7 model with pluggable substrates.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GeneralizedCostModel {
     wafer: WaferSpec,
     wafer_cost: WaferCostModel,
@@ -72,7 +70,9 @@ pub struct GeneralizedCostModel {
 }
 
 impl GeneralizedCostModel {
-    /// Creates a model from its substrates.
+    /// Creates an eq.-7 model from its substrates — the wafer, wafer-cost,
+    /// mask, design-effort, and yield-surface terms the equation
+    /// parameterizes.
     #[must_use]
     pub fn new(
         wafer: WaferSpec,
@@ -92,8 +92,9 @@ impl GeneralizedCostModel {
         }
     }
 
-    /// A fully defaulted late-1990s model: 200 mm wafers, default wafer /
-    /// mask / effort / yield substrates, no test cost, full utilization.
+    /// A fully defaulted late-1990s eq.-7 model: 200 mm wafers, default
+    /// wafer / mask / effort / yield substrates, no test cost, full
+    /// utilization.
     #[must_use]
     pub fn nanometer_default() -> Self {
         GeneralizedCostModel::new(
@@ -105,7 +106,8 @@ impl GeneralizedCostModel {
         )
     }
 
-    /// Adds a cost-of-test model (builder style).
+    /// Adds a cost-of-test model (builder style) — the paper's §2.4
+    /// test-cost concern folded into the eq.-7 evaluation.
     #[must_use]
     pub fn with_test(mut self, test: TestCostModel) -> Self {
         self.test = Some(test);
@@ -120,7 +122,7 @@ impl GeneralizedCostModel {
         self
     }
 
-    /// The wafer the model fabricates on.
+    /// The wafer the model fabricates on — the source of eq. 7's `A_w`.
     #[must_use]
     pub fn wafer(&self) -> WaferSpec {
         self.wafer

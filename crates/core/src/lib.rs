@@ -65,35 +65,42 @@ pub use tradeoff::{tradeoff_sweep, verdict, TradeoffPoint, TradeoffVerdict};
 
 #[cfg(test)]
 mod proptests {
+    //! Randomized property checks driven by the in-tree [`Rng64`] stream so
+    //! the suite runs fully offline (the external `proptest` crate is gone).
+
     use super::*;
+    use nanocost_numeric::Rng64;
     use nanocost_units::{
         DecompressionIndex, Dollars, FeatureSize, TransistorCount, WaferCount, Yield,
     };
-    use proptest::prelude::*;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
+    const CASES: usize = 64;
 
-        #[test]
-        fn eq3_cost_positive_and_scale_covariant(
-            um in 0.03f64..1.5, s in 10.0f64..2000.0
-        ) {
+    #[test]
+    fn eq3_cost_positive_and_scale_covariant() {
+        let mut r = Rng64::seed_from_u64(0x51);
+        for _ in 0..CASES {
+            let um = r.random_range(0.03f64..1.5);
+            let s = r.random_range(10.0f64..2000.0);
             let m = ManufacturingCostModel::paper_anchor();
             let lambda = FeatureSize::from_microns(um).unwrap();
             let sd = DecompressionIndex::new(s).unwrap();
             let c = m.transistor_cost(lambda, sd).amount();
-            prop_assert!(c > 0.0);
+            assert!(c > 0.0);
             // Shrinking λ by x scales cost by x².
             let shrunk = m
                 .transistor_cost(FeatureSize::from_microns(um * 0.5).unwrap(), sd)
                 .amount();
-            prop_assert!((c / shrunk - 4.0).abs() < 1e-6);
+            assert!((c / shrunk - 4.0).abs() < 1e-6);
         }
+    }
 
-        #[test]
-        fn eq4_total_always_exceeds_its_manufacturing_share(
-            s in 110.0f64..2000.0, v in 1000u64..1_000_000
-        ) {
+    #[test]
+    fn eq4_total_always_exceeds_its_manufacturing_share() {
+        let mut r = Rng64::seed_from_u64(0x52);
+        for _ in 0..CASES {
+            let s = r.random_range(110.0f64..2000.0);
+            let v = r.random_range(1000u64..1_000_000);
             let m = TotalCostModel::paper_figure4();
             let b = m
                 .transistor_cost(
@@ -105,15 +112,19 @@ mod proptests {
                     Dollars::new(200_000.0),
                 )
                 .unwrap();
-            prop_assert!(b.total().amount() > b.manufacturing.amount());
-            prop_assert!(b.design.amount() > 0.0);
-            prop_assert!((0.0..=1.0).contains(&b.design_fraction()));
+            assert!(b.total().amount() > b.manufacturing.amount());
+            assert!(b.design.amount() > 0.0);
+            assert!((0.0..=1.0).contains(&b.design_fraction()));
         }
+    }
 
-        #[test]
-        fn eq4_cost_monotone_decreasing_in_volume(
-            s in 110.0f64..2000.0, v in 1000u64..500_000, extra in 1000u64..500_000
-        ) {
+    #[test]
+    fn eq4_cost_monotone_decreasing_in_volume() {
+        let mut r = Rng64::seed_from_u64(0x53);
+        for _ in 0..CASES {
+            let s = r.random_range(110.0f64..2000.0);
+            let v = r.random_range(1000u64..500_000);
+            let extra = r.random_range(1000u64..500_000);
             let m = TotalCostModel::paper_figure4();
             let cost = |vol: u64| {
                 m.transistor_cost(
@@ -128,16 +139,20 @@ mod proptests {
                 .total()
                 .amount()
             };
-            prop_assert!(cost(v + extra) <= cost(v) + 1e-18);
+            assert!(cost(v + extra) <= cost(v) + 1e-18);
         }
+    }
 
-        #[test]
-        fn eq7_report_valid_over_wide_domain(
-            um in 0.05f64..0.5, s in 110.0f64..1500.0,
-            m in 1.0f64..100.0, v in 1000u64..300_000
-        ) {
+    #[test]
+    fn eq7_report_valid_over_wide_domain() {
+        let mut r = Rng64::seed_from_u64(0x54);
+        for _ in 0..CASES {
+            let um = r.random_range(0.05f64..0.5);
+            let s = r.random_range(110.0f64..1500.0);
+            let m = r.random_range(1.0f64..100.0);
+            let v = r.random_range(1000u64..300_000);
             let model = GeneralizedCostModel::nanometer_default();
-            let r = model
+            let report = model
                 .evaluate(DesignPoint {
                     lambda: FeatureSize::from_microns(um).unwrap(),
                     sd: DecompressionIndex::new(s).unwrap(),
@@ -145,14 +160,19 @@ mod proptests {
                     volume: WaferCount::new(v).unwrap(),
                 })
                 .unwrap();
-            prop_assert!(r.transistor_cost.amount() > 0.0);
-            prop_assert!(r.fab_yield.value() > 0.0 && r.fab_yield.value() <= 1.0);
-            prop_assert!(r.cm_sq.dollars_per_cm2() > 0.0);
-            prop_assert!(r.cd_sq.dollars_per_cm2() > 0.0);
+            assert!(report.transistor_cost.amount() > 0.0);
+            assert!(report.fab_yield.value() > 0.0 && report.fab_yield.value() <= 1.0);
+            assert!(report.cm_sq.dollars_per_cm2() > 0.0);
+            assert!(report.cd_sq.dollars_per_cm2() > 0.0);
         }
+    }
 
-        #[test]
-        fn optimum_within_bracket(v in 2_000u64..200_000, y in 0.3f64..0.95) {
+    #[test]
+    fn optimum_within_bracket() {
+        let mut r = Rng64::seed_from_u64(0x55);
+        for _ in 0..CASES {
+            let v = r.random_range(2_000u64..200_000);
+            let y = r.random_range(0.3f64..0.95);
             let m = TotalCostModel::paper_figure4();
             let opt = optimal_sd_total(
                 &m,
@@ -165,8 +185,8 @@ mod proptests {
                 2_000.0,
             )
             .unwrap();
-            prop_assert!(opt.sd >= 105.0 && opt.sd <= 2_000.0);
-            prop_assert!(opt.cost.amount() > 0.0);
+            assert!(opt.sd >= 105.0 && opt.sd <= 2_000.0);
+            assert!(opt.cost.amount() > 0.0);
         }
     }
 }

@@ -9,8 +9,6 @@
 //! volume↔yield fixed point per candidate, and finds the cost-minimizing
 //! process with its own density optimum per node.
 
-use serde::{Deserialize, Serialize};
-
 use nanocost_fab::standard_nodes;
 use nanocost_numeric::refine_min;
 use nanocost_units::{
@@ -21,7 +19,7 @@ use crate::generalized::{DesignPoint, GeneralizedCostModel};
 use crate::optimize::OptimizeError;
 
 /// One node's evaluation in a node-selection sweep.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NodeChoice {
     /// Node name from the standard ladder.
     pub node: String,
@@ -54,28 +52,39 @@ fn evaluate_at(
         });
     }
     // Fixed point: start from an optimistic yield, iterate a few times.
-    let mut y = 0.6;
-    let mut volume = WaferCount::new(1).expect("one is valid");
-    let mut report = None;
-    for _ in 0..4 {
+    // The first round is peeled off the loop so the final report is a plain
+    // binding rather than an `Option` that must be unwrapped afterwards.
+    /// Starting yield guess for the volume↔yield fixed point; any value in
+    /// (0, 1] converges in the four damped iterations below.
+    const INITIAL_YIELD_GUESS: f64 = 0.6;
+    let mut y = INITIAL_YIELD_GUESS;
+    let wafers = (demand_units / (dice.as_f64() * y)).ceil().max(1.0) as u64;
+    let mut volume = WaferCount::new(wafers)?;
+    let mut r = model.evaluate(DesignPoint {
+        lambda,
+        sd,
+        transistors,
+        volume,
+    })?;
+    for _ in 0..3 {
+        y = r.effective_yield.value();
         let wafers = (demand_units / (dice.as_f64() * y)).ceil().max(1.0) as u64;
-        volume = WaferCount::new(wafers).expect("at least one");
-        let r = model.evaluate(DesignPoint {
+        volume = WaferCount::new(wafers)?;
+        r = model.evaluate(DesignPoint {
             lambda,
             sd,
             transistors,
             volume,
         })?;
-        y = r.effective_yield.value();
-        report = Some(r);
     }
-    let r = report.expect("loop ran");
     Ok((r.die_cost, volume.count()))
 }
 
 /// Sweeps the standard node ladder (restricted to `lambda_um_range`) for a
 /// product with fixed `demand_units`, and returns every feasible node's
-/// optimal-density result, cheapest first.
+/// optimal-density result, cheapest first. Each node is scored by its
+/// eq.-7 cost at its own Figure-4-style density optimum, so NRE and
+/// volume-dependent yield drive the ranking.
 ///
 /// # Errors
 ///
@@ -132,16 +141,13 @@ pub fn node_sweep(
             die_cost,
         });
     }
-    out.sort_by(|a, b| {
-        a.die_cost
-            .amount()
-            .partial_cmp(&b.die_cost.amount())
-            .expect("costs are finite")
-    });
+    out.sort_by(|a, b| a.die_cost.amount().total_cmp(&b.die_cost.amount()));
     Ok(out)
 }
 
-/// The cheapest node for a design, if any candidate fits.
+/// The cheapest node for a design, if any candidate fits — the
+/// high-cost-era decision of §2.2 (mask and design NRE make the newest
+/// node a high-volume privilege).
 ///
 /// # Errors
 ///

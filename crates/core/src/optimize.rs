@@ -5,8 +5,6 @@
 //! routines search the density axis of eq. 4 and eq. 7 for the optimum and
 //! map how it moves with volume and yield.
 
-use serde::{Deserialize, Serialize};
-
 use nanocost_numeric::{refine_min, NumericError};
 use nanocost_units::{
     DecompressionIndex, Dollars, FeatureSize, TransistorCount, UnitError, WaferCount, Yield,
@@ -16,7 +14,7 @@ use crate::generalized::{DesignPoint, GeneralizedCostModel};
 use crate::total::TotalCostModel;
 
 /// A located cost optimum on the density axis.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DensityOptimum {
     /// The optimal decompression index `s_d*`.
     pub sd: f64,
@@ -87,16 +85,11 @@ pub fn optimal_sd_total(
         mask_cost,
     )?;
     let objective = |s: f64| {
-        model
-            .transistor_cost(
-                lambda,
-                DecompressionIndex::new(s).expect("bracket is positive"),
-                transistors,
-                volume,
-                fab_yield,
-                mask_cost,
-            )
-            .map_or(f64::INFINITY, |b| b.total().amount())
+        DecompressionIndex::new(s).map_or(f64::INFINITY, |sd| {
+            model
+                .transistor_cost(lambda, sd, transistors, volume, fab_yield, mask_cost)
+                .map_or(f64::INFINITY, |b| b.total().amount())
+        })
     };
     let m = refine_min(sd_lo, sd_hi, GRID_SAMPLES, TOL, objective)?;
     Ok(DensityOptimum {
@@ -126,14 +119,16 @@ pub fn optimal_sd_generalized(
         volume,
     })?;
     let objective = |s: f64| {
-        model
-            .evaluate(DesignPoint {
-                lambda,
-                sd: DecompressionIndex::new(s).expect("bracket is positive"),
-                transistors,
-                volume,
-            })
-            .map_or(f64::INFINITY, |r| r.transistor_cost.amount())
+        DecompressionIndex::new(s).map_or(f64::INFINITY, |sd| {
+            model
+                .evaluate(DesignPoint {
+                    lambda,
+                    sd,
+                    transistors,
+                    volume,
+                })
+                .map_or(f64::INFINITY, |r| r.transistor_cost.amount())
+        })
     };
     let m = refine_min(sd_lo, sd_hi, GRID_SAMPLES, TOL, objective)?;
     Ok(DensityOptimum {
@@ -143,7 +138,7 @@ pub fn optimal_sd_generalized(
 }
 
 /// One cell of the volume × yield optimum surface.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OptimumCell {
     /// Production volume.
     pub volume: u64,

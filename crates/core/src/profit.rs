@@ -9,8 +9,6 @@
 //! quantifying the "modern-design-mentality" the paper criticizes and
 //! showing it is economically rational under fast price erosion.
 
-use serde::{Deserialize, Serialize};
-
 use nanocost_fab::{MaskCostModel, WaferSpec};
 use nanocost_flow::{ClosureSimulator, DesignSchedule, DesignTeamModel, MarketModel};
 use nanocost_numeric::{refine_min, McConfig};
@@ -21,7 +19,7 @@ use nanocost_units::{
 use crate::optimize::OptimizeError;
 
 /// One profit evaluation at a density point.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProfitReport {
     /// Density evaluated.
     pub sd: f64,
@@ -42,7 +40,7 @@ pub struct ProfitReport {
 }
 
 /// The profit model: eq.-4 economics plus a calendar and a market.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProfitModel {
     /// Wafer geometry (die count and `A_w`).
     pub wafer: WaferSpec,
@@ -63,12 +61,14 @@ pub struct ProfitModel {
 }
 
 impl ProfitModel {
-    /// A competitive-MPU default built from every substrate's defaults.
+    /// A competitive-MPU default built from every substrate's defaults —
+    /// the fast-eroding market regime behind the paper's §2.2.2
+    /// time-to-market observation.
     #[must_use]
     pub fn competitive_default() -> Self {
         ProfitModel {
             wafer: WaferSpec::standard_200mm(),
-            manufacturing_per_cm2: CostPerArea::per_cm2(8.0),
+            manufacturing_per_cm2: CostPerArea::per_cm2(8.0), // nanocost-audit: allow(R3, reason = "paper-anchored default; the constructor parameters document each value")
             masks: MaskCostModel::default(),
             closure: ClosureSimulator::nanometer_default(),
             team: DesignTeamModel::nanometer_default(),
@@ -81,7 +81,8 @@ impl ProfitModel {
         }
     }
 
-    /// Same economics in a slow market (weak time pressure).
+    /// Same economics in a slow market (weak time pressure) — the control
+    /// case against which §2.2.2's density-worsening trend is measured.
     #[must_use]
     pub fn slow_market_default() -> Self {
         ProfitModel {
@@ -93,8 +94,9 @@ impl ProfitModel {
     /// Evaluates the full profit pipeline at one density, for a product
     /// whose market demand is `demand_units` good parts: the fab runs just
     /// enough wafers to meet demand, so density buys *fewer wafers* (lower
-    /// silicon cost) while its extra iterations delay entry (lower price
-    /// on every unit sold).
+    /// silicon cost, per eq. 4's amortization term) while its extra
+    /// iterations delay entry (lower price on every unit sold — the
+    /// §2.2.2 time-to-market penalty).
     ///
     /// # Errors
     ///
@@ -153,7 +155,8 @@ impl ProfitModel {
         })
     }
 
-    /// Finds the profit-maximizing density on `[sd_lo, sd_hi]`.
+    /// Finds the profit-maximizing density on `[sd_lo, sd_hi]` — the
+    /// profit analogue of Figure 4's cost-optimal `s_d`.
     ///
     /// # Errors
     ///
@@ -178,14 +181,10 @@ impl ProfitModel {
             fab_yield,
         )?;
         let objective = |s: f64| {
-            self.evaluate(
-                lambda,
-                DecompressionIndex::new(s).expect("bracket is positive"),
-                transistors,
-                demand_units,
-                fab_yield,
-            )
-            .map_or(f64::INFINITY, |r| -r.profit.amount())
+            DecompressionIndex::new(s).map_or(f64::INFINITY, |sd| {
+                self.evaluate(lambda, sd, transistors, demand_units, fab_yield)
+                    .map_or(f64::INFINITY, |r| -r.profit.amount())
+            })
         };
         // The MC iteration estimate makes the objective mildly noisy; a
         // denser grid with a coarse polish is the robust choice.
@@ -200,9 +199,9 @@ impl ProfitModel {
     }
 
     /// Finds the *cost*-minimizing density with the same engine — the
-    /// yardstick against which the profit optimum's sparseness is
-    /// measured (profit adds a revenue term that always rewards shipping
-    /// earlier, i.e. sparser).
+    /// Figure-4 yardstick against which the profit optimum's sparseness
+    /// is measured (profit adds a revenue term that always rewards
+    /// shipping earlier, i.e. sparser).
     ///
     /// # Errors
     ///
@@ -225,14 +224,10 @@ impl ProfitModel {
             fab_yield,
         )?;
         let objective = |s: f64| {
-            self.evaluate(
-                lambda,
-                DecompressionIndex::new(s).expect("bracket is positive"),
-                transistors,
-                demand_units,
-                fab_yield,
-            )
-            .map_or(f64::INFINITY, |r| r.total_cost.amount())
+            DecompressionIndex::new(s).map_or(f64::INFINITY, |sd| {
+                self.evaluate(lambda, sd, transistors, demand_units, fab_yield)
+                    .map_or(f64::INFINITY, |r| r.total_cost.amount())
+            })
         };
         let m = refine_min(sd_lo, sd_hi, 96, 0.5, objective)?;
         Ok(self.evaluate(

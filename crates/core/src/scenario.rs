@@ -5,8 +5,6 @@
 //! (a) `N_w = 5 000`, `Y = 0.4`; (b) `N_w = 50 000`, `Y = 0.9` — each
 //! plotted over `s_d` for a few process nodes.
 
-use serde::{Deserialize, Serialize};
-
 use nanocost_fab::MaskCostModel;
 use nanocost_numeric::{Chart, NumericError, Series};
 use nanocost_units::{
@@ -17,7 +15,7 @@ use crate::optimize::{optimal_sd_total, DensityOptimum, OptimizeError};
 use crate::total::TotalCostModel;
 
 /// One Figure-4 panel configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Figure4Scenario {
     /// Panel label (`"4a"` / `"4b"`).
     pub label: &'static str,
@@ -36,8 +34,8 @@ pub struct Figure4Scenario {
 }
 
 impl Figure4Scenario {
-    /// Panel (a): 5 000 wafers at 40 % yield — a low-volume, early-process
-    /// product.
+    /// Figure 4(a): 5 000 wafers at 40 % yield — a low-volume,
+    /// early-process product, with the §3.1 parameters.
     ///
     /// # Panics
     ///
@@ -47,7 +45,9 @@ impl Figure4Scenario {
         Figure4Scenario {
             label: "4a",
             transistors: TransistorCount::from_millions(10.0),
+            // nanocost-audit: allow(R1, reason = "documented panic contract; Figure 4(a) constants are statically valid")
             volume: WaferCount::new(5_000).expect("constant is valid"),
+            // nanocost-audit: allow(R1, reason = "documented panic contract; Figure 4(a) constants are statically valid")
             fab_yield: Yield::new(0.4).expect("constant is valid"),
             lambdas_um: vec![0.25, 0.18, 0.13],
             sd_range: (110.0, 1_500.0),
@@ -55,8 +55,8 @@ impl Figure4Scenario {
         }
     }
 
-    /// Panel (b): 50 000 wafers at 90 % yield — a high-volume, mature
-    /// product.
+    /// Figure 4(b): 50 000 wafers at 90 % yield — a high-volume, mature
+    /// product, otherwise sharing panel (a)'s §3.1 parameters.
     ///
     /// # Panics
     ///
@@ -64,7 +64,9 @@ impl Figure4Scenario {
     #[must_use]
     pub fn paper_4b() -> Self {
         Figure4Scenario {
+            // nanocost-audit: allow(R1, reason = "documented panic contract; Figure 4(b) constants are statically valid")
             volume: WaferCount::new(50_000).expect("constant is valid"),
+            // nanocost-audit: allow(R1, reason = "documented panic contract; Figure 4(b) constants are statically valid")
             fab_yield: Yield::new(0.9).expect("constant is valid"),
             label: "4b",
             ..Figure4Scenario::paper_4a()
@@ -103,7 +105,8 @@ impl Figure4Scenario {
         Ok(Series::new(format!("λ={lambda_um}µm"), pts)?)
     }
 
-    /// Builds the full panel: one curve per node, as a [`Chart`].
+    /// Builds the full Figure-4 panel: one `C_tr(s_d)` curve per node, as
+    /// a [`Chart`].
     ///
     /// # Errors
     ///
@@ -127,7 +130,8 @@ impl Figure4Scenario {
         Ok(chart)
     }
 
-    /// Locates the optimum for one node.
+    /// Locates the optimum for one node — the cost-minimizing `s_d` that
+    /// Figure 4 shows shifting with volume and yield.
     ///
     /// # Errors
     ///

@@ -6,8 +6,6 @@
 //! the tornado summary shows the ranking flip between low-volume
 //! (design-dominated) and high-volume (silicon-dominated) products.
 
-use serde::{Deserialize, Serialize};
-
 use nanocost_units::{
     DecompressionIndex, Dollars, FeatureSize, TransistorCount, UnitError, WaferCount, Yield,
 };
@@ -15,7 +13,7 @@ use nanocost_units::{
 use crate::total::TotalCostModel;
 
 /// The design point around which sensitivities are taken.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SensitivityPoint {
     /// Process node λ, microns.
     pub lambda_um: f64,
@@ -32,7 +30,7 @@ pub struct SensitivityPoint {
 }
 
 /// One parameter's elasticity at the point.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Elasticity {
     /// Parameter name.
     pub parameter: &'static str,
@@ -46,15 +44,16 @@ fn cost_at(model: &TotalCostModel, p: &SensitivityPoint) -> Result<f64, UnitErro
         FeatureSize::from_microns(p.lambda_um)?,
         DecompressionIndex::new(p.sd)?,
         TransistorCount::from_millions(p.transistors_millions),
-        WaferCount::new(p.volume.max(1)).expect("clamped to >= 1"),
+        WaferCount::new(p.volume.max(1))?,
         Yield::new(p.fab_yield)?,
         Dollars::new(p.mask_cost),
     )?;
     Ok(b.total().amount())
 }
 
-/// Computes the elasticity of `C_tr` with respect to each continuous
-/// parameter of the point, by central differences with a ±2 % bump.
+/// Computes the elasticity of eq. 4's `C_tr` with respect to each
+/// continuous parameter of the point, by central differences with a
+/// ±2 % bump.
 ///
 /// # Errors
 ///
@@ -90,12 +89,7 @@ pub fn elasticities(
         });
     }
     // Most influential first.
-    out.sort_by(|a, b| {
-        b.value
-            .abs()
-            .partial_cmp(&a.value.abs())
-            .expect("elasticities are finite")
-    });
+    out.sort_by(|a, b| b.value.abs().total_cmp(&a.value.abs()));
     Ok(out)
 }
 

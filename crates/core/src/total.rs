@@ -10,8 +10,6 @@
 //! density commensurable with manufacturing cost. High-volume products
 //! make `Cd_sq → 0` and recover eq. 3.
 
-use serde::{Deserialize, Serialize};
-
 use nanocost_flow::DesignEffortModel;
 use nanocost_units::{
     Area, CostPerArea, DecompressionIndex, Dollars, FeatureSize, TransistorCount, UnitError,
@@ -19,7 +17,7 @@ use nanocost_units::{
 };
 
 /// The per-transistor cost split of eq. 4.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostBreakdown {
     /// Manufacturing share `λ²·s_d·Cm_sq/Y`.
     pub manufacturing: Dollars,
@@ -30,13 +28,15 @@ pub struct CostBreakdown {
 }
 
 impl CostBreakdown {
-    /// Total cost per functioning transistor.
+    /// Total cost per functioning transistor — eq. 4's `C_tr`, the sum of
+    /// its manufacturing and design terms.
     #[must_use]
     pub fn total(&self) -> Dollars {
         self.manufacturing + self.design
     }
 
-    /// The design share of the total, in `[0, 1]`.
+    /// The design share of the total, in `[0, 1]` — how much of eq. 4's
+    /// `C_tr` the `Cd_sq` term contributes.
     #[must_use]
     pub fn design_fraction(&self) -> f64 {
         self.design.amount() / self.total().amount()
@@ -74,7 +74,7 @@ pub fn design_cost_per_cm2(
 /// assert!(breakdown.total().amount() > 0.0);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TotalCostModel {
     /// Manufacturing cost per cm² `Cm_sq`.
     pub manufacturing_per_cm2: CostPerArea,
@@ -85,7 +85,8 @@ pub struct TotalCostModel {
 }
 
 impl TotalCostModel {
-    /// Creates the model.
+    /// Creates the eq.-4 model from its `Cm_sq`, `A_w`, and eq.-6 effort
+    /// terms.
     #[must_use]
     pub fn new(
         manufacturing_per_cm2: CostPerArea,
@@ -104,7 +105,7 @@ impl TotalCostModel {
     #[must_use]
     pub fn paper_figure4() -> Self {
         TotalCostModel::new(
-            CostPerArea::per_cm2(8.0),
+            CostPerArea::per_cm2(8.0), // nanocost-audit: allow(R3, reason = "paper-anchored default; the constructor parameters document each value")
             Area::from_cm2(std::f64::consts::PI * 100.0),
             DesignEffortModel::paper_defaults(),
         )

@@ -8,8 +8,6 @@
 //! the density axis, using the eq.-7 model so yield genuinely responds to
 //! `s_d`.
 
-use serde::{Deserialize, Serialize};
-
 use nanocost_units::{
     DecompressionIndex, FeatureSize, TransistorCount, UnitError, WaferCount,
 };
@@ -17,7 +15,7 @@ use nanocost_units::{
 use crate::generalized::{DesignPoint, GeneralizedCostModel};
 
 /// One sample of the tradeoff sweep.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TradeoffPoint {
     /// Density.
     pub sd: f64,
@@ -29,7 +27,8 @@ pub struct TradeoffPoint {
     pub cost: f64,
 }
 
-/// Sweeps the tradeoff for a design on the generalized model.
+/// Sweeps the die-size/yield/cost tradeoff for a design on the eq.-7
+/// generalized model, over the density axis.
 ///
 /// # Errors
 ///
@@ -66,7 +65,7 @@ pub fn tradeoff_sweep(
 }
 
 /// Summary verdict of a sweep: where the three candidate objectives point.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TradeoffVerdict {
     /// `s_d` minimizing die area (always the sweep's lower edge).
     pub smallest_die_sd: f64,
@@ -76,7 +75,9 @@ pub struct TradeoffVerdict {
     pub min_cost_sd: f64,
 }
 
-/// Extracts the verdict from a sweep.
+/// Extracts the verdict from a sweep: §3.1's conclusion that neither the
+/// smallest die nor the maximum yield minimizes cost — the three
+/// objectives point at three different densities.
 ///
 /// # Panics
 ///
@@ -84,18 +85,22 @@ pub struct TradeoffVerdict {
 #[must_use]
 pub fn verdict(points: &[TradeoffPoint]) -> TradeoffVerdict {
     assert!(!points.is_empty(), "tradeoff sweep must be non-empty");
-    let smallest_die = points
-        .iter()
-        .min_by(|a, b| a.die_cm2.partial_cmp(&b.die_cm2).expect("finite"))
-        .expect("non-empty");
-    let best_yield = points
-        .iter()
-        .max_by(|a, b| a.fab_yield.partial_cmp(&b.fab_yield).expect("finite"))
-        .expect("non-empty");
-    let min_cost = points
-        .iter()
-        .min_by(|a, b| a.cost.partial_cmp(&b.cost).expect("finite"))
-        .expect("non-empty");
+    // A single scan replaces three `min_by`/`max_by` + `expect` chains; the
+    // `<=`/`>=` comparisons preserve their last-of-ties selection.
+    let mut smallest_die = &points[0];
+    let mut best_yield = &points[0];
+    let mut min_cost = &points[0];
+    for p in points.iter().skip(1) {
+        if p.die_cm2.total_cmp(&smallest_die.die_cm2).is_le() {
+            smallest_die = p;
+        }
+        if p.fab_yield.total_cmp(&best_yield.fab_yield).is_ge() {
+            best_yield = p;
+        }
+        if p.cost.total_cmp(&min_cost.cost).is_le() {
+            min_cost = p;
+        }
+    }
     TradeoffVerdict {
         smallest_die_sd: smallest_die.sd,
         best_yield_sd: best_yield.sd,

@@ -47,27 +47,29 @@ pub use taxonomy::{DeviceClass, Vendor};
 
 #[cfg(test)]
 mod proptests {
-    use super::*;
-    use proptest::prelude::*;
+    //! Exhaustive row-by-row checks (formerly randomized via `proptest`,
+    //! which is gone for offline builds — sweeping all rows is stronger).
 
-    proptest! {
-        #[test]
-        fn effective_sd_scales_inversely_with_assumed_density(idx in 0usize..49) {
-            // Doubling a record's transistor count at fixed area halves its
-            // whole-die s_d — the eq.-2 linearity, exercised on real rows.
-            let rows = table_a1();
-            let r = &rows[idx];
+    use super::*;
+
+    #[test]
+    fn effective_sd_scales_inversely_with_assumed_density() {
+        // Doubling a record's transistor count at fixed area halves its
+        // whole-die s_d — the eq.-2 linearity, exercised on real rows.
+        let rows = table_a1();
+        for r in rows.iter().take(49) {
             let base = r.computed_sd_total().squares();
             let mut doubled = r.clone();
             doubled.total_mtr *= 2.0;
             let halved = doubled.computed_sd_total().squares();
-            prop_assert!((halved * 2.0 - base).abs() < base * 1e-9);
+            assert!((halved * 2.0 - base).abs() < base * 1e-9);
         }
+    }
 
-        #[test]
-        fn effective_sd_positive_for_all_rows(idx in 0usize..49) {
-            let rows = table_a1();
-            prop_assert!(rows[idx].effective_sd_logic().squares() > 0.0);
+    #[test]
+    fn effective_sd_positive_for_all_rows() {
+        for row in table_a1().iter().take(49) {
+            assert!(row.effective_sd_logic().squares() > 0.0);
         }
     }
 }

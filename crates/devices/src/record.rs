@@ -1,7 +1,5 @@
 //! Device records: one published industrial design per record.
 
-use serde::{Deserialize, Serialize};
-
 use nanocost_units::{
     Area, DecompressionIndex, FeatureSize, TransistorCount, UnitError,
 };
@@ -16,7 +14,7 @@ use crate::taxonomy::DeviceClass;
 /// The `published_*` fields carry the paper's printed numbers verbatim;
 /// [`DeviceRecord::computed_sd_logic`] and friends recompute them from the
 /// raw columns so the dataset is self-checking.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceRecord {
     /// Row number in Table A1 (1-based).
     pub id: u32,
@@ -100,7 +98,7 @@ impl DeviceRecord {
         DecompressionIndex::from_layout(
             self.die_area(),
             self.transistors(),
-            FeatureSize::from_microns(self.feature_um).expect("dataset is validated"),
+            FeatureSize::from_microns(self.feature_um).expect("dataset is validated"), // nanocost-audit: allow(R1, reason = "documented invariant: dataset is validated")
         )
     }
 

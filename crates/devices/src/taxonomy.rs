@@ -2,10 +2,8 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Broad device class, following the paper's "type of device" column.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DeviceClass {
     /// General-purpose microprocessors (x86, RISC, mainframe).
     Cpu,
@@ -53,7 +51,7 @@ impl fmt::Display for DeviceClass {
 
 /// Vendor attribution for the microprocessor rows, used by the Figure-1
 /// market-position analysis (the paper's Intel-vs-AMD narrative).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Vendor {
     /// Intel x86 parts (Pentium family).
     Intel,

@@ -6,8 +6,6 @@
 //! (a 0.7× linear shrink). This module models capex as a power law in λ and
 //! amortizes it over the line's wafer output.
 
-use serde::{Deserialize, Serialize};
-
 use nanocost_units::{Dollars, FeatureSize, UnitError};
 
 /// Capital cost model for a wafer fabrication line.
@@ -30,7 +28,7 @@ use nanocost_units::{Dollars, FeatureSize, UnitError};
 /// assert!((at_175.amount() / at_250.amount() - 2.0).abs() < 0.05);
 /// # Ok::<(), nanocost_units::UnitError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FablineModel {
     reference_capex: Dollars,
     reference_lambda_um: f64,
@@ -128,13 +126,13 @@ impl Default for FablineModel {
     fn default() -> Self {
         FablineModel::new(
             Dollars::from_billions(1.5),
-            FeatureSize::from_microns(0.25).expect("constant is valid"),
+            FeatureSize::from_microns(0.25).expect("constant is valid"), // nanocost-audit: allow(R1, reason = "documented invariant: constant is valid")
             FablineModel::moores_second_law_exponent(),
             5.0,
             25_000.0,
             0.85,
         )
-        .expect("constants are valid")
+        .expect("constants are valid") // nanocost-audit: allow(R1, reason = "documented invariant: constants are valid")
     }
 }
 

@@ -58,58 +58,78 @@ pub use wafer_cost::{WaferCostBreakdown, WaferCostModel};
 
 #[cfg(test)]
 mod proptests {
-    use super::*;
-    use nanocost_units::{Area, FeatureSize, WaferCount};
-    use proptest::prelude::*;
+    //! Randomized property checks driven by the in-tree [`Rng64`] stream so
+    //! the suite runs fully offline (the external `proptest` crate is gone).
 
-    proptest! {
-        #[test]
-        fn gross_dice_monotone_in_die_area(
-            a in 0.1f64..5.0, extra in 0.05f64..5.0
-        ) {
+    use super::*;
+    use nanocost_numeric::Rng64;
+    use nanocost_units::{Area, FeatureSize, WaferCount};
+
+    const CASES: usize = 256;
+
+    #[test]
+    fn gross_dice_monotone_in_die_area() {
+        let mut r = Rng64::seed_from_u64(0x11);
+        for _ in 0..CASES {
+            let a = r.random_range(0.1f64..5.0);
+            let extra = r.random_range(0.05f64..5.0);
             let w = WaferSpec::standard_200mm();
             let small = w.gross_dice(Area::from_cm2(a)).count();
             let large = w.gross_dice(Area::from_cm2(a + extra)).count();
-            prop_assert!(large <= small);
+            assert!(large <= small);
         }
+    }
 
-        #[test]
-        fn gross_dice_exact_at_most_usable_area_over_die_area(
-            a in 0.05f64..10.0
-        ) {
+    #[test]
+    fn gross_dice_exact_at_most_usable_area_over_die_area() {
+        let mut r = Rng64::seed_from_u64(0x12);
+        for _ in 0..CASES {
+            let a = r.random_range(0.05f64..10.0);
             let w = WaferSpec::standard_200mm();
             let n = w.gross_dice(Area::from_cm2(a)).as_f64();
             let bound = w.usable_area().cm2() / a;
-            prop_assert!(n <= bound + 1e-9, "n={n} bound={bound}");
+            assert!(n <= bound + 1e-9, "n={n} bound={bound}");
         }
+    }
 
-        #[test]
-        fn wafer_cost_monotone_decreasing_in_volume(
-            v in 100u64..1_000_000, extra in 1u64..1_000_000
-        ) {
+    #[test]
+    fn wafer_cost_monotone_decreasing_in_volume() {
+        let mut r = Rng64::seed_from_u64(0x13);
+        for _ in 0..CASES {
+            let v = r.random_range(100u64..1_000_000);
+            let extra = r.random_range(1u64..1_000_000);
             let m = WaferCostModel::default();
             let w = WaferSpec::standard_200mm();
             let l = FeatureSize::from_microns(0.25).unwrap();
             let c1 = m.cost_per_wafer(w, l, WaferCount::new(v).unwrap());
             let c2 = m.cost_per_wafer(w, l, WaferCount::new(v + extra).unwrap());
-            prop_assert!(c2.amount() <= c1.amount() + 1e-9);
+            assert!(c2.amount() <= c1.amount() + 1e-9);
         }
+    }
 
-        #[test]
-        fn capex_monotone_in_shrink(l1 in 0.03f64..1.5, shrink in 0.3f64..0.95) {
+    #[test]
+    fn capex_monotone_in_shrink() {
+        let mut r = Rng64::seed_from_u64(0x14);
+        for _ in 0..CASES {
+            let l1 = r.random_range(0.03f64..1.5);
+            let shrink = r.random_range(0.3f64..0.95);
             let fab = FablineModel::default();
             let big = FeatureSize::from_microns(l1).unwrap();
             let small = FeatureSize::from_microns(l1 * shrink).unwrap();
-            prop_assert!(fab.capex(small).amount() > fab.capex(big).amount());
+            assert!(fab.capex(small).amount() > fab.capex(big).amount());
         }
+    }
 
-        #[test]
-        fn mask_set_cost_positive_and_monotone(l in 0.03f64..1.5) {
+    #[test]
+    fn mask_set_cost_positive_and_monotone() {
+        let mut r = Rng64::seed_from_u64(0x15);
+        for _ in 0..CASES {
+            let l = r.random_range(0.03f64..1.5);
             let m = MaskCostModel::default();
             let lambda = FeatureSize::from_microns(l).unwrap();
             let next = FeatureSize::from_microns(l * 0.7).unwrap();
-            prop_assert!(m.mask_set_cost(lambda).amount() > 0.0);
-            prop_assert!(m.mask_set_cost(next).amount() > m.mask_set_cost(lambda).amount());
+            assert!(m.mask_set_cost(lambda).amount() > 0.0);
+            assert!(m.mask_set_cost(next).amount() > m.mask_set_cost(lambda).amount());
         }
     }
 }

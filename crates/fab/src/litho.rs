@@ -8,8 +8,6 @@
 //! simulation and the error of early-stage prediction. This module
 //! quantifies that radius; the design-flow simulator consumes it.
 
-use serde::{Deserialize, Serialize};
-
 use nanocost_units::{FeatureSize, UnitError};
 
 /// Optical-proximity interaction model.
@@ -29,7 +27,7 @@ use nanocost_units::{FeatureSize, UnitError};
 /// assert!(at_070 > 4.0 * at_350);
 /// # Ok::<(), nanocost_units::UnitError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProximityModel {
     /// Physical interaction radius in microns (a few λ_light).
     radius_um: f64,
@@ -91,7 +89,7 @@ impl Default for ProximityModel {
     /// 1.0 µm physical radius — a few 248/193 nm wavelengths, the regime the
     /// paper describes.
     fn default() -> Self {
-        ProximityModel::new(1.0).expect("constant is valid")
+        ProximityModel::new(1.0).expect("constant is valid") // nanocost-audit: allow(R1, reason = "documented invariant: constant is valid")
     }
 }
 

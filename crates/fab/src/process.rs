@@ -1,14 +1,12 @@
 //! Process-node descriptors and the standard node ladder.
 
-use serde::{Deserialize, Serialize};
-
 use nanocost_units::{FeatureSize, UnitError};
 
 /// A named process technology node.
 ///
 /// Carries the parameters the fab-cost and mask-cost models need: feature
 /// size, interconnect stack, mask count, wafer size, and introduction year.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProcessNode {
     /// Marketing/technical name, e.g. `"0.25um"`.
     pub name: String,
@@ -76,13 +74,13 @@ pub fn standard_nodes() -> Vec<ProcessNode> {
     let mk = |name: &str, um: f64, year, metal, masks, wafer| {
         ProcessNode::new(
             name,
-            FeatureSize::from_microns(um).expect("ladder constants are valid"),
+            FeatureSize::from_microns(um).expect("ladder constants are valid"), // nanocost-audit: allow(R1, reason = "documented invariant: ladder constants are valid")
             year,
             metal,
             masks,
             wafer,
         )
-        .expect("ladder constants are valid")
+        .expect("ladder constants are valid") // nanocost-audit: allow(R1, reason = "documented invariant: ladder constants are valid")
     };
     vec![
         mk("1.5um", 1.5, 1982, 2, 12, 100.0),
@@ -110,8 +108,9 @@ pub fn nearest_node(lambda: FeatureSize) -> ProcessNode {
         .min_by(|a, b| {
             let da = (a.lambda.microns().ln() - lambda.microns().ln()).abs();
             let db = (b.lambda.microns().ln() - lambda.microns().ln()).abs();
-            da.partial_cmp(&db).expect("finite by construction")
+            da.total_cmp(&db)
         })
+        // nanocost-audit: allow(R1, reason = "the standard node ladder is a non-empty constant")
         .expect("ladder is non-empty")
 }
 

@@ -1,12 +1,10 @@
 //! Wafer geometry: usable area and gross dice per wafer (`N_ch` of eq. 1).
 
-use serde::{Deserialize, Serialize};
-
 use nanocost_units::{Area, ChipCount, UnitError};
 
 /// One placed die on a wafer map: lower-left corner and side, in
 /// wafer-centered millimeter coordinates.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DieSite {
     /// Lower-left x, mm from wafer center.
     pub x_mm: f64,
@@ -38,7 +36,7 @@ impl DieSite {
 /// assert!(dice.count() > 200 && dice.count() < 300);
 /// # Ok::<(), nanocost_units::UnitError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WaferSpec {
     diameter_mm: f64,
     edge_exclusion_mm: f64,
@@ -100,13 +98,13 @@ impl WaferSpec {
     /// scribe lanes) — the workhorse of the paper's era.
     #[must_use]
     pub fn standard_200mm() -> Self {
-        WaferSpec::new(200.0, 3.0, 0.1).expect("constants are valid")
+        WaferSpec::new(200.0, 3.0, 0.1).expect("constants are valid") // nanocost-audit: allow(R1, reason = "documented invariant: constants are valid")
     }
 
     /// A standard 300 mm wafer as projected for nanometer nodes.
     #[must_use]
     pub fn standard_300mm() -> Self {
-        WaferSpec::new(300.0, 3.0, 0.1).expect("constants are valid")
+        WaferSpec::new(300.0, 3.0, 0.1).expect("constants are valid") // nanocost-audit: allow(R1, reason = "documented invariant: constants are valid")
     }
 
     /// Wafer diameter in millimeters.

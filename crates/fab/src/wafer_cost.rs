@@ -12,8 +12,6 @@
 //!
 //! modulated by a maturity discount as the line ages.
 
-use serde::{Deserialize, Serialize};
-
 use nanocost_units::{CostPerArea, Dollars, FeatureSize, UnitError, WaferCount};
 
 use crate::fabline::FablineModel;
@@ -21,7 +19,7 @@ use crate::process::{nearest_node, ProcessNode};
 use crate::wafer::WaferSpec;
 
 /// Itemized wafer-cost components (all per wafer, maturity applied).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WaferCostBreakdown {
     /// Per-layer processing (labor, materials, equipment time).
     pub processing: Dollars,
@@ -63,7 +61,7 @@ impl WaferCostBreakdown {
 /// assert!(c_sq.dollars_per_cm2() > 4.0 && c_sq.dollars_per_cm2() < 14.0);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WaferCostModel {
     fabline: FablineModel,
     /// Processing cost per mask layer for a 200 mm-class wafer.
@@ -202,7 +200,7 @@ impl Default for WaferCostModel {
             0.25,
             30_000.0,
         )
-        .expect("constants are valid")
+        .expect("constants are valid") // nanocost-audit: allow(R1, reason = "documented invariant: constants are valid")
     }
 }
 

@@ -7,8 +7,6 @@
 //! demonstrating that the simulated design process *has* the functional
 //! form eq. 6 asserts.
 
-use serde::{Deserialize, Serialize};
-
 use nanocost_numeric::{power_law_fit, McConfig, NumericError, PowerLawFit};
 use nanocost_units::{DecompressionIndex, FeatureSize, TransistorCount, UnitError};
 
@@ -16,7 +14,7 @@ use crate::iteration::ClosureSimulator;
 use crate::team::DesignTeamModel;
 
 /// One calibration observation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CalibrationPoint {
     /// Target density.
     pub sd: f64,
@@ -27,7 +25,7 @@ pub struct CalibrationPoint {
 }
 
 /// The recovered eq.-6 shape.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CalibrationResult {
     /// The fitted `cost ≈ c·(s_d − s_d0)^(−p2)` exponent, reported
     /// positively (so comparable with the paper's `p2 = 1.2`).

@@ -10,8 +10,6 @@
 //! paper uses — `A0 = 1000`, `p1 = 1.0`, `p2 = 1.2` — are carried as
 //! defaults.
 
-use serde::{Deserialize, Serialize};
-
 use nanocost_units::{DecompressionIndex, Dollars, TransistorCount, UnitError};
 
 /// The eq.-6 design-effort model.
@@ -28,7 +26,7 @@ use nanocost_units::{DecompressionIndex, Dollars, TransistorCount, UnitError};
 /// assert!(aggressive.amount() > 3.0 * relaxed.amount());
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DesignEffortModel {
     a0: f64,
     p1: f64,
@@ -60,13 +58,13 @@ impl DesignEffortModel {
     /// caveat).
     #[must_use]
     pub fn paper_defaults() -> Self {
-        DesignEffortModel::new(1000.0, 1.0, 1.2, 100.0).expect("paper constants are valid")
+        DesignEffortModel::new(1000.0, 1.0, 1.2, 100.0).expect("paper constants are valid") // nanocost-audit: allow(R1, R3, reason = "documented invariant: paper constants are valid")
     }
 
     /// The best-possible decompression index `s_d0`.
     #[must_use]
     pub fn sd0(&self) -> DecompressionIndex {
-        DecompressionIndex::new(self.sd0).expect("validated at construction")
+        DecompressionIndex::new(self.sd0).expect("validated at construction") // nanocost-audit: allow(R1, reason = "documented invariant: validated at construction")
     }
 
     /// The `(A0, p1, p2)` tuning constants.

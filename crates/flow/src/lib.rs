@@ -66,54 +66,74 @@ pub use team::DesignTeamModel;
 
 #[cfg(test)]
 mod proptests {
-    use super::*;
-    use nanocost_units::{DecompressionIndex, TransistorCount};
-    use proptest::prelude::*;
+    //! Randomized property checks driven by the in-tree [`Rng64`] stream so
+    //! the suite runs fully offline (the external `proptest` crate is gone).
 
-    proptest! {
-        #[test]
-        fn effort_monotone_decreasing_in_sd(
-            sd in 101.0f64..2000.0, extra in 1.0f64..500.0, m in 0.1f64..500.0
-        ) {
+    use super::*;
+    use nanocost_numeric::Rng64;
+    use nanocost_units::{DecompressionIndex, TransistorCount};
+
+    const CASES: usize = 256;
+
+    #[test]
+    fn effort_monotone_decreasing_in_sd() {
+        let mut r = Rng64::seed_from_u64(0x31);
+        for _ in 0..CASES {
+            let sd = r.random_range(101.0f64..2000.0);
+            let extra = r.random_range(1.0f64..500.0);
+            let m = r.random_range(0.1f64..500.0);
             let model = DesignEffortModel::paper_defaults();
             let n = TransistorCount::from_millions(m);
             let tight = model.design_cost(n, DecompressionIndex::new(sd).unwrap()).unwrap();
             let loose = model.design_cost(n, DecompressionIndex::new(sd + extra).unwrap()).unwrap();
-            prop_assert!(loose.amount() < tight.amount());
+            assert!(loose.amount() < tight.amount());
         }
+    }
 
-        #[test]
-        fn effort_monotone_increasing_in_transistors(
-            m in 0.1f64..500.0, factor in 1.1f64..10.0
-        ) {
+    #[test]
+    fn effort_monotone_increasing_in_transistors() {
+        let mut r = Rng64::seed_from_u64(0x32);
+        for _ in 0..CASES {
+            let m = r.random_range(0.1f64..500.0);
+            let factor = r.random_range(1.1f64..10.0);
             let model = DesignEffortModel::paper_defaults();
             let sd = DecompressionIndex::new(300.0).unwrap();
             let small = model.design_cost(TransistorCount::from_millions(m), sd).unwrap();
             let big = model
                 .design_cost(TransistorCount::from_millions(m * factor), sd)
                 .unwrap();
-            prop_assert!(big.amount() > small.amount());
+            assert!(big.amount() > small.amount());
         }
+    }
 
-        #[test]
-        fn tolerance_is_bounded_by_base(sd in 100.5f64..5000.0) {
+    #[test]
+    fn tolerance_is_bounded_by_base() {
+        let mut r = Rng64::seed_from_u64(0x33);
+        for _ in 0..CASES {
+            let sd = r.random_range(100.5f64..5000.0);
             let sim = ClosureSimulator::nanometer_default();
             let t = sim.tolerance(DecompressionIndex::new(sd).unwrap()).unwrap();
-            prop_assert!(t > 0.0 && t < 0.20);
+            assert!(t > 0.0 && t < 0.20);
         }
+    }
 
-        #[test]
-        fn market_price_monotone_decreasing_in_time(
-            t1 in 0.0f64..300.0, dt in 0.1f64..300.0
-        ) {
+    #[test]
+    fn market_price_monotone_decreasing_in_time() {
+        let mut r = Rng64::seed_from_u64(0x34);
+        for _ in 0..CASES {
+            let t1 = r.random_range(0.0f64..300.0);
+            let dt = r.random_range(0.1f64..300.0);
             let m = MarketModel::competitive_mpu();
-            prop_assert!(m.unit_price(t1 + dt).amount() < m.unit_price(t1).amount());
+            assert!(m.unit_price(t1 + dt).amount() < m.unit_price(t1).amount());
         }
+    }
 
-        #[test]
-        fn portfolio_sharing_never_raises_product_cost(
-            shared in 0.0f64..=1.0, extra in 0.01f64..0.5
-        ) {
+    #[test]
+    fn portfolio_sharing_never_raises_product_cost() {
+        let mut r = Rng64::seed_from_u64(0x35);
+        for _ in 0..CASES {
+            let shared = r.random_range(0.0f64..=1.0);
+            let extra = r.random_range(0.01f64..0.5);
             let model = PortfolioModel::nanometer_default();
             let product = |f: f64| {
                 PortfolioProduct::new(
@@ -126,19 +146,23 @@ mod proptests {
             let hi = (shared + extra).min(1.0);
             let lo_cost = model.product_cost(&product(shared)).unwrap();
             let hi_cost = model.product_cost(&product(hi)).unwrap();
-            prop_assert!(hi_cost.amount() <= lo_cost.amount() + 1e-9);
+            assert!(hi_cost.amount() <= lo_cost.amount() + 1e-9);
         }
+    }
 
-        #[test]
-        fn sigma_positive_and_monotone_in_reuse(
-            um in 0.03f64..1.0, r1 in 1.0f64..100.0, bump in 1.0f64..100.0
-        ) {
+    #[test]
+    fn sigma_positive_and_monotone_in_reuse() {
+        let mut r = Rng64::seed_from_u64(0x36);
+        for _ in 0..CASES {
+            let um = r.random_range(0.03f64..1.0);
+            let r1 = r.random_range(1.0f64..100.0);
+            let bump = r.random_range(1.0f64..100.0);
             let p = PredictionModel::nanometer_default();
             let lambda = nanocost_units::FeatureSize::from_microns(um).unwrap();
             let lo = p.sigma(lambda, r1 + bump);
             let hi = p.sigma(lambda, r1);
-            prop_assert!(lo > 0.0);
-            prop_assert!(lo <= hi);
+            assert!(lo > 0.0);
+            assert!(lo <= hi);
         }
     }
 }

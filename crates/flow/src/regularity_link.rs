@@ -5,8 +5,6 @@
 //! the [`PredictionModel`](crate::PredictionModel) and an effective
 //! design-effort multiplier relative to fully irregular artwork.
 
-use serde::{Deserialize, Serialize};
-
 use nanocost_layout::RegularityReport;
 use nanocost_numeric::McConfig;
 use nanocost_units::{DecompressionIndex, FeatureSize, UnitError};
@@ -14,7 +12,7 @@ use nanocost_units::{DecompressionIndex, FeatureSize, UnitError};
 use crate::iteration::ClosureSimulator;
 
 /// Flow-relevant summary of a layout's regularity.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RegularityEffect {
     /// Simulation-reuse factor: scanned windows per unique pattern.
     pub reuse_factor: f64,

@@ -7,12 +7,10 @@
 //! calendar weeks, and the achievable selling price erodes while the
 //! product is not on the market.
 
-use serde::{Deserialize, Serialize};
-
 use nanocost_units::{Dollars, UnitError};
 
 /// Calendar model of a design project.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DesignSchedule {
     /// Weeks of up-front work before the first iteration completes
     /// (architecture, RTL, verification setup).
@@ -50,7 +48,7 @@ impl DesignSchedule {
     /// work, 6 weeks per iteration.
     #[must_use]
     pub fn nanometer_default() -> Self {
-        DesignSchedule::new(52.0, 6.0).expect("constants are valid")
+        DesignSchedule::new(52.0, 6.0).expect("constants are valid") // nanocost-audit: allow(R1, R3, reason = "documented invariant: constants are valid")
     }
 
     /// Calendar weeks to market entry for a project that needed
@@ -74,7 +72,7 @@ impl Default for DesignSchedule {
 /// Semiconductor ASPs decay roughly exponentially within a product
 /// generation; the halving time is the single knob controlling how hard
 /// time-to-market pressure bites.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MarketModel {
     launch_price: Dollars,
     price_halving_weeks: f64,
@@ -115,14 +113,14 @@ impl MarketModel {
     /// 52 weeks.
     #[must_use]
     pub fn competitive_mpu() -> Self {
-        MarketModel::new(Dollars::new(250.0), 52.0).expect("constants are valid")
+        MarketModel::new(Dollars::new(250.0), 52.0).expect("constants are valid") // nanocost-audit: allow(R1, R3, reason = "documented invariant: constants are valid")
     }
 
     /// A slow-moving embedded market: $40, halving every 3 years — weak
     /// time pressure.
     #[must_use]
     pub fn slow_embedded() -> Self {
-        MarketModel::new(Dollars::new(40.0), 156.0).expect("constants are valid")
+        MarketModel::new(Dollars::new(40.0), 156.0).expect("constants are valid") // nanocost-audit: allow(R1, R3, reason = "documented invariant: constants are valid")
     }
 
     /// The unit price available at market entry `t_weeks` after project

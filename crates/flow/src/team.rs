@@ -5,8 +5,6 @@
 //! cost of running the team through one iteration — so simulated iteration
 //! counts convert to dollars comparable with eq. 6.
 
-use serde::{Deserialize, Serialize};
-
 use nanocost_units::{Dollars, TransistorCount, UnitError};
 
 /// A design-team cost model.
@@ -14,7 +12,7 @@ use nanocost_units::{Dollars, TransistorCount, UnitError};
 /// Team size grows with the square root of design size (communication
 /// overhead keeps large teams sub-linear), and each iteration occupies the
 /// full team for a fixed number of weeks.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DesignTeamModel {
     /// Fully loaded cost of one engineer-year.
     loaded_cost_per_engineer_year: Dollars,
@@ -70,8 +68,8 @@ impl DesignTeamModel {
     /// team plus 8 per √Mtr, 6-week iterations.
     #[must_use]
     pub fn nanometer_default() -> Self {
-        DesignTeamModel::new(Dollars::new(250_000.0), 10.0, 8.0, 6.0)
-            .expect("constants are valid")
+        DesignTeamModel::new(Dollars::new(250_000.0), 10.0, 8.0, 6.0) // nanocost-audit: allow(R3, reason = "paper-anchored default; the constructor parameters document each value")
+            .expect("constants are valid") // nanocost-audit: allow(R1, reason = "documented invariant: constants are valid")
     }
 
     /// Team size for a design of the given size.
@@ -83,8 +81,11 @@ impl DesignTeamModel {
     /// Cost of one full-team iteration on a design of the given size.
     #[must_use]
     pub fn cost_per_iteration(&self, transistors: TransistorCount) -> Dollars {
+        /// Calendar weeks per engineer-year, converting iteration effort to
+        /// a fraction of the loaded annual cost.
+        const WEEKS_PER_YEAR: f64 = 52.0;
         self.loaded_cost_per_engineer_year
-            * (self.engineers(transistors) * self.weeks_per_iteration / 52.0)
+            * (self.engineers(transistors) * self.weeks_per_iteration / WEEKS_PER_YEAR)
     }
 
     /// Total design cost for a project that took `iterations` spins.

@@ -9,12 +9,10 @@
 //! between this metric and the pattern extractor is itself a tested
 //! property.
 
-use serde::{Deserialize, Serialize};
-
 use crate::grid::LambdaGrid;
 
 /// Complexity measurements of one raster.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ComplexityReport {
     /// Raw raster size, in cells.
     pub raw_cells: u64,

@@ -11,9 +11,7 @@
 //!
 //! All generators are deterministic given a seed.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use nanocost_numeric::Rng64;
 
 use crate::cell::{sram_bitcell, standard_library, CellTemplate, layers};
 use crate::error::LayoutError;
@@ -23,7 +21,7 @@ use crate::layout::Layout;
 
 /// Generates a memory array: `rows × cols` SRAM bitcells plus a decoder
 /// strip along the left edge.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemoryArrayGenerator {
     /// Bitcell rows.
     pub rows: usize,
@@ -86,7 +84,7 @@ impl MemoryArrayGenerator {
 /// `placement_fill` controls how much of each row is occupied by cells
 /// (the rest is dead space), and `channel_height` the λ height of the
 /// routing channel above every row — together they set the achieved `s_d`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StdCellGenerator {
     /// Number of cell rows.
     pub rows: usize,
@@ -146,7 +144,7 @@ impl StdCellGenerator {
         let width = self.row_width;
         let height = self.rows * row_pitch;
         let mut grid = LambdaGrid::new(width, height)?;
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng64::seed_from_u64(self.seed);
         let mut transistors = 0u64;
         for r in 0..self.rows {
             let y = (r * row_pitch) as i64;
@@ -192,7 +190,7 @@ impl StdCellGenerator {
 /// Generates an irregular "full-custom, hand-drawn" block: transistor
 /// motifs scattered at random positions with random jitter in their shapes,
 /// connected by random wires. Maximally hostile to pattern reuse.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RandomBlockGenerator {
     /// Block width in λ.
     pub width: usize,
@@ -244,7 +242,7 @@ impl RandomBlockGenerator {
     /// Propagates raster errors (cannot occur for valid dimensions).
     pub fn generate(&self) -> Result<Layout, LayoutError> {
         let mut grid = LambdaGrid::new(self.width, self.height)?;
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng64::seed_from_u64(self.seed);
         let (w, h) = (self.width as i64, self.height as i64);
         for _ in 0..self.transistors {
             let x = rng.random_range(0..w - 8);

@@ -1,13 +1,9 @@
 //! Integer geometry on the λ grid.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::LayoutError;
 
 /// A point on the λ grid (coordinates in λ units).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Point {
     /// Horizontal coordinate, in λ.
     pub x: i64,
@@ -31,7 +27,7 @@ impl Point {
 
 /// An axis-aligned rectangle on the λ grid, `[x0, x1) × [y0, y1)`
 /// (half-open, so width = `x1 − x0`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Rect {
     /// Left edge (inclusive).
     pub x0: i64,

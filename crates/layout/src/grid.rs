@@ -4,8 +4,6 @@
 //! rasterized abstraction at λ resolution is sufficient and makes window
 //! hashing (the pattern extractor's core operation) trivial and fast.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::LayoutError;
 use crate::geom::Rect;
 
@@ -24,7 +22,7 @@ pub type LayerCode = u8;
 /// assert_eq!(g.occupied_cells(), 6);
 /// # Ok::<(), nanocost_layout::LayoutError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LambdaGrid {
     width: usize,
     height: usize,

@@ -7,8 +7,6 @@
 //! and regularity measurement. Its [`reuse statistics`](ReuseStats) feed
 //! the design-cost model's amortization argument.
 
-use serde::{Deserialize, Serialize};
-
 use crate::cell::CellTemplate;
 use crate::error::LayoutError;
 use crate::geom::Point;
@@ -17,7 +15,7 @@ use crate::layout::Layout;
 
 /// A hierarchical layout: a set of master cells and their placements on a
 /// fixed canvas.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HierLayout {
     width: usize,
     height: usize,
@@ -27,7 +25,7 @@ pub struct HierLayout {
 }
 
 /// Reuse statistics of a hierarchy.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ReuseStats {
     /// Number of distinct masters.
     pub masters: usize,

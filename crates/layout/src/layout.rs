@@ -1,8 +1,6 @@
 //! A complete layout: raster artwork plus its transistor census, and the
 //! density measurements the cost model consumes.
 
-use serde::{Deserialize, Serialize};
-
 use nanocost_units::{Area, DecompressionIndex, FeatureSize, TransistorCount};
 
 use crate::error::LayoutError;
@@ -20,7 +18,7 @@ use crate::grid::LambdaGrid;
 /// assert_eq!(layout.measured_sd().squares(), 250.0); // 10000 λ² / 40 tr
 /// # Ok::<(), nanocost_layout::LayoutError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Layout {
     grid: LambdaGrid,
     transistors: u64,
@@ -59,7 +57,7 @@ impl Layout {
     #[must_use]
     pub fn transistor_count(&self) -> TransistorCount {
         TransistorCount::new(self.transistors as f64)
-            .expect("validated non-zero at construction")
+            .expect("validated non-zero at construction") // nanocost-audit: allow(R1, reason = "documented invariant: validated non-zero at construction")
     }
 
     /// The measured design decompression index: drawn λ² squares per
@@ -68,7 +66,7 @@ impl Layout {
     #[must_use]
     pub fn measured_sd(&self) -> DecompressionIndex {
         DecompressionIndex::new(self.grid.area_squares() as f64 / self.transistors as f64)
-            .expect("positive area over positive count")
+            .expect("positive area over positive count") // nanocost-audit: allow(R1, reason = "documented invariant: positive area over positive count")
     }
 
     /// The physical die area this layout occupies at node `lambda`.

@@ -66,26 +66,35 @@ pub use regularity::{multi_scale, RegularityAnalysis, RegularityReport};
 
 #[cfg(test)]
 mod proptests {
+    //! Randomized property checks driven by the in-tree [`Rng64`] stream so
+    //! the suite runs fully offline (the external `proptest` crate is gone).
+
     use super::*;
-    use proptest::prelude::*;
+    use nanocost_numeric::Rng64;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(32))]
+    const CASES: usize = 32;
 
-        #[test]
-        fn fill_rect_occupancy_matches_area(
-            x0 in 0i64..20, y0 in 0i64..20, w in 1i64..12, h in 1i64..12
-        ) {
+    #[test]
+    fn fill_rect_occupancy_matches_area() {
+        let mut r = Rng64::seed_from_u64(0x61);
+        for _ in 0..CASES {
+            let x0 = r.random_range(0i64..20);
+            let y0 = r.random_range(0i64..20);
+            let w = r.random_range(1i64..12);
+            let h = r.random_range(1i64..12);
             let mut g = LambdaGrid::new(32, 32).unwrap();
-            let r = Rect::new(x0, y0, x0 + w, y0 + h).unwrap();
-            g.fill_rect(r, 1).unwrap();
-            prop_assert_eq!(g.occupied_cells(), (w * h) as u64);
+            let rect = Rect::new(x0, y0, x0 + w, y0 + h).unwrap();
+            g.fill_rect(rect, 1).unwrap();
+            assert_eq!(g.occupied_cells(), (w * h) as u64);
         }
+    }
 
-        #[test]
-        fn perfect_tiling_of_one_cell_has_one_pattern(
-            reps_x in 2usize..8, reps_y in 2usize..6
-        ) {
+    #[test]
+    fn perfect_tiling_of_one_cell_has_one_pattern() {
+        let mut r = Rng64::seed_from_u64(0x62);
+        for _ in 0..CASES {
+            let reps_x = r.random_range(2usize..8);
+            let reps_y = r.random_range(2usize..6);
             // Tile an arbitrary cell perfectly; tiling analysis at the cell
             // pitch must find exactly one pattern.
             let cell = sram_bitcell();
@@ -105,39 +114,44 @@ mod proptests {
                 .analyze(&grid);
             // With stride = cell width, every scanned window sees the same
             // phase of the tiling in x; rows repeat with period ch.
-            prop_assert!(report.unwrap().unique_patterns() <= ch);
+            assert!(report.unwrap().unique_patterns() <= ch);
         }
+    }
 
-        #[test]
-        fn regularity_index_in_unit_interval(seed in 0u64..50) {
+    #[test]
+    fn regularity_index_in_unit_interval() {
+        for seed in 0u64..50 {
             let block = RandomBlockGenerator::new(96, 96, 80, seed)
                 .unwrap()
                 .generate()
                 .unwrap();
             let r = RegularityAnalysis::tiling(12).unwrap().analyze(block.grid()).unwrap();
             let idx = r.regularity_index();
-            prop_assert!((0.0..1.0).contains(&idx));
-            prop_assert!(r.reuse_factor() >= 1.0);
+            assert!((0.0..1.0).contains(&idx));
+            assert!(r.reuse_factor() >= 1.0);
         }
+    }
 
-        #[test]
-        fn measured_sd_positive_for_all_generators(seed in 0u64..20) {
+    #[test]
+    fn measured_sd_positive_for_all_generators() {
+        for seed in 0u64..20 {
             let std_cells = StdCellGenerator::new(4, 300, 12, 0.7, seed)
                 .unwrap()
                 .generate()
                 .unwrap();
-            prop_assert!(std_cells.measured_sd().squares() > 0.0);
+            assert!(std_cells.measured_sd().squares() > 0.0);
         }
+    }
 
-        #[test]
-        fn left_edge_routing_is_exactly_density_optimal(
-            seed in 0u64..200, n_spans in 1usize..40
-        ) {
+    #[test]
+    fn left_edge_routing_is_exactly_density_optimal() {
+        let mut r = Rng64::seed_from_u64(0x63);
+        for _ in 0..CASES {
+            let seed = r.random_range(0u64..200);
+            let n_spans = r.random_range(1usize..40);
             // Without vertical constraints the left-edge algorithm meets
             // the density lower bound exactly, for any span set.
-            use rand::rngs::StdRng;
-            use rand::{Rng, SeedableRng};
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = Rng64::seed_from_u64(seed);
             let spans: Vec<Span> = (0..n_spans)
                 .map(|net| {
                     let x0 = rng.random_range(0..500i64);
@@ -146,30 +160,35 @@ mod proptests {
                 })
                 .collect();
             let routed = route_channel(&spans);
-            prop_assert!(routed.is_overlap_free());
-            prop_assert_eq!(routed.track_count(), channel_density(&spans));
+            assert!(routed.is_overlap_free());
+            assert_eq!(routed.track_count(), channel_density(&spans));
         }
+    }
 
-        #[test]
-        fn placement_hpwl_is_permutation_invariant_in_total_cells(seed in 0u64..10) {
+    #[test]
+    fn placement_hpwl_is_permutation_invariant_in_total_cells() {
+        for seed in 0u64..10 {
             // Any placement of the same netlist keeps the census intact.
             let n = Netlist::random(40, 60, seed).unwrap();
             let placed = Placer::with_die_width(400).place(&n).unwrap();
             let layout = placed.to_layout(&n).unwrap();
-            prop_assert_eq!(layout.transistors(), n.transistors());
+            assert_eq!(layout.transistors(), n.transistors());
         }
+    }
 
-        #[test]
-        fn stamp_never_reduces_occupancy(
-            x in 0i64..18, y in 0i64..18
-        ) {
+    #[test]
+    fn stamp_never_reduces_occupancy() {
+        let mut r = Rng64::seed_from_u64(0x64);
+        for _ in 0..CASES {
+            let x = r.random_range(0i64..18);
+            let y = r.random_range(0i64..18);
             let mut base = LambdaGrid::new(64, 64).unwrap();
             base.fill_rect(Rect::new(0, 0, 30, 30).unwrap(), 5).unwrap();
             let before = base.occupied_cells();
             let cell = sram_bitcell();
             base.stamp(cell.grid(), x, y).unwrap();
-            prop_assert!(base.occupied_cells() >= before.min(before));
-            prop_assert!(base.occupied_cells() >= cell.grid().occupied_cells().min(before));
+            assert!(base.occupied_cells() >= before.min(before));
+            assert!(base.occupied_cells() >= cell.grid().occupied_cells().min(before));
         }
     }
 }

@@ -10,14 +10,12 @@
 //! [`RegularityAnalysis`](crate::RegularityAnalysis) self-configuring via
 //! [`auto_analysis`].
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::LayoutError;
 use crate::grid::LambdaGrid;
 use crate::regularity::RegularityAnalysis;
 
 /// The axis along which a pitch is measured.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Axis {
     /// Horizontal (x) shifts.
     Horizontal,
@@ -83,7 +81,7 @@ pub fn shift_similarity(
 }
 
 /// A detected pitch: the shift and its similarity score.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Pitch {
     /// The period, in λ.
     pub period: usize,
@@ -129,12 +127,12 @@ pub fn dominant_pitch(
         return Ok(None);
     }
     // Smallest period within 2 % of the best: prefer the fundamental over
-    // its harmonics.
-    let (period, similarity) = scores
-        .into_iter()
-        .find(|&(_, s)| s >= best - 0.02)
-        .expect("best exists by construction");
-    Ok(Some(Pitch { period, similarity }))
+    // its harmonics. `best` is the max of `scores`, so the find always
+    // succeeds; the fallthrough keeps the function total anyway.
+    match scores.into_iter().find(|&(_, s)| s >= best - 0.02) {
+        Some((period, similarity)) => Ok(Some(Pitch { period, similarity })),
+        None => Ok(None),
+    }
 }
 
 /// Builds a tiling [`RegularityAnalysis`] from the layout's own detected

@@ -9,9 +9,7 @@
 //! → iterations) against density (→ silicon cost), and the annealer
 //! quantifies how much wirelength a given density budget costs.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use nanocost_numeric::Rng64;
 
 use crate::cell::{standard_library, CellTemplate};
 use crate::error::LayoutError;
@@ -20,14 +18,13 @@ use crate::layout::Layout;
 use crate::route::{route_channel, RoutedChannel, Span};
 
 /// A gate-level netlist over library cells.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Netlist {
     /// Library index per instance.
     instances: Vec<usize>,
     /// Nets: each a list of instance ids (≥ 2).
     nets: Vec<Vec<usize>>,
     /// The cell library the indices refer to.
-    #[serde(skip, default = "standard_library")]
     library: Vec<CellTemplate>,
 }
 
@@ -55,7 +52,7 @@ impl Netlist {
             });
         }
         let library = standard_library();
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::seed_from_u64(seed);
         let instances: Vec<usize> = (0..n_cells)
             .map(|_| rng.random_range(0..library.len()))
             .collect();
@@ -114,7 +111,7 @@ impl Netlist {
 }
 
 /// A placement: instances assigned to row slots, in order.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Placement {
     /// Instance order; `order[k]` is placed at slot `k` (row-major).
     order: Vec<usize>,
@@ -288,7 +285,7 @@ impl Placement {
 
 /// Result of routing a placement: per-channel track assignments and the
 /// post-route area accounting.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RoutingResult {
     /// One routed channel per row gap.
     pub channels: Vec<RoutedChannel>,
@@ -328,7 +325,7 @@ impl RoutingResult {
 }
 
 /// The annealing placer.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Placer {
     /// Die width in λ (wider = sparser = larger achieved `s_d`).
     pub die_width: usize,
@@ -379,7 +376,7 @@ impl Placer {
             .iter()
             .map(|&i| netlist.library[i].width())
             .max()
-            .expect("non-empty checked above");
+            .unwrap_or(0);
         if self.die_width < widest {
             return Err(LayoutError::InvalidParameter {
                 name: "die_width",
@@ -401,7 +398,7 @@ impl Placer {
             die_width: self.die_width,
             row_pitch: self.row_pitch,
         };
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng64::seed_from_u64(self.seed);
         let mut cost = placement.total_hpwl(netlist);
         let mut temperature = cost * self.initial_temperature;
         let cooling = 0.999_7f64;
@@ -516,7 +513,7 @@ mod tests {
         let n = netlist();
         let placed = Placer::with_die_width(600).place(&n).unwrap();
         let mut scrambled = placed.clone();
-        let mut rng = StdRng::seed_from_u64(99);
+        let mut rng = Rng64::seed_from_u64(99);
         for i in (1..scrambled.order.len()).rev() {
             let j = rng.random_range(0..=i);
             scrambled.order.swap(i, j);
@@ -575,7 +572,7 @@ mod tests {
             row_pitch: placed.row_pitch,
         };
         // Deterministic scramble.
-        let mut rng = StdRng::seed_from_u64(99);
+        let mut rng = Rng64::seed_from_u64(99);
         for i in (1..scrambled.order.len()).rev() {
             let j = rng.random_range(0..=i);
             scrambled.order.swap(i, j);

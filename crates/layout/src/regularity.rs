@@ -11,13 +11,11 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::LayoutError;
 use crate::grid::LambdaGrid;
 
 /// Configuration of a pattern-extraction pass.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RegularityAnalysis {
     /// Window width, in λ.
     pub window_w: usize,
@@ -130,7 +128,7 @@ impl RegularityAnalysis {
 }
 
 /// Result of a pattern-extraction pass.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RegularityReport {
     /// Window side used.
     pub window: usize,

@@ -11,12 +11,10 @@
 //! at identical x) are not modeled; spans are intervals, which matches
 //! the congestion abstraction the rest of the workspace uses.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::LayoutError;
 
 /// One net's horizontal span inside a channel, in λ.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Span {
     /// Net identifier (caller-defined).
     pub net: usize,
@@ -52,7 +50,7 @@ impl Span {
 }
 
 /// A routed channel: spans assigned to tracks.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RoutedChannel {
     tracks: Vec<Vec<Span>>,
 }

@@ -1,13 +1,11 @@
 //! Fixed-bin histograms and bootstrap confidence intervals for
 //! Monte-Carlo outputs.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::NumericError;
 use crate::mc::Sampler;
 
 /// A histogram over uniform bins spanning `[lo, hi]`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     lo: f64,
     hi: f64,
@@ -125,7 +123,7 @@ impl Histogram {
 }
 
 /// A bootstrap confidence interval for the mean.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ConfidenceInterval {
     /// Point estimate (sample mean).
     pub mean: f64,
@@ -197,7 +195,7 @@ pub fn bootstrap_mean_ci(
         }
         means.push(total / n as f64);
     }
-    means.sort_by(|a, b| a.partial_cmp(b).expect("finite by construction"));
+    means.sort_by(f64::total_cmp);
     let alpha = (1.0 - level) / 2.0;
     let pick = |q: f64| {
         let idx = (q * (means.len() as f64 - 1.0)).round() as usize;

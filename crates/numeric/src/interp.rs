@@ -1,11 +1,9 @@
 //! Piecewise interpolation over tabulated data.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::NumericError;
 
 /// How to evaluate requests outside the tabulated domain.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Extrapolation {
     /// Return an error for abscissae outside the table.
     Refuse,
@@ -29,7 +27,7 @@ pub enum Extrapolation {
 /// assert!((t.eval(2000.5, Extrapolation::Refuse)? - 155.0).abs() < 1e-9);
 /// # Ok::<(), nanocost_numeric::NumericError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InterpTable {
     points: Vec<(f64, f64)>,
 }
@@ -123,7 +121,7 @@ impl InterpTable {
         // Binary search for the bracketing segment.
         let idx = match self
             .points
-            .binary_search_by(|&(px, _)| px.partial_cmp(&x).expect("finite by construction"))
+            .binary_search_by(|&(px, _)| px.total_cmp(&x))
         {
             Ok(i) => return Ok(self.points[i].1),
             Err(i) => i,

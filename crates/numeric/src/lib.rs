@@ -30,6 +30,7 @@ mod interp;
 mod mc;
 mod optimize;
 mod regression;
+mod rng;
 mod roots;
 mod series;
 mod stats;
@@ -42,81 +43,107 @@ pub use optimize::{golden_section_min, grid_min, refine_min, Minimum};
 pub use regression::{
     exponential_fit, linear_fit, power_law_fit, ExponentialFit, LinearFit, PowerLawFit,
 };
+pub use rng::{Rng64, SampleRange, UniformSample};
 pub use roots::bisect;
 pub use series::{Chart, Series};
 pub use stats::{geometric_mean, percentile, summarize, Summary};
 
 #[cfg(test)]
 mod proptests {
-    use super::*;
-    use proptest::prelude::*;
+    //! Randomized property checks, driven by the in-tree [`Rng64`] stream so
+    //! the suite runs fully offline (the external `proptest` crate is gone).
 
-    proptest! {
-        #[test]
-        fn golden_section_lands_inside_bracket(
-            lo in -100.0f64..0.0, span in 1.0f64..100.0, vertex in -50.0f64..50.0
-        ) {
-            let hi = lo + span;
+    use super::*;
+
+    const CASES: usize = 256;
+
+    #[test]
+    fn golden_section_lands_inside_bracket() {
+        let mut r = Rng64::seed_from_u64(0xA11CE);
+        for _ in 0..CASES {
+            let lo = r.random_range(-100.0f64..0.0);
+            let hi = lo + r.random_range(1.0f64..100.0);
+            let vertex = r.random_range(-50.0f64..50.0);
             let m = golden_section_min(lo, hi, 1e-9, |x| (x - vertex).powi(2)).unwrap();
-            prop_assert!(m.x >= lo - 1e-9 && m.x <= hi + 1e-9);
+            assert!(m.x >= lo - 1e-9 && m.x <= hi + 1e-9);
             // The located minimum is the projection of the vertex onto the bracket.
             let expect = vertex.clamp(lo, hi);
-            prop_assert!((m.x - expect).abs() < 1e-4);
+            assert!((m.x - expect).abs() < 1e-4);
         }
+    }
 
-        #[test]
-        fn grid_min_never_beats_true_minimum(
-            vertex in -5.0f64..5.0
-        ) {
+    #[test]
+    fn grid_min_never_beats_true_minimum() {
+        let mut r = Rng64::seed_from_u64(0xB0B);
+        for _ in 0..CASES {
+            let vertex = r.random_range(-5.0f64..5.0);
             let m = grid_min(-5.0, 5.0, 501, |x| (x - vertex).powi(2)).unwrap();
-            prop_assert!(m.value >= 0.0);
-            prop_assert!(m.value <= 0.02 * 0.02 + 1e-9); // grid step is 0.02
+            assert!(m.value >= 0.0);
+            assert!(m.value <= 0.02 * 0.02 + 1e-9); // grid step is 0.02
         }
+    }
 
-        #[test]
-        fn linear_fit_is_exact_on_lines(
-            a in -10.0f64..10.0, b in -10.0f64..10.0
-        ) {
+    #[test]
+    fn linear_fit_is_exact_on_lines() {
+        let mut r = Rng64::seed_from_u64(0xC0FFEE);
+        for _ in 0..CASES {
+            let a = r.random_range(-10.0f64..10.0);
+            let b = r.random_range(-10.0f64..10.0);
             let xs: Vec<f64> = (0..6).map(|k| k as f64).collect();
             let ys: Vec<f64> = xs.iter().map(|&x| a + b * x).collect();
             let fit = linear_fit(&xs, &ys).unwrap();
-            prop_assert!((fit.intercept - a).abs() < 1e-8);
-            prop_assert!((fit.slope - b).abs() < 1e-8);
+            assert!((fit.intercept - a).abs() < 1e-8);
+            assert!((fit.slope - b).abs() < 1e-8);
         }
+    }
 
-        #[test]
-        fn interp_is_within_ordinate_hull(
-            x in 0.0f64..3.0
-        ) {
-            let t = InterpTable::new(vec![(0.0, 1.0), (1.0, 4.0), (3.0, 2.0)]).unwrap();
+    #[test]
+    fn interp_is_within_ordinate_hull() {
+        let mut r = Rng64::seed_from_u64(0xD1CE);
+        let t = InterpTable::new(vec![(0.0, 1.0), (1.0, 4.0), (3.0, 2.0)]).unwrap();
+        for _ in 0..CASES {
+            let x = r.random_range(0.0f64..3.0);
             let y = t.eval(x, Extrapolation::Refuse).unwrap();
-            prop_assert!((1.0..=4.0).contains(&y));
+            assert!((1.0..=4.0).contains(&y));
         }
+    }
 
-        #[test]
-        fn percentile_is_monotone_in_p(
-            p1 in 0.0f64..100.0, p2 in 0.0f64..100.0
-        ) {
-            let xs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+    #[test]
+    fn percentile_is_monotone_in_p() {
+        let mut r = Rng64::seed_from_u64(0xFADE);
+        let xs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        for _ in 0..CASES {
+            let p1 = r.random_range(0.0f64..100.0);
+            let p2 = r.random_range(0.0f64..100.0);
             let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
             let a = percentile(&xs, lo).unwrap();
             let b = percentile(&xs, hi).unwrap();
-            prop_assert!(a <= b + 1e-12);
+            assert!(a <= b + 1e-12);
         }
+    }
 
-        #[test]
-        fn bisect_inverts_monotone_functions(target in 0.1f64..99.0) {
+    #[test]
+    fn bisect_inverts_monotone_functions() {
+        let mut r = Rng64::seed_from_u64(0xBEEF);
+        for _ in 0..CASES {
+            let target = r.random_range(0.1f64..99.0);
             // Solve x^3 = target on [0, 100].
-            let r = bisect(0.0, 100.0, 1e-10, |x| x * x * x - target).unwrap();
-            prop_assert!((r.powi(3) - target).abs() < 1e-4);
+            let root = bisect(0.0, 100.0, 1e-10, |x| x * x * x - target).unwrap();
+            assert!((root.powi(3) - target).abs() < 1e-4);
         }
+    }
 
-        #[test]
-        fn sampler_uniform_stays_in_range(seed in 0u64..1000, lo in -10.0f64..0.0, span in 0.1f64..10.0) {
+    #[test]
+    fn sampler_uniform_stays_in_range() {
+        let mut r = Rng64::seed_from_u64(0x5EED);
+        for _ in 0..64 {
+            let seed = r.random_range(0u64..1000);
+            let lo = r.random_range(-10.0f64..0.0);
+            let span = r.random_range(0.1f64..10.0);
             let mut s = Sampler::seeded(seed);
             for _ in 0..32 {
                 let v = s.uniform(lo, lo + span);
-                prop_assert!(v >= lo && v < lo + span);
+                assert!(v >= lo && v < lo + span);
             }
         }
     }

@@ -1,14 +1,11 @@
 //! Seeded Monte-Carlo sampling helpers.
 //!
 //! Only the distributions the workspace actually needs are implemented
-//! (uniform, normal via Box–Muller, lognormal, triangular), keeping the
-//! dependency surface to the `rand` core crate.
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+//! (uniform, normal via Box–Muller, lognormal, triangular), driven by the
+//! in-tree dependency-free [`Rng64`] stream.
 
 use crate::error::NumericError;
+use crate::rng::Rng64;
 
 /// A deterministic sampler with named distribution draws.
 ///
@@ -24,7 +21,7 @@ use crate::error::NumericError;
 /// ```
 #[derive(Debug, Clone)]
 pub struct Sampler {
-    rng: StdRng,
+    rng: Rng64,
     /// Cached second normal deviate from the last Box–Muller pair.
     spare_normal: Option<f64>,
 }
@@ -34,7 +31,7 @@ impl Sampler {
     #[must_use]
     pub fn seeded(seed: u64) -> Self {
         Sampler {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng64::seed_from_u64(seed),
             spare_normal: None,
         }
     }
@@ -106,7 +103,7 @@ impl Sampler {
     /// Panics unless `0 <= p <= 1`.
     pub fn bernoulli(&mut self, p: f64) -> bool {
         assert!((0.0..=1.0).contains(&p), "probability must lie in [0, 1]");
-        if p == 1.0 {
+        if p == 1.0 { // nanocost-audit: allow(R2, reason = "exact sentinel comparison; the compared value is exactly representable")
             return true;
         }
         self.rng.random_range(0.0..1.0) < p
@@ -120,7 +117,7 @@ impl Sampler {
     /// Panics if `lambda` is negative or non-finite.
     pub fn poisson(&mut self, lambda: f64) -> u64 {
         assert!(lambda.is_finite() && lambda >= 0.0, "invalid poisson mean");
-        if lambda == 0.0 {
+        if lambda == 0.0 { // nanocost-audit: allow(R2, reason = "exact sentinel comparison; the compared value is exactly representable")
             return 0;
         }
         if lambda > 30.0 {
@@ -160,9 +157,9 @@ impl Sampler {
     }
 }
 
-/// A serializable record of a Monte-Carlo experiment configuration, kept with
-/// results so that any figure can be regenerated bit-for-bit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+/// A record of a Monte-Carlo experiment configuration, kept with results so
+/// that any figure can be regenerated bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct McConfig {
     /// RNG seed.
     pub seed: u64,

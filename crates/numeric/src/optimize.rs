@@ -5,12 +5,10 @@
 //! smooth unimodal function on an interval — so a derivative-free bracketing
 //! method is the right tool.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::NumericError;
 
 /// The result of a one-dimensional minimization.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Minimum {
     /// Abscissa of the located minimum.
     pub x: f64,

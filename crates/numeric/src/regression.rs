@@ -1,11 +1,9 @@
 //! Least-squares fits: linear, power-law (log-log), and exponential trends.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::NumericError;
 
 /// Result of an ordinary-least-squares straight-line fit `y = a + b·x`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinearFit {
     /// Intercept `a`.
     pub intercept: f64,
@@ -26,7 +24,7 @@ impl LinearFit {
 }
 
 /// Result of a power-law fit `y = c·x^p`, obtained by OLS in log-log space.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerLawFit {
     /// Multiplier `c`.
     pub coefficient: f64,
@@ -48,7 +46,7 @@ impl PowerLawFit {
 
 /// Result of an exponential-trend fit `y = c·g^x` (e.g. `x` in years),
 /// obtained by OLS of `ln y` against `x`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExponentialFit {
     /// Value at `x = 0`.
     pub coefficient: f64,
@@ -103,7 +101,7 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Result<LinearFit, NumericError> {
         sxy += (x - mean_x) * (y - mean_y);
         syy += (y - mean_y) * (y - mean_y);
     }
-    if sxx == 0.0 {
+    if sxx == 0.0 { // nanocost-audit: allow(R2, reason = "exact sentinel comparison; the compared value is exactly representable")
         return Err(NumericError::InvalidInput {
             routine: ROUTINE,
             reason: "all abscissae are identical",
@@ -111,7 +109,7 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Result<LinearFit, NumericError> {
     }
     let slope = sxy / sxx;
     let intercept = mean_y - slope * mean_x;
-    let r_squared = if syy == 0.0 {
+    let r_squared = if syy == 0.0 { // nanocost-audit: allow(R2, reason = "exact sentinel comparison; the compared value is exactly representable")
         1.0 // perfectly flat data is perfectly fit by a flat line
     } else {
         (sxy * sxy) / (sxx * syy)

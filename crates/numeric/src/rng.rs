@@ -1,0 +1,246 @@
+//! Dependency-free pseudo-random number generation.
+//!
+//! The workspace previously leaned on the external `rand` crate; builds must
+//! now succeed fully offline, so randomness comes from an in-tree
+//! xoshiro256++ stream seeded through splitmix64 (Blackman & Vigna's
+//! recommended seeding discipline). The generator is *not* cryptographic —
+//! it exists to drive Monte-Carlo cost experiments and synthetic layout
+//! generation reproducibly from a single `u64` seed.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A seeded xoshiro256++ pseudo-random generator.
+///
+/// ```
+/// use nanocost_numeric::Rng64;
+///
+/// let mut a = Rng64::seed_from_u64(42);
+/// let mut b = Rng64::seed_from_u64(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// assert!((0.0..1.0).contains(&a.next_f64()));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng64 {
+    state: [u64; 4],
+}
+
+/// Splitmix64 step: expands a small seed into well-mixed state words.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng64 {
+    /// Creates a generator whose whole state is derived from `seed`.
+    ///
+    /// Mirrors the `rand::SeedableRng::seed_from_u64` entry point the
+    /// workspace used before going dependency-free, so call sites read the
+    /// same.
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let state = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng64 { state }
+    }
+
+    /// The next raw 64-bit draw (xoshiro256++ output function).
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform draw from `[0, 1)` with 53 bits of mantissa entropy.
+    pub fn next_f64(&mut self) -> f64 {
+        // Take the top 53 bits so the spacing is exactly 2^-53.
+        (self.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) as f64))
+    }
+
+    /// A uniform draw from `range`, matching the `rand::Rng::random_range`
+    /// call shape (`rng.random_range(0..n)`, `rng.random_range(0.0..1.0)`,
+    /// `rng.random_range(2..=4)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty range, as `rand` does.
+    pub fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+}
+
+/// Range shapes [`Rng64::random_range`] can sample from, producing a `T`.
+///
+/// `T` is a type parameter (not an associated type), and the impls below are
+/// blanket over [`UniformSample`] element types, so integer-literal inference
+/// flows both ways exactly as it does with `rand`.
+pub trait SampleRange<T> {
+    /// Draws one uniform value from the range.
+    fn sample(self, rng: &mut Rng64) -> T;
+}
+
+/// Element types [`Rng64::random_range`] knows how to draw uniformly.
+pub trait UniformSample: Copy + PartialOrd {
+    /// A uniform draw from `[lo, hi)`.
+    fn sample_half_open(rng: &mut Rng64, lo: Self, hi: Self) -> Self;
+    /// A uniform draw from `[lo, hi]`.
+    fn sample_inclusive(rng: &mut Rng64, lo: Self, hi: Self) -> Self;
+}
+
+impl<T: UniformSample> SampleRange<T> for Range<T> {
+    fn sample(self, rng: &mut Rng64) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: UniformSample> SampleRange<T> for RangeInclusive<T> {
+    fn sample(self, rng: &mut Rng64) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+/// Uniform integer in `[0, span)` without modulo bias worth caring about at
+/// the spans the workspace uses (Lemire-style multiply-shift).
+fn sample_span(rng: &mut Rng64, span: u64) -> u64 {
+    ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64
+}
+
+impl UniformSample for f64 {
+    fn sample_half_open(rng: &mut Rng64, lo: f64, hi: f64) -> f64 {
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "empty or non-finite f64 range");
+        let v = lo + (hi - lo) * rng.next_f64();
+        // Floating rounding can land exactly on `hi`; fold it back inside.
+        if v >= hi {
+            lo
+        } else {
+            v
+        }
+    }
+
+    fn sample_inclusive(rng: &mut Rng64, lo: f64, hi: f64) -> f64 {
+        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "empty or non-finite f64 range");
+        lo + (hi - lo) * rng.next_f64()
+    }
+}
+
+macro_rules! impl_uniform_sample_int {
+    ($($t:ty),*) => {$(
+        impl UniformSample for $t {
+            fn sample_half_open(rng: &mut Rng64, lo: $t, hi: $t) -> $t {
+                assert!(lo < hi, "empty integer range");
+                let span = hi.abs_diff(lo) as u64;
+                lo.wrapping_add(sample_span(rng, span) as $t)
+            }
+
+            fn sample_inclusive(rng: &mut Rng64, lo: $t, hi: $t) -> $t {
+                assert!(lo <= hi, "empty integer range");
+                let span = hi.abs_diff(lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(sample_span(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_uniform_sample_int!(usize, u64, i64, u32, i32);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = Rng64::seed_from_u64(7);
+        let mut b = Rng64::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng64::seed_from_u64(1);
+        let mut b = Rng64::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn unit_draws_stay_in_half_open_interval() {
+        let mut r = Rng64::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn unit_draws_cover_the_interval() {
+        let mut r = Rng64::seed_from_u64(5);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| r.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn integer_ranges_hit_every_value() {
+        let mut r = Rng64::seed_from_u64(11);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[r.random_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        // Inclusive form reaches its upper endpoint.
+        let mut top = false;
+        for _ in 0..200 {
+            if r.random_range(2usize..=4) == 4 {
+                top = true;
+            }
+        }
+        assert!(top);
+    }
+
+    #[test]
+    fn signed_ranges_respect_bounds() {
+        let mut r = Rng64::seed_from_u64(13);
+        for _ in 0..1000 {
+            let v = r.random_range(-20i64..-3);
+            assert!((-20..-3).contains(&v));
+        }
+    }
+
+    #[test]
+    fn float_ranges_respect_bounds() {
+        let mut r = Rng64::seed_from_u64(17);
+        for _ in 0..1000 {
+            let v = r.random_range(-2.5f64..7.5);
+            assert!((-2.5..7.5).contains(&v));
+            let w = r.random_range(0.0f64..=1.0);
+            assert!((0.0..=1.0).contains(&w));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty integer range")]
+    fn empty_range_panics() {
+        let mut r = Rng64::seed_from_u64(0);
+        let _ = r.random_range(5usize..5);
+    }
+}

@@ -54,10 +54,10 @@ pub fn bisect(
             reason: "function is non-finite at an endpoint",
         });
     }
-    if fa == 0.0 {
+    if fa == 0.0 { // nanocost-audit: allow(R2, reason = "exact sentinel comparison; the compared value is exactly representable")
         return Ok(a);
     }
-    if fb == 0.0 {
+    if fb == 0.0 { // nanocost-audit: allow(R2, reason = "exact sentinel comparison; the compared value is exactly representable")
         return Ok(b);
     }
     if fa.signum() == fb.signum() {
@@ -78,7 +78,7 @@ pub fn bisect(
                 reason: "function returned a non-finite value",
             });
         }
-        if fm == 0.0 {
+        if fm == 0.0 { // nanocost-audit: allow(R2, reason = "exact sentinel comparison; the compared value is exactly representable")
             return Ok(mid);
         }
         if fm.signum() == fa.signum() {

@@ -5,12 +5,10 @@
 //! coarse ASCII scatter so results are inspectable straight from a terminal
 //! or a CI log.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::NumericError;
 
 /// A named sequence of `(x, y)` points.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Series {
     name: String,
     points: Vec<(f64, f64)>,
@@ -83,7 +81,7 @@ impl Series {
         self.points
             .iter()
             .copied()
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite by construction"))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
     }
 
     /// Renders as CSV lines `x,y` with a `# name` header.
@@ -98,7 +96,7 @@ impl Series {
 }
 
 /// A collection of series sharing axes — one reproduced figure.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Chart {
     title: String,
     x_label: String,
@@ -155,7 +153,7 @@ impl Chart {
             .iter()
             .flat_map(|s| s.points().iter().map(|&(x, _)| x))
             .collect();
-        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite by construction"));
+        xs.sort_by(f64::total_cmp);
         xs.dedup();
         let mut out = format!("== {} ==\n", self.title);
         out.push_str(&format!("{:>14}", self.x_label));

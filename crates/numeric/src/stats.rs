@@ -1,11 +1,9 @@
 //! Descriptive statistics over `f64` samples.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::NumericError;
 
 /// A summary of a sample: moments and order statistics.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     /// Number of samples.
     pub n: usize,
@@ -55,7 +53,7 @@ pub fn summarize(samples: &[f64]) -> Result<Summary, NumericError> {
         0.0
     };
     let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite by validation"));
+    sorted.sort_by(f64::total_cmp);
     Ok(Summary {
         n,
         mean,
@@ -91,7 +89,7 @@ pub fn percentile(samples: &[f64], p: f64) -> Result<f64, NumericError> {
         });
     }
     let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite by validation"));
+    sorted.sort_by(f64::total_cmp);
     Ok(percentile_sorted(&sorted, p))
 }
 

@@ -13,8 +13,6 @@
 //! counts cannot be delivered at the target die cost with the assumed
 //! density — the paper's *cost contradiction*.
 
-use serde::{Deserialize, Serialize};
-
 use nanocost_units::{
     CostPerArea, DecompressionIndex, Dollars, FeatureSize, TransistorCount, UnitError, Yield,
 };
@@ -23,7 +21,7 @@ use crate::entry::RoadmapEntry;
 use crate::itrs1999::anchors;
 
 /// The economic assumptions of the constant-cost analysis.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ConstantCostAssumptions {
     /// Maximum acceptable die cost `C_ch`.
     pub die_cost: Dollars,
@@ -44,7 +42,7 @@ impl ConstantCostAssumptions {
         ConstantCostAssumptions {
             die_cost: Dollars::new(anchors::DIE_COST_DOLLARS),
             cost_per_cm2: CostPerArea::per_cm2(anchors::COST_PER_CM2),
-            fab_yield: Yield::new(anchors::YIELD).expect("paper constant is valid"),
+            fab_yield: Yield::new(anchors::YIELD).expect("paper constant is valid"), // nanocost-audit: allow(R1, reason = "documented invariant: paper constant is valid")
         }
     }
 
@@ -80,7 +78,7 @@ impl ConstantCostAssumptions {
 }
 
 /// One point of the Figure-3 analysis.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Figure3Point {
     /// Production year.
     pub year: u32,

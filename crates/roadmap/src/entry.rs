@@ -1,14 +1,12 @@
 //! Roadmap entries: one technology generation per record.
 
-use serde::{Deserialize, Serialize};
-
 use nanocost_units::{
     Area, DecompressionIndex, FeatureSize, TransistorCount, TransistorDensity, UnitError,
 };
 
 /// One generation of the ITRS-1999-style roadmap for cost-performance
 /// microprocessors.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RoadmapEntry {
     /// Production year.
     pub year: u32,
@@ -57,7 +55,7 @@ impl RoadmapEntry {
     #[must_use]
     pub fn implied_sd(&self) -> DecompressionIndex {
         self.transistor_density()
-            .decompression_index(self.feature_size().expect("dataset is validated"))
+            .decompression_index(self.feature_size().expect("dataset is validated")) // nanocost-audit: allow(R1, reason = "documented invariant: dataset is validated")
     }
 }
 

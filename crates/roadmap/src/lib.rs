@@ -38,15 +38,21 @@ pub use scenarios::Scenario;
 
 #[cfg(test)]
 mod proptests {
-    use super::*;
-    use nanocost_units::{FeatureSize, TransistorCount};
-    use proptest::prelude::*;
+    //! Randomized property checks driven by the in-tree [`Rng64`] stream so
+    //! the suite runs fully offline (the external `proptest` crate is gone).
 
-    proptest! {
-        #[test]
-        fn required_sd_monotone_in_every_argument(
-            um in 0.03f64..0.5, m in 1.0f64..1000.0
-        ) {
+    use super::*;
+    use nanocost_numeric::Rng64;
+    use nanocost_units::{FeatureSize, TransistorCount};
+
+    const CASES: usize = 256;
+
+    #[test]
+    fn required_sd_monotone_in_every_argument() {
+        let mut r = Rng64::seed_from_u64(0x41);
+        for _ in 0..CASES {
+            let um = r.random_range(0.03f64..0.5);
+            let m = r.random_range(1.0f64..1000.0);
             let a = ConstantCostAssumptions::paper_1999();
             let l1 = FeatureSize::from_microns(um).unwrap();
             let l2 = FeatureSize::from_microns(um * 0.9).unwrap();
@@ -54,32 +60,37 @@ mod proptests {
             let n2 = TransistorCount::from_millions(m * 1.5);
             let base = a.required_sd(l1, n1).unwrap().squares();
             // Smaller node: more s_d headroom (λ² in the denominator).
-            prop_assert!(a.required_sd(l2, n1).unwrap().squares() > base);
+            assert!(a.required_sd(l2, n1).unwrap().squares() > base);
             // More transistors: less headroom.
-            prop_assert!(a.required_sd(l1, n2).unwrap().squares() < base);
+            assert!(a.required_sd(l1, n2).unwrap().squares() < base);
         }
+    }
 
-        #[test]
-        fn die_cost_round_trips_through_required_sd(
-            um in 0.03f64..0.5, m in 1.0f64..1000.0
-        ) {
+    #[test]
+    fn die_cost_round_trips_through_required_sd() {
+        let mut r = Rng64::seed_from_u64(0x42);
+        for _ in 0..CASES {
+            let um = r.random_range(0.03f64..0.5);
+            let m = r.random_range(1.0f64..1000.0);
             let a = ConstantCostAssumptions::paper_1999();
             let lambda = FeatureSize::from_microns(um).unwrap();
             let n = TransistorCount::from_millions(m);
             let sd = a.required_sd(lambda, n).unwrap();
             let cost = a.die_cost_for(lambda, n, sd).amount();
-            prop_assert!((cost - 34.0).abs() < 1e-6);
+            assert!((cost - 34.0).abs() < 1e-6);
         }
+    }
 
-        #[test]
-        fn projections_are_continuous_in_year(year in 2000u32..2013) {
+    #[test]
+    fn projections_are_continuous_in_year() {
+        for year in 2000u32..2013 {
             let roadmap = itrs_1999();
             let trends = RoadmapTrends::fit(&roadmap).unwrap();
             let a = trends.project(&roadmap, year);
             let b = trends.project(&roadmap, year + 1);
             // Adjacent years differ by less than the biennial growth factor.
-            prop_assert!(b.transistors_millions / a.transistors_millions < 2.0);
-            prop_assert!(b.feature_nm < a.feature_nm);
+            assert!(b.transistors_millions / a.transistors_millions < 2.0);
+            assert!(b.feature_nm < a.feature_nm);
         }
     }
 }

@@ -1,14 +1,12 @@
 //! Trend fitting and projection over roadmap data.
 
-use serde::{Deserialize, Serialize};
-
 use nanocost_numeric::{exponential_fit, ExponentialFit, NumericError};
 
 use crate::entry::RoadmapEntry;
 
 /// Fitted exponential trends over a roadmap: transistor growth, feature
 /// shrink, and density growth, each against calendar year.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RoadmapTrends {
     /// Transistors-per-chip trend (growth factor > 1).
     pub transistors: ExponentialFit,

@@ -5,8 +5,6 @@
 //! This module parameterizes those two relaxations so the cost
 //! contradiction can be quantified under realistic erosion.
 
-use serde::{Deserialize, Serialize};
-
 use nanocost_units::{CostPerArea, UnitError, Yield};
 
 use crate::constant_cost::{figure3, ConstantCostAssumptions, Figure3Point};
@@ -14,7 +12,7 @@ use crate::entry::RoadmapEntry;
 
 /// A scenario: per-generation growth of `C_sq` and erosion of yield
 /// relative to the paper's optimistic anchors.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Scenario {
     /// Short name for reports.
     pub name: &'static str,

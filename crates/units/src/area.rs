@@ -4,8 +4,6 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, Div, Mul, Sub};
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::{ensure_non_negative, UnitError};
 
 /// An area of silicon, stored in square centimeters.
@@ -20,8 +18,7 @@ use crate::error::{ensure_non_negative, UnitError};
 /// let die = Area::from_mm2(120.0);
 /// assert!((die.cm2() - 1.2).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Area {
     cm2: f64,
 }
@@ -40,6 +37,7 @@ impl Area {
     pub fn from_cm2(cm2: f64) -> Self {
         Area {
             cm2: ensure_non_negative("area (cm²)", cm2)
+                // nanocost-audit: allow(R1, reason = "documented panic contract; try_from_cm2 is the fallible twin")
                 .expect("area must be finite and non-negative"),
         }
     }
@@ -87,7 +85,7 @@ impl Area {
     /// True if this is exactly zero area.
     #[must_use]
     pub fn is_zero(self) -> bool {
-        self.cm2 == 0.0
+        self.cm2 == 0.0 // nanocost-audit: allow(R2, reason = "exact sentinel comparison; the compared value is exactly representable")
     }
 
     /// The dimensionless ratio `self / other`.

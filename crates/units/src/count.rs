@@ -4,8 +4,6 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, Div, Mul};
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::{ensure_positive, UnitError};
 
 /// A number of transistors.
@@ -21,8 +19,7 @@ use crate::error::{ensure_positive, UnitError};
 /// assert_eq!(n.count(), 9_500_000.0);
 /// assert_eq!(format!("{}", n), "9.50M tr");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct TransistorCount(f64);
 
 impl TransistorCount {
@@ -44,6 +41,7 @@ impl TransistorCount {
     #[must_use]
     pub fn from_millions(millions: f64) -> Self {
         TransistorCount::new(millions * 1.0e6)
+            // nanocost-audit: allow(R1, reason = "documented panic contract; TransistorCount::new is the fallible twin")
             .expect("transistor count in millions must be positive")
     }
 
@@ -85,6 +83,7 @@ impl Mul<f64> for TransistorCount {
     ///
     /// Panics if the scaled count would be non-positive or non-finite.
     fn mul(self, rhs: f64) -> TransistorCount {
+        // nanocost-audit: allow(R1, reason = "documented panic contract on the Mul impl; callers scale by positive factors")
         TransistorCount::new(self.0 * rhs).expect("scaled transistor count must be positive")
     }
 }
@@ -103,15 +102,13 @@ impl Sum for TransistorCount {
     /// strictly positive.
     fn sum<I: Iterator<Item = TransistorCount>>(iter: I) -> TransistorCount {
         let total: f64 = iter.map(|t| t.0).sum();
+        // nanocost-audit: allow(R1, reason = "documented panic contract on the Sum impl; empty sums are a caller bug")
         TransistorCount::new(total).expect("sum of transistor counts must be positive")
     }
 }
 
 /// A number of wafers (the manufacturing volume `N_w` of eq. 5).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct WaferCount(u64);
 
 impl WaferCount {
@@ -151,10 +148,7 @@ impl fmt::Display for WaferCount {
 }
 
 /// A number of chips (dice), e.g. the gross dice per wafer `N_ch` of eq. 1.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ChipCount(u64);
 
 impl ChipCount {

@@ -13,8 +13,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::area::Area;
 use crate::count::TransistorCount;
 use crate::error::{ensure_positive, UnitError};
@@ -38,8 +36,7 @@ use crate::length::FeatureSize;
 /// assert!((sd.squares() - 251.7).abs() < 0.5);
 /// # Ok::<(), nanocost_units::UnitError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct DecompressionIndex(f64);
 
 impl DecompressionIndex {
@@ -96,8 +93,7 @@ impl fmt::Display for DecompressionIndex {
 }
 
 /// The design density index `d_d = 1/s_d`: transistors per λ² square.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct DesignDensity(f64);
 
 impl DesignDensity {
@@ -134,8 +130,7 @@ impl fmt::Display for DesignDensity {
 ///
 /// This is the quantity the industry traditionally reports; the paper's point
 /// is that it conflates process progress (λ) with design quality (`s_d`).
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct TransistorDensity(f64);
 
 impl TransistorDensity {

@@ -4,8 +4,6 @@
 use std::fmt;
 use std::ops::Mul;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::{ensure_in_range, UnitError};
 
 /// Manufacturing yield: the fraction of fabricated chips that are fully
@@ -22,8 +20,7 @@ use crate::error::{ensure_in_range, UnitError};
 /// assert_eq!(format!("{}", y), "80.0%");
 /// # Ok::<(), nanocost_units::UnitError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct Yield(f64);
 
 impl Yield {
@@ -37,7 +34,7 @@ impl Yield {
     /// Returns [`UnitError`] if `value` is non-finite, `<= 0`, or `> 1`.
     pub fn new(value: f64) -> Result<Self, UnitError> {
         let v = ensure_in_range("yield", value, 0.0, 1.0)?;
-        if v == 0.0 {
+        if v == 0.0 { // nanocost-audit: allow(R2, reason = "exact sentinel comparison; the compared value is exactly representable")
             return Err(UnitError::NotPositive {
                 quantity: "yield",
                 value: v,
@@ -103,8 +100,7 @@ impl Mul for Yield {
 /// assert!((effective.value() - 0.2).abs() < 1e-12);
 /// # Ok::<(), nanocost_units::UnitError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct Utilization(f64);
 
 impl Utilization {
@@ -119,7 +115,7 @@ impl Utilization {
     /// Returns [`UnitError`] if `value` is non-finite, `<= 0`, or `> 1`.
     pub fn new(value: f64) -> Result<Self, UnitError> {
         let v = ensure_in_range("utilization", value, 0.0, 1.0)?;
-        if v == 0.0 {
+        if v == 0.0 { // nanocost-audit: allow(R2, reason = "exact sentinel comparison; the compared value is exactly representable")
             return Err(UnitError::NotPositive {
                 quantity: "utilization",
                 value: v,

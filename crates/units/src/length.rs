@@ -3,8 +3,6 @@
 use std::fmt;
 use std::ops::{Div, Mul};
 
-use serde::{Deserialize, Serialize};
-
 use crate::area::Area;
 use crate::error::{ensure_positive, UnitError};
 
@@ -22,8 +20,7 @@ use crate::error::{ensure_positive, UnitError};
 /// assert!((node.microns() - 0.18).abs() < 1e-12);
 /// assert_eq!(format!("{}", node), "0.180µm");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct FeatureSize {
     microns: f64,
 }
@@ -51,6 +48,7 @@ impl FeatureSize {
     #[must_use]
     pub fn from_nanometers(nanometers: f64) -> Self {
         FeatureSize::from_microns(nanometers / 1000.0)
+            // nanocost-audit: allow(R1, reason = "documented panic contract; from_microns is the fallible twin")
             .expect("feature size in nanometers must be finite and positive")
     }
 
@@ -118,6 +116,7 @@ impl Mul<f64> for FeatureSize {
     ///
     /// Panics if the resulting length would be non-positive or non-finite.
     fn mul(self, rhs: f64) -> FeatureSize {
+        // nanocost-audit: allow(R1, reason = "documented panic contract on the Mul impl; shrink factors are positive")
         FeatureSize::from_microns(self.microns * rhs).expect("scaled feature size must be positive")
     }
 }

@@ -63,93 +63,134 @@ pub use money::{CostPerArea, Dollars};
 
 #[cfg(test)]
 mod proptests {
-    use super::*;
-    use proptest::prelude::*;
+    //! Randomized property checks driven by the in-tree [`Rng64`] stream so
+    //! the suite runs fully offline (the external `proptest` crate is gone).
 
-    fn finite_positive() -> impl Strategy<Value = f64> {
-        // Spread across many decades, as the domain does.
-        (-6.0f64..9.0).prop_map(|e| 10f64.powf(e))
+    use super::*;
+    use nanocost_numeric::Rng64;
+
+    const CASES: usize = 256;
+
+    /// Positive magnitudes spread across many decades, as the domain does.
+    fn finite_positive(r: &mut Rng64) -> f64 {
+        10f64.powf(r.random_range(-6.0f64..9.0))
     }
 
-    proptest! {
-        #[test]
-        fn dollars_add_commutes(a in -1e12f64..1e12, b in -1e12f64..1e12) {
-            let x = Dollars::new(a);
-            let y = Dollars::new(b);
-            prop_assert_eq!(x + y, y + x);
+    #[test]
+    fn dollars_add_commutes() {
+        let mut r = Rng64::seed_from_u64(0x01);
+        for _ in 0..CASES {
+            let x = Dollars::new(r.random_range(-1e12f64..1e12));
+            let y = Dollars::new(r.random_range(-1e12f64..1e12));
+            assert_eq!(x + y, y + x);
         }
+    }
 
-        #[test]
-        fn dollars_millions_round_trip(m in finite_positive()) {
+    #[test]
+    fn dollars_millions_round_trip() {
+        let mut r = Rng64::seed_from_u64(0x02);
+        for _ in 0..CASES {
+            let m = finite_positive(&mut r);
             let d = Dollars::from_millions(m);
-            prop_assert!((d.to_millions() - m).abs() <= m * 1e-12);
+            assert!((d.to_millions() - m).abs() <= m * 1e-12);
         }
+    }
 
-        #[test]
-        fn area_conversions_round_trip(cm2 in finite_positive()) {
+    #[test]
+    fn area_conversions_round_trip() {
+        let mut r = Rng64::seed_from_u64(0x03);
+        for _ in 0..CASES {
+            let cm2 = finite_positive(&mut r);
             let a = Area::from_cm2(cm2);
-            prop_assert!((Area::from_mm2(a.mm2()).cm2() - cm2).abs() <= cm2 * 1e-9);
-            prop_assert!((Area::from_um2(a.um2()).cm2() - cm2).abs() <= cm2 * 1e-9);
+            assert!((Area::from_mm2(a.mm2()).cm2() - cm2).abs() <= cm2 * 1e-9);
+            assert!((Area::from_um2(a.um2()).cm2() - cm2).abs() <= cm2 * 1e-9);
         }
+    }
 
-        #[test]
-        fn feature_size_square_is_monotone(a in 0.01f64..10.0, b in 0.01f64..10.0) {
+    #[test]
+    fn feature_size_square_is_monotone() {
+        let mut r = Rng64::seed_from_u64(0x04);
+        for _ in 0..CASES {
+            let a = r.random_range(0.01f64..10.0);
+            let b = r.random_range(0.01f64..10.0);
             let fa = FeatureSize::from_microns(a).unwrap();
             let fb = FeatureSize::from_microns(b).unwrap();
-            prop_assert_eq!(a < b, fa.square().cm2() < fb.square().cm2());
+            assert_eq!(a < b, fa.square().cm2() < fb.square().cm2());
         }
+    }
 
-        #[test]
-        fn yield_accepts_exactly_unit_interval(v in -1.0f64..2.0) {
+    #[test]
+    fn yield_accepts_exactly_unit_interval() {
+        let mut r = Rng64::seed_from_u64(0x05);
+        for _ in 0..CASES {
+            let v = r.random_range(-1.0f64..2.0);
             let ok = v > 0.0 && v <= 1.0;
-            prop_assert_eq!(Yield::new(v).is_ok(), ok);
+            assert_eq!(Yield::new(v).is_ok(), ok);
         }
+    }
 
-        #[test]
-        fn yield_composition_never_exceeds_components(
-            a in 1e-6f64..1.0, b in 1e-6f64..1.0
-        ) {
+    #[test]
+    fn yield_composition_never_exceeds_components() {
+        let mut r = Rng64::seed_from_u64(0x06);
+        for _ in 0..CASES {
+            let a = r.random_range(1e-6f64..1.0);
+            let b = r.random_range(1e-6f64..1.0);
             let y = Yield::new(a).unwrap() * Yield::new(b).unwrap();
-            prop_assert!(y.value() <= a && y.value() <= b);
+            assert!(y.value() <= a && y.value() <= b);
         }
+    }
 
-        #[test]
-        fn sd_dd_are_mutual_inverses(s in finite_positive()) {
+    #[test]
+    fn sd_dd_are_mutual_inverses() {
+        let mut r = Rng64::seed_from_u64(0x07);
+        for _ in 0..CASES {
+            let s = finite_positive(&mut r);
             let sd = DecompressionIndex::new(s).unwrap();
             let back = sd.density_index().decompression_index();
-            prop_assert!((back.squares() - s).abs() <= s * 1e-12);
+            assert!((back.squares() - s).abs() <= s * 1e-12);
         }
+    }
 
-        #[test]
-        fn eq2_round_trip_any_lambda(
-            s in 1.0f64..2000.0, um in 0.01f64..3.0
-        ) {
+    #[test]
+    fn eq2_round_trip_any_lambda() {
+        let mut r = Rng64::seed_from_u64(0x08);
+        for _ in 0..CASES {
+            let s = r.random_range(1.0f64..2000.0);
+            let um = r.random_range(0.01f64..3.0);
             let sd = DecompressionIndex::new(s).unwrap();
             let lambda = FeatureSize::from_microns(um).unwrap();
             let back = sd.transistor_density(lambda).decompression_index(lambda);
-            prop_assert!((back.squares() - s).abs() <= s * 1e-9);
+            assert!((back.squares() - s).abs() <= s * 1e-9);
         }
+    }
 
-        #[test]
-        fn chip_area_scales_linearly_in_transistors(
-            s in 10.0f64..1000.0, um in 0.05f64..1.5, m in 0.1f64..100.0
-        ) {
+    #[test]
+    fn chip_area_scales_linearly_in_transistors() {
+        let mut r = Rng64::seed_from_u64(0x09);
+        for _ in 0..CASES {
+            let s = r.random_range(10.0f64..1000.0);
+            let um = r.random_range(0.05f64..1.5);
+            let m = r.random_range(0.1f64..100.0);
             let sd = DecompressionIndex::new(s).unwrap();
             let lambda = FeatureSize::from_microns(um).unwrap();
             let a1 = sd.chip_area(TransistorCount::from_millions(m), lambda);
             let a2 = sd.chip_area(TransistorCount::from_millions(2.0 * m), lambda);
-            prop_assert!((a2.cm2() / a1.cm2() - 2.0).abs() < 1e-9);
+            assert!((a2.cm2() / a1.cm2() - 2.0).abs() < 1e-9);
         }
+    }
 
-        #[test]
-        fn cost_density_times_area_is_bilinear(
-            c in 0.1f64..100.0, cm2 in 0.1f64..1000.0, k in 0.1f64..10.0
-        ) {
+    #[test]
+    fn cost_density_times_area_is_bilinear() {
+        let mut r = Rng64::seed_from_u64(0x0A);
+        for _ in 0..CASES {
+            let c = r.random_range(0.1f64..100.0);
+            let cm2 = r.random_range(0.1f64..1000.0);
+            let k = r.random_range(0.1f64..10.0);
             let cd = CostPerArea::per_cm2(c);
             let a = Area::from_cm2(cm2);
             let lhs = (cd * (a * k)).amount();
             let rhs = (cd * a).amount() * k;
-            prop_assert!((lhs - rhs).abs() <= lhs.abs() * 1e-12 + 1e-12);
+            assert!((lhs - rhs).abs() <= lhs.abs() * 1e-12 + 1e-12);
         }
     }
 }

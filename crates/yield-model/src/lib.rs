@@ -58,15 +58,22 @@ pub use models::{MurphyModel, NegativeBinomialModel, PoissonModel, SeedsModel, Y
 
 #[cfg(test)]
 mod proptests {
-    use super::*;
-    use nanocost_units::{Area, DecompressionIndex, FeatureSize, TransistorCount, WaferCount};
-    use proptest::prelude::*;
+    //! Randomized property checks driven by the in-tree [`Rng64`] stream so
+    //! the suite runs fully offline (the external `proptest` crate is gone).
 
-    proptest! {
-        #[test]
-        fn all_models_stay_in_unit_interval(
-            a in 0.0f64..100.0, d in 0.0f64..10.0, alpha in 0.1f64..50.0
-        ) {
+    use super::*;
+    use nanocost_numeric::Rng64;
+    use nanocost_units::{Area, DecompressionIndex, FeatureSize, TransistorCount, WaferCount};
+
+    const CASES: usize = 128;
+
+    #[test]
+    fn all_models_stay_in_unit_interval() {
+        let mut r = Rng64::seed_from_u64(0x21);
+        for _ in 0..CASES {
+            let a = r.random_range(0.0f64..100.0);
+            let d = r.random_range(0.0f64..10.0);
+            let alpha = r.random_range(0.1f64..50.0);
             let area = Area::from_cm2(a);
             let density = DefectDensity::per_cm2(d).unwrap();
             let models: Vec<Box<dyn YieldModel>> = vec![
@@ -77,27 +84,36 @@ mod proptests {
             ];
             for m in models {
                 let y = m.die_yield(area, density).value();
-                prop_assert!(y > 0.0 && y <= 1.0, "{} gave {}", m.name(), y);
+                assert!(y > 0.0 && y <= 1.0, "{} gave {}", m.name(), y);
             }
         }
+    }
 
-        #[test]
-        fn negbin_yield_increases_with_alpha(
-            a in 0.1f64..10.0, d in 0.1f64..3.0,
-            alpha_lo in 0.2f64..5.0, bump in 0.1f64..20.0
-        ) {
+    #[test]
+    fn negbin_yield_increases_with_alpha() {
+        let mut r = Rng64::seed_from_u64(0x22);
+        for _ in 0..CASES {
+            let a = r.random_range(0.1f64..10.0);
+            let d = r.random_range(0.1f64..3.0);
+            let alpha_lo = r.random_range(0.2f64..5.0);
+            let bump = r.random_range(0.1f64..20.0);
             let area = Area::from_cm2(a);
             let density = DefectDensity::per_cm2(d).unwrap();
             let lo = NegativeBinomialModel::new(alpha_lo).unwrap().die_yield(area, density);
             let hi = NegativeBinomialModel::new(alpha_lo + bump).unwrap().die_yield(area, density);
             // More clustering (smaller alpha) is always at least as good.
-            prop_assert!(lo.value() >= hi.value() - 1e-12);
+            assert!(lo.value() >= hi.value() - 1e-12);
         }
+    }
 
-        #[test]
-        fn defect_scaling_is_multiplicative(
-            d in 0.01f64..5.0, l1 in 0.05f64..1.0, l2 in 0.05f64..1.0, p in 0.5f64..3.0
-        ) {
+    #[test]
+    fn defect_scaling_is_multiplicative() {
+        let mut r = Rng64::seed_from_u64(0x23);
+        for _ in 0..CASES {
+            let d = r.random_range(0.01f64..5.0);
+            let l1 = r.random_range(0.05f64..1.0);
+            let l2 = r.random_range(0.05f64..1.0);
+            let p = r.random_range(0.5f64..3.0);
             let base = DefectDensity::per_cm2(d).unwrap();
             let ref_node = FeatureSize::from_microns(0.25).unwrap();
             let a = FeatureSize::from_microns(l1).unwrap();
@@ -105,14 +121,21 @@ mod proptests {
             // Scaling ref->a then a->b equals scaling ref->b.
             let two_step = base.scaled_to(ref_node, a, p).scaled_to(a, b, p);
             let one_step = base.scaled_to(ref_node, b, p);
-            prop_assert!((two_step.value() - one_step.value()).abs()
-                <= one_step.value() * 1e-9 + 1e-12);
+            assert!(
+                (two_step.value() - one_step.value()).abs()
+                    <= one_step.value() * 1e-9 + 1e-12
+            );
         }
+    }
 
-        #[test]
-        fn surface_yield_is_valid_everywhere(
-            l in 0.03f64..2.0, s in 30.0f64..1500.0, m in 0.1f64..500.0, v in 1u64..500_000
-        ) {
+    #[test]
+    fn surface_yield_is_valid_everywhere() {
+        let mut r = Rng64::seed_from_u64(0x24);
+        for _ in 0..CASES {
+            let l = r.random_range(0.03f64..2.0);
+            let s = r.random_range(30.0f64..1500.0);
+            let m = r.random_range(0.1f64..500.0);
+            let v = r.random_range(1u64..500_000);
             let surface = YieldSurface::nanometer_default();
             let y = surface.evaluate(
                 FeatureSize::from_microns(l).unwrap(),
@@ -120,14 +143,18 @@ mod proptests {
                 TransistorCount::from_millions(m),
                 WaferCount::new(v).unwrap(),
             );
-            prop_assert!(y.value() > 0.0 && y.value() <= 1.0);
+            assert!(y.value() > 0.0 && y.value() <= 1.0);
         }
+    }
 
-        #[test]
-        fn repair_yield_bounded_and_monotone_in_spares(
-            a_mem in 0.1f64..3.0, a_logic in 0.05f64..2.0,
-            d in 0.05f64..2.0, spares in 0u32..16
-        ) {
+    #[test]
+    fn repair_yield_bounded_and_monotone_in_spares() {
+        let mut r = Rng64::seed_from_u64(0x25);
+        for _ in 0..CASES {
+            let a_mem = r.random_range(0.1f64..3.0);
+            let a_logic = r.random_range(0.05f64..2.0);
+            let d = r.random_range(0.05f64..2.0);
+            let spares = r.random_range(0u32..16);
             let density = DefectDensity::per_cm2(d).unwrap();
             let make = |k: u32| {
                 RedundantDie::new(
@@ -140,16 +167,20 @@ mod proptests {
             };
             let y0 = make(spares).yield_with_repair(density).value();
             let y1 = make(spares + 1).yield_with_repair(density).value();
-            prop_assert!(y0 > 0.0 && y0 <= 1.0);
+            assert!(y0 > 0.0 && y0 <= 1.0);
             // One more spare never hurts per-die yield (it only costs area,
             // which good_dice_per_cm2 accounts separately).
-            prop_assert!(y1 >= y0 - 1e-12);
+            assert!(y1 >= y0 - 1e-12);
         }
+    }
 
-        #[test]
-        fn critical_scan_fraction_bounded_on_generated_artwork(
-            rows in 2usize..6, cols in 2usize..8, um in 0.05f64..1.0
-        ) {
+    #[test]
+    fn critical_scan_fraction_bounded_on_generated_artwork() {
+        let mut r = Rng64::seed_from_u64(0x26);
+        for _ in 0..32 {
+            let rows = r.random_range(2usize..6);
+            let cols = r.random_range(2usize..8);
+            let um = r.random_range(0.05f64..1.0);
             let layout = nanocost_layout::MemoryArrayGenerator::new(rows, cols)
                 .unwrap()
                 .generate()
@@ -162,21 +193,24 @@ mod proptests {
             )
             .unwrap();
             let f = scan.critical_fraction();
-            prop_assert!((0.0..=1.0).contains(&f));
-            prop_assert!(scan.gaps > 0);
+            assert!((0.0..=1.0).contains(&f));
+            assert!(scan.gaps > 0);
         }
+    }
 
-        #[test]
-        fn surface_monotone_in_volume(
-            v1 in 1u64..100_000, extra in 1u64..100_000
-        ) {
+    #[test]
+    fn surface_monotone_in_volume() {
+        let mut r = Rng64::seed_from_u64(0x27);
+        for _ in 0..CASES {
+            let v1 = r.random_range(1u64..100_000);
+            let extra = r.random_range(1u64..100_000);
             let surface = YieldSurface::nanometer_default();
             let l = FeatureSize::from_microns(0.18).unwrap();
             let s = DecompressionIndex::new(250.0).unwrap();
             let n = TransistorCount::from_millions(10.0);
             let y1 = surface.evaluate(l, s, n, WaferCount::new(v1).unwrap());
             let y2 = surface.evaluate(l, s, n, WaferCount::new(v1 + extra).unwrap());
-            prop_assert!(y2.value() >= y1.value() - 1e-12);
+            assert!(y2.value() >= y1.value() - 1e-12);
         }
     }
 }

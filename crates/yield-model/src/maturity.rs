@@ -6,8 +6,6 @@
 //! exponential learning curve for defect density and a volume-driven ramp
 //! for systematic (non-defect) yield losses.
 
-use serde::{Deserialize, Serialize};
-
 use nanocost_units::{UnitError, WaferCount, Yield};
 
 use crate::defect::DefectDensity;
@@ -37,7 +35,7 @@ use crate::defect::DefectDensity;
 /// assert!(early.value() > late.value());
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LearningCurve {
     initial: DefectDensity,
     mature: DefectDensity,
@@ -45,7 +43,8 @@ pub struct LearningCurve {
 }
 
 impl LearningCurve {
-    /// Creates a learning curve.
+    /// Creates a learning curve — the process-maturity dependence the
+    /// paper folds into eq. 7's `Y(…, N_w)`.
     ///
     /// # Errors
     ///
@@ -83,22 +82,25 @@ impl LearningCurve {
         })
     }
 
-    /// Defect density after `volume` cumulative wafers.
+    /// Defect density after `volume` cumulative wafers — the maturity
+    /// axis of eq. 7's `Y(N_w)`.
     #[must_use]
     pub fn defect_density(&self, volume: WaferCount) -> DefectDensity {
         let v = volume.as_f64();
         let d = self.mature.value()
             + (self.initial.value() - self.mature.value()) * (-v / self.learning_volume).exp();
-        DefectDensity::per_cm2(d).expect("interpolation of valid densities is valid")
+        DefectDensity::per_cm2(d).expect("interpolation of valid densities is valid") // nanocost-audit: allow(R1, reason = "documented invariant: interpolation of valid densities is valid")
     }
 
-    /// The floor the curve learns toward.
+    /// The floor the curve learns toward — the mature-process limit of
+    /// eq. 7's `Y`.
     #[must_use]
     pub fn mature_density(&self) -> DefectDensity {
         self.mature
     }
 
-    /// The day-one density.
+    /// The day-one density — the immature end of the paper's
+    /// yield-learning story.
     #[must_use]
     pub fn initial_density(&self) -> DefectDensity {
         self.initial
@@ -114,7 +116,7 @@ impl LearningCurve {
 /// Systematic losses (lithography hotspots, etch micro-loading, parametric
 /// excursions) dominate early life of nanometer processes and are fixed one
 /// root-cause at a time, hence the same exponential shape.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SystematicRamp {
     initial: Yield,
     mature: Yield,
@@ -122,7 +124,8 @@ pub struct SystematicRamp {
 }
 
 impl SystematicRamp {
-    /// Creates a ramp.
+    /// Creates a ramp — the systematic half of the paper's "complex
+    /// function of … process maturity as well as volume".
     ///
     /// # Errors
     ///
@@ -156,7 +159,7 @@ impl SystematicRamp {
     }
 
     /// A ramp that is always at its mature value (no systematic losses
-    /// modeled).
+    /// modeled — the systematic term of eq. 7's `Y` held constant).
     #[must_use]
     pub fn flat(mature: Yield) -> Self {
         SystematicRamp {
@@ -166,7 +169,8 @@ impl SystematicRamp {
         }
     }
 
-    /// Systematic yield after `volume` cumulative wafers.
+    /// Systematic yield after `volume` cumulative wafers — the
+    /// `N_w`-driven systematic term of eq. 7's `Y`.
     #[must_use]
     pub fn systematic_yield(&self, volume: WaferCount) -> Yield {
         let v = volume.as_f64();

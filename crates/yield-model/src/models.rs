@@ -12,8 +12,6 @@
 //!   parameter α, the industry-standard generalization; α→∞ recovers
 //!   Poisson and α=1 recovers Seeds.
 
-use serde::{Deserialize, Serialize};
-
 use nanocost_units::{Area, UnitError, Yield};
 
 use crate::defect::DefectDensity;
@@ -33,7 +31,7 @@ pub trait YieldModel: std::fmt::Debug {
 }
 
 /// Poisson yield: `Y = exp(-A·D0)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PoissonModel;
 
 impl YieldModel for PoissonModel {
@@ -47,13 +45,13 @@ impl YieldModel for PoissonModel {
 }
 
 /// Murphy's yield: `Y = ((1 - e^{-AD}) / (AD))²`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct MurphyModel;
 
 impl YieldModel for MurphyModel {
     fn die_yield(&self, critical_area: Area, d0: DefectDensity) -> Yield {
         let ad = critical_area.cm2() * d0.value();
-        if ad == 0.0 {
+        if ad == 0.0 { // nanocost-audit: allow(R2, reason = "exact sentinel comparison; the compared value is exactly representable")
             return Yield::PERFECT;
         }
         let f = (1.0 - (-ad).exp()) / ad;
@@ -66,7 +64,7 @@ impl YieldModel for MurphyModel {
 }
 
 /// Seeds' yield: `Y = 1 / (1 + AD)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SeedsModel;
 
 impl YieldModel for SeedsModel {
@@ -97,13 +95,15 @@ impl YieldModel for SeedsModel {
 /// assert!(nb.die_yield(a, d).value() > PoissonModel.die_yield(a, d).value());
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NegativeBinomialModel {
     alpha: f64,
 }
 
 impl NegativeBinomialModel {
-    /// Creates a negative-binomial model with clustering parameter `alpha`.
+    /// Creates a negative-binomial model with clustering parameter
+    /// `alpha` — the standard clustered-defect model behind the paper's
+    /// yield term.
     ///
     /// # Errors
     ///
@@ -123,7 +123,8 @@ impl NegativeBinomialModel {
         Ok(NegativeBinomialModel { alpha })
     }
 
-    /// The clustering parameter α.
+    /// The clustering parameter α — the defect-clustering knob of the
+    /// paper's yield-model lineage.
     #[must_use]
     pub fn alpha(self) -> f64 {
         self.alpha

@@ -13,15 +13,13 @@
 //!   wafer*, trading repair coverage against the silicon the spares
 //!   themselves consume.
 
-use serde::{Deserialize, Serialize};
-
 use nanocost_units::{Area, UnitError, Yield};
 
 use crate::defect::DefectDensity;
 
 /// A die with a repairable (memory) region and an unrepairable (logic)
 /// region.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RedundantDie {
     /// Critical area of the repairable region, before spares are added.
     pub repairable_area: Area,
@@ -36,7 +34,8 @@ pub struct RedundantDie {
 }
 
 impl RedundantDie {
-    /// Creates a redundant-die description.
+    /// Creates a redundant-die description — the repairable-circuit
+    /// geometry of the paper's ref. [32].
     ///
     /// # Errors
     ///
@@ -69,16 +68,18 @@ impl RedundantDie {
         })
     }
 
-    /// Total die critical area including the spares' own silicon.
+    /// Total die critical area including the spares' own silicon — the
+    /// area price of the paper's ref.-[32] repair lever.
     #[must_use]
     pub fn total_area(&self) -> Area {
         self.repairable_area * (1.0 + self.spare_overhead * f64::from(self.spares))
             + self.logic_area
     }
 
-    /// Yield with repair under Poisson statistics: the logic region must
-    /// be fault-free, while the (spare-inflated) repairable region
-    /// tolerates up to `spares` faults:
+    /// Yield with repair under Poisson statistics (the paper's ref.-[32]
+    /// repairable-circuit model): the logic region must be fault-free,
+    /// while the (spare-inflated) repairable region tolerates up to
+    /// `spares` faults:
     ///
     /// ```text
     /// Y = e^{−A_l·D} · Σ_{k=0}^{r} e^{−A_m·D} (A_m·D)^k / k!
@@ -106,7 +107,7 @@ impl RedundantDie {
     }
 
     /// Yield of the same die with zero spares (and no spare overhead) —
-    /// the unrepaired baseline.
+    /// the unrepaired baseline of the paper's ref.-[32] comparison.
     #[must_use]
     pub fn yield_without_repair(&self, d0: DefectDensity) -> Yield {
         let d = d0.value();
@@ -123,7 +124,8 @@ pub fn good_dice_per_cm2(die: &RedundantDie, d0: DefectDensity) -> f64 {
 }
 
 /// Finds the spare count in `[0, max_spares]` maximizing
-/// [`good_dice_per_cm2`].
+/// [`good_dice_per_cm2`] — pricing the redundancy design lever from the
+/// paper's ref. [32].
 #[must_use]
 pub fn optimal_spares(
     repairable_area: Area,

@@ -16,8 +16,6 @@
 //! modeling techniques" (§3.1): model forms should be earned against a
 //! process, not assumed.
 
-use serde::{Deserialize, Serialize};
-
 use nanocost_fab::{DieSite, WaferSpec};
 use nanocost_numeric::Sampler;
 use nanocost_units::{Area, UnitError, Yield};
@@ -25,7 +23,7 @@ use nanocost_units::{Area, UnitError, Yield};
 use crate::defect::DefectDensity;
 
 /// The spatial law defects follow on the wafer.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum DefectProcess {
     /// Complete spatial randomness at the given mean density.
     Uniform {
@@ -46,7 +44,8 @@ pub enum DefectProcess {
 }
 
 impl DefectProcess {
-    /// The process's mean density.
+    /// The process's mean density — the `D0` shared with the paper's
+    /// analytic yield models.
     #[must_use]
     pub fn density(&self) -> DefectDensity {
         match *self {
@@ -58,7 +57,7 @@ impl DefectProcess {
 }
 
 /// Result of simulating one production lot of wafers.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WaferMapResult {
     /// Wafers simulated.
     pub wafers: usize,
@@ -77,21 +76,24 @@ impl WaferMapResult {
     /// parameter α from the per-die defect statistics:
     /// `α = m² / (v − m)`. Returns `None` for under-dispersed data
     /// (variance ≤ mean — i.e. Poisson or cleaner), where α → ∞.
+    /// Recovers the α of the clustered yield model behind the paper's
+    /// `Y` term.
     #[must_use]
     pub fn fitted_alpha(&self) -> Option<f64> {
         let m = self.mean_defects_per_die;
         let v = self.var_defects_per_die;
-        if v <= m || m == 0.0 {
+        if v <= m || m == 0.0 { // nanocost-audit: allow(R2, reason = "exact sentinel comparison; the compared value is exactly representable")
             return None;
         }
         Some(m * m / (v - m))
     }
 
     /// The dispersion index `variance / mean` (1 for Poisson, > 1 for
-    /// clustered processes).
+    /// clustered processes) — the clustering evidence behind the paper's
+    /// non-Poisson yield models.
     #[must_use]
     pub fn dispersion(&self) -> f64 {
-        if self.mean_defects_per_die == 0.0 {
+        if self.mean_defects_per_die == 0.0 { // nanocost-audit: allow(R2, reason = "exact sentinel comparison; the compared value is exactly representable")
             return 1.0;
         }
         self.var_defects_per_die / self.mean_defects_per_die
@@ -99,7 +101,7 @@ impl WaferMapResult {
 }
 
 /// The wafer-map simulator.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WaferMapSimulator {
     wafer: WaferSpec,
     die_area: Area,
@@ -108,7 +110,8 @@ pub struct WaferMapSimulator {
 }
 
 impl WaferMapSimulator {
-    /// Creates a simulator.
+    /// Creates a simulator — the ground-truth process against which the
+    /// paper's analytic yield models are validated.
     ///
     /// # Errors
     ///
@@ -145,14 +148,16 @@ impl WaferMapSimulator {
         })
     }
 
-    /// The die's defect-critical area implied by the configured fraction.
+    /// The die's defect-critical area implied by the configured fraction —
+    /// the `A` of the paper's `Y(A·D0)` yield models.
     #[must_use]
     pub fn critical_area(&self) -> Area {
         self.die_area * self.critical_fraction
     }
 
     /// Simulates `wafers` wafers under `process` and aggregates the
-    /// per-die statistics.
+    /// per-die statistics — the Monte-Carlo check on the paper's analytic
+    /// yield models.
     ///
     /// # Panics
     ///

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# The merge gate: tier-1 verify plus the in-tree static-analysis pass.
+# Everything runs offline; no network access is required.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "==> workspace tests: cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> nanocost-audit --deny"
+cargo run -q --release -p nanocost-audit -- --deny
+
+echo "ci: all gates passed"
