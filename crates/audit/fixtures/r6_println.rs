@@ -1,0 +1,28 @@
+//! R6 fixture: console writes in library code, with every exemption the
+//! rule grants — test regions and a reasoned pragma.
+
+/// Prints a Table A1 summary instead of returning it; both lines violate R6.
+pub fn chatty_report(total: u64) {
+    println!("total = {total}");
+    eprintln!("done");
+}
+
+/// Figure 4 progress ticker; single-shot writes are still violations.
+pub fn progress(step: u64) {
+    print!("{step}...");
+    eprint!("!");
+}
+
+/// Eq. (7) fallback path; a reasoned pragma suppresses the deliberate write.
+pub fn last_resort() {
+    // nanocost-audit: allow(R6, reason = "stderr is the only channel left when the trace sink fails")
+    eprintln!("trace sink unavailable");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn debugging_prints_are_fine_in_tests() {
+        println!("debug output");
+    }
+}

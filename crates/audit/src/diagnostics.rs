@@ -20,6 +20,9 @@ pub enum RuleId {
     /// Every public model-crate function documents the paper
     /// equation/figure/table it implements.
     R5,
+    /// No `println!`/`eprintln!`/`print!`/`eprint!` in library code;
+    /// output flows through return values or `nanocost-trace`.
+    R6,
     /// Meta-rule: a `nanocost-audit:` suppression pragma is malformed
     /// (unknown rule id, missing mandatory reason, or bad syntax).
     P0,
@@ -27,9 +30,10 @@ pub enum RuleId {
 
 impl RuleId {
     /// All rules, in report order.
-    pub const ALL: [RuleId; 5] = [RuleId::R1, RuleId::R2, RuleId::R3, RuleId::R4, RuleId::R5];
+    pub const ALL: [RuleId; 6] =
+        [RuleId::R1, RuleId::R2, RuleId::R3, RuleId::R4, RuleId::R5, RuleId::R6];
 
-    /// Parses `"R1"`…`"R5"` (case-insensitive). `P0` is not parseable:
+    /// Parses `"R1"`…`"R6"` (case-insensitive). `P0` is not parseable:
     /// pragma hygiene cannot itself be suppressed by a pragma.
     pub fn parse(s: &str) -> Option<RuleId> {
         match s.trim().to_ascii_uppercase().as_str() {
@@ -38,6 +42,7 @@ impl RuleId {
             "R3" => Some(RuleId::R3),
             "R4" => Some(RuleId::R4),
             "R5" => Some(RuleId::R5),
+            "R6" => Some(RuleId::R6),
             _ => None,
         }
     }
@@ -50,6 +55,7 @@ impl RuleId {
             RuleId::R3 => "no bare numeric literals in model functions outside const/calibration code",
             RuleId::R4 => "public model functions must use nanocost-units newtypes, not raw f64",
             RuleId::R5 => "every public model function cites the paper equation/figure/table it implements",
+            RuleId::R6 => "no println!/eprintln!/print!/eprint! in library code; use nanocost-trace or return values",
             RuleId::P0 => "suppression pragma is malformed (unknown rule, missing reason, or bad syntax)",
         }
     }
@@ -58,7 +64,7 @@ impl RuleId {
     pub fn severity(self) -> Severity {
         match self {
             RuleId::R1 | RuleId::R2 | RuleId::P0 => Severity::Error,
-            RuleId::R3 | RuleId::R4 | RuleId::R5 => Severity::Warning,
+            RuleId::R3 | RuleId::R4 | RuleId::R5 | RuleId::R6 => Severity::Warning,
         }
     }
 }
@@ -71,6 +77,7 @@ impl fmt::Display for RuleId {
             RuleId::R3 => write!(f, "R3"),
             RuleId::R4 => write!(f, "R4"),
             RuleId::R5 => write!(f, "R5"),
+            RuleId::R6 => write!(f, "R6"),
             RuleId::P0 => write!(f, "P0"),
         }
     }

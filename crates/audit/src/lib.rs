@@ -2,7 +2,7 @@
 //! cost-model's correctness invariants.
 //!
 //! The pass lexes every `crates/*/src/**/*.rs` file with its own lightweight
-//! Rust lexer (no dependencies) and checks five rules:
+//! Rust lexer (no dependencies) and checks six rules:
 //!
 //! | rule | severity | invariant |
 //! |------|----------|-----------|
@@ -11,6 +11,7 @@
 //! | R3   | warning  | no bare numeric literals in model functions outside `const`/calibration code |
 //! | R4   | warning  | public model functions take `nanocost-units` newtypes, not raw `f64` |
 //! | R5   | warning  | every public model function cites the paper equation/figure/table it implements |
+//! | R6   | warning  | no `println!`/`eprintln!`/`print!`/`eprint!` in library code; output goes through `nanocost-trace` or return values |
 //!
 //! Findings can be suppressed inline with a reasoned pragma
 //! (`// nanocost-audit: allow(R3, reason = "…")`); a malformed pragma is

@@ -1,4 +1,4 @@
-//! The audit rules R1–R5.
+//! The audit rules R1–R6.
 //!
 //! Each rule is a pure function over one file's token stream plus its
 //! structural [`FileContext`](crate::context::FileContext); suppression
@@ -43,6 +43,11 @@ const R4_SYMBOLS: &[(&str, &str)] = &[
     ("density", "DesignDensity"),
 ];
 
+/// Crates whose library code prints by design and is exempt from R6: the
+/// bench harness's whole purpose is writing results to stdout, and the
+/// audit reporter itself writes diagnostics to the console.
+const R6_EXEMPT_CRATES: &[&str] = &["bench", "audit"];
+
 /// Keywords whose presence in a doc comment counts as a paper citation (R5).
 /// Matched on word boundaries after lowercasing.
 const R5_KEYWORDS: &[&str] = &[
@@ -85,6 +90,7 @@ pub fn run_all(input: &FileInput<'_>) -> Vec<Diagnostic> {
     rule_r3(input, &mut out);
     rule_r4(input, &mut out);
     rule_r5(input, &mut out);
+    rule_r6(input, &mut out);
     out
 }
 
@@ -300,6 +306,38 @@ fn rule_r5(input: &FileInput<'_>, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// R6: no `println!`/`eprintln!`/`print!`/`eprint!` in library code.
+///
+/// Model output belongs in return values or on the `nanocost-trace`
+/// channel, where it is structured and machine-diffable; ad-hoc console
+/// writes hide results from the exporters. Binaries and test regions are
+/// exempt; the designed-to-print crates in [`R6_EXEMPT_CRATES`] are
+/// skipped, and deliberate exceptions (e.g. a trace exporter's own
+/// stderr fallback) carry an `allow(R6, ...)` pragma.
+fn rule_r6(input: &FileInput<'_>, out: &mut Vec<Diagnostic>) {
+    if input.is_bin() || R6_EXEMPT_CRATES.contains(&input.crate_name) {
+        return;
+    }
+    let toks = input.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        let TokenKind::Ident(name) = &tok.kind else { continue };
+        if !matches!(name.as_str(), "println" | "eprintln" | "print" | "eprint") {
+            continue;
+        }
+        if input.ctx.in_test(i) {
+            continue;
+        }
+        let bang = next_code(toks, i).map(|n| toks[n].is_punct("!")).unwrap_or(false);
+        if bang {
+            out.push(input.diag(
+                tok.line,
+                RuleId::R6,
+                format!("`{name}!` in library code; route output through nanocost-trace or return it to the caller"),
+            ));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -404,6 +442,33 @@ mod tests {
         assert!(!cites_paper("frequent sequence"));
         assert!(!cites_paper("unstable sectioning-free"));
         assert!(cites_paper("ITRS roadmap"));
+    }
+
+    #[test]
+    fn r6_flags_console_macros_in_library_code() {
+        let src = "fn f() { println!(\"x\"); eprintln!(\"y\"); }\n";
+        let diags = audit("crates/core/src/a.rs", "core", src);
+        let r6: Vec<_> = diags.iter().filter(|d| d.rule == RuleId::R6).collect();
+        assert_eq!(r6.len(), 2);
+        assert_eq!(r6[0].line, 1);
+    }
+
+    #[test]
+    fn r6_exempts_bins_tests_and_printing_crates() {
+        let src = "fn main() { println!(\"ok\"); }\n";
+        assert!(audit("crates/core/src/bin/tool.rs", "core", src).is_empty());
+        let src = "#[cfg(test)]\nmod t { fn g() { println!(\"dbg\"); } }\n";
+        assert!(audit("crates/core/src/a.rs", "core", src).iter().all(|d| d.rule != RuleId::R6));
+        let src = "fn report() { println!(\"median\"); }\n";
+        assert!(audit("crates/bench/src/harness.rs", "bench", src)
+            .iter()
+            .all(|d| d.rule != RuleId::R6));
+    }
+
+    #[test]
+    fn r6_ignores_non_macro_idents_named_print() {
+        let src = "fn f() { let print = 1; self.println(); }\n";
+        assert!(audit("crates/core/src/a.rs", "core", src).iter().all(|d| d.rule != RuleId::R6));
     }
 
     #[test]

@@ -61,6 +61,16 @@ fn violations_fixture_trips_every_main_rule() {
 }
 
 #[test]
+fn r6_fixture_matches_golden_and_honors_exemptions() {
+    let diags = audit_fixture("r6_println.rs");
+    check_golden("r6_println.expected.txt", &render_text_report(&diags));
+    assert_eq!(diags.len(), 4, "two println-family lines per chatty fn: {diags:?}");
+    assert!(diags.iter().all(|d| d.rule == RuleId::R6));
+    // The pragma-suppressed eprintln! and the test-module println! are absent.
+    assert!(diags.iter().all(|d| d.line < 17));
+}
+
+#[test]
 fn clean_fixture_is_clean() {
     let diags = audit_fixture("clean.rs");
     assert!(diags.is_empty(), "clean fixture must audit clean: {diags:?}");

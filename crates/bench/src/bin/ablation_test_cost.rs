@@ -5,6 +5,7 @@
 use nanocost_bench::figures::test_cost_study;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _trace = nanocost_trace::init_from_env();
     println!("EXT-TEST — eq. 7 with the TestCostModel enabled (50k wafers, 0.18µm)");
     println!();
     println!("{:>10} {:>16}", "Mtr", "test overhead");

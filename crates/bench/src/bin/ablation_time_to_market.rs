@@ -7,6 +7,7 @@
 use nanocost_bench::figures::time_to_market_study;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _trace = nanocost_trace::init_from_env();
     println!("EXT-TTM — profit vs cost optimal s_d (0.18µm, 10M tr, 2M-unit demand)");
     println!();
     println!(

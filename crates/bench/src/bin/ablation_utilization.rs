@@ -6,6 +6,7 @@
 use nanocost_bench::figures::utilization_study;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _trace = nanocost_trace::init_from_env();
     println!("EXT-U — eq. 7 with the Y → u·Y substitution (paper §2.5)");
     println!();
     println!("{:>6} {:>10} {:>16}", "u", "wafers", "$/useful tr");

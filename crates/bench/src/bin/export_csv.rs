@@ -3,8 +3,13 @@
 //!
 //! Run with: `cargo run -p nanocost-bench --bin export_csv > table_a1.csv`
 
+use std::io::Write;
+
 use nanocost_devices::{table_a1, to_csv};
 
-fn main() {
-    print!("{}", to_csv(&table_a1()));
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _trace = nanocost_trace::init_from_env();
+    let mut stdout = std::io::stdout().lock();
+    write!(stdout, "{}", to_csv(&table_a1()))?;
+    Ok(())
 }

@@ -6,6 +6,7 @@
 use nanocost_bench::figures::generalized_vs_simple;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _trace = nanocost_trace::init_from_env();
     println!("EXT-GEN — eq. 4 (paper anchors) vs eq. 7 (substrates), 0.18µm, 10M tr, s_d 300");
     println!();
     println!("{:>10} {:>14} {:>14} {:>8}", "wafers", "eq. 4 [$/tr]", "eq. 7 [$/tr]", "ratio");

@@ -5,6 +5,7 @@
 use nanocost_bench::figures::iteration_calibration;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _trace = nanocost_trace::init_from_env();
     let result = iteration_calibration()?;
     println!("EXT-ITER — timing-closure Monte Carlo vs eq. 6 (paper §2.4)");
     println!();

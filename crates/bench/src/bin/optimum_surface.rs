@@ -5,6 +5,7 @@
 use nanocost_bench::figures::{generalized_optimum, optimum_surface_study};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _trace = nanocost_trace::init_from_env();
     let cells = optimum_surface_study()?;
     let volumes: Vec<u64> = {
         let mut v: Vec<u64> = cells.iter().map(|c| c.volume).collect();

@@ -7,6 +7,7 @@ use nanocost_flow::elmore_delay;
 use nanocost_layout::{Netlist, Placer};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _trace = nanocost_trace::init_from_env();
     let netlist = Netlist::random(120, 200, 7)?;
     println!("EXT-PLACE — one 120-cell netlist annealed into dies of growing width");
     println!("(5 cells per row fixed; wider die = sparser placement)");

@@ -5,6 +5,7 @@
 use nanocost_bench::figures::{regularity_cost_table, regularity_reports};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _trace = nanocost_trace::init_from_env();
     println!("EXT-REG — pattern extraction (14×13 λ windows) and its cost impact");
     println!();
     println!(

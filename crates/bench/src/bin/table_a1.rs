@@ -6,6 +6,7 @@ use nanocost_bench::figures::table_a1_rows;
 use nanocost_bench::report::render_table_a1;
 
 fn main() {
+    let _trace = nanocost_trace::init_from_env();
     let rows = table_a1_rows();
     println!("Table A1 — published industrial designs (Maly DAC-2001), re-derived");
     println!();

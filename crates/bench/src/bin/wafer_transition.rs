@@ -9,6 +9,7 @@ use nanocost_roadmap::itrs_1999;
 use nanocost_units::WaferCount;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _trace = nanocost_trace::init_from_env();
     let cost = WaferCostModel::default();
     let volume = WaferCount::new(100_000)?;
     println!("EXT-WAFER — Cm_sq by wafer generation at each roadmap node (100k wafers)");

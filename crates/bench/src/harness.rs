@@ -172,6 +172,38 @@ where
         samples,
         iters
     );
+    nanocost_trace::event!(
+        "bench.result",
+        name = name,
+        median_s = median,
+        min_s = min,
+        max_s = max,
+        samples = samples,
+        iters = iters,
+    );
+    emit_json_record(name, median, min, max, samples, iters);
+}
+
+/// Appends one machine-readable result line to the file named by
+/// `NANOCOST_BENCH_JSON` (no-op when the variable is unset). One JSON
+/// object per benchmark, so baselines like `BENCH_baseline.json` can be
+/// regenerated and diffed run-to-run.
+fn emit_json_record(name: &str, median: f64, min: f64, max: f64, samples: usize, iters: u64) {
+    let Some(path) = std::env::var_os("NANOCOST_BENCH_JSON") else {
+        return;
+    };
+    let line = format!(
+        "{{\"name\":{},\"median_s\":{median:e},\"min_s\":{min:e},\"max_s\":{max:e},\"samples\":{samples},\"iters\":{iters}}}\n",
+        nanocost_trace::value::json_string(name)
+    );
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut file| std::io::Write::write_all(&mut file, line.as_bytes()));
+    if let Err(e) = written {
+        eprintln!("bench: cannot append to {}: {e}", path.to_string_lossy());
+    }
 }
 
 /// Formats seconds with an SI prefix suited to the magnitude.
@@ -200,10 +232,13 @@ macro_rules! criterion_group {
 }
 
 /// Mirrors `criterion::criterion_main!`: emits `main` running each group.
+/// The generated `main` installs the `NANOCOST_TRACE` subscriber first, so
+/// bench suites stream spans/metrics like every other bin.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
+            let _trace = $crate::nanocost_trace::init_from_env();
             $( $group(); )+
         }
     };

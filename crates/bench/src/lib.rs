@@ -10,3 +10,7 @@
 pub mod figures;
 pub mod harness;
 pub mod report;
+
+// Re-exported so `criterion_main!`'s generated `main` can install the
+// trace subscriber through `$crate::` without each suite naming the dep.
+pub use nanocost_trace;

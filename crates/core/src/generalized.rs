@@ -15,6 +15,7 @@
 
 use nanocost_fab::{MaskCostModel, TestCostModel, WaferCostModel, WaferSpec};
 use nanocost_flow::DesignEffortModel;
+use nanocost_trace::provenance;
 use nanocost_units::{
     CostPerArea, DecompressionIndex, Dollars, FeatureSize, TransistorCount, UnitError,
     Utilization, WaferCount, Yield,
@@ -158,6 +159,20 @@ impl GeneralizedCostModel {
             None => 0.0,
         };
         let per_transistor = Dollars::new(silicon_cost + test_cost);
+        provenance!(
+            equation: Eq7,
+            function: "nanocost_core::generalized::GeneralizedCostModel::evaluate",
+            inputs: [
+                lambda_um = lambda.microns(),
+                sd = sd.squares(),
+                n_tr = transistors.count(),
+                n_w = volume.as_f64(),
+                cm_sq = cm_sq.dollars_per_cm2(),
+                cd_sq = cd_sq.dollars_per_cm2(),
+                effective_yield = effective_yield.value(),
+            ],
+            outputs: [c_tr = per_transistor.amount(), test_cost = test_cost],
+        );
         Ok(GeneralizedReport {
             cm_sq,
             cd_sq,

@@ -10,6 +10,7 @@
 //! their agreement (up to wafer-edge quantization) is a standing test.
 
 use nanocost_fab::WaferSpec;
+use nanocost_trace::provenance;
 use nanocost_units::{
     Area, CostPerArea, DecompressionIndex, Dollars, FeatureSize, TransistorCount, UnitError,
     Yield,
@@ -52,10 +53,22 @@ impl ManufacturingCostModel {
     /// `C_tr = C_sq·λ²·s_d/Y`.
     #[must_use]
     pub fn transistor_cost(&self, lambda: FeatureSize, sd: DecompressionIndex) -> Dollars {
-        Dollars::new(
+        let c_tr = Dollars::new(
             self.cost_per_cm2.dollars_per_cm2() * lambda.square().cm2() * sd.squares()
                 / self.fab_yield.value(),
-        )
+        );
+        provenance!(
+            equation: Eq3,
+            function: "nanocost_core::manufacturing::ManufacturingCostModel::transistor_cost",
+            inputs: [
+                c_sq = self.cost_per_cm2.dollars_per_cm2(),
+                lambda_um = lambda.microns(),
+                sd = sd.squares(),
+                fab_yield = self.fab_yield.value(),
+            ],
+            outputs: [c_tr = c_tr.amount()],
+        );
+        c_tr
     }
 
     /// Eq. 3 at die granularity: the cost of a functioning die with
@@ -94,8 +107,20 @@ impl ManufacturingCostModel {
             });
         }
         let wafer_cost: Dollars = self.cost_per_cm2 * wafer.total_area();
-        Ok(wafer_cost
-            / (transistors.count() * n_ch.as_f64() * self.fab_yield.value()))
+        let c_tr =
+            wafer_cost / (transistors.count() * n_ch.as_f64() * self.fab_yield.value());
+        provenance!(
+            equation: Eq1,
+            function: "nanocost_core::manufacturing::ManufacturingCostModel::transistor_cost_eq1",
+            inputs: [
+                c_w = wafer_cost.amount(),
+                n_tr = transistors.count(),
+                n_ch = n_ch.as_f64(),
+                fab_yield = self.fab_yield.value(),
+            ],
+            outputs: [c_tr = c_tr.amount()],
+        );
+        Ok(c_tr)
     }
 }
 

@@ -11,6 +11,7 @@
 
 use nanocost_fab::standard_nodes;
 use nanocost_numeric::refine_min;
+use nanocost_trace::{event, span};
 use nanocost_units::{
     DecompressionIndex, Dollars, FeatureSize, TransistorCount, UnitError, WaferCount,
 };
@@ -97,6 +98,12 @@ pub fn node_sweep(
     lambda_um_range: (f64, f64),
     sd_bracket: (f64, f64),
 ) -> Result<Vec<NodeChoice>, OptimizeError> {
+    let _span = span!(
+        "core.node_choice.sweep",
+        demand_units = demand_units,
+        lambda_lo_um = lambda_um_range.0,
+        lambda_hi_um = lambda_um_range.1,
+    );
     let mut out = Vec::new();
     for node in standard_nodes() {
         let um = node.lambda.microns();
@@ -133,6 +140,14 @@ pub fn node_sweep(
         let (die_cost, wafers) =
             evaluate_at(model, node.lambda, sd, transistors, demand_units)
                 .map_err(OptimizeError::Model)?;
+        event!(
+            "core.node_choice.candidate",
+            node = node.name.as_str(),
+            lambda_um = um,
+            optimal_sd = minimum.x,
+            wafers = wafers,
+            die_cost = die_cost.amount(),
+        );
         out.push(NodeChoice {
             node: node.name.clone(),
             lambda_um: um,

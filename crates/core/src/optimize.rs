@@ -6,6 +6,7 @@
 //! map how it moves with volume and yield.
 
 use nanocost_numeric::{refine_min, NumericError};
+use nanocost_trace::{counter, event, span};
 use nanocost_units::{
     DecompressionIndex, Dollars, FeatureSize, TransistorCount, UnitError, WaferCount, Yield,
 };
@@ -74,6 +75,14 @@ pub fn optimal_sd_total(
     sd_lo: f64,
     sd_hi: f64,
 ) -> Result<DensityOptimum, OptimizeError> {
+    let _span = span!(
+        "core.optimize.sd_total",
+        sd_lo = sd_lo,
+        sd_hi = sd_hi,
+        volume = volume.as_f64(),
+        fab_yield = fab_yield.value(),
+    );
+    let _timer = nanocost_trace::metrics::Timer::start("core.optimize.sd_total_s");
     // Probe the lower edge first so domain violations surface as model
     // errors, not NaNs inside the minimizer.
     model.transistor_cost(
@@ -85,6 +94,7 @@ pub fn optimal_sd_total(
         mask_cost,
     )?;
     let objective = |s: f64| {
+        counter!("core.optimize.probes", 1);
         DecompressionIndex::new(s).map_or(f64::INFINITY, |sd| {
             model
                 .transistor_cost(lambda, sd, transistors, volume, fab_yield, mask_cost)
@@ -92,6 +102,7 @@ pub fn optimal_sd_total(
         })
     };
     let m = refine_min(sd_lo, sd_hi, GRID_SAMPLES, TOL, objective)?;
+    event!("core.optimize.optimum", sd = m.x, cost = m.value);
     Ok(DensityOptimum {
         sd: m.x,
         cost: Dollars::new(m.value),
@@ -112,6 +123,12 @@ pub fn optimal_sd_generalized(
     sd_lo: f64,
     sd_hi: f64,
 ) -> Result<DensityOptimum, OptimizeError> {
+    let _span = span!(
+        "core.optimize.sd_generalized",
+        sd_lo = sd_lo,
+        sd_hi = sd_hi,
+        volume = volume.as_f64(),
+    );
     model.evaluate(DesignPoint {
         lambda,
         sd: DecompressionIndex::new(sd_lo)?,
@@ -119,6 +136,7 @@ pub fn optimal_sd_generalized(
         volume,
     })?;
     let objective = |s: f64| {
+        counter!("core.optimize.probes", 1);
         DecompressionIndex::new(s).map_or(f64::INFINITY, |sd| {
             model
                 .evaluate(DesignPoint {
@@ -131,6 +149,7 @@ pub fn optimal_sd_generalized(
         })
     };
     let m = refine_min(sd_lo, sd_hi, GRID_SAMPLES, TOL, objective)?;
+    event!("core.optimize.optimum", sd = m.x, cost = m.value);
     Ok(DensityOptimum {
         sd: m.x,
         cost: Dollars::new(m.value),
@@ -165,6 +184,11 @@ pub fn optimum_surface(
     sd_lo: f64,
     sd_hi: f64,
 ) -> Result<Vec<OptimumCell>, OptimizeError> {
+    let _span = span!(
+        "core.optimize.surface",
+        volumes = volumes.len(),
+        yields = yields.len(),
+    );
     let mut out = Vec::with_capacity(volumes.len() * yields.len());
     for &v in volumes {
         for &y in yields {

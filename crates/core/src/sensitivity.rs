@@ -6,6 +6,7 @@
 //! the tornado summary shows the ranking flip between low-volume
 //! (design-dominated) and high-volume (silicon-dominated) products.
 
+use nanocost_trace::{event, span};
 use nanocost_units::{
     DecompressionIndex, Dollars, FeatureSize, TransistorCount, UnitError, WaferCount, Yield,
 };
@@ -64,6 +65,12 @@ pub fn elasticities(
     point: &SensitivityPoint,
 ) -> Result<Vec<Elasticity>, UnitError> {
     const REL: f64 = 0.02;
+    let _span = span!(
+        "core.sensitivity.elasticities",
+        sd = point.sd,
+        volume = point.volume,
+        fab_yield = point.fab_yield,
+    );
     let mut out = Vec::new();
     let bump = |p: &SensitivityPoint, which: usize, factor: f64| -> SensitivityPoint {
         let mut q = *p;
@@ -83,9 +90,11 @@ pub fn elasticities(
         let down = cost_at(model, &bump(point, which, 1.0 - REL))?;
         let d_ln_c = (up / down).ln();
         let d_ln_x = ((1.0 + REL) / (1.0 - REL)).ln();
+        let value = d_ln_c / d_ln_x;
+        event!("core.sensitivity.elasticity", parameter = name, value = value);
         out.push(Elasticity {
             parameter: name,
-            value: d_ln_c / d_ln_x,
+            value,
         });
     }
     // Most influential first.

@@ -11,6 +11,7 @@
 //! make `Cd_sq → 0` and recover eq. 3.
 
 use nanocost_flow::DesignEffortModel;
+use nanocost_trace::provenance;
 use nanocost_units::{
     Area, CostPerArea, DecompressionIndex, Dollars, FeatureSize, TransistorCount, UnitError,
     WaferCount, Yield,
@@ -52,7 +53,19 @@ pub fn design_cost_per_cm2(
     volume: WaferCount,
     wafer_area: Area,
 ) -> CostPerArea {
-    (mask_cost + design_cost) / (wafer_area * volume.as_f64())
+    let cd_sq = (mask_cost + design_cost) / (wafer_area * volume.as_f64());
+    provenance!(
+        equation: Eq5,
+        function: "nanocost_core::total::design_cost_per_cm2",
+        inputs: [
+            c_ma = mask_cost.amount(),
+            c_de = design_cost.amount(),
+            n_w = volume.as_f64(),
+            a_w_cm2 = wafer_area.cm2(),
+        ],
+        outputs: [cd_sq = cd_sq.dollars_per_cm2()],
+    );
+    cd_sq
 }
 
 /// The eq.-4 total cost model: eq. 3's manufacturing term plus eq. 5's
@@ -132,13 +145,31 @@ impl TotalCostModel {
         let c_de = self.effort.design_cost(transistors, sd)?;
         let cd_sq = design_cost_per_cm2(mask_cost, c_de, volume, self.wafer_area);
         let geometric = lambda.square().cm2() * sd.squares() / fab_yield.value();
-        Ok(CostBreakdown {
+        let breakdown = CostBreakdown {
             manufacturing: Dollars::new(
                 geometric * self.manufacturing_per_cm2.dollars_per_cm2(),
             ),
             design: Dollars::new(geometric * cd_sq.dollars_per_cm2()),
             design_per_cm2: cd_sq,
-        })
+        };
+        provenance!(
+            equation: Eq4,
+            function: "nanocost_core::total::TotalCostModel::transistor_cost",
+            inputs: [
+                lambda_um = lambda.microns(),
+                sd = sd.squares(),
+                n_tr = transistors.count(),
+                n_w = volume.as_f64(),
+                fab_yield = fab_yield.value(),
+                c_ma = mask_cost.amount(),
+            ],
+            outputs: [
+                c_tr = breakdown.total().amount(),
+                manufacturing = breakdown.manufacturing.amount(),
+                design = breakdown.design.amount(),
+            ],
+        );
+        Ok(breakdown)
     }
 }
 

@@ -83,7 +83,14 @@ impl MaskCostModel {
     #[must_use]
     pub fn mask_set_cost(&self, lambda: FeatureSize) -> Dollars {
         let node = nearest_node(lambda);
-        self.cost_per_mask(lambda) * node.mask_layers as f64
+        let c_ma = self.cost_per_mask(lambda) * node.mask_layers as f64;
+        nanocost_trace::provenance!(
+            equation: Eq5,
+            function: "nanocost_fab::mask::MaskCostModel::mask_set_cost",
+            inputs: [lambda_um = lambda.microns(), mask_layers = node.mask_layers],
+            outputs: [c_ma = c_ma.amount()],
+        );
+        c_ma
     }
 }
 

@@ -12,6 +12,7 @@
 //!
 //! modulated by a maturity discount as the line ages.
 
+use nanocost_trace::provenance;
 use nanocost_units::{CostPerArea, Dollars, FeatureSize, UnitError, WaferCount};
 
 use crate::fabline::FablineModel;
@@ -183,7 +184,19 @@ impl WaferCostModel {
         volume: WaferCount,
     ) -> CostPerArea {
         let cw = self.cost_per_wafer(wafer, lambda, volume);
-        CostPerArea::per_cm2(cw.amount() / wafer.total_area().cm2())
+        let c_sq = CostPerArea::per_cm2(cw.amount() / wafer.total_area().cm2());
+        provenance!(
+            equation: Eq3,
+            function: "nanocost_fab::wafer_cost::WaferCostModel::cost_per_cm2",
+            inputs: [
+                c_w = cw.amount(),
+                a_w_cm2 = wafer.total_area().cm2(),
+                lambda_um = lambda.microns(),
+                n_w = volume.as_f64(),
+            ],
+            outputs: [c_sq = c_sq.dollars_per_cm2()],
+        );
+        c_sq
     }
 }
 

@@ -10,6 +10,7 @@
 //! paper uses — `A0 = 1000`, `p1 = 1.0`, `p2 = 1.2` — are carried as
 //! defaults.
 
+use nanocost_trace::provenance;
 use nanocost_units::{DecompressionIndex, Dollars, TransistorCount, UnitError};
 
 /// The eq.-6 design-effort model.
@@ -96,6 +97,12 @@ impl DesignEffortModel {
             });
         }
         let cost = self.a0 * transistors.count().powf(self.p1) / margin.powf(self.p2);
+        provenance!(
+            equation: Eq6,
+            function: "nanocost_flow::effort::DesignEffortModel::design_cost",
+            inputs: [n_tr = transistors.count(), sd = sd.squares(), sd0 = self.sd0],
+            outputs: [c_de = cost],
+        );
         Dollars::try_new(cost)
     }
 

@@ -13,6 +13,7 @@
 //! 3. the project closes when an iteration lands inside the tolerance.
 
 use nanocost_numeric::{McConfig, Sampler};
+use nanocost_trace::{counter, provenance, span};
 use nanocost_units::{DecompressionIndex, FeatureSize, UnitError};
 
 use crate::predictor::PredictionModel;
@@ -146,13 +147,28 @@ impl ClosureSimulator {
     ) -> Result<f64, UnitError> {
         // Surface the domain error before burning trials.
         self.tolerance(sd)?;
+        let _span = span!(
+            "flow.iteration.mean_iterations",
+            sd = sd.squares(),
+            lambda_um = lambda.microns(),
+            reuse_factor = reuse_factor,
+            trials = config.trials,
+        );
         let mut sampler = config.sampler();
         let mut total = 0usize;
         let trials = config.trials.max(1);
         for _ in 0..trials {
             total += self.simulate_project(&mut sampler, lambda, sd, reuse_factor)?;
+            counter!("flow.iteration.projects", 1);
         }
-        Ok(total as f64 / trials as f64)
+        let mean = total as f64 / trials as f64;
+        provenance!(
+            equation: Eq6,
+            function: "nanocost_flow::iteration::ClosureSimulator::mean_iterations",
+            inputs: [sd = sd.squares(), lambda_um = lambda.microns(), reuse_factor = reuse_factor],
+            outputs: [mean_iterations = mean],
+        );
+        Ok(mean)
     }
 }
 

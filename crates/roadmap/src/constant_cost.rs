@@ -13,6 +13,7 @@
 //! counts cannot be delivered at the target die cost with the assumed
 //! density — the paper's *cost contradiction*.
 
+use nanocost_trace::{provenance, span};
 use nanocost_units::{
     CostPerArea, DecompressionIndex, Dollars, FeatureSize, TransistorCount, UnitError, Yield,
 };
@@ -60,6 +61,18 @@ impl ConstantCostAssumptions {
     ) -> Result<DecompressionIndex, UnitError> {
         let sd = self.die_cost.amount() * self.fab_yield.value()
             / (self.cost_per_cm2.dollars_per_cm2() * lambda.square().cm2() * transistors.count());
+        provenance!(
+            equation: Eq3,
+            function: "nanocost_roadmap::constant_cost::ConstantCostAssumptions::required_sd",
+            inputs: [
+                c_ch = self.die_cost.amount(),
+                c_sq = self.cost_per_cm2.dollars_per_cm2(),
+                fab_yield = self.fab_yield.value(),
+                lambda_um = lambda.microns(),
+                n_tr = transistors.count(),
+            ],
+            outputs: [sd_required = sd],
+        );
         DecompressionIndex::new(sd)
     }
 
@@ -102,6 +115,7 @@ pub fn figure3(
     roadmap: &[RoadmapEntry],
     assumptions: &ConstantCostAssumptions,
 ) -> Result<Vec<Figure3Point>, UnitError> {
+    let _span = span!("roadmap.figure3", entries = roadmap.len());
     roadmap
         .iter()
         .map(|e| {

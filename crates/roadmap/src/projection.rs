@@ -1,6 +1,7 @@
 //! Trend fitting and projection over roadmap data.
 
 use nanocost_numeric::{exponential_fit, ExponentialFit, NumericError};
+use nanocost_trace::provenance;
 
 use crate::entry::RoadmapEntry;
 
@@ -50,13 +51,24 @@ impl RoadmapTrends {
             .iter()
             .min_by_key(|e| e.year.abs_diff(year))
             .map_or(300.0, |e| e.wafer_mm);
-        RoadmapEntry {
+        let entry = RoadmapEntry {
             year,
             feature_nm: self.feature.eval(y),
             transistors_millions,
             chip_mm2: chip_cm2 * 100.0,
             wafer_mm,
-        }
+        };
+        provenance!(
+            equation: Eq2,
+            function: "nanocost_roadmap::projection::RoadmapTrends::project",
+            inputs: [year = year, density_per_cm2 = density],
+            outputs: [
+                feature_nm = entry.feature_nm,
+                transistors_millions = entry.transistors_millions,
+                chip_mm2 = entry.chip_mm2,
+            ],
+        );
+        entry
     }
 }
 

@@ -1,0 +1,89 @@
+//! `trace-check` — validates a `nanocost-trace` JSONL stream.
+//!
+//! The CI observability smoke gate runs a bench bin under
+//! `NANOCOST_TRACE=jsonl` and pipes the capture here. The check fails
+//! (exit 1) if the file is empty, any line is not well-formed JSON, or
+//! the stream carries no provenance record naming a paper equation id.
+//!
+//! Usage: `trace-check <file.jsonl>`
+
+use std::process::ExitCode;
+
+use nanocost_trace::json;
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: trace-check <file.jsonl>");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace-check: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match check(&text) {
+        Ok(summary) => {
+            println!("trace-check: {path}: {summary}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("trace-check: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Validates the capture; returns a human-readable summary.
+fn check(text: &str) -> Result<String, String> {
+    let mut lines = 0usize;
+    let mut provenance = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        lines += 1;
+        json::validate(line).map_err(|e| format!("line {}: not valid JSON: {e}", i + 1))?;
+        if line.contains("\"type\":\"provenance\"") {
+            if !line.contains("\"equation\":\"Eq.") {
+                return Err(format!(
+                    "line {}: provenance record without a paper equation id",
+                    i + 1
+                ));
+            }
+            provenance += 1;
+        }
+    }
+    if lines == 0 {
+        return Err("empty trace (no JSONL records)".to_string());
+    }
+    if provenance == 0 {
+        return Err("no provenance records in the trace".to_string());
+    }
+    Ok(format!("{lines} records, {provenance} provenance records, all valid JSON"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::check;
+
+    #[test]
+    fn accepts_a_valid_capture() {
+        let text = concat!(
+            "{\"ts_us\":1,\"thread\":1,\"type\":\"span_enter\",\"span\":1,\"parent\":null,\"name\":\"s\",\"fields\":{}}\n",
+            "{\"ts_us\":2,\"thread\":1,\"type\":\"provenance\",\"span\":1,\"equation\":\"Eq.4\",\"function\":\"f\",\"inputs\":{},\"outputs\":{}}\n",
+        );
+        assert!(check(text).is_ok());
+    }
+
+    #[test]
+    fn rejects_empty_and_invalid_and_equationless() {
+        assert!(check("").is_err());
+        assert!(check("{oops\n").is_err());
+        let no_eq = "{\"type\":\"provenance\",\"function\":\"f\"}\n";
+        assert!(check(no_eq).is_err());
+        let no_prov = "{\"type\":\"event\",\"name\":\"x\"}\n";
+        assert!(check(no_prov).is_err());
+    }
+}

@@ -1,0 +1,375 @@
+//! The three trace exporters: human-readable span tree, JSONL, and
+//! Chrome trace-event format.
+//!
+//! Exporters are pure record-to-string transducers so golden tests can
+//! drive them with a fixed record sequence and diff the output
+//! byte-for-byte. The [`WriterSubscriber`](crate::WriterSubscriber)
+//! couples one to an output stream.
+
+use std::collections::HashMap;
+
+use crate::record::{Record, RecordKind};
+use crate::value::{fields_json, fields_text, json_string};
+
+/// Which exporter the environment selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// Indented, human-readable span tree.
+    Text,
+    /// One JSON object per line.
+    Jsonl,
+    /// Chrome trace-event JSON (load in `chrome://tracing` or Perfetto).
+    Chrome,
+}
+
+impl Format {
+    /// Parses an environment-variable value; `1`/`on` mean [`Format::Text`].
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Format> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "text" | "tree" | "1" | "on" | "true" => Some(Format::Text),
+            "jsonl" | "json" | "ndjson" => Some(Format::Jsonl),
+            "chrome" | "trace-event" | "chrometrace" => Some(Format::Chrome),
+            _ => None,
+        }
+    }
+
+    /// Builds the exporter for this format.
+    #[must_use]
+    pub fn exporter(self) -> Box<dyn Exporter + Send> {
+        match self {
+            Format::Text => Box::new(TextTreeExporter::new()),
+            Format::Jsonl => Box::new(JsonlExporter::new()),
+            Format::Chrome => Box::new(ChromeExporter::new()),
+        }
+    }
+}
+
+/// A record-to-string transducer.
+pub trait Exporter {
+    /// Emitted once before the first record.
+    fn begin(&mut self) -> String {
+        String::new()
+    }
+
+    /// Renders one record (may be empty for records the format skips).
+    fn render(&mut self, rec: &Record) -> String;
+
+    /// Emitted once after the last record.
+    fn finish(&mut self) -> String {
+        String::new()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Text tree
+// ---------------------------------------------------------------------
+
+/// Indented span tree for terminals: `>` opens a span, `<` closes it,
+/// `.` is an event, `=` a provenance record, `#` a metric snapshot.
+#[derive(Debug, Default)]
+pub struct TextTreeExporter {
+    depth: HashMap<u64, usize>,
+}
+
+impl TextTreeExporter {
+    /// A fresh exporter.
+    #[must_use]
+    pub fn new() -> Self {
+        TextTreeExporter::default()
+    }
+
+    fn indent(&self, thread: u64) -> String {
+        "  ".repeat(self.depth.get(&thread).copied().unwrap_or(0))
+    }
+}
+
+impl Exporter for TextTreeExporter {
+    fn render(&mut self, rec: &Record) -> String {
+        let t = rec.thread;
+        match &rec.kind {
+            RecordKind::SpanEnter { name, fields, .. } => {
+                let line = format!(
+                    "[t{t} {:>8}us] {}> {name}{}\n",
+                    rec.ts_micros,
+                    self.indent(t),
+                    fields_text(fields)
+                );
+                *self.depth.entry(t).or_insert(0) += 1;
+                line
+            }
+            RecordKind::SpanExit { name, elapsed_nanos, .. } => {
+                let d = self.depth.entry(t).or_insert(0);
+                *d = d.saturating_sub(1);
+                format!(
+                    "[t{t} {:>8}us] {}< {name} ({})\n",
+                    rec.ts_micros,
+                    self.indent(t),
+                    fmt_nanos(*elapsed_nanos)
+                )
+            }
+            RecordKind::Event { name, fields, .. } => format!(
+                "[t{t} {:>8}us] {}. {name}{}\n",
+                rec.ts_micros,
+                self.indent(t),
+                fields_text(fields)
+            ),
+            RecordKind::Provenance { equation, function, inputs, outputs, .. } => format!(
+                "[t{t} {:>8}us] {}= {equation} {function}({}) -> ({})\n",
+                rec.ts_micros,
+                self.indent(t),
+                fields_text(inputs).trim_start(),
+                fields_text(outputs).trim_start()
+            ),
+            RecordKind::Metric { name, metric_kind, fields } => format!(
+                "[t{t} {:>8}us] # {metric_kind} {name}{}\n",
+                rec.ts_micros,
+                fields_text(fields)
+            ),
+        }
+    }
+}
+
+/// Renders nanoseconds with an SI prefix suited to the magnitude.
+fn fmt_nanos(nanos: u64) -> String {
+    let secs = nanos as f64 / 1.0e9;
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1.0e-3 {
+        format!("{:.3} ms", secs * 1.0e3)
+    } else if secs >= 1.0e-6 {
+        format!("{:.3} us", secs * 1.0e6)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+// ---------------------------------------------------------------------
+// JSONL
+// ---------------------------------------------------------------------
+
+/// One JSON object per record, one record per line. The stable schema
+/// (`type` tag plus per-kind keys) is the machine-readable trail the CI
+/// smoke gate and the provenance replay read.
+#[derive(Debug, Default)]
+pub struct JsonlExporter;
+
+impl JsonlExporter {
+    /// A fresh exporter.
+    #[must_use]
+    pub fn new() -> Self {
+        JsonlExporter
+    }
+}
+
+fn opt_u64(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".to_string(), |x| x.to_string())
+}
+
+impl Exporter for JsonlExporter {
+    fn render(&mut self, rec: &Record) -> String {
+        let head = format!(
+            "{{\"ts_us\":{},\"thread\":{},\"type\":{}",
+            rec.ts_micros,
+            rec.thread,
+            json_string(rec.kind.tag())
+        );
+        let body = match &rec.kind {
+            RecordKind::SpanEnter { span, parent, name, fields } => format!(
+                ",\"span\":{},\"parent\":{},\"name\":{},\"fields\":{}",
+                span,
+                opt_u64(*parent),
+                json_string(name),
+                fields_json(fields)
+            ),
+            RecordKind::SpanExit { span, name, elapsed_nanos } => format!(
+                ",\"span\":{},\"name\":{},\"elapsed_ns\":{}",
+                span,
+                json_string(name),
+                elapsed_nanos
+            ),
+            RecordKind::Event { span, name, fields } => format!(
+                ",\"span\":{},\"name\":{},\"fields\":{}",
+                opt_u64(*span),
+                json_string(name),
+                fields_json(fields)
+            ),
+            RecordKind::Provenance { span, equation, function, inputs, outputs } => format!(
+                ",\"span\":{},\"equation\":{},\"function\":{},\"inputs\":{},\"outputs\":{}",
+                opt_u64(*span),
+                json_string(equation.id()),
+                json_string(function),
+                fields_json(inputs),
+                fields_json(outputs)
+            ),
+            RecordKind::Metric { name, metric_kind, fields } => format!(
+                ",\"name\":{},\"metric_kind\":{},\"fields\":{}",
+                json_string(name),
+                json_string(metric_kind),
+                fields_json(fields)
+            ),
+        };
+        format!("{head}{body}}}\n")
+    }
+}
+
+// ---------------------------------------------------------------------
+// Chrome trace-event
+// ---------------------------------------------------------------------
+
+/// Chrome trace-event JSON: a single array of event objects. Spans map
+/// to `B`/`E` duration events, events and provenance to `i` instants,
+/// metrics to `C` counter events. Load the file in `chrome://tracing`
+/// or <https://ui.perfetto.dev>.
+#[derive(Debug, Default)]
+pub struct ChromeExporter {
+    any: bool,
+}
+
+impl ChromeExporter {
+    /// A fresh exporter.
+    #[must_use]
+    pub fn new() -> Self {
+        ChromeExporter::default()
+    }
+
+    fn sep(&mut self) -> &'static str {
+        if self.any {
+            ",\n"
+        } else {
+            self.any = true;
+            "\n"
+        }
+    }
+}
+
+/// One chrome event object.
+fn chrome_event(ph: &str, name: &str, ts: u64, tid: u64, extra: &str, args: &str) -> String {
+    format!(
+        "{{\"name\":{},\"ph\":{},\"ts\":{ts},\"pid\":1,\"tid\":{tid}{extra},\"args\":{args}}}",
+        json_string(name),
+        json_string(ph)
+    )
+}
+
+impl Exporter for ChromeExporter {
+    fn begin(&mut self) -> String {
+        "[".to_string()
+    }
+
+    fn render(&mut self, rec: &Record) -> String {
+        let sep = self.sep();
+        let t = rec.thread;
+        let ts = rec.ts_micros;
+        let ev = match &rec.kind {
+            RecordKind::SpanEnter { name, fields, .. } => {
+                chrome_event("B", name, ts, t, "", &fields_json(fields))
+            }
+            RecordKind::SpanExit { name, .. } => chrome_event("E", name, ts, t, "", "{}"),
+            RecordKind::Event { name, fields, .. } => {
+                chrome_event("i", name, ts, t, ",\"s\":\"t\"", &fields_json(fields))
+            }
+            RecordKind::Provenance { equation, function, inputs, outputs, .. } => {
+                let args = format!(
+                    "{{\"equation\":{},\"inputs\":{},\"outputs\":{}}}",
+                    json_string(equation.id()),
+                    fields_json(inputs),
+                    fields_json(outputs)
+                );
+                chrome_event("i", function, ts, t, ",\"s\":\"t\"", &args)
+            }
+            // Counter events plot numeric args as stacked series.
+            RecordKind::Metric { name, fields, .. } => {
+                chrome_event("C", name, ts, t, "", &fields_json(fields))
+            }
+        };
+        format!("{sep}{ev}")
+    }
+
+    fn finish(&mut self) -> String {
+        "\n]\n".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provenance::Equation;
+    use crate::value::{Field, Value};
+
+    fn records() -> Vec<Record> {
+        vec![
+            Record {
+                ts_micros: 10,
+                thread: 1,
+                kind: RecordKind::SpanEnter {
+                    span: 1,
+                    parent: None,
+                    name: "outer",
+                    fields: vec![Field::new("volume", Value::U64(5_000))],
+                },
+            },
+            Record {
+                ts_micros: 12,
+                thread: 1,
+                kind: RecordKind::Provenance {
+                    span: Some(1),
+                    equation: Equation::Eq4,
+                    function: "core::transistor_cost",
+                    inputs: vec![Field::new("sd", Value::F64(300.0))],
+                    outputs: vec![Field::new("c_tr", Value::F64(1.5e-6))],
+                },
+            },
+            Record {
+                ts_micros: 15,
+                thread: 1,
+                kind: RecordKind::SpanExit { span: 1, name: "outer", elapsed_nanos: 5_000 },
+            },
+        ]
+    }
+
+    fn run(mut e: Box<dyn Exporter + Send>) -> String {
+        let mut out = e.begin();
+        for r in records() {
+            out.push_str(&e.render(&r));
+        }
+        out.push_str(&e.finish());
+        out
+    }
+
+    #[test]
+    fn text_tree_indents_and_dedents() {
+        let out = run(Box::new(TextTreeExporter::new()));
+        assert!(out.contains("> outer volume=5000"));
+        assert!(out.contains("  = Eq.4 core::transistor_cost(sd=300) -> (c_tr=0.0000015)"));
+        assert!(out.contains("< outer (5.000 us)"));
+    }
+
+    #[test]
+    fn jsonl_lines_are_each_valid_json() {
+        let out = run(Box::new(JsonlExporter::new()));
+        assert_eq!(out.lines().count(), 3);
+        for line in out.lines() {
+            crate::json::validate(line).expect("line parses as JSON");
+        }
+        assert!(out.contains("\"equation\":\"Eq.4\""));
+    }
+
+    #[test]
+    fn chrome_output_is_one_valid_json_array() {
+        let out = run(Box::new(ChromeExporter::new()));
+        crate::json::validate(&out).expect("whole document parses");
+        assert!(out.starts_with('['));
+        assert!(out.trim_end().ends_with(']'));
+        assert!(out.contains("\"ph\":\"B\""));
+        assert!(out.contains("\"ph\":\"E\""));
+    }
+
+    #[test]
+    fn format_parsing() {
+        assert_eq!(Format::parse("jsonl"), Some(Format::Jsonl));
+        assert_eq!(Format::parse("CHROME"), Some(Format::Chrome));
+        assert_eq!(Format::parse("1"), Some(Format::Text));
+        assert_eq!(Format::parse("bogus"), None);
+    }
+}

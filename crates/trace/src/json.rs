@@ -1,0 +1,212 @@
+//! A minimal JSON validity checker.
+//!
+//! The workspace is dependency-free, but the CI smoke gate and the
+//! exporter tests need to prove that every emitted line *is* JSON.
+//! This is a strict recursive-descent validator over RFC 8259 — it
+//! accepts exactly well-formed documents and reports the byte offset
+//! of the first problem. It does not build a value tree; validity is
+//! all the callers need.
+
+/// Validates that `s` is exactly one well-formed JSON value (with
+/// optional surrounding whitespace).
+///
+/// # Errors
+///
+/// Returns a message with the byte offset of the first syntax error.
+pub fn validate(s: &str) -> Result<(), String> {
+    let bytes = s.as_bytes();
+    let mut pos = skip_ws(bytes, 0);
+    pos = value(bytes, pos)?;
+    pos = skip_ws(bytes, pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], mut pos: usize) -> usize {
+    while pos < b.len() && matches!(b[pos], b' ' | b'\t' | b'\n' | b'\r') {
+        pos += 1;
+    }
+    pos
+}
+
+fn value(b: &[u8], pos: usize) -> Result<usize, String> {
+    match b.get(pos) {
+        Some(b'{') => object(b, pos),
+        Some(b'[') => array(b, pos),
+        Some(b'"') => string(b, pos),
+        Some(b't') => literal(b, pos, b"true"),
+        Some(b'f') => literal(b, pos, b"false"),
+        Some(b'n') => literal(b, pos, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, pos),
+        Some(c) => Err(format!("unexpected byte {:?} at {pos}", *c as char)),
+        None => Err(format!("unexpected end of input at byte {pos}")),
+    }
+}
+
+fn literal(b: &[u8], pos: usize, word: &[u8]) -> Result<usize, String> {
+    if b.len() >= pos + word.len() && &b[pos..pos + word.len()] == word {
+        Ok(pos + word.len())
+    } else {
+        Err(format!("malformed literal at byte {pos}"))
+    }
+}
+
+fn object(b: &[u8], mut pos: usize) -> Result<usize, String> {
+    pos = skip_ws(b, pos + 1); // past '{'
+    if b.get(pos) == Some(&b'}') {
+        return Ok(pos + 1);
+    }
+    loop {
+        if b.get(pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {pos}"));
+        }
+        pos = string(b, pos)?;
+        pos = skip_ws(b, pos);
+        if b.get(pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}"));
+        }
+        pos = skip_ws(b, pos + 1);
+        pos = value(b, pos)?;
+        pos = skip_ws(b, pos);
+        match b.get(pos) {
+            Some(b',') => pos = skip_ws(b, pos + 1),
+            Some(b'}') => return Ok(pos + 1),
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+fn array(b: &[u8], mut pos: usize) -> Result<usize, String> {
+    pos = skip_ws(b, pos + 1); // past '['
+    if b.get(pos) == Some(&b']') {
+        return Ok(pos + 1);
+    }
+    loop {
+        pos = value(b, pos)?;
+        pos = skip_ws(b, pos);
+        match b.get(pos) {
+            Some(b',') => pos = skip_ws(b, pos + 1),
+            Some(b']') => return Ok(pos + 1),
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+fn string(b: &[u8], mut pos: usize) -> Result<usize, String> {
+    pos += 1; // past opening quote
+    while let Some(&c) = b.get(pos) {
+        match c {
+            b'"' => return Ok(pos + 1),
+            b'\\' => {
+                match b.get(pos + 1) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => pos += 2,
+                    Some(b'u') => {
+                        let hex = b.get(pos + 2..pos + 6).ok_or_else(|| {
+                            format!("truncated \\u escape at byte {pos}")
+                        })?;
+                        if !hex.iter().all(u8::is_ascii_hexdigit) {
+                            return Err(format!("bad \\u escape at byte {pos}"));
+                        }
+                        pos += 6;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+            }
+            0x00..=0x1f => return Err(format!("raw control char in string at byte {pos}")),
+            _ => pos += 1,
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn number(b: &[u8], mut pos: usize) -> Result<usize, String> {
+    let start = pos;
+    if b.get(pos) == Some(&b'-') {
+        pos += 1;
+    }
+    let int_digits = count_digits(b, pos);
+    if int_digits == 0 {
+        return Err(format!("expected digits at byte {pos}"));
+    }
+    // No leading zeros on multi-digit integers.
+    if int_digits > 1 && b.get(pos) == Some(&b'0') {
+        return Err(format!("leading zero at byte {pos}"));
+    }
+    pos += int_digits;
+    if b.get(pos) == Some(&b'.') {
+        pos += 1;
+        let frac = count_digits(b, pos);
+        if frac == 0 {
+            return Err(format!("expected fraction digits at byte {pos}"));
+        }
+        pos += frac;
+    }
+    if matches!(b.get(pos), Some(b'e' | b'E')) {
+        pos += 1;
+        if matches!(b.get(pos), Some(b'+' | b'-')) {
+            pos += 1;
+        }
+        let exp = count_digits(b, pos);
+        if exp == 0 {
+            return Err(format!("expected exponent digits at byte {pos}"));
+        }
+        pos += exp;
+    }
+    debug_assert!(pos > start);
+    Ok(pos)
+}
+
+fn count_digits(b: &[u8], pos: usize) -> usize {
+    b[pos.min(b.len())..]
+        .iter()
+        .take_while(|c| c.is_ascii_digit())
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_well_formed_documents() {
+        for doc in [
+            "{}",
+            "[]",
+            "null",
+            "true",
+            "-12.5e-3",
+            r#"{"a":[1,2,{"b":"x\n"}],"c":null}"#,
+            "  [1, 2]  ",
+            r#""é""#,
+        ] {
+            validate(doc).unwrap_or_else(|e| panic!("{doc}: {e}"));
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for doc in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "01",
+            "1.",
+            "1e",
+            "nul",
+            "\"unterminated",
+            "{} extra",
+            "{'a':1}",
+        ] {
+            assert!(validate(doc).is_err(), "should reject {doc:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_raw_control_chars_in_strings() {
+        assert!(validate("\"a\u{1}b\"").is_err());
+    }
+}

@@ -1,0 +1,347 @@
+//! `nanocost-trace` — a dependency-free tracing, metrics, and
+//! evaluation-provenance layer for the nanocost model pipeline.
+//!
+//! The paper's argument stands or falls on *which* equation (eqs. 1–7)
+//! produced each number under *which* inputs. This crate makes every
+//! model evaluation observable without adding a single external
+//! dependency:
+//!
+//! * **Spans** ([`span!`]) — a thread-local span stack with
+//!   guard-on-drop semantics; nesting survives early returns and panics.
+//! * **Events** ([`event!`]) — point-in-time records with typed
+//!   key-value fields.
+//! * **Provenance** ([`provenance!`]) — each instrumented model function
+//!   reports the paper equation it implements ([`Equation`]) plus its
+//!   inputs and outputs, so a full Figure-4 sweep can be replayed as an
+//!   audit trail.
+//! * **Metrics** ([`counter!`], [`gauge!`], [`metric_histogram!`],
+//!   [`Timer`](metrics::Timer)) — a process-global registry flushed as
+//!   records when the trace guard drops; histogram summaries reuse
+//!   [`nanocost_numeric::Histogram`].
+//! * **Exporters** — human-readable span tree, JSONL, and Chrome
+//!   trace-event format (loadable in `chrome://tracing` / Perfetto),
+//!   selected via environment variables (see [`init_from_env`]).
+//!
+//! When no subscriber is installed, every macro compiles down to one or
+//! two relaxed atomic loads: no allocation, no branches taken, no
+//! timestamps read. The disabled path is covered by a guard test that
+//! asserts it allocates nothing.
+//!
+//! # Environment variables
+//!
+//! | variable | meaning |
+//! |----------|---------|
+//! | `NANOCOST_TRACE` | enables tracing; value selects the format (`text`, `jsonl`, `chrome`; `1`/`on` mean `text`) |
+//! | `NANOCOST_TRACE_FORMAT` | overrides the format when `NANOCOST_TRACE` is just an on-switch |
+//! | `NANOCOST_TRACE_FILE` | writes the trace to this path instead of the default (stderr for `text`/`jsonl`, `nanocost_trace.chrome.json` for `chrome`) |
+//!
+//! # Example
+//!
+//! ```
+//! use nanocost_trace::{span, event, with_collector, RecordKind};
+//!
+//! let (records, _) = with_collector(|| {
+//!     let _outer = span!("figure4.panel", volume = 5_000u64);
+//!     event!("optimum.found", sd = 300.0, cost = 1.2e-6);
+//! });
+//! assert!(matches!(records[0].kind, RecordKind::SpanEnter { .. }));
+//! ```
+
+pub mod export;
+pub mod json;
+pub mod metrics;
+pub mod provenance;
+pub mod record;
+pub mod span;
+pub mod subscriber;
+pub mod value;
+
+pub use export::{ChromeExporter, Exporter, Format, JsonlExporter, TextTreeExporter};
+pub use provenance::Equation;
+pub use record::{Record, RecordKind};
+pub use span::Span;
+pub use subscriber::{Collector, Subscriber, WriterSubscriber};
+pub use value::{Field, Value};
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// The globally installed subscriber, if any.
+static GLOBAL: OnceLock<Box<dyn Subscriber + Send + Sync>> = OnceLock::new();
+
+/// Fast-path switch for the global subscriber.
+static GLOBAL_ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Number of threads currently running under a thread-local collector
+/// (see [`with_collector`]). Zero in production, so the disabled fast
+/// path never touches thread-local storage.
+static LOCAL_COUNT: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Thread-local subscriber override, used by tests so concurrent
+    /// `cargo test` threads do not share one global sink.
+    static LOCAL: RefCell<Option<Rc<dyn Subscriber>>> = const { RefCell::new(None) };
+}
+
+/// Monotonic epoch shared by every record in the process; timestamps are
+/// microseconds since the first record (or subscriber installation).
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Monotonically increasing span-id source.
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Thread-id source (std's `ThreadId` has no stable integer accessor).
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// This thread's small integer id, assigned on first use.
+    static THREAD_ID: u64 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Is any subscriber (global or thread-local) listening? This is the
+/// fast path every macro checks first: one or two relaxed atomic loads,
+/// nothing else.
+#[inline]
+#[must_use]
+pub fn is_enabled() -> bool {
+    GLOBAL_ENABLED.load(Ordering::Relaxed)
+        || (LOCAL_COUNT.load(Ordering::Relaxed) > 0 && has_local())
+}
+
+/// Does *this* thread have a local collector installed?
+fn has_local() -> bool {
+    LOCAL
+        .try_with(|l| l.try_borrow().map(|s| s.is_some()).unwrap_or(false))
+        .unwrap_or(false)
+}
+
+/// Microseconds since the process trace epoch.
+#[must_use]
+pub fn epoch_micros() -> u64 {
+    let e = EPOCH.get_or_init(Instant::now);
+    u64::try_from(e.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// This thread's small integer id.
+#[must_use]
+pub fn current_thread_id() -> u64 {
+    THREAD_ID.try_with(|t| *t).unwrap_or(0)
+}
+
+/// Allocates a fresh span id.
+pub(crate) fn next_span_id() -> u64 {
+    NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Delivers a record to the active subscriber (thread-local collector
+/// first, then the global sink). A no-op when nothing is listening.
+pub fn dispatch(kind: RecordKind) {
+    let rec = Record {
+        ts_micros: epoch_micros(),
+        thread: current_thread_id(),
+        kind,
+    };
+    if LOCAL_COUNT.load(Ordering::Relaxed) > 0 {
+        let handled = LOCAL
+            .try_with(|l| {
+                l.try_borrow()
+                    .ok()
+                    .and_then(|slot| slot.as_ref().map(|s| s.record(&rec)))
+                    .is_some()
+            })
+            .unwrap_or(false);
+        if handled {
+            return;
+        }
+    }
+    if GLOBAL_ENABLED.load(Ordering::Relaxed) {
+        if let Some(s) = GLOBAL.get() {
+            s.record(&rec);
+        }
+    }
+}
+
+/// Installs the process-global subscriber. Returns `false` (and leaves
+/// the existing subscriber in place) if one was already installed.
+pub fn set_subscriber(sub: Box<dyn Subscriber + Send + Sync>) -> bool {
+    let fresh = GLOBAL.set(sub).is_ok();
+    if fresh {
+        // Anchor the epoch before the first record, then open the gate.
+        let _ = epoch_micros();
+        GLOBAL_ENABLED.store(true, Ordering::Release);
+    }
+    fresh
+}
+
+/// Runs `f` with a thread-local [`Collector`] installed, returning the
+/// captured records alongside `f`'s result. Only this thread's records
+/// are captured; the global subscriber (if any) is shadowed for the
+/// duration. Designed for tests.
+pub fn with_collector<R>(f: impl FnOnce() -> R) -> (Vec<Record>, R) {
+    let collector = Rc::new(Collector::new());
+    let installed = LOCAL
+        .try_with(|l| {
+            if let Ok(mut slot) = l.try_borrow_mut() {
+                *slot = Some(collector.clone() as Rc<dyn Subscriber>);
+                true
+            } else {
+                false
+            }
+        })
+        .unwrap_or(false);
+    if installed {
+        LOCAL_COUNT.fetch_add(1, Ordering::Relaxed);
+    }
+    let result = f();
+    if installed {
+        let _ = LOCAL.try_with(|l| {
+            if let Ok(mut slot) = l.try_borrow_mut() {
+                *slot = None;
+            }
+        });
+        LOCAL_COUNT.fetch_sub(1, Ordering::Relaxed);
+    }
+    (collector.take(), result)
+}
+
+/// Flushes pending state: metric snapshots are emitted as records, then
+/// the global subscriber's sink is finalized. Idempotent.
+pub fn flush() {
+    if GLOBAL_ENABLED.load(Ordering::Relaxed) || LOCAL_COUNT.load(Ordering::Relaxed) > 0 {
+        metrics::flush_metrics();
+    }
+    if let Some(s) = GLOBAL.get() {
+        s.flush();
+    }
+}
+
+/// RAII guard returned by [`init_from_env`]; flushes the trace (metric
+/// snapshots, exporter footer, output buffers) when dropped.
+#[derive(Debug)]
+pub struct TraceGuard {
+    active: bool,
+}
+
+impl TraceGuard {
+    /// A guard that does nothing on drop (tracing disabled).
+    #[must_use]
+    pub fn inactive() -> Self {
+        TraceGuard { active: false }
+    }
+
+    /// Is a subscriber actually installed behind this guard?
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        if self.active {
+            flush();
+        }
+    }
+}
+
+/// Reads `NANOCOST_TRACE` / `NANOCOST_TRACE_FORMAT` /
+/// `NANOCOST_TRACE_FILE` and installs a [`WriterSubscriber`]
+/// accordingly. Call once near the top of `main` and keep the returned
+/// guard alive for the whole run:
+///
+/// ```no_run
+/// fn main() {
+///     let _trace = nanocost_trace::init_from_env();
+///     // ... workload ...
+/// } // guard drops here: metrics flushed, exporter finalized
+/// ```
+#[must_use]
+pub fn init_from_env() -> TraceGuard {
+    let Some(spec) = std::env::var_os("NANOCOST_TRACE") else {
+        return TraceGuard::inactive();
+    };
+    let spec = spec.to_string_lossy().trim().to_ascii_lowercase();
+    if spec.is_empty() || spec == "0" || spec == "off" || spec == "false" {
+        return TraceGuard::inactive();
+    }
+    let format = std::env::var("NANOCOST_TRACE_FORMAT")
+        .ok()
+        .and_then(|f| Format::parse(&f))
+        .or_else(|| Format::parse(&spec))
+        .unwrap_or(Format::Text);
+    let exporter = format.exporter();
+    let out: Box<dyn std::io::Write + Send> = match trace_output_path(format) {
+        Some(path) => match std::fs::File::create(&path) {
+            Ok(f) => Box::new(std::io::BufWriter::new(f)),
+            Err(e) => {
+                // nanocost-audit: allow(R6, reason = "last-resort diagnostic when the trace sink itself cannot be opened; stderr is the only channel left")
+                eprintln!("nanocost-trace: cannot open {path}: {e}; falling back to stderr");
+                Box::new(std::io::BufWriter::new(std::io::stderr()))
+            }
+        },
+        None => Box::new(std::io::BufWriter::new(std::io::stderr())),
+    };
+    let installed = set_subscriber(Box::new(WriterSubscriber::new(exporter, out)));
+    TraceGuard { active: installed }
+}
+
+/// Where the trace stream goes: an explicit `NANOCOST_TRACE_FILE`, the
+/// Chrome default file (the format is only useful loaded from a file),
+/// or `None` for stderr.
+fn trace_output_path(format: Format) -> Option<String> {
+    match std::env::var("NANOCOST_TRACE_FILE") {
+        Ok(p) if !p.trim().is_empty() => Some(p),
+        _ => match format {
+            Format::Chrome => Some("nanocost_trace.chrome.json".to_string()),
+            Format::Text | Format::Jsonl => None,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_by_default() {
+        assert!(!is_enabled() || GLOBAL_ENABLED.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn collector_captures_and_uninstalls() {
+        let (records, value) = with_collector(|| {
+            dispatch(RecordKind::Event {
+                span: None,
+                name: "unit.test",
+                fields: vec![],
+            });
+            42
+        });
+        assert_eq!(value, 42);
+        assert_eq!(records.len(), 1);
+        // After the closure, this thread no longer collects.
+        assert!(!has_local());
+    }
+
+    #[test]
+    fn thread_ids_are_stable_within_a_thread() {
+        assert_eq!(current_thread_id(), current_thread_id());
+    }
+
+    #[test]
+    fn epoch_is_monotone() {
+        let a = epoch_micros();
+        let b = epoch_micros();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn inactive_guard_is_inert() {
+        let g = TraceGuard::inactive();
+        assert!(!g.is_active());
+        drop(g);
+    }
+}

@@ -1,0 +1,263 @@
+//! A process-global metrics registry: counters, gauges, and
+//! histograms, with monotonic-clock timing.
+//!
+//! Metrics accumulate silently while the program runs and are flushed
+//! as [`RecordKind::Metric`] records when [`crate::flush`] runs (the
+//! [`TraceGuard`](crate::TraceGuard) does this on drop). Histogram
+//! snapshots are summarized through [`nanocost_numeric::Histogram`] —
+//! the same binning used for the Monte-Carlo outputs elsewhere in the
+//! workspace.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+use nanocost_numeric::Histogram;
+
+use crate::record::RecordKind;
+use crate::value::{Field, Value};
+use crate::{dispatch, is_enabled};
+
+static COUNTERS: Mutex<BTreeMap<&'static str, u64>> = Mutex::new(BTreeMap::new());
+static GAUGES: Mutex<BTreeMap<&'static str, f64>> = Mutex::new(BTreeMap::new());
+static HISTOGRAMS: Mutex<BTreeMap<&'static str, Vec<f64>>> = Mutex::new(BTreeMap::new());
+
+/// Bins used when summarizing a histogram metric's mode.
+const SUMMARY_BINS: usize = 16;
+
+/// A poisoned metrics mutex only means another thread panicked while
+/// holding it; the map itself is still coherent, so recover it.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Adds `n` to the named counter.
+pub fn add_counter(name: &'static str, n: u64) {
+    if !is_enabled() {
+        return;
+    }
+    *lock(&COUNTERS).entry(name).or_insert(0) += n;
+}
+
+/// Sets the named gauge to `v` (last write wins).
+pub fn set_gauge(name: &'static str, v: f64) {
+    if !is_enabled() {
+        return;
+    }
+    lock(&GAUGES).insert(name, v);
+}
+
+/// Records one sample into the named histogram.
+pub fn record_histogram(name: &'static str, v: f64) {
+    if !is_enabled() {
+        return;
+    }
+    lock(&HISTOGRAMS).entry(name).or_default().push(v);
+}
+
+/// Current value of a counter (0 if never touched). Intended for tests.
+#[must_use]
+pub fn counter_value(name: &str) -> u64 {
+    lock(&COUNTERS).get(name).copied().unwrap_or(0)
+}
+
+/// Times a region with the monotonic clock and records the elapsed
+/// seconds into a histogram metric on drop.
+#[derive(Debug)]
+pub struct Timer {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Timer {
+    /// Starts timing; inert when tracing is disabled.
+    #[must_use]
+    pub fn start(name: &'static str) -> Self {
+        Timer {
+            name,
+            start: is_enabled().then(Instant::now),
+        }
+    }
+}
+
+impl Drop for Timer {
+    fn drop(&mut self) {
+        if let Some(start) = self.start.take() {
+            record_histogram(self.name, start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+/// Drains the registry and emits one [`RecordKind::Metric`] record per
+/// metric. Counters and gauges carry a single `value` field; histograms
+/// carry `count`/`min`/`max`/`mean`/`mode`, with the mode taken from
+/// the fullest bin of a [`nanocost_numeric::Histogram`] over the
+/// sample range.
+pub fn flush_metrics() {
+    let counters = std::mem::take(&mut *lock(&COUNTERS));
+    for (name, v) in counters {
+        dispatch(RecordKind::Metric {
+            name,
+            metric_kind: "counter",
+            fields: vec![Field::new("value", Value::U64(v))],
+        });
+    }
+    let gauges = std::mem::take(&mut *lock(&GAUGES));
+    for (name, v) in gauges {
+        dispatch(RecordKind::Metric {
+            name,
+            metric_kind: "gauge",
+            fields: vec![Field::new("value", Value::F64(v))],
+        });
+    }
+    let histograms = std::mem::take(&mut *lock(&HISTOGRAMS));
+    for (name, samples) in histograms {
+        if samples.is_empty() {
+            continue;
+        }
+        dispatch(RecordKind::Metric {
+            name,
+            metric_kind: "histogram",
+            fields: summarize(&samples),
+        });
+    }
+}
+
+/// Builds the summary fields for one histogram's samples.
+fn summarize(samples: &[f64]) -> Vec<Field> {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    let mut sum = 0.0;
+    for &s in samples {
+        lo = lo.min(s);
+        hi = hi.max(s);
+        sum += s;
+    }
+    let mean = sum / samples.len() as f64;
+    // A degenerate (single-valued) sample set has no bin structure; the
+    // mode is the value itself. Histogram::new also rejects non-finite
+    // samples — fall back to the mean rather than dropping the metric.
+    let mode = if hi - lo > 0.0 {
+        Histogram::new(samples, lo, hi, SUMMARY_BINS)
+            .map(|h| h.bin_center(h.mode_bin()))
+            .unwrap_or(mean)
+    } else {
+        lo
+    };
+    vec![
+        Field::new("count", Value::U64(samples.len() as u64)),
+        Field::new("min", Value::F64(lo)),
+        Field::new("max", Value::F64(hi)),
+        Field::new("mean", Value::F64(mean)),
+        Field::new("mode", Value::F64(mode)),
+    ]
+}
+
+/// Increments a named counter; free when disabled.
+///
+/// ```
+/// nanocost_trace::counter!("mc.wafers", 25u64);
+/// ```
+#[macro_export]
+macro_rules! counter {
+    ($name:expr, $n:expr) => {
+        if $crate::is_enabled() {
+            $crate::metrics::add_counter($name, $n);
+        }
+    };
+    ($name:expr) => {
+        $crate::counter!($name, 1u64)
+    };
+}
+
+/// Sets a named gauge; free when disabled.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr, $v:expr) => {
+        if $crate::is_enabled() {
+            $crate::metrics::set_gauge($name, $v);
+        }
+    };
+}
+
+/// Records one sample into a named histogram metric; free when
+/// disabled.
+#[macro_export]
+macro_rules! metric_histogram {
+    ($name:expr, $v:expr) => {
+        if $crate::is_enabled() {
+            $crate::metrics::record_histogram($name, $v);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RecordKind;
+    use crate::with_collector;
+
+    #[test]
+    fn metrics_accumulate_and_flush_as_records() {
+        let (records, _) = with_collector(|| {
+            counter!("unit.counter", 2);
+            counter!("unit.counter");
+            gauge!("unit.gauge", 2.5);
+            metric_histogram!("unit.hist", 1.0);
+            metric_histogram!("unit.hist", 3.0);
+            metric_histogram!("unit.hist", 3.0);
+            flush_metrics();
+        });
+        let metric = |n: &str| {
+            records
+                .iter()
+                .find_map(|r| match &r.kind {
+                    RecordKind::Metric { name, metric_kind, fields } if *name == n => {
+                        Some((*metric_kind, fields.clone()))
+                    }
+                    _ => None,
+                })
+                .expect("metric present")
+        };
+        let (kind, fields) = metric("unit.counter");
+        assert_eq!(kind, "counter");
+        assert_eq!(fields[0].value, Value::U64(3));
+        let (kind, _) = metric("unit.gauge");
+        assert_eq!(kind, "gauge");
+        let (kind, fields) = metric("unit.hist");
+        assert_eq!(kind, "histogram");
+        assert_eq!(fields[0], Field::new("count", Value::U64(3)));
+        // Mode lands near the repeated sample, not the mean.
+        let Value::F64(mode) = fields[4].value else { panic!("mode not f64") };
+        assert!(mode > 2.0, "mode {mode}");
+    }
+
+    #[test]
+    fn flush_drains_the_registry() {
+        let _ = with_collector(|| {
+            counter!("unit.drained", 5);
+            flush_metrics();
+        });
+        assert_eq!(counter_value("unit.drained"), 0);
+    }
+
+    #[test]
+    fn timer_records_into_a_histogram() {
+        let (records, _) = with_collector(|| {
+            {
+                let _t = Timer::start("unit.timer");
+            }
+            flush_metrics();
+        });
+        assert!(records.iter().any(|r| matches!(
+            &r.kind,
+            RecordKind::Metric { name: "unit.timer", metric_kind: "histogram", .. }
+        )));
+    }
+
+    #[test]
+    fn degenerate_histogram_mode_is_the_value() {
+        let fields = summarize(&[4.0, 4.0]);
+        assert_eq!(fields[4], Field::new("mode", Value::F64(4.0)));
+    }
+}

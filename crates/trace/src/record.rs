@@ -1,0 +1,100 @@
+//! The record types delivered to subscribers.
+
+use crate::provenance::Equation;
+use crate::value::Field;
+
+/// What happened.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecordKind {
+    /// A span opened.
+    SpanEnter {
+        /// Process-unique span id.
+        span: u64,
+        /// Enclosing span on the same thread, if any.
+        parent: Option<u64>,
+        /// Span name.
+        name: &'static str,
+        /// Fields captured at entry.
+        fields: Vec<Field>,
+    },
+    /// A span closed (guard dropped, including during unwinding).
+    SpanExit {
+        /// The span that closed.
+        span: u64,
+        /// Span name (repeated so exporters need no lookup table).
+        name: &'static str,
+        /// Wall-clock nanoseconds the span was open.
+        elapsed_nanos: u64,
+    },
+    /// A point-in-time event.
+    Event {
+        /// Innermost open span on this thread, if any.
+        span: Option<u64>,
+        /// Event name.
+        name: &'static str,
+        /// Event fields.
+        fields: Vec<Field>,
+    },
+    /// An evaluation-provenance record: one model-function invocation,
+    /// the paper equation it implements, and its inputs/outputs.
+    Provenance {
+        /// Innermost open span on this thread, if any.
+        span: Option<u64>,
+        /// The paper equation the function implements.
+        equation: Equation,
+        /// Fully qualified function name.
+        function: &'static str,
+        /// Input quantities.
+        inputs: Vec<Field>,
+        /// Output quantities.
+        outputs: Vec<Field>,
+    },
+    /// A metric snapshot, emitted when the metrics registry flushes.
+    Metric {
+        /// Metric name.
+        name: &'static str,
+        /// `"counter"`, `"gauge"`, or `"histogram"`.
+        metric_kind: &'static str,
+        /// Snapshot fields (`value` for counters/gauges; `count`,
+        /// `min`, `max`, `mean`, `mode` for histograms).
+        fields: Vec<Field>,
+    },
+}
+
+impl RecordKind {
+    /// Stable lowercase tag used by the JSONL exporter's `type` key.
+    #[must_use]
+    pub fn tag(&self) -> &'static str {
+        match self {
+            RecordKind::SpanEnter { .. } => "span_enter",
+            RecordKind::SpanExit { .. } => "span_exit",
+            RecordKind::Event { .. } => "event",
+            RecordKind::Provenance { .. } => "provenance",
+            RecordKind::Metric { .. } => "metric",
+        }
+    }
+}
+
+/// One record: when, where, what.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Microseconds since the process trace epoch.
+    pub ts_micros: u64,
+    /// Small integer id of the emitting thread.
+    pub thread: u64,
+    /// Payload.
+    pub kind: RecordKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_are_stable() {
+        let e = RecordKind::Event { span: None, name: "x", fields: vec![] };
+        assert_eq!(e.tag(), "event");
+        let m = RecordKind::Metric { name: "n", metric_kind: "counter", fields: vec![] };
+        assert_eq!(m.tag(), "metric");
+    }
+}

@@ -1,0 +1,251 @@
+//! Span guards and the per-thread span stack.
+//!
+//! A [`Span`] is an RAII guard: creating one pushes a frame on this
+//! thread's stack and emits a `SpanEnter` record; dropping it — by
+//! scope exit, early return, or panic unwinding — pops the frame and
+//! emits `SpanExit` with the elapsed wall-clock time. Stacks are
+//! strictly thread-local, so spans on different threads never
+//! interleave.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+use crate::record::RecordKind;
+use crate::value::Field;
+use crate::{dispatch, is_enabled, next_span_id};
+
+thread_local! {
+    /// Ids of the spans currently open on this thread, innermost last.
+    static STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The innermost open span on this thread, if any.
+#[must_use]
+pub fn current_span() -> Option<u64> {
+    STACK
+        .try_with(|s| s.try_borrow().ok().and_then(|v| v.last().copied()))
+        .ok()
+        .flatten()
+}
+
+/// Depth of this thread's span stack (0 outside all spans).
+#[must_use]
+pub fn depth() -> usize {
+    STACK
+        .try_with(|s| s.try_borrow().map(|v| v.len()).unwrap_or(0))
+        .unwrap_or(0)
+}
+
+fn push(id: u64) {
+    let _ = STACK.try_with(|s| {
+        if let Ok(mut v) = s.try_borrow_mut() {
+            v.push(id);
+        }
+    });
+}
+
+fn pop(id: u64) {
+    let _ = STACK.try_with(|s| {
+        if let Ok(mut v) = s.try_borrow_mut() {
+            // Guards drop LIFO, so the common case is the last element;
+            // a targeted removal keeps the stack sane even if a guard is
+            // moved out of scope order.
+            if v.last() == Some(&id) {
+                v.pop();
+            } else if let Some(pos) = v.iter().rposition(|&x| x == id) {
+                v.remove(pos);
+            }
+        }
+    });
+}
+
+/// An open span. Dropping the guard closes the span.
+#[derive(Debug)]
+pub struct Span {
+    live: Option<LiveSpan>,
+}
+
+#[derive(Debug)]
+struct LiveSpan {
+    id: u64,
+    name: &'static str,
+    start: Instant,
+}
+
+impl Span {
+    /// A guard that does nothing (tracing disabled at creation time).
+    #[must_use]
+    pub fn inert() -> Self {
+        Span { live: None }
+    }
+
+    /// Opens a span. Prefer the [`span!`](crate::span!) macro, which
+    /// skips field construction entirely when tracing is disabled.
+    #[must_use]
+    pub fn enter(name: &'static str, fields: Vec<Field>) -> Self {
+        if !is_enabled() {
+            return Span::inert();
+        }
+        let id = next_span_id();
+        let parent = current_span();
+        push(id);
+        dispatch(RecordKind::SpanEnter { span: id, parent, name, fields });
+        Span {
+            live: Some(LiveSpan { id, name, start: Instant::now() }),
+        }
+    }
+
+    /// This span's id (`None` for inert guards).
+    #[must_use]
+    pub fn id(&self) -> Option<u64> {
+        self.live.as_ref().map(|l| l.id)
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(live) = self.live.take() {
+            pop(live.id);
+            let elapsed = u64::try_from(live.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            dispatch(RecordKind::SpanExit {
+                span: live.id,
+                name: live.name,
+                elapsed_nanos: elapsed,
+            });
+        }
+    }
+}
+
+/// Emits an event record attached to the innermost open span. Prefer
+/// the [`event!`](crate::event!) macro.
+pub fn emit_event(name: &'static str, fields: Vec<Field>) {
+    dispatch(RecordKind::Event { span: current_span(), name, fields });
+}
+
+/// Opens a span guarded by the enabled check: when no subscriber is
+/// installed this expands to two relaxed atomic loads and an inert
+/// guard — field expressions are not evaluated and nothing allocates.
+///
+/// ```
+/// use nanocost_trace::span;
+/// let _guard = span!("optimize.sd_total", lo = 105.0, hi = 2_000.0);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span::Span::enter($name, ::std::vec::Vec::new())
+    };
+    ($name:expr, $($key:ident = $value:expr),+ $(,)?) => {
+        if $crate::is_enabled() {
+            $crate::span::Span::enter(
+                $name,
+                ::std::vec![$(
+                    $crate::value::Field::new(
+                        ::core::stringify!($key),
+                        $crate::value::Value::from($value),
+                    )
+                ),+],
+            )
+        } else {
+            $crate::span::Span::inert()
+        }
+    };
+}
+
+/// Emits a point-in-time event with typed fields; free when disabled.
+///
+/// ```
+/// use nanocost_trace::event;
+/// event!("optimum.found", sd = 300.0, cost = 1.2e-6);
+/// ```
+#[macro_export]
+macro_rules! event {
+    ($name:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        if $crate::is_enabled() {
+            $crate::span::emit_event(
+                $name,
+                ::std::vec![$(
+                    $crate::value::Field::new(
+                        ::core::stringify!($key),
+                        $crate::value::Value::from($value),
+                    )
+                ),*],
+            );
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::with_collector;
+
+    #[test]
+    fn inert_span_touches_nothing() {
+        let before = depth();
+        let s = Span::inert();
+        assert_eq!(s.id(), None);
+        assert_eq!(depth(), before);
+    }
+
+    #[test]
+    fn spans_nest_and_unwind_in_order() {
+        let (records, _) = with_collector(|| {
+            let outer = span!("outer", k = 1u64);
+            {
+                let inner = span!("inner");
+                assert_eq!(current_span(), inner.id());
+            }
+            assert_eq!(current_span(), outer.id());
+        });
+        let tags: Vec<&str> = records.iter().map(|r| r.kind.tag()).collect();
+        assert_eq!(tags, ["span_enter", "span_enter", "span_exit", "span_exit"]);
+        // Inner exit precedes outer exit, and parent links are correct.
+        let RecordKind::SpanEnter { span: outer_id, parent: None, .. } = records[0].kind else {
+            panic!("outer enter malformed: {:?}", records[0]);
+        };
+        let RecordKind::SpanEnter { parent: Some(p), .. } = records[1].kind else {
+            panic!("inner enter malformed: {:?}", records[1]);
+        };
+        assert_eq!(p, outer_id);
+    }
+
+    #[test]
+    fn event_attaches_to_innermost_span() {
+        let (records, _) = with_collector(|| {
+            let _s = span!("scope");
+            event!("pulse", v = 2.5);
+        });
+        let RecordKind::Event { span: Some(_), name: "pulse", ref fields } = records[1].kind
+        else {
+            panic!("event malformed: {:?}", records[1]);
+        };
+        assert_eq!(fields.len(), 1);
+    }
+
+    #[test]
+    fn exit_records_elapsed_time() {
+        let (records, _) = with_collector(|| {
+            let _s = span!("timed");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        });
+        let RecordKind::SpanExit { elapsed_nanos, .. } = records[1].kind else {
+            panic!("exit malformed: {:?}", records[1]);
+        };
+        assert!(elapsed_nanos >= 1_000_000, "elapsed {elapsed_nanos} ns");
+    }
+
+    #[test]
+    fn stack_recovers_after_panic_unwind() {
+        let (records, _) = with_collector(|| {
+            let caught = std::panic::catch_unwind(|| {
+                let _s = span!("doomed");
+                panic!("boom");
+            });
+            assert!(caught.is_err());
+            assert_eq!(depth(), 0, "unwound span must leave the stack");
+        });
+        let tags: Vec<&str> = records.iter().map(|r| r.kind.tag()).collect();
+        assert_eq!(tags, ["span_enter", "span_exit"]);
+    }
+}

@@ -1,0 +1,66 @@
+//! Guard test: with no subscriber installed, the instrumentation
+//! macros must not allocate — the whole model pipeline is instrumented
+//! on its hot paths, so the disabled path has to be free.
+//!
+//! A counting global allocator makes the claim checkable. This file
+//! holds exactly one test so no sibling test's allocations can race
+//! the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use nanocost_trace::{counter, event, gauge, metric_histogram, provenance, span};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to the system allocator; the counter is a
+// relaxed atomic with no other side effects.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn disabled_instrumentation_allocates_nothing() {
+    // No subscriber is installed anywhere in this test binary, so every
+    // macro below must take its disabled fast path.
+    assert!(!nanocost_trace::is_enabled());
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let mut acc = 0.0f64;
+    for i in 0..10_000u64 {
+        let _span = span!("hot.path", iteration = i, sd = 300.0);
+        event!("hot.event", value = acc);
+        provenance!(
+            equation: Eq4,
+            function: "no_alloc::probe",
+            inputs: [sd = 300.0, volume = i],
+            outputs: [c_tr = acc],
+        );
+        counter!("hot.counter", 1);
+        gauge!("hot.gauge", acc);
+        metric_histogram!("hot.histogram", acc);
+        let _timer = nanocost_trace::metrics::Timer::start("hot.timer");
+        acc += 1.0;
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+    assert!(acc > 0.0);
+    assert_eq!(
+        after - before,
+        0,
+        "disabled instrumentation performed {} allocations",
+        after - before
+    );
+}

@@ -18,6 +18,7 @@
 
 use nanocost_fab::{DieSite, WaferSpec};
 use nanocost_numeric::Sampler;
+use nanocost_trace::{counter, metric_histogram, provenance, span};
 use nanocost_units::{Area, UnitError, Yield};
 
 use crate::defect::DefectDensity;
@@ -171,10 +172,20 @@ impl WaferMapSimulator {
         let sites: Vec<DieSite> = self.wafer.die_sites(self.die_area);
         let radius = self.wafer.diameter_mm() / 2.0;
         let wafer_area_cm2 = self.wafer.total_area().cm2();
+        let _span = span!(
+            "yield.mc.simulate",
+            wafers = wafers.max(1),
+            dice_per_wafer = sites.len(),
+            d0 = process.density().value(),
+        );
+        let _timer = nanocost_trace::metrics::Timer::start("yield.mc.simulate_s");
         let mut kill_counts: Vec<u64> = Vec::with_capacity(sites.len() * wafers.max(1));
         for _ in 0..wafers.max(1) {
             let mut per_die = vec![0u64; sites.len()];
             let defects = self.throw_defects(sampler, process, wafer_area_cm2, radius);
+            counter!("yield.mc.wafers", 1);
+            counter!("yield.mc.defects", defects.len() as u64);
+            metric_histogram!("yield.mc.defects_per_wafer", defects.len() as f64);
             for (x, y) in defects {
                 // Spatial index: sites form a regular grid, but a linear
                 // scan is fine at these scales and keeps the code simple.
@@ -199,10 +210,26 @@ impl WaferMapSimulator {
             })
             .sum::<f64>()
             / (n - 1.0).max(1.0);
+        let empirical_yield = Yield::clamped(good / n);
+        provenance!(
+            equation: Eq7,
+            function: "nanocost_yield::simulation::WaferMapSimulator::simulate",
+            inputs: [
+                wafers = wafers.max(1),
+                dice_per_wafer = sites.len(),
+                d0 = process.density().value(),
+                critical_area_cm2 = self.critical_area().cm2(),
+            ],
+            outputs: [
+                empirical_yield = empirical_yield.value(),
+                mean_defects_per_die = mean,
+                var_defects_per_die = var,
+            ],
+        );
         WaferMapResult {
             wafers: wafers.max(1),
             dice_per_wafer: sites.len(),
-            empirical_yield: Yield::clamped(good / n),
+            empirical_yield,
             mean_defects_per_die: mean,
             var_defects_per_die: var,
         }

@@ -17,4 +17,15 @@ cargo test -q --workspace
 echo "==> nanocost-audit --deny"
 cargo run -q --release -p nanocost-audit -- --deny
 
+echo "==> observability smoke: figure4 under NANOCOST_TRACE=jsonl"
+TRACE_OUT=target/ci-trace.jsonl
+rm -f "$TRACE_OUT"
+NANOCOST_TRACE=jsonl NANOCOST_TRACE_FILE="$TRACE_OUT" \
+    cargo run -q --release -p nanocost-bench --bin figure4 >/dev/null
+if [[ ! -s "$TRACE_OUT" ]]; then
+    echo "ci: FAIL: $TRACE_OUT is missing or empty" >&2
+    exit 1
+fi
+cargo run -q --release -p nanocost-trace --bin trace_check -- "$TRACE_OUT"
+
 echo "ci: all gates passed"
