@@ -1,0 +1,35 @@
+//! R7 fixture: trace-macro names in library code, with every exemption
+//! the rule grants — good names, test regions, and a reasoned pragma.
+
+/// Figure 4 pipeline stage with a mixed-case span name; violates R7.
+pub fn bad_case() {
+    span!("MonteCarlo.Run");
+}
+
+/// Table A1 row counter fed from a runtime variable; violates R7.
+pub fn dynamic_name(metric: &str) {
+    counter!(metric, 1u64);
+}
+
+/// Eq. (7) hot loop with compliant lowercase dotted names; clean.
+pub fn good_names(wafers: u64) {
+    span!("figure4.run");
+    event!("mc.batch_done", wafers = wafers);
+    gauge!("mc.batch_size", 2.0);
+    metric_histogram!("wafer_cost_usd", 1.0);
+}
+
+/// ITRS bridge that must mirror an external dashboard key; a reasoned
+/// pragma suppresses the deliberate mixed-case name.
+pub fn external_key() {
+    // nanocost-audit: allow(R7, reason = "must match the legacy dashboard series name verbatim")
+    event!("Legacy.SeriesName");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scratch_names_are_fine_in_tests() {
+        span!("Scratch.Name");
+    }
+}

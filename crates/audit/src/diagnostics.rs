@@ -23,6 +23,10 @@ pub enum RuleId {
     /// No `println!`/`eprintln!`/`print!`/`eprint!` in library code;
     /// output flows through return values or `nanocost-trace`.
     R6,
+    /// `span!`/`event!`/metric-macro names in library code must be
+    /// static lowercase `snake_case` (dot-separated) string literals, so
+    /// flamegraph and fingerprint keys stay stable across runs.
+    R7,
     /// Meta-rule: a `nanocost-audit:` suppression pragma is malformed
     /// (unknown rule id, missing mandatory reason, or bad syntax).
     P0,
@@ -30,10 +34,17 @@ pub enum RuleId {
 
 impl RuleId {
     /// All rules, in report order.
-    pub const ALL: [RuleId; 6] =
-        [RuleId::R1, RuleId::R2, RuleId::R3, RuleId::R4, RuleId::R5, RuleId::R6];
+    pub const ALL: [RuleId; 7] = [
+        RuleId::R1,
+        RuleId::R2,
+        RuleId::R3,
+        RuleId::R4,
+        RuleId::R5,
+        RuleId::R6,
+        RuleId::R7,
+    ];
 
-    /// Parses `"R1"`…`"R6"` (case-insensitive). `P0` is not parseable:
+    /// Parses `"R1"`…`"R7"` (case-insensitive). `P0` is not parseable:
     /// pragma hygiene cannot itself be suppressed by a pragma.
     pub fn parse(s: &str) -> Option<RuleId> {
         match s.trim().to_ascii_uppercase().as_str() {
@@ -43,6 +54,7 @@ impl RuleId {
             "R4" => Some(RuleId::R4),
             "R5" => Some(RuleId::R5),
             "R6" => Some(RuleId::R6),
+            "R7" => Some(RuleId::R7),
             _ => None,
         }
     }
@@ -56,6 +68,7 @@ impl RuleId {
             RuleId::R4 => "public model functions must use nanocost-units newtypes, not raw f64",
             RuleId::R5 => "every public model function cites the paper equation/figure/table it implements",
             RuleId::R6 => "no println!/eprintln!/print!/eprint! in library code; use nanocost-trace or return values",
+            RuleId::R7 => "span!/event!/metric names in library code must be static lowercase snake_case string literals",
             RuleId::P0 => "suppression pragma is malformed (unknown rule, missing reason, or bad syntax)",
         }
     }
@@ -64,7 +77,7 @@ impl RuleId {
     pub fn severity(self) -> Severity {
         match self {
             RuleId::R1 | RuleId::R2 | RuleId::P0 => Severity::Error,
-            RuleId::R3 | RuleId::R4 | RuleId::R5 | RuleId::R6 => Severity::Warning,
+            RuleId::R3 | RuleId::R4 | RuleId::R5 | RuleId::R6 | RuleId::R7 => Severity::Warning,
         }
     }
 }
@@ -78,6 +91,7 @@ impl fmt::Display for RuleId {
             RuleId::R4 => write!(f, "R4"),
             RuleId::R5 => write!(f, "R5"),
             RuleId::R6 => write!(f, "R6"),
+            RuleId::R7 => write!(f, "R7"),
             RuleId::P0 => write!(f, "P0"),
         }
     }

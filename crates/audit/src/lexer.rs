@@ -22,8 +22,10 @@ pub enum TokenKind {
     /// A floating-point literal, raw text including any suffix
     /// (`0.25`, `1e-9`, `2.0f64`).
     Float(String),
-    /// A string literal (regular, raw, or byte); content is not retained.
-    Str,
+    /// A string literal (regular, raw, or byte); carries the raw inner
+    /// text (between the quotes, escapes unresolved) so rule R7 can
+    /// check span/metric name charsets.
+    Str(String),
     /// A character or byte literal.
     Char,
     /// Punctuation; compound operators are a single token (`==`, `->`, `..=`).
@@ -194,6 +196,8 @@ impl Lexer<'_> {
             self.pos += 1;
         }
         self.pos += 1; // past opening quote
+        let content_start = self.pos;
+        let mut content_end = self.src.len();
         loop {
             match self.peek(0) {
                 None => break,
@@ -204,26 +208,31 @@ impl Lexer<'_> {
                 Some(b'"') => {
                     let close = (1..=hashes)
                         .all(|k| self.peek(k) == Some(b'#'));
-                    self.pos += 1;
                     if close {
-                        self.pos += hashes;
+                        content_end = self.pos;
+                        self.pos += 1 + hashes;
                         break;
                     }
+                    self.pos += 1;
                 }
                 Some(_) => self.pos += 1,
             }
         }
-        self.push(TokenKind::Str, line);
+        let content = self.text[content_start..content_end].to_string();
+        self.push(TokenKind::Str(content), line);
     }
 
     /// Consumes a regular `"…"` string, honoring escapes.
     fn string(&mut self, line: u32) {
         self.pos += 1;
+        let content_start = self.pos;
+        let mut content_end = self.src.len();
         loop {
             match self.peek(0) {
                 None => break,
                 Some(b'\\') => self.pos += 2,
                 Some(b'"') => {
+                    content_end = self.pos;
                     self.pos += 1;
                     break;
                 }
@@ -234,7 +243,8 @@ impl Lexer<'_> {
                 Some(_) => self.pos += 1,
             }
         }
-        self.push(TokenKind::Str, line);
+        let content = self.text[content_start..content_end.min(self.src.len())].to_string();
+        self.push(TokenKind::Str(content), line);
     }
 
     /// Disambiguates `'a'` (char) from `'a` (lifetime).
@@ -417,9 +427,22 @@ mod tests {
 
     #[test]
     fn strings_do_not_leak_tokens() {
-        assert_eq!(kinds(r#""a == b // not a comment""#), vec![TokenKind::Str]);
-        assert_eq!(kinds(r##"r#"raw "quote" inside"#"##), vec![TokenKind::Str]);
-        assert_eq!(kinds(r#"b"bytes""#), vec![TokenKind::Str]);
+        assert_eq!(
+            kinds(r#""a == b // not a comment""#),
+            vec![TokenKind::Str("a == b // not a comment".into())]
+        );
+        assert_eq!(
+            kinds(r##"r#"raw "quote" inside"#"##),
+            vec![TokenKind::Str(r#"raw "quote" inside"#.into())]
+        );
+        assert_eq!(kinds(r#"b"bytes""#), vec![TokenKind::Str("bytes".into())]);
+    }
+
+    #[test]
+    fn string_payload_keeps_escapes_raw() {
+        assert_eq!(kinds(r#""a\nb""#), vec![TokenKind::Str(r"a\nb".into())]);
+        // Unterminated strings consume to end of input without panicking.
+        assert_eq!(kinds("\"open"), vec![TokenKind::Str("open".into())]);
     }
 
     #[test]

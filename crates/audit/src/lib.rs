@@ -12,6 +12,7 @@
 //! | R4   | warning  | public model functions take `nanocost-units` newtypes, not raw `f64` |
 //! | R5   | warning  | every public model function cites the paper equation/figure/table it implements |
 //! | R6   | warning  | no `println!`/`eprintln!`/`print!`/`eprint!` in library code; output goes through `nanocost-trace` or return values |
+//! | R7   | warning  | `span!`/`event!`/metric-macro names in library code are static lowercase `snake_case` string literals |
 //!
 //! Findings can be suppressed inline with a reasoned pragma
 //! (`// nanocost-audit: allow(R3, reason = "…")`); a malformed pragma is

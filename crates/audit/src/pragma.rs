@@ -222,7 +222,7 @@ mod tests {
 
     #[test]
     fn unknown_rule_is_malformed() {
-        let s = collect(&lex("// nanocost-audit: allow(R7, reason = \"x\")\nx();\n"));
+        let s = collect(&lex("// nanocost-audit: allow(R9, reason = \"x\")\nx();\n"));
         assert_eq!(s.malformed.len(), 1);
     }
 

@@ -1,4 +1,4 @@
-//! The audit rules R1–R6.
+//! The audit rules R1–R7.
 //!
 //! Each rule is a pure function over one file's token stream plus its
 //! structural [`FileContext`](crate::context::FileContext); suppression
@@ -48,6 +48,11 @@ const R4_SYMBOLS: &[(&str, &str)] = &[
 /// audit reporter itself writes diagnostics to the console.
 const R6_EXEMPT_CRATES: &[&str] = &["bench", "audit"];
 
+/// Trace macros whose first argument names a span/event/metric (R7).
+/// Stable, literal names keep flamegraph stacks and provenance
+/// fingerprint keys comparable across runs and releases.
+const R7_MACROS: &[&str] = &["span", "event", "counter", "gauge", "metric_histogram"];
+
 /// Keywords whose presence in a doc comment counts as a paper citation (R5).
 /// Matched on word boundaries after lowercasing.
 const R5_KEYWORDS: &[&str] = &[
@@ -91,6 +96,7 @@ pub fn run_all(input: &FileInput<'_>) -> Vec<Diagnostic> {
     rule_r4(input, &mut out);
     rule_r5(input, &mut out);
     rule_r6(input, &mut out);
+    rule_r7(input, &mut out);
     out
 }
 
@@ -338,6 +344,74 @@ fn rule_r6(input: &FileInput<'_>, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// Is `s` a stable trace name: lowercase `snake_case`, optionally
+/// dot-separated (`mc.wafers`, `figure4.run`)?
+fn valid_trace_name(s: &str) -> bool {
+    let starts_lower = s.chars().next().is_some_and(|c| c.is_ascii_lowercase());
+    starts_lower
+        && s.chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '.')
+}
+
+/// R7: `span!`/`event!`/`counter!`/`gauge!`/`metric_histogram!` names in
+/// library code must be static lowercase `snake_case` string literals.
+///
+/// A computed or mixed-case name makes flamegraph stacks and metric keys
+/// unstable run-to-run, which silently breaks `bench_diff` and the
+/// fingerprint gate. Binaries and test regions are exempt; macro
+/// definitions that forward `$name` are skipped (the call site is the
+/// thing audited).
+fn rule_r7(input: &FileInput<'_>, out: &mut Vec<Diagnostic>) {
+    if input.is_bin() {
+        return;
+    }
+    let toks = input.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        let TokenKind::Ident(name) = &tok.kind else { continue };
+        if !R7_MACROS.contains(&name.as_str()) {
+            continue;
+        }
+        if input.ctx.in_test(i) {
+            continue;
+        }
+        // Require the full `name!(` shape so plain fns named `event` or
+        // `macro_rules!` definitions (`macro_rules ! span {`) pass by.
+        let Some(bang) = next_code(toks, i) else { continue };
+        if !toks[bang].is_punct("!") {
+            continue;
+        }
+        let Some(open) = next_code(toks, bang) else { continue };
+        if !toks[open].is_punct("(") {
+            continue;
+        }
+        let Some(first) = next_code(toks, open) else { continue };
+        match &toks[first].kind {
+            // `$crate::span!($name, …)` inside a macro definition: the
+            // name is supplied by the call site, which gets its own scan.
+            TokenKind::Punct(p) if p == "$" => {}
+            TokenKind::Str(content) if valid_trace_name(content) => {}
+            TokenKind::Str(content) => {
+                out.push(input.diag(
+                    tok.line,
+                    RuleId::R7,
+                    format!(
+                        "`{name}!` name \"{content}\" is not lowercase snake_case; unstable names break flamegraph and fingerprint keys"
+                    ),
+                ));
+            }
+            _ => {
+                out.push(input.diag(
+                    tok.line,
+                    RuleId::R7,
+                    format!(
+                        "`{name}!` name must be a static string literal, not a computed expression"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -475,5 +549,52 @@ mod tests {
     fn r5_skips_trait_method_declarations() {
         let src = "pub trait T { fn m(&self); }\n";
         assert!(audit("crates/core/src/a.rs", "core", src).iter().all(|d| d.rule != RuleId::R5));
+    }
+
+    #[test]
+    fn r7_flags_bad_and_dynamic_trace_names() {
+        let src = "fn f() { span!(\"MonteCarlo.Run\"); event!(name); counter!(\"mc.wafers\", 1u64); }\n";
+        let diags = audit("crates/core/src/a.rs", "core", src);
+        let r7: Vec<_> = diags.iter().filter(|d| d.rule == RuleId::R7).collect();
+        assert_eq!(r7.len(), 2, "{r7:?}");
+        assert!(r7[0].message.contains("MonteCarlo.Run"));
+        assert!(r7[1].message.contains("static string literal"));
+    }
+
+    #[test]
+    fn r7_accepts_snake_case_and_dotted_names() {
+        let src = "fn f() { span!(\"figure4.run\"); gauge!(\"mc.batch_size\", 4.0); \
+                   metric_histogram!(\"wafer_cost_usd\", 1.0); }\n";
+        assert!(audit("crates/core/src/a.rs", "core", src).iter().all(|d| d.rule != RuleId::R7));
+    }
+
+    #[test]
+    fn r7_skips_bins_tests_and_macro_forwarding() {
+        let src = "fn main() { span!(NAME); }\n";
+        assert!(audit("crates/core/src/bin/tool.rs", "core", src).is_empty());
+        let src = "#[cfg(test)]\nmod t { fn g() { event!(\"X\"); } }\n";
+        assert!(audit("crates/core/src/a.rs", "core", src).iter().all(|d| d.rule != RuleId::R7));
+        // `$crate::counter!($name, 1u64)` inside trace's own macro_rules.
+        let src = "macro_rules! hit { ($name:expr) => { $crate::counter!($name, 1u64) }; }\n";
+        assert!(audit("crates/trace/src/metrics.rs", "trace", src)
+            .iter()
+            .all(|d| d.rule != RuleId::R7));
+    }
+
+    #[test]
+    fn r7_ignores_plain_idents_named_like_macros() {
+        let src = "fn f() { let span = 1; event(span); gauge.set(2.0); }\n";
+        assert!(audit("crates/core/src/a.rs", "core", src).iter().all(|d| d.rule != RuleId::R7));
+    }
+
+    #[test]
+    fn r7_name_charset() {
+        assert!(valid_trace_name("figure4.run"));
+        assert!(valid_trace_name("mc.batch_size"));
+        assert!(!valid_trace_name(""));
+        assert!(!valid_trace_name("4figure"));
+        assert!(!valid_trace_name("Figure.run"));
+        assert!(!valid_trace_name("has space"));
+        assert!(!valid_trace_name("has-dash"));
     }
 }

@@ -71,6 +71,16 @@ fn r6_fixture_matches_golden_and_honors_exemptions() {
 }
 
 #[test]
+fn r7_fixture_matches_golden_and_honors_exemptions() {
+    let diags = audit_fixture("r7_span_names.rs");
+    check_golden("r7_span_names.expected.txt", &render_text_report(&diags));
+    assert_eq!(diags.len(), 2, "one bad literal + one dynamic name: {diags:?}");
+    assert!(diags.iter().all(|d| d.rule == RuleId::R7));
+    // The pragma-suppressed event! and the test-module span! are absent.
+    assert!(diags.iter().all(|d| d.line < 20));
+}
+
+#[test]
 fn clean_fixture_is_clean() {
     let diags = audit_fixture("clean.rs");
     assert!(diags.is_empty(), "clean fixture must audit clean: {diags:?}");

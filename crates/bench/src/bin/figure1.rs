@@ -10,6 +10,7 @@ use nanocost_numeric::Chart;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let _trace = nanocost_trace::init_from_env();
+    let _root = nanocost_trace::span!("figure1.run");
     let (by_class, by_vendor) = figure1()?;
     let mut chart = Chart::new("Figure 1: s_d vs feature size", "λ [µm]", "s_d [λ²/tr]");
     for s in by_class {

@@ -7,6 +7,7 @@ use nanocost_numeric::Chart;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let _trace = nanocost_trace::init_from_env();
+    let _root = nanocost_trace::span!("figure2.run");
     let series = figure2()?;
     println!("Figure 2 — s_d for microprocessors from ITRS-1999 data (eq. 2)");
     println!();

@@ -8,6 +8,7 @@ use nanocost_roadmap::Scenario;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let _trace = nanocost_trace::init_from_env();
+    let _root = nanocost_trace::span!("figure3.run");
     println!("Figure 3 — ratio of ITRS s_d to constant-die-cost s_d");
     println!("anchors: C_ch = $34, C_sq = 8 $/cm², Y = 0.8 (paper §2.2.3)");
     println!();

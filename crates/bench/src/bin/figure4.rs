@@ -8,6 +8,7 @@ use nanocost_core::Figure4Scenario;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let _trace = nanocost_trace::init_from_env();
+    let _root = nanocost_trace::span!("figure4.run");
     for scenario in [Figure4Scenario::paper_4a(), Figure4Scenario::paper_4b()] {
         let (chart, optima) = figure4_panel(&scenario)?;
         println!("{}", chart.to_table());

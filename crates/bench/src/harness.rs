@@ -8,11 +8,23 @@
 //! `std::time::Instant`, printing a median-of-samples summary per benchmark.
 //!
 //! It is intentionally small: warmup, N timed samples, median + min/max.
-//! No statistical regression machinery — the point is that `cargo bench`
-//! keeps working offline and the numbers stay comparable run-to-run.
+//! The statistical machinery lives downstream: with `NANOCOST_BENCH_JSON`
+//! set, every benchmark appends a format-2 record carrying the full
+//! sorted per-iteration sample array (plus a once-per-run manifest
+//! header), and `nanocost-sentinel`'s `bench_diff` bin turns two such
+//! captures into a rank-tested regression verdict.
 
 use std::hint::black_box as std_black_box;
+use std::sync::Once;
 use std::time::{Duration, Instant};
+
+/// Default timed samples per benchmark (Criterion uses 100; 30 keeps
+/// the full suite under a minute while still feeding the rank test).
+const DEFAULT_SAMPLE_SIZE: usize = 30;
+
+/// `NANOCOST_BENCH_JSON` capture format version written by this
+/// harness. Format 2 added the manifest header and `samples_s`.
+const BENCH_JSON_FORMAT: u32 = 2;
 
 /// Re-export so benches can `use nanocost_bench::harness::black_box`.
 pub fn black_box<T>(x: T) -> T {
@@ -27,7 +39,7 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 30 }
+        Criterion { sample_size: DEFAULT_SAMPLE_SIZE }
     }
 }
 
@@ -181,29 +193,61 @@ where
         samples = samples,
         iters = iters,
     );
-    emit_json_record(name, median, min, max, samples, iters);
+    emit_json_record(name, median, min, max, iters, &per_iter);
 }
 
 /// Appends one machine-readable result line to the file named by
-/// `NANOCOST_BENCH_JSON` (no-op when the variable is unset). One JSON
-/// object per benchmark, so baselines like `BENCH_baseline.json` can be
-/// regenerated and diffed run-to-run.
-fn emit_json_record(name: &str, median: f64, min: f64, max: f64, samples: usize, iters: u64) {
+/// `NANOCOST_BENCH_JSON` (no-op when the variable is unset). The first
+/// record of a process is preceded by a run-manifest header (format
+/// version, rustc version, opt-level, default sample size); each record
+/// carries the full sorted per-iteration sample array so `bench_diff`
+/// can rank-test two captures instead of comparing bare medians.
+fn emit_json_record(name: &str, median: f64, min: f64, max: f64, iters: u64, per_iter: &[f64]) {
     let Some(path) = std::env::var_os("NANOCOST_BENCH_JSON") else {
         return;
     };
+    static MANIFEST: Once = Once::new();
+    MANIFEST.call_once(|| {
+        let line = format!(
+            "{{\"manifest\":{{\"format\":{BENCH_JSON_FORMAT},\"rustc\":{},\"opt_level\":\"{}\",\"sample_size\":{DEFAULT_SAMPLE_SIZE}}}}}\n",
+            nanocost_trace::value::json_string(&rustc_version()),
+            if cfg!(debug_assertions) { "debug" } else { "release" },
+        );
+        append_line(&path, &line);
+    });
+    let samples_s: Vec<String> = per_iter.iter().map(|s| format!("{s:e}")).collect();
     let line = format!(
-        "{{\"name\":{},\"median_s\":{median:e},\"min_s\":{min:e},\"max_s\":{max:e},\"samples\":{samples},\"iters\":{iters}}}\n",
-        nanocost_trace::value::json_string(name)
+        "{{\"name\":{},\"median_s\":{median:e},\"min_s\":{min:e},\"max_s\":{max:e},\"samples\":{},\"iters\":{iters},\"samples_s\":[{}]}}\n",
+        nanocost_trace::value::json_string(name),
+        per_iter.len(),
+        samples_s.join(",")
     );
+    append_line(&path, &line);
+}
+
+/// Appends one line to the capture file, warning (not failing) on error.
+fn append_line(path: &std::ffi::OsStr, line: &str) {
     let written = std::fs::OpenOptions::new()
         .create(true)
         .append(true)
-        .open(&path)
+        .open(path)
         .and_then(|mut file| std::io::Write::write_all(&mut file, line.as_bytes()));
     if let Err(e) = written {
         eprintln!("bench: cannot append to {}: {e}", path.to_string_lossy());
     }
+}
+
+/// The producing toolchain's `rustc --version` line, or `unknown` when
+/// rustc is not on PATH (the capture is still comparable, just less
+/// traceable).
+fn rustc_version() -> String {
+    std::process::Command::new("rustc")
+        .arg("--version")
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
 }
 
 /// Formats seconds with an SI prefix suited to the magnitude.

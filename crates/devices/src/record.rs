@@ -1,5 +1,6 @@
 //! Device records: one published industrial design per record.
 
+use nanocost_trace::provenance;
 use nanocost_units::{
     Area, DecompressionIndex, FeatureSize, TransistorCount, UnitError,
 };
@@ -103,11 +104,24 @@ impl DeviceRecord {
     }
 
     /// The best available logic `s_d`: the split-region value when
-    /// reported, otherwise the whole-die value.
+    /// reported, otherwise the whole-die value. This is the Figure-1
+    /// quantity, i.e. eq. 2 solved for `s_d = A / (N_tr · λ²)`.
     #[must_use]
     pub fn effective_sd_logic(&self) -> DecompressionIndex {
-        self.computed_sd_logic()
-            .unwrap_or_else(|| self.computed_sd_total())
+        let sd = self
+            .computed_sd_logic()
+            .unwrap_or_else(|| self.computed_sd_total());
+        provenance!(
+            equation: Eq2,
+            function: "nanocost_devices::record::DeviceRecord::effective_sd_logic",
+            inputs: [
+                lambda_um = self.feature_um,
+                n_tr = self.transistors().count(),
+                a_ch_cm2 = self.die_area().cm2(),
+            ],
+            outputs: [sd = sd.squares()],
+        );
+        sd
     }
 
     /// True if the record reports a memory/logic split.

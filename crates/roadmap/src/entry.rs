@@ -1,5 +1,6 @@
 //! Roadmap entries: one technology generation per record.
 
+use nanocost_trace::provenance;
 use nanocost_units::{
     Area, DecompressionIndex, FeatureSize, TransistorCount, TransistorDensity, UnitError,
 };
@@ -54,8 +55,20 @@ impl RoadmapEntry {
     /// (`s_d = 1/(T_d·λ²)`, eq. 2).
     #[must_use]
     pub fn implied_sd(&self) -> DecompressionIndex {
-        self.transistor_density()
-            .decompression_index(self.feature_size().expect("dataset is validated")) // nanocost-audit: allow(R1, reason = "documented invariant: dataset is validated")
+        let sd = self
+            .transistor_density()
+            .decompression_index(self.feature_size().expect("dataset is validated")); // nanocost-audit: allow(R1, reason = "documented invariant: dataset is validated")
+        provenance!(
+            equation: Eq2,
+            function: "nanocost_roadmap::entry::RoadmapEntry::implied_sd",
+            inputs: [
+                lambda_nm = self.feature_nm,
+                n_tr = self.transistors().count(),
+                a_ch_cm2 = self.chip_area().cm2(),
+            ],
+            outputs: [sd = sd.squares()],
+        );
+        sd
     }
 }
 

@@ -1,0 +1,68 @@
+//! Folds a `NANOCOST_TRACE` JSONL capture into a span profile.
+//!
+//! ```text
+//! trace_profile <capture.jsonl>             # hotspot table + folded stacks
+//! trace_profile --folded <capture.jsonl>    # folded stacks only (pipe to a
+//!                                           # flamegraph renderer)
+//! trace_profile --hotspots <capture.jsonl>  # hotspot table only
+//! ```
+//!
+//! Exit code 0 on success, 2 on usage, I/O, or parse errors.
+
+use std::process::ExitCode;
+
+use nanocost_sentinel::profile::Profile;
+use nanocost_sentinel::SentinelError;
+
+const USAGE: &str = "usage: trace_profile [--folded | --hotspots] <capture.jsonl>";
+
+fn run(argv: &[String]) -> Result<String, String> {
+    let mut folded_only = false;
+    let mut hotspots_only = false;
+    let mut path: Option<&str> = None;
+    for arg in argv {
+        match arg.as_str() {
+            "--folded" => folded_only = true,
+            "--hotspots" => hotspots_only = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}`\n{USAGE}"))
+            }
+            other => {
+                if path.is_some() {
+                    return Err(USAGE.to_string());
+                }
+                path = Some(other);
+            }
+        }
+    }
+    let path = path.ok_or_else(|| USAGE.to_string())?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| SentinelError::io(path, &e).to_string())?;
+    let profile = Profile::from_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+    let mut out = String::new();
+    if !folded_only {
+        out.push_str(&profile.hotspot_table());
+    }
+    if !hotspots_only {
+        if !folded_only {
+            out.push_str("\n# folded stacks\n");
+        }
+        out.push_str(&profile.folded_stacks());
+    }
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,359 @@
+//! Folds the `NANOCOST_TRACE` JSONL span stream into a profile.
+//!
+//! PR 2 gave the model pipeline spans; this module turns a captured
+//! stream into (1) folded-stack lines (`root;child;leaf <self_ns>`),
+//! the interchange format every flamegraph renderer accepts, and (2) a
+//! self/total-time hotspot table. Self time is a span's elapsed time
+//! minus the elapsed time of its direct children, so the folded lines
+//! sum to the root spans' wall time — the invariant the acceptance
+//! tests pin.
+
+use std::collections::BTreeMap;
+
+use crate::json::{self, JsonValue};
+use crate::SentinelError;
+
+/// One span reconstructed from the stream.
+#[derive(Debug, Clone, PartialEq)]
+struct SpanNode {
+    name: String,
+    parent: Option<u64>,
+    thread: u64,
+    /// Elapsed nanoseconds from the exit record; `None` while unclosed.
+    elapsed_ns: Option<u64>,
+    /// Sum of direct (closed) children's elapsed nanoseconds.
+    children_ns: u64,
+}
+
+/// A reconstructed span profile.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Profile {
+    spans: BTreeMap<u64, SpanNode>,
+    /// Spans that entered but never exited (a crash or truncated
+    /// capture); they are excluded from timing but kept for stack paths.
+    pub unclosed: usize,
+    /// Exit records with no matching enter (truncated capture head).
+    pub orphan_exits: usize,
+}
+
+/// One row of the hotspot table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hotspot {
+    /// Span name.
+    pub name: String,
+    /// Number of closed spans with this name.
+    pub calls: u64,
+    /// Total elapsed nanoseconds (including children).
+    pub total_ns: u64,
+    /// Self nanoseconds (elapsed minus direct children).
+    pub self_ns: u64,
+}
+
+impl Profile {
+    /// Reconstructs a profile from a JSONL capture. Non-span records
+    /// (events, provenance, metrics) are skipped; malformed JSON fails.
+    ///
+    /// # Errors
+    ///
+    /// [`SentinelError::Parse`] on malformed JSON,
+    /// [`SentinelError::Schema`] when a span record lacks its keys.
+    pub fn from_jsonl(text: &str) -> Result<Profile, SentinelError> {
+        let mut p = Profile::default();
+        for (i, line) in text.lines().enumerate() {
+            let lineno = i + 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let v =
+                json::parse(line).map_err(|error| SentinelError::Parse { line: lineno, error })?;
+            match v.get("type").and_then(JsonValue::as_str) {
+                Some("span_enter") => p.on_enter(&v, lineno)?,
+                Some("span_exit") => p.on_exit(&v, lineno)?,
+                _ => {}
+            }
+        }
+        p.unclosed = p.spans.values().filter(|s| s.elapsed_ns.is_none()).count();
+        Ok(p)
+    }
+
+    fn on_enter(&mut self, v: &JsonValue, line: usize) -> Result<(), SentinelError> {
+        let span = v
+            .get("span")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| schema(line, "span_enter missing `span`"))?;
+        let name = v
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| schema(line, "span_enter missing `name`"))?
+            .to_string();
+        let parent = v.get("parent").and_then(JsonValue::as_u64);
+        let thread = v.get("thread").and_then(JsonValue::as_u64).unwrap_or(0);
+        self.spans
+            .insert(span, SpanNode { name, parent, thread, elapsed_ns: None, children_ns: 0 });
+        Ok(())
+    }
+
+    fn on_exit(&mut self, v: &JsonValue, line: usize) -> Result<(), SentinelError> {
+        let span = v
+            .get("span")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| schema(line, "span_exit missing `span`"))?;
+        let elapsed = v
+            .get("elapsed_ns")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| schema(line, "span_exit missing `elapsed_ns`"))?;
+        let parent = match self.spans.get_mut(&span) {
+            Some(node) => {
+                node.elapsed_ns = Some(elapsed);
+                node.parent
+            }
+            None => {
+                self.orphan_exits += 1;
+                return Ok(());
+            }
+        };
+        if let Some(pid) = parent {
+            if let Some(pnode) = self.spans.get_mut(&pid) {
+                pnode.children_ns += elapsed;
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of spans reconstructed (closed or not).
+    #[must_use]
+    pub fn span_count(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Total elapsed nanoseconds of closed root spans (no parent).
+    #[must_use]
+    pub fn root_total_ns(&self) -> u64 {
+        self.spans
+            .values()
+            .filter(|s| s.parent.is_none())
+            .filter_map(|s| s.elapsed_ns)
+            .sum()
+    }
+
+    /// Sum of self time over all closed spans; equals
+    /// [`Self::root_total_ns`] for a complete, well-nested capture.
+    #[must_use]
+    pub fn total_self_ns(&self) -> u64 {
+        self.spans
+            .values()
+            .filter_map(|s| s.elapsed_ns.map(|e| e.saturating_sub(s.children_ns)))
+            .sum()
+    }
+
+    /// The `;`-joined ancestor path of a span, root first.
+    fn stack_path(&self, mut id: u64) -> String {
+        let mut names: Vec<&str> = Vec::new();
+        // Bounded walk guards against a corrupt capture with a parent
+        // cycle; real traces are trees.
+        for _ in 0..1024 {
+            let Some(node) = self.spans.get(&id) else { break };
+            names.push(&node.name);
+            match node.parent {
+                Some(p) => id = p,
+                None => break,
+            }
+        }
+        names.reverse();
+        names.join(";")
+    }
+
+    /// Folded-stack lines, one per distinct stack with positive self
+    /// time, sorted by stack path: `root;child;leaf <self_ns>`.
+    #[must_use]
+    pub fn folded_stacks(&self) -> String {
+        let mut by_stack: BTreeMap<String, u64> = BTreeMap::new();
+        for (&id, node) in &self.spans {
+            let Some(elapsed) = node.elapsed_ns else { continue };
+            let self_ns = elapsed.saturating_sub(node.children_ns);
+            if self_ns > 0 {
+                *by_stack.entry(self.stack_path(id)).or_insert(0) += self_ns;
+            }
+        }
+        let mut out = String::new();
+        for (stack, ns) in by_stack {
+            out.push_str(&format!("{stack} {ns}\n"));
+        }
+        out
+    }
+
+    /// Per-name hotspot rows, sorted by self time descending (ties by
+    /// name for determinism).
+    #[must_use]
+    pub fn hotspots(&self) -> Vec<Hotspot> {
+        let mut by_name: BTreeMap<&str, Hotspot> = BTreeMap::new();
+        for node in self.spans.values() {
+            let Some(elapsed) = node.elapsed_ns else { continue };
+            let row = by_name.entry(&node.name).or_insert_with(|| Hotspot {
+                name: node.name.clone(),
+                calls: 0,
+                total_ns: 0,
+                self_ns: 0,
+            });
+            row.calls += 1;
+            row.total_ns += elapsed;
+            row.self_ns += elapsed.saturating_sub(node.children_ns);
+        }
+        let mut rows: Vec<Hotspot> = by_name.into_values().collect();
+        rows.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then_with(|| a.name.cmp(&b.name)));
+        rows
+    }
+
+    /// Human-readable hotspot table with a totals footer.
+    #[must_use]
+    pub fn hotspot_table(&self) -> String {
+        let rows = self.hotspots();
+        let name_w = rows.iter().map(|r| r.name.len()).max().unwrap_or(4).max("name".len());
+        let mut out = format!("{:>8}  {:>12}  {:>12}  name\n", "calls", "total", "self");
+        for r in &rows {
+            out.push_str(&format!(
+                "{:>8}  {:>12}  {:>12}  {:<name_w$}\n",
+                r.calls,
+                fmt_ns(r.total_ns),
+                fmt_ns(r.self_ns),
+                r.name
+            ));
+        }
+        out.push_str(&format!(
+            "\n{} spans, root total {}, self total {}",
+            self.span_count(),
+            fmt_ns(self.root_total_ns()),
+            fmt_ns(self.total_self_ns()),
+        ));
+        if self.unclosed > 0 || self.orphan_exits > 0 {
+            out.push_str(&format!(
+                " ({} unclosed, {} orphan exits)",
+                self.unclosed, self.orphan_exits
+            ));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+fn schema(line: usize, message: &str) -> SentinelError {
+    SentinelError::Schema { line, message: message.to_string() }
+}
+
+/// Renders nanoseconds with an SI prefix suited to the magnitude.
+fn fmt_ns(ns: u64) -> String {
+    let secs = ns as f64 / 1.0e9;
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1.0e-3 {
+        format!("{:.3} ms", secs * 1.0e3)
+    } else if secs >= 1.0e-6 {
+        format!("{:.3} us", secs * 1.0e6)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enter(span: u64, parent: Option<u64>, name: &str) -> String {
+        let parent = parent.map_or_else(|| "null".to_string(), |p| p.to_string());
+        format!(
+            "{{\"ts_us\":1,\"thread\":0,\"type\":\"span_enter\",\"span\":{span},\
+             \"parent\":{parent},\"name\":\"{name}\",\"fields\":{{}}}}"
+        )
+    }
+
+    fn exit(span: u64, name: &str, elapsed_ns: u64) -> String {
+        format!(
+            "{{\"ts_us\":2,\"thread\":0,\"type\":\"span_exit\",\"span\":{span},\
+             \"name\":\"{name}\",\"elapsed_ns\":{elapsed_ns}}}"
+        )
+    }
+
+    fn nested_capture() -> String {
+        // root (1000ns) -> a (600ns) -> b (200ns); plus a second call to
+        // a (100ns) directly under root.
+        [
+            enter(1, None, "root"),
+            enter(2, Some(1), "a"),
+            enter(3, Some(2), "b"),
+            exit(3, "b", 200),
+            exit(2, "a", 600),
+            enter(4, Some(1), "a"),
+            exit(4, "a", 100),
+            exit(1, "root", 1000),
+        ]
+        .join("\n")
+    }
+
+    #[test]
+    fn self_time_sums_to_the_root_span() {
+        let p = Profile::from_jsonl(&nested_capture()).expect("parses");
+        assert_eq!(p.root_total_ns(), 1000);
+        assert_eq!(p.total_self_ns(), 1000);
+        assert_eq!(p.unclosed, 0);
+    }
+
+    #[test]
+    fn folded_stacks_carry_full_paths_and_self_times() {
+        let p = Profile::from_jsonl(&nested_capture()).expect("parses");
+        let folded = p.folded_stacks();
+        let lines: Vec<&str> = folded.lines().collect();
+        assert!(lines.contains(&"root 300"), "root self = 1000-600-100: {folded}");
+        assert!(lines.contains(&"root;a 500"), "both `a` calls fold together: {folded}");
+        assert!(lines.contains(&"root;a;b 200"), "{folded}");
+        let total: u64 = lines
+            .iter()
+            .filter_map(|l| l.rsplit(' ').next())
+            .filter_map(|n| n.parse::<u64>().ok())
+            .sum();
+        assert_eq!(total, p.root_total_ns());
+    }
+
+    #[test]
+    fn hotspots_aggregate_by_name() {
+        let p = Profile::from_jsonl(&nested_capture()).expect("parses");
+        let rows = p.hotspots();
+        let a = rows.iter().find(|r| r.name == "a").expect("has `a`");
+        assert_eq!(a.calls, 2);
+        assert_eq!(a.total_ns, 700);
+        assert_eq!(a.self_ns, 500);
+        // Sorted by self time descending: `a` (500) beats `root` (300).
+        assert_eq!(rows[0].name, "a");
+        let table = p.hotspot_table();
+        assert!(table.contains("name"), "{table}");
+    }
+
+    #[test]
+    fn unclosed_and_orphan_spans_are_counted_not_fatal() {
+        let text = [enter(1, None, "root"), exit(9, "ghost", 50)].join("\n");
+        let p = Profile::from_jsonl(&text).expect("parses");
+        assert_eq!(p.unclosed, 1);
+        assert_eq!(p.orphan_exits, 1);
+        assert_eq!(p.root_total_ns(), 0);
+    }
+
+    #[test]
+    fn non_span_records_are_skipped() {
+        let text = concat!(
+            "{\"ts_us\":1,\"thread\":0,\"type\":\"event\",\"span\":null,",
+            "\"name\":\"e\",\"fields\":{}}\n",
+            "{\"ts_us\":1,\"thread\":0,\"type\":\"metric\",\"name\":\"m\",",
+            "\"metric_kind\":\"counter\",\"fields\":{}}\n"
+        );
+        let p = Profile::from_jsonl(text).expect("parses");
+        assert_eq!(p.span_count(), 0);
+    }
+
+    #[test]
+    fn malformed_lines_fail_with_the_line_number() {
+        let text = format!("{}\nnot json\n", enter(1, None, "root"));
+        match Profile::from_jsonl(&text) {
+            Err(SentinelError::Parse { line: 2, .. }) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+}

@@ -2,66 +2,136 @@
 //!
 //! The CI observability smoke gate runs a bench bin under
 //! `NANOCOST_TRACE=jsonl` and pipes the capture here. The check fails
-//! (exit 1) if the file is empty, any line is not well-formed JSON, or
-//! the stream carries no provenance record naming a paper equation id.
+//! if the file is empty, any line is not well-formed JSON, or the
+//! stream carries no provenance record naming a paper equation id.
 //!
-//! Usage: `trace-check <file.jsonl>`
+//! Usage: `trace-check [--summary] <file.jsonl>`
+//!
+//! With `--summary`, also prints a per-record-type breakdown and the
+//! provenance count per equation id.
 
-use std::process::ExitCode;
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
 
 use nanocost_trace::json;
 
-fn main() -> ExitCode {
-    let Some(path) = std::env::args().nth(1) else {
-        eprintln!("usage: trace-check <file.jsonl>");
-        return ExitCode::FAILURE;
-    };
-    let text = match std::fs::read_to_string(&path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("trace-check: cannot read {path}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    match check(&text) {
-        Ok(summary) => {
-            println!("trace-check: {path}: {summary}");
-            ExitCode::SUCCESS
-        }
-        Err(e) => {
-            eprintln!("trace-check: {path}: {e}");
-            ExitCode::FAILURE
-        }
+/// A failed check; `Display` carries the full diagnostic.
+#[derive(Debug)]
+struct CheckError(String);
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
     }
 }
 
-/// Validates the capture; returns a human-readable summary.
-fn check(text: &str) -> Result<String, String> {
-    let mut lines = 0usize;
-    let mut provenance = 0usize;
+impl Error for CheckError {}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let mut summary = false;
+    let mut path: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--summary" => summary = true,
+            other if other.starts_with('-') => {
+                return Err(Box::new(CheckError(format!(
+                    "unknown flag `{other}`\nusage: trace-check [--summary] <file.jsonl>"
+                ))));
+            }
+            other => path = Some(other.to_string()),
+        }
+    }
+    let Some(path) = path else {
+        return Err(Box::new(CheckError(
+            "usage: trace-check [--summary] <file.jsonl>".to_string(),
+        )));
+    };
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| CheckError(format!("cannot read {path}: {e}")))?;
+    let stats = check(&text).map_err(|e| CheckError(format!("{path}: {e}")))?;
+    println!("trace-check: {path}: {}", stats.one_line());
+    if summary {
+        print!("{}", stats.summary());
+    }
+    Ok(())
+}
+
+/// What one pass over a capture counted.
+#[derive(Debug, Default, PartialEq, Eq)]
+struct Stats {
+    lines: usize,
+    by_type: BTreeMap<String, usize>,
+    provenance_by_equation: BTreeMap<String, usize>,
+}
+
+impl Stats {
+    fn provenance(&self) -> usize {
+        self.provenance_by_equation.values().sum()
+    }
+
+    fn one_line(&self) -> String {
+        format!(
+            "{} records, {} provenance records, all valid JSON",
+            self.lines,
+            self.provenance()
+        )
+    }
+
+    /// The `--summary` breakdown: records per type, then provenance per
+    /// equation id.
+    fn summary(&self) -> String {
+        let mut out = String::from("record types:\n");
+        for (ty, n) in &self.by_type {
+            out.push_str(&format!("  {ty:<12} {n}\n"));
+        }
+        out.push_str("provenance by equation:\n");
+        for (eq, n) in &self.provenance_by_equation {
+            out.push_str(&format!("  {eq:<12} {n}\n"));
+        }
+        out
+    }
+}
+
+/// Extracts the value of a `"key":"..."` string pair by scanning; the
+/// validator has already established well-formed JSON, so a simple
+/// substring walk is sound for the exporter's un-escaped tag values.
+fn string_value<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find('"')?;
+    Some(&rest[..end])
+}
+
+/// Validates the capture and gathers per-type/per-equation counts.
+fn check(text: &str) -> Result<Stats, String> {
+    let mut stats = Stats::default();
     for (i, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
-        lines += 1;
+        stats.lines += 1;
         json::validate(line).map_err(|e| format!("line {}: not valid JSON: {e}", i + 1))?;
-        if line.contains("\"type\":\"provenance\"") {
-            if !line.contains("\"equation\":\"Eq.") {
+        let ty = string_value(line, "type").unwrap_or("unknown").to_string();
+        if ty == "provenance" {
+            let Some(eq) = string_value(line, "equation").filter(|e| e.starts_with("Eq.")) else {
                 return Err(format!(
                     "line {}: provenance record without a paper equation id",
                     i + 1
                 ));
-            }
-            provenance += 1;
+            };
+            *stats.provenance_by_equation.entry(eq.to_string()).or_insert(0) += 1;
         }
+        *stats.by_type.entry(ty).or_insert(0) += 1;
     }
-    if lines == 0 {
+    if stats.lines == 0 {
         return Err("empty trace (no JSONL records)".to_string());
     }
-    if provenance == 0 {
+    if stats.provenance() == 0 {
         return Err("no provenance records in the trace".to_string());
     }
-    Ok(format!("{lines} records, {provenance} provenance records, all valid JSON"))
+    Ok(stats)
 }
 
 #[cfg(test)]
@@ -74,7 +144,13 @@ mod tests {
             "{\"ts_us\":1,\"thread\":1,\"type\":\"span_enter\",\"span\":1,\"parent\":null,\"name\":\"s\",\"fields\":{}}\n",
             "{\"ts_us\":2,\"thread\":1,\"type\":\"provenance\",\"span\":1,\"equation\":\"Eq.4\",\"function\":\"f\",\"inputs\":{},\"outputs\":{}}\n",
         );
-        assert!(check(text).is_ok());
+        let stats = check(text).expect("valid capture");
+        assert_eq!(stats.lines, 2);
+        assert_eq!(stats.by_type["span_enter"], 1);
+        assert_eq!(stats.provenance_by_equation["Eq.4"], 1);
+        let summary = stats.summary();
+        assert!(summary.contains("Eq.4"), "{summary}");
+        assert!(stats.one_line().contains("2 records"), "{}", stats.one_line());
     }
 
     #[test]
@@ -85,5 +161,20 @@ mod tests {
         assert!(check(no_eq).is_err());
         let no_prov = "{\"type\":\"event\",\"name\":\"x\"}\n";
         assert!(check(no_prov).is_err());
+    }
+
+    #[test]
+    fn counts_every_equation_separately() {
+        let rec = |eq: &str| {
+            format!(
+                "{{\"ts_us\":1,\"thread\":1,\"type\":\"provenance\",\"span\":null,\
+                 \"equation\":\"{eq}\",\"function\":\"f\",\"inputs\":{{}},\"outputs\":{{}}}}"
+            )
+        };
+        let text = format!("{}\n{}\n{}\n", rec("Eq.1"), rec("Eq.4"), rec("Eq.4"));
+        let stats = check(&text).expect("valid capture");
+        assert_eq!(stats.provenance_by_equation["Eq.1"], 1);
+        assert_eq!(stats.provenance_by_equation["Eq.4"], 2);
+        assert_eq!(stats.provenance(), 3);
     }
 }

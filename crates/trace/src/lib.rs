@@ -16,8 +16,9 @@
 //!   audit trail.
 //! * **Metrics** ([`counter!`], [`gauge!`], [`metric_histogram!`],
 //!   [`Timer`](metrics::Timer)) — a process-global registry flushed as
-//!   records when the trace guard drops; histogram summaries reuse
-//!   [`nanocost_numeric::Histogram`].
+//!   records when the trace guard drops; histogram samples stream into
+//!   a [`nanocost_sentinel::LogHistogram`] and flush as percentile
+//!   summaries (p50/p90/p99/p99.9) with bounded relative error.
 //! * **Exporters** — human-readable span tree, JSONL, and Chrome
 //!   trace-event format (loadable in `chrome://tracing` / Perfetto),
 //!   selected via environment variables (see [`init_from_env`]).

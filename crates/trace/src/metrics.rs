@@ -4,15 +4,16 @@
 //! Metrics accumulate silently while the program runs and are flushed
 //! as [`RecordKind::Metric`] records when [`crate::flush`] runs (the
 //! [`TraceGuard`](crate::TraceGuard) does this on drop). Histogram
-//! snapshots are summarized through [`nanocost_numeric::Histogram`] —
-//! the same binning used for the Monte-Carlo outputs elsewhere in the
-//! workspace.
+//! samples stream into a [`nanocost_sentinel::LogHistogram`] — bounded
+//! memory no matter how many samples arrive, and percentile summaries
+//! (p50/p90/p99/p99.9) with a guaranteed relative-error bound instead
+//! of the coarse mode-bin summary earlier revisions reported.
 
 use std::collections::BTreeMap;
 use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
-use nanocost_numeric::Histogram;
+use nanocost_sentinel::LogHistogram;
 
 use crate::record::RecordKind;
 use crate::value::{Field, Value};
@@ -20,10 +21,7 @@ use crate::{dispatch, is_enabled};
 
 static COUNTERS: Mutex<BTreeMap<&'static str, u64>> = Mutex::new(BTreeMap::new());
 static GAUGES: Mutex<BTreeMap<&'static str, f64>> = Mutex::new(BTreeMap::new());
-static HISTOGRAMS: Mutex<BTreeMap<&'static str, Vec<f64>>> = Mutex::new(BTreeMap::new());
-
-/// Bins used when summarizing a histogram metric's mode.
-const SUMMARY_BINS: usize = 16;
+static HISTOGRAMS: Mutex<BTreeMap<&'static str, LogHistogram>> = Mutex::new(BTreeMap::new());
 
 /// A poisoned metrics mutex only means another thread panicked while
 /// holding it; the map itself is still coherent, so recover it.
@@ -52,7 +50,7 @@ pub fn record_histogram(name: &'static str, v: f64) {
     if !is_enabled() {
         return;
     }
-    lock(&HISTOGRAMS).entry(name).or_default().push(v);
+    lock(&HISTOGRAMS).entry(name).or_default().record(v);
 }
 
 /// Current value of a counter (0 if never touched). Intended for tests.
@@ -90,9 +88,10 @@ impl Drop for Timer {
 
 /// Drains the registry and emits one [`RecordKind::Metric`] record per
 /// metric. Counters and gauges carry a single `value` field; histograms
-/// carry `count`/`min`/`max`/`mean`/`mode`, with the mode taken from
-/// the fullest bin of a [`nanocost_numeric::Histogram`] over the
-/// sample range.
+/// carry `count`/`min`/`max`/`mean`/`p50`/`p90`/`p99`/`p999` — the
+/// summary stats are exact, the percentiles come from the log-linear
+/// buckets with relative error at most
+/// [`LogHistogram::relative_error_bound`].
 pub fn flush_metrics() {
     let counters = std::mem::take(&mut *lock(&COUNTERS));
     for (name, v) in counters {
@@ -111,45 +110,32 @@ pub fn flush_metrics() {
         });
     }
     let histograms = std::mem::take(&mut *lock(&HISTOGRAMS));
-    for (name, samples) in histograms {
-        if samples.is_empty() {
+    for (name, hist) in histograms {
+        if hist.is_empty() {
             continue;
         }
         dispatch(RecordKind::Metric {
             name,
             metric_kind: "histogram",
-            fields: summarize(&samples),
+            fields: summarize(&hist),
         });
     }
 }
 
-/// Builds the summary fields for one histogram's samples.
-fn summarize(samples: &[f64]) -> Vec<Field> {
-    let mut lo = f64::INFINITY;
-    let mut hi = f64::NEG_INFINITY;
-    let mut sum = 0.0;
-    for &s in samples {
-        lo = lo.min(s);
-        hi = hi.max(s);
-        sum += s;
-    }
-    let mean = sum / samples.len() as f64;
-    // A degenerate (single-valued) sample set has no bin structure; the
-    // mode is the value itself. Histogram::new also rejects non-finite
-    // samples — fall back to the mean rather than dropping the metric.
-    let mode = if hi - lo > 0.0 {
-        Histogram::new(samples, lo, hi, SUMMARY_BINS)
-            .map(|h| h.bin_center(h.mode_bin()))
-            .unwrap_or(mean)
-    } else {
-        lo
-    };
+/// Builds the summary fields for one histogram metric.
+fn summarize(hist: &LogHistogram) -> Vec<Field> {
+    // All quantile calls succeed on a non-empty histogram; 0.0 is an
+    // unreachable fallback that keeps this path panic-free.
+    let q = |p: f64| Value::F64(hist.quantile(p).unwrap_or(0.0));
     vec![
-        Field::new("count", Value::U64(samples.len() as u64)),
-        Field::new("min", Value::F64(lo)),
-        Field::new("max", Value::F64(hi)),
-        Field::new("mean", Value::F64(mean)),
-        Field::new("mode", Value::F64(mode)),
+        Field::new("count", Value::U64(hist.count())),
+        Field::new("min", Value::F64(hist.min().unwrap_or(0.0))),
+        Field::new("max", Value::F64(hist.max().unwrap_or(0.0))),
+        Field::new("mean", Value::F64(hist.mean().unwrap_or(0.0))),
+        Field::new("p50", q(0.50)),
+        Field::new("p90", q(0.90)),
+        Field::new("p99", q(0.99)),
+        Field::new("p999", q(0.999)),
     ]
 }
 
@@ -227,9 +213,14 @@ mod tests {
         let (kind, fields) = metric("unit.hist");
         assert_eq!(kind, "histogram");
         assert_eq!(fields[0], Field::new("count", Value::U64(3)));
-        // Mode lands near the repeated sample, not the mean.
-        let Value::F64(mode) = fields[4].value else { panic!("mode not f64") };
-        assert!(mode > 2.0, "mode {mode}");
+        let names: Vec<&str> = fields.iter().map(|f| f.name).collect();
+        assert_eq!(names, ["count", "min", "max", "mean", "p50", "p90", "p99", "p999"]);
+        // Median of {1, 3, 3} is 3, up to the histogram's bucket width.
+        let Value::F64(p50) = fields[4].value else { panic!("p50 not f64") };
+        assert!((p50 - 3.0).abs() / 3.0 < 0.01, "p50 {p50}");
+        // Tail percentiles are monotone and capped by the exact max.
+        let Value::F64(p999) = fields[7].value else { panic!("p999 not f64") };
+        assert!(p999 >= p50 && p999 <= 3.0, "p999 {p999}");
     }
 
     #[test]
@@ -256,8 +247,13 @@ mod tests {
     }
 
     #[test]
-    fn degenerate_histogram_mode_is_the_value() {
-        let fields = summarize(&[4.0, 4.0]);
-        assert_eq!(fields[4], Field::new("mode", Value::F64(4.0)));
+    fn degenerate_histogram_percentiles_are_the_value() {
+        let mut h = LogHistogram::new();
+        h.record(4.0);
+        h.record(4.0);
+        let fields = summarize(&h);
+        // The [min, max] clamp makes every percentile exact here.
+        assert_eq!(fields[4], Field::new("p50", Value::F64(4.0)));
+        assert_eq!(fields[7], Field::new("p999", Value::F64(4.0)));
     }
 }

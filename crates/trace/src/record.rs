@@ -56,7 +56,8 @@ pub enum RecordKind {
         /// `"counter"`, `"gauge"`, or `"histogram"`.
         metric_kind: &'static str,
         /// Snapshot fields (`value` for counters/gauges; `count`,
-        /// `min`, `max`, `mean`, `mode` for histograms).
+        /// `min`, `max`, `mean`, `p50`, `p90`, `p99`, `p999` for
+        /// histograms).
         fields: Vec<Field>,
     },
 }
