@@ -10,6 +10,7 @@ use nanocost_units::FeatureSize;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let _trace = nanocost_trace::init_from_env();
+    let _root = nanocost_trace::span!("delay_study.run");
     println!("EXT-DELAY — Elmore-delay prediction error vs process node");
     println!("(2000 random nets, HPWL pre-layout estimate, coupling from aggressors");
     println!(" inside the 1µm physical interaction radius)");

@@ -8,6 +8,7 @@ use nanocost_units::TransistorCount;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let _trace = nanocost_trace::init_from_env();
+    let _root = nanocost_trace::span!("node_selection.run");
     let model = GeneralizedCostModel::nanometer_default();
     for (name, mtr, demand) in [
         ("niche ASIC: 2M transistors, 30k units", 2.0, 3.0e4),

@@ -7,6 +7,7 @@ use nanocost_bench::figures::wafer_map_study;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let _trace = nanocost_trace::init_from_env();
+    let _root = nanocost_trace::span!("wafer_map.run");
     println!("EXT-SIM — 150 wafers, 1.5 cm² die, D0 = 0.6 /cm², 50% critical area");
     println!();
     println!(

@@ -10,6 +10,7 @@ use nanocost_units::WaferCount;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let _trace = nanocost_trace::init_from_env();
+    let _root = nanocost_trace::span!("wafer_transition.run");
     let cost = WaferCostModel::default();
     let volume = WaferCount::new(100_000)?;
     println!("EXT-WAFER — Cm_sq by wafer generation at each roadmap node (100k wafers)");

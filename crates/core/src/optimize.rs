@@ -6,7 +6,7 @@
 //! map how it moves with volume and yield.
 
 use nanocost_numeric::{refine_min, NumericError};
-use nanocost_trace::{counter, event, span};
+use nanocost_trace::{counter, event, gauge, span};
 use nanocost_units::{
     DecompressionIndex, Dollars, FeatureSize, TransistorCount, UnitError, WaferCount, Yield,
 };
@@ -95,6 +95,7 @@ pub fn optimal_sd_total(
     )?;
     let objective = |s: f64| {
         counter!("core.optimize.probes", 1);
+        gauge!("core.optimize.sd_probe", s);
         DecompressionIndex::new(s).map_or(f64::INFINITY, |sd| {
             model
                 .transistor_cost(lambda, sd, transistors, volume, fab_yield, mask_cost)
@@ -137,6 +138,7 @@ pub fn optimal_sd_generalized(
     })?;
     let objective = |s: f64| {
         counter!("core.optimize.probes", 1);
+        gauge!("core.optimize.sd_probe", s);
         DecompressionIndex::new(s).map_or(f64::INFINITY, |sd| {
             model
                 .evaluate(DesignPoint {

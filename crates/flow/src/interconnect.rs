@@ -20,6 +20,7 @@
 
 use nanocost_fab::ProximityModel;
 use nanocost_numeric::{summarize, Sampler, Summary};
+use nanocost_trace::{metric_histogram, provenance, span};
 use nanocost_units::{FeatureSize, UnitError};
 
 /// A signal net: one source, one or more sinks, coordinates in λ.
@@ -125,6 +126,11 @@ impl DelayStudy {
                 value: 0.0,
             });
         }
+        let _span = span!(
+            "flow.interconnect.delay_study",
+            lambda_um = lambda.microns(),
+            nets = self.nets,
+        );
         // Unit RC chosen so absolute delays are O(1); only relative errors
         // matter downstream.
         let (r, c) = (1.0e-3, 1.0e-3); // nanocost-audit: allow(R3, reason = "paper-anchored default; the constructor parameters document each value")
@@ -147,6 +153,19 @@ impl DelayStudy {
             errors.push((actual - estimate) / estimate);
         }
         let summary = summarize(&errors).expect("non-empty by construction"); // nanocost-audit: allow(R1, reason = "documented invariant: non-empty by construction")
+        metric_histogram!("flow.interconnect.error_sigma", summary.std_dev);
+        // The measured spread is the physical origin of the eq. 6
+        // prediction-error model that drives failed design iterations.
+        provenance!(
+            equation: Eq6,
+            function: "nanocost_flow::interconnect::DelayStudy::run",
+            inputs: [
+                lambda_um = lambda.microns(),
+                nets = self.nets,
+                neighborhood_lambdas = neighborhood,
+            ],
+            outputs: [bias = summary.mean, sigma = summary.std_dev],
+        );
         Ok(DelayErrorReport {
             lambda_um: lambda.microns(),
             neighborhood_lambdas: neighborhood,

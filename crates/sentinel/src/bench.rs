@@ -144,6 +144,64 @@ fn parse_record(v: &JsonValue, line: usize) -> Result<BenchRecord, SentinelError
     })
 }
 
+/// Pools several captures into one reference distribution per
+/// benchmark: per-sample arrays are concatenated and re-sorted (so a
+/// downstream Mann–Whitney test runs against the merged scatter, with
+/// tie correction handling the duplicates), `min_s`/`max_s` are the
+/// extremes over all runs, `samples` is the total, and `median_s` is
+/// the median of the pooled samples — or, for format-1 captures with
+/// no per-sample data, the sample-count-weighted mean of the per-run
+/// medians. The first manifest seen (if any) is kept. Pooling several
+/// baseline runs this way damps single-run machine noise in the perf
+/// gate.
+#[must_use]
+pub fn pool(files: &[BenchFile]) -> BenchFile {
+    let mut manifest: Option<Manifest> = None;
+    // name -> (pooled record, Σ(median·samples), Σ samples) — the
+    // accumulators back the format-1 weighted-median fallback.
+    let mut by_name: BTreeMap<String, (BenchRecord, f64, u64)> = BTreeMap::new();
+    let mut order: Vec<String> = Vec::new();
+    for f in files {
+        if manifest.is_none() {
+            manifest.clone_from(&f.manifest);
+        }
+        for r in &f.records {
+            let weight = r.samples.max(1);
+            match by_name.get_mut(&r.name) {
+                None => {
+                    order.push(r.name.clone());
+                    by_name.insert(
+                        r.name.clone(),
+                        (r.clone(), r.median_s * weight as f64, weight),
+                    );
+                }
+                Some((acc, median_weighted, total_weight)) => {
+                    acc.min_s = acc.min_s.min(r.min_s);
+                    acc.max_s = acc.max_s.max(r.max_s);
+                    acc.samples += r.samples;
+                    acc.samples_s.extend_from_slice(&r.samples_s);
+                    *median_weighted += r.median_s * weight as f64;
+                    *total_weight += weight;
+                }
+            }
+        }
+    }
+    let records = order
+        .into_iter()
+        .filter_map(|name| by_name.remove(&name))
+        .map(|(mut r, median_weighted, total_weight)| {
+            r.samples_s.sort_by(f64::total_cmp);
+            r.median_s = if r.samples_s.is_empty() {
+                median_weighted / total_weight as f64
+            } else {
+                r.samples_s[r.samples_s.len() / 2]
+            };
+            r
+        })
+        .collect();
+    BenchFile { manifest, records }
+}
+
 /// Knobs for [`diff`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DiffConfig {
@@ -534,6 +592,66 @@ mod tests {
         let report = diff(&file(vec![b]), &file(vec![c]), DiffConfig::default());
         assert_eq!(report.entries[0].verdict, Verdict::Regressed);
         assert_eq!(report.entries[0].p_value, None);
+    }
+
+    #[test]
+    fn pooling_merges_samples_and_damps_an_outlier_run() {
+        let steady: Vec<f64> = (0..30).map(|i| 1e-5 * (1.0 + 0.001 * f64::from(i))).collect();
+        let noisy: Vec<f64> = steady.iter().map(|v| v * 1.8).collect();
+        let pooled = pool(&[
+            file(vec![record("s/x", steady.clone())]),
+            file(vec![record("s/x", steady.clone())]),
+            file(vec![record("s/x", noisy)]),
+        ]);
+        assert_eq!(pooled.records.len(), 1);
+        let r = &pooled.records[0];
+        assert_eq!(r.samples_s.len(), 90);
+        assert_eq!(r.samples, 90);
+        assert!(r.samples_s.windows(2).all(|w| w[0] <= w[1]), "re-sorted");
+        // Two steady runs outvote the 1.8x outlier: the pooled median
+        // stays near the steady median, not the 3-run mean.
+        let steady_median = record("s/x", steady.clone()).median_s;
+        assert!(
+            (r.median_s - steady_median) / steady_median < 0.1,
+            "pooled median {} vs steady {}",
+            r.median_s,
+            steady_median
+        );
+        // Diffing the steady run against the pooled reference is quiet.
+        let report =
+            diff(&pooled, &file(vec![record("s/x", steady)]), DiffConfig::default());
+        assert_eq!(report.entries[0].verdict, Verdict::Unchanged);
+    }
+
+    #[test]
+    fn pooling_format1_records_weights_medians_by_sample_count() {
+        let mut a = record("s/x", vec![1e-5; 10]);
+        let mut b = record("s/x", vec![2e-5; 30]);
+        a.samples_s.clear();
+        b.samples_s.clear();
+        let pooled = pool(&[file(vec![a]), file(vec![b])]);
+        let r = &pooled.records[0];
+        // (1e-5·10 + 2e-5·30) / 40 = 1.75e-5.
+        assert!((r.median_s - 1.75e-5).abs() < 1e-12, "{}", r.median_s);
+        assert_eq!(r.samples, 40);
+    }
+
+    #[test]
+    fn pooling_keeps_benchmarks_distinct_and_the_first_manifest() {
+        let m = Manifest {
+            format: 2,
+            rustc: "rustc 1.80.0".to_string(),
+            opt_level: "release".to_string(),
+            sample_size: 30,
+        };
+        let one = BenchFile {
+            manifest: Some(m.clone()),
+            records: vec![record("s/a", vec![1e-5; 10])],
+        };
+        let two = BenchFile { manifest: None, records: vec![record("s/b", vec![2e-5; 10])] };
+        let pooled = pool(&[one, two]);
+        assert_eq!(pooled.manifest, Some(m));
+        assert_eq!(pooled.records.len(), 2);
     }
 
     #[test]

@@ -1,10 +1,17 @@
-//! Compares two `NANOCOST_BENCH_JSON` captures and gates on regressions.
+//! Compares a `NANOCOST_BENCH_JSON` capture against one or more
+//! baseline captures and gates on regressions.
 //!
 //! ```text
 //! bench_diff <baseline.json> <candidate.json> [--threshold 0.25]
 //!            [--alpha 0.01] [--json]
 //! bench_diff --against <baseline.json> <candidate.json> [...]
+//! bench_diff --against a.json --against b.json <candidate.json> [...]
 //! ```
+//!
+//! Several `--against` captures are pooled into one reference
+//! distribution per benchmark (samples concatenated, median over the
+//! pooled scatter) before the tie-corrected Mann–Whitney test runs —
+//! one noisy baseline run no longer decides the gate.
 //!
 //! Exit code 0 when no benchmark regressed, 1 when at least one did,
 //! 2 on usage or I/O errors. `--json` swaps the text table for the
@@ -12,24 +19,25 @@
 
 use std::process::ExitCode;
 
-use nanocost_sentinel::bench::{diff, parse_bench_file, DiffConfig};
+use nanocost_sentinel::bench::{diff, parse_bench_file, pool, DiffConfig};
 use nanocost_sentinel::SentinelError;
 
 struct Args {
-    baseline: String,
+    baselines: Vec<String>,
     candidate: String,
     config: DiffConfig,
     json: bool,
 }
 
 fn usage() -> String {
-    "usage: bench_diff [--against] <baseline.json> <candidate.json> \
-     [--threshold REL] [--alpha P] [--json]"
+    "usage: bench_diff [--against <baseline.json>]... [<baseline.json>...] \
+     <candidate.json> [--threshold REL] [--alpha P] [--json]"
         .to_string()
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut positional: Vec<String> = Vec::new();
+    let mut against: Vec<String> = Vec::new();
     let mut config = DiffConfig::default();
     let mut json = false;
     let mut i = 0;
@@ -41,9 +49,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 i += 1;
                 let v = argv.get(i).ok_or_else(|| format!("{flag} needs a value\n{}", usage()))?;
                 match flag.as_str() {
-                    // --against names the baseline explicitly; it simply
-                    // takes the first positional slot.
-                    "--against" => positional.insert(0, v.clone()),
+                    // --against names a baseline explicitly; repeatable.
+                    "--against" => against.push(v.clone()),
                     "--threshold" => {
                         config.threshold =
                             v.parse().map_err(|_| format!("bad --threshold `{v}`"))?;
@@ -59,12 +66,15 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         }
         i += 1;
     }
-    if positional.len() != 2 {
+    // The last positional is the candidate; every other positional is
+    // one more baseline, pooled together with the --against captures.
+    let candidate = positional.pop().ok_or_else(usage)?;
+    let mut baselines = against;
+    baselines.append(&mut positional);
+    if baselines.is_empty() {
         return Err(usage());
     }
-    let candidate = positional.pop().unwrap_or_default();
-    let baseline = positional.pop().unwrap_or_default();
-    Ok(Args { baseline, candidate, config, json })
+    Ok(Args { baselines, candidate, config, json })
 }
 
 fn load(path: &str) -> Result<nanocost_sentinel::bench::BenchFile, SentinelError> {
@@ -81,13 +91,24 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let (base, cand) = match (load(&args.baseline), load(&args.candidate)) {
-        (Ok(b), Ok(c)) => (b, c),
-        (Err(e), _) | (_, Err(e)) => {
+    let mut baseline_files = Vec::new();
+    for path in &args.baselines {
+        match load(path) {
+            Ok(f) => baseline_files.push(f),
+            Err(e) => {
+                eprintln!("bench_diff: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let cand = match load(&args.candidate) {
+        Ok(c) => c,
+        Err(e) => {
             eprintln!("bench_diff: {e}");
             return ExitCode::from(2);
         }
     };
+    let base = pool(&baseline_files);
     let report = diff(&base, &cand, args.config);
     if args.json {
         println!("{}", report.json_report());

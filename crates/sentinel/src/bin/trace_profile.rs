@@ -1,29 +1,56 @@
-//! Folds a `NANOCOST_TRACE` JSONL capture into a span profile.
+//! Folds a `NANOCOST_TRACE` JSONL capture into a span profile, with
+//! optional time-windowing and a metric-timeline mode.
 //!
 //! ```text
 //! trace_profile <capture.jsonl>             # hotspot table + folded stacks
 //! trace_profile --folded <capture.jsonl>    # folded stacks only (pipe to a
 //!                                           # flamegraph renderer)
 //! trace_profile --hotspots <capture.jsonl>  # hotspot table only
+//! trace_profile --since 50% <capture.jsonl> # second half of the run only
+//! trace_profile --since 1000000 --until 90% <capture.jsonl>
+//! trace_profile --metrics <capture.jsonl>   # per-window metric summaries +
+//!                                           # counter flamegraph
 //! ```
+//!
+//! `--since`/`--until` take a nanosecond offset from the capture's
+//! first timestamp or a percentage of its duration, and bound a
+//! half-open window `[since, until)` applied to spans (elapsed time
+//! clipped to the overlap) and samples alike.
 //!
 //! Exit code 0 on success, 2 on usage, I/O, or parse errors.
 
 use std::process::ExitCode;
 
 use nanocost_sentinel::profile::Profile;
+use nanocost_sentinel::timeline::{
+    counter_folded, metric_summaries, resolve_window, TimelineCapture, WindowSpec,
+};
 use nanocost_sentinel::SentinelError;
 
-const USAGE: &str = "usage: trace_profile [--folded | --hotspots] <capture.jsonl>";
+const USAGE: &str = "usage: trace_profile [--folded | --hotspots | --metrics] \
+                     [--since NS|P%] [--until NS|P%] <capture.jsonl>";
+
+fn parse_spec(flag: &str, value: Option<&String>) -> Result<WindowSpec, String> {
+    let raw = value.ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))?;
+    WindowSpec::parse(raw)
+        .ok_or_else(|| format!("{flag} {raw}: expected a nanosecond offset or `N%`\n{USAGE}"))
+}
 
 fn run(argv: &[String]) -> Result<String, String> {
     let mut folded_only = false;
     let mut hotspots_only = false;
+    let mut metrics_mode = false;
+    let mut since: Option<WindowSpec> = None;
+    let mut until: Option<WindowSpec> = None;
     let mut path: Option<&str> = None;
-    for arg in argv {
+    let mut args = argv.iter();
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--folded" => folded_only = true,
             "--hotspots" => hotspots_only = true,
+            "--metrics" => metrics_mode = true,
+            "--since" => since = Some(parse_spec("--since", args.next())?),
+            "--until" => until = Some(parse_spec("--until", args.next())?),
             "--help" | "-h" => return Err(USAGE.to_string()),
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag `{other}`\n{USAGE}"))
@@ -39,8 +66,43 @@ fn run(argv: &[String]) -> Result<String, String> {
     let path = path.ok_or_else(|| USAGE.to_string())?;
     let text = std::fs::read_to_string(path)
         .map_err(|e| SentinelError::io(path, &e).to_string())?;
-    let profile = Profile::from_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+    // The capture's own time range anchors both window endpoints.
+    let capture = TimelineCapture::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let window = if since.is_some() || until.is_some() {
+        Some(resolve_window(since, until, capture.t_min_ns, capture.t_max_ns))
+    } else {
+        None
+    };
     let mut out = String::new();
+    if let Some((lo, hi)) = window {
+        out.push_str(&format!("# window [{lo}, {hi}) ns of [{}, {}]\n", capture.t_min_ns, capture.t_max_ns));
+    }
+    if metrics_mode {
+        let w = window.unwrap_or((capture.t_min_ns, capture.t_max_ns.saturating_add(1)));
+        let summaries = metric_summaries(&capture.samples, w);
+        if summaries.is_empty() {
+            out.push_str("no samples in window (run with NANOCOST_TRACE_SAMPLE=1?)\n");
+        } else {
+            let name_w = summaries.iter().map(|s| s.name.len()).max().unwrap_or(4).max(4);
+            out.push_str(&format!(
+                "{:<name_w$}  {:>9}  {:>6}  {:>12}  {:>12}  {:>12}  {:>12}\n",
+                "name", "kind", "count", "min", "mean", "max", "last"
+            ));
+            for s in &summaries {
+                out.push_str(&format!(
+                    "{:<name_w$}  {:>9}  {:>6}  {:>12.5e}  {:>12.5e}  {:>12.5e}  {:>12.5e}\n",
+                    s.name, s.metric_kind, s.count, s.min, s.mean, s.max, s.last
+                ));
+            }
+        }
+        let folded = counter_folded(&capture, w);
+        if !folded.is_empty() {
+            out.push_str("\n# counter flamegraph (stack;metric delta)\n");
+            out.push_str(&folded);
+        }
+        return Ok(out);
+    }
+    let profile = Profile::from_jsonl_window(&text, window).map_err(|e| format!("{path}: {e}"))?;
     if !folded_only {
         out.push_str(&profile.hotspot_table());
     }
@@ -64,5 +126,59 @@ fn main() -> ExitCode {
             eprintln!("{msg}");
             ExitCode::from(2)
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(ToString::to_string).collect()
+    }
+
+    fn write_capture(name: &str, lines: &[String]) -> String {
+        let dir = std::env::temp_dir().join("nanocost_trace_profile_tests");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join(name);
+        std::fs::write(&path, lines.join("\n")).expect("write capture");
+        path.to_string_lossy().into_owned()
+    }
+
+    fn capture_lines() -> Vec<String> {
+        vec![
+            "{\"ts_us\":1,\"thread\":1,\"type\":\"span_enter\",\"span\":1,\"parent\":null,\
+             \"name\":\"run\",\"fields\":{}}"
+                .to_string(),
+            "{\"ts_us\":10,\"thread\":1,\"type\":\"sample\",\"name\":\"c\",\
+             \"metric_kind\":\"counter\",\"t_ns\":10000,\"value\":7}"
+                .to_string(),
+            "{\"ts_us\":101,\"thread\":1,\"type\":\"span_exit\",\"span\":1,\"name\":\"run\",\
+             \"elapsed_ns\":100000}"
+                .to_string(),
+        ]
+    }
+
+    #[test]
+    fn window_flags_parse_and_render_header() {
+        let path = write_capture("windowed.jsonl", &capture_lines());
+        let out = run(&args(&["--since", "50%", &path])).expect("runs");
+        assert!(out.starts_with("# window ["), "{out}");
+    }
+
+    #[test]
+    fn metrics_mode_prints_summaries_and_counter_flamegraph() {
+        let path = write_capture("metrics.jsonl", &capture_lines());
+        let out = run(&args(&["--metrics", &path])).expect("runs");
+        assert!(out.contains("counter"), "{out}");
+        assert!(out.contains("# counter flamegraph"), "{out}");
+        assert!(out.contains("run;c 7"), "{out}");
+    }
+
+    #[test]
+    fn bad_window_specs_are_usage_errors() {
+        assert!(run(&args(&["--since"])).is_err());
+        assert!(run(&args(&["--since", "150%", "x.jsonl"])).is_err());
+        assert!(run(&args(&["--until", "abc", "x.jsonl"])).is_err());
     }
 }

@@ -16,7 +16,11 @@
 //!   `NANOCOST_BENCH_JSON` capture files against `BENCH_baseline.json`.
 //! - [`profile`] — folds the `NANOCOST_TRACE` JSONL span stream into
 //!   folded-stack flamegraph lines and a self/total-time hotspot table
-//!   (the `trace_profile` bin).
+//!   (the `trace_profile` bin), with optional time-windowing.
+//! - [`timeline`] — the reading side of the metric timeline: sample
+//!   parsing, `--since`/`--until` window algebra, per-window metric
+//!   summaries, counter flamegraphs, sparklines, and the sliding-window
+//!   dashboard state behind the `trace_tail` bin.
 //! - [`fingerprint`] — canonical digests of the Eq.1–7 provenance
 //!   stream, checked into `FINGERPRINTS.json` so numeric drift in the
 //!   cost model fails CI with a per-equation diff (the `fingerprint`
@@ -29,6 +33,7 @@ pub mod histogram;
 pub mod json;
 pub mod profile;
 pub mod stats;
+pub mod timeline;
 
 pub use histogram::LogHistogram;
 pub use stats::{mann_whitney, MannWhitney, MIN_SAMPLES};

@@ -19,7 +19,12 @@ struct SpanNode {
     name: String,
     parent: Option<u64>,
     thread: u64,
-    /// Elapsed nanoseconds from the exit record; `None` while unclosed.
+    /// Entry time in nanoseconds (the enter record's `ts_us` scaled
+    /// up); anchors window clipping.
+    start_ns: u64,
+    /// Elapsed nanoseconds from the exit record (clipped to the window
+    /// when one is active); `None` while unclosed or fully outside the
+    /// window.
     elapsed_ns: Option<u64>,
     /// Sum of direct (closed) children's elapsed nanoseconds.
     children_ns: u64,
@@ -29,11 +34,17 @@ struct SpanNode {
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Profile {
     spans: BTreeMap<u64, SpanNode>,
+    /// Half-open time window `[since, until)` in epoch nanoseconds;
+    /// span elapsed time is clipped to it. `None` = whole capture.
+    window: Option<(u64, u64)>,
     /// Spans that entered but never exited (a crash or truncated
     /// capture); they are excluded from timing but kept for stack paths.
     pub unclosed: usize,
     /// Exit records with no matching enter (truncated capture head).
     pub orphan_exits: usize,
+    /// Closed spans whose interval missed the window entirely; their
+    /// time is excluded but their names still anchor stack paths.
+    pub windowed_out: usize,
 }
 
 /// One row of the hotspot table.
@@ -58,7 +69,23 @@ impl Profile {
     /// [`SentinelError::Parse`] on malformed JSON,
     /// [`SentinelError::Schema`] when a span record lacks its keys.
     pub fn from_jsonl(text: &str) -> Result<Profile, SentinelError> {
-        let mut p = Profile::default();
+        Profile::from_jsonl_window(text, None)
+    }
+
+    /// [`Profile::from_jsonl`] restricted to a half-open time window
+    /// `[since, until)` in epoch nanoseconds. A span's elapsed time is
+    /// clipped to its overlap with the window; spans with no overlap
+    /// contribute no time (but still anchor their descendants' stack
+    /// paths) and are counted in [`Profile::windowed_out`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Profile::from_jsonl`].
+    pub fn from_jsonl_window(
+        text: &str,
+        window: Option<(u64, u64)>,
+    ) -> Result<Profile, SentinelError> {
+        let mut p = Profile { window, ..Profile::default() };
         for (i, line) in text.lines().enumerate() {
             let lineno = i + 1;
             if line.trim().is_empty() {
@@ -72,7 +99,10 @@ impl Profile {
                 _ => {}
             }
         }
-        p.unclosed = p.spans.values().filter(|s| s.elapsed_ns.is_none()).count();
+        // Windowed-out spans also carry `elapsed_ns: None`; only the
+        // remainder genuinely never closed.
+        let no_elapsed = p.spans.values().filter(|s| s.elapsed_ns.is_none()).count();
+        p.unclosed = no_elapsed.saturating_sub(p.windowed_out);
         Ok(p)
     }
 
@@ -88,8 +118,14 @@ impl Profile {
             .to_string();
         let parent = v.get("parent").and_then(JsonValue::as_u64);
         let thread = v.get("thread").and_then(JsonValue::as_u64).unwrap_or(0);
-        self.spans
-            .insert(span, SpanNode { name, parent, thread, elapsed_ns: None, children_ns: 0 });
+        let start_ns = v
+            .get("ts_us")
+            .and_then(JsonValue::as_u64)
+            .map_or(0, |us| us.saturating_mul(1_000));
+        self.spans.insert(
+            span,
+            SpanNode { name, parent, thread, start_ns, elapsed_ns: None, children_ns: 0 },
+        );
         Ok(())
     }
 
@@ -102,19 +138,38 @@ impl Profile {
             .get("elapsed_ns")
             .and_then(JsonValue::as_u64)
             .ok_or_else(|| schema(line, "span_exit missing `elapsed_ns`"))?;
+        let window = self.window;
         let parent = match self.spans.get_mut(&span) {
             Some(node) => {
-                node.elapsed_ns = Some(elapsed);
-                node.parent
+                // Clip the span's interval to the window, if one is
+                // active. Children nest inside parents in time, so
+                // clipped child time never exceeds clipped parent time
+                // and the self-time invariant survives windowing.
+                let clipped = match window {
+                    None => Some(elapsed),
+                    Some((lo, hi)) => {
+                        let start = node.start_ns;
+                        let end = start.saturating_add(elapsed);
+                        let overlap = end.min(hi).saturating_sub(start.max(lo));
+                        if overlap > 0 {
+                            Some(overlap)
+                        } else {
+                            self.windowed_out += 1;
+                            None
+                        }
+                    }
+                };
+                node.elapsed_ns = clipped;
+                clipped.map(|c| (node.parent, c))
             }
             None => {
                 self.orphan_exits += 1;
                 return Ok(());
             }
         };
-        if let Some(pid) = parent {
+        if let Some((Some(pid), clipped)) = parent {
             if let Some(pnode) = self.spans.get_mut(&pid) {
-                pnode.children_ns += elapsed;
+                pnode.children_ns += clipped;
             }
         }
         Ok(())
@@ -231,6 +286,9 @@ impl Profile {
                 self.unclosed, self.orphan_exits
             ));
         }
+        if self.windowed_out > 0 {
+            out.push_str(&format!(" ({} spans outside the window)", self.windowed_out));
+        }
         out.push('\n');
         out
     }
@@ -346,6 +404,45 @@ mod tests {
         );
         let p = Profile::from_jsonl(text).expect("parses");
         assert_eq!(p.span_count(), 0);
+    }
+
+    #[test]
+    fn windowing_clips_and_excludes_span_time() {
+        // root: [1000ns, 2000ns); a: [1000ns, 1600ns) nested inside;
+        // late: [5000ns, 5400ns) — note ts_us 1 -> 1000ns etc.
+        fn enter_at(span: u64, parent: Option<u64>, name: &str, ts_us: u64) -> String {
+            let parent = parent.map_or_else(|| "null".to_string(), |p| p.to_string());
+            format!(
+                "{{\"ts_us\":{ts_us},\"thread\":0,\"type\":\"span_enter\",\"span\":{span},\
+                 \"parent\":{parent},\"name\":\"{name}\",\"fields\":{{}}}}"
+            )
+        }
+        let text = [
+            enter_at(1, None, "root", 1),
+            enter_at(2, Some(1), "a", 1),
+            exit(2, "a", 600),
+            exit(1, "root", 1000),
+            enter_at(3, None, "late", 5),
+            exit(3, "late", 400),
+        ]
+        .join("\n");
+        // Full capture: root 1000 + late 400.
+        let p = Profile::from_jsonl(&text).expect("parses");
+        assert_eq!(p.root_total_ns(), 1400);
+        // Window [1000, 1500): root clipped to 500, `a` clipped to 500,
+        // `late` excluded entirely.
+        let w = Profile::from_jsonl_window(&text, Some((1_000, 1_500))).expect("parses");
+        assert_eq!(w.root_total_ns(), 500);
+        assert_eq!(w.total_self_ns(), 500);
+        assert_eq!(w.windowed_out, 1);
+        assert_eq!(w.unclosed, 0);
+        let folded = w.folded_stacks();
+        assert!(folded.contains("root;a 500"), "{folded}");
+        assert!(!folded.contains("late"), "{folded}");
+        // Empty window: nothing survives, nothing panics.
+        let e = Profile::from_jsonl_window(&text, Some((9_000, 9_000))).expect("parses");
+        assert_eq!(e.root_total_ns(), 0);
+        assert_eq!(e.windowed_out, 3);
     }
 
     #[test]

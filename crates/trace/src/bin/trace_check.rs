@@ -2,19 +2,29 @@
 //!
 //! The CI observability smoke gate runs a bench bin under
 //! `NANOCOST_TRACE=jsonl` and pipes the capture here. The check fails
-//! if the file is empty, any line is not well-formed JSON, or the
-//! stream carries no provenance record naming a paper equation id.
+//! if the file is empty, any line is not well-formed JSON, any record
+//! lacks its `ts_us`/`thread` envelope, timestamps run backwards
+//! within a thread, a span exits before it enters, a `sample` record
+//! is malformed, or the stream carries no provenance record naming a
+//! paper equation id.
+//!
+//! Timestamp monotonicity is checked per thread and per stream:
+//! ordinary records must have non-decreasing `ts_us` in file order,
+//! and `sample` records — which are buffered during the run and
+//! flushed at the end with their *original* capture times — must have
+//! non-decreasing `t_ns` within each thread.
 //!
 //! Usage: `trace-check [--summary] <file.jsonl>`
 //!
-//! With `--summary`, also prints a per-record-type breakdown and the
-//! provenance count per equation id.
+//! With `--summary`, also prints a per-record-type breakdown, the
+//! provenance count per equation id, and sample counts per metric
+//! kind.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::error::Error;
 use std::fmt;
 
-use nanocost_trace::json;
+use nanocost_sentinel::json::{self, JsonValue};
 
 /// A failed check; `Display` carries the full diagnostic.
 #[derive(Debug)]
@@ -63,6 +73,9 @@ struct Stats {
     lines: usize,
     by_type: BTreeMap<String, usize>,
     provenance_by_equation: BTreeMap<String, usize>,
+    samples_by_kind: BTreeMap<String, usize>,
+    /// Spans still open at end of capture (truncation, not an error).
+    unclosed_spans: usize,
 }
 
 impl Stats {
@@ -70,16 +83,21 @@ impl Stats {
         self.provenance_by_equation.values().sum()
     }
 
+    fn samples(&self) -> usize {
+        self.samples_by_kind.values().sum()
+    }
+
     fn one_line(&self) -> String {
         format!(
-            "{} records, {} provenance records, all valid JSON",
+            "{} records, {} provenance records, {} samples, all valid, timestamps monotone",
             self.lines,
-            self.provenance()
+            self.provenance(),
+            self.samples()
         )
     }
 
-    /// The `--summary` breakdown: records per type, then provenance per
-    /// equation id.
+    /// The `--summary` breakdown: records per type, provenance per
+    /// equation id, samples per metric kind.
     fn summary(&self) -> String {
         let mut out = String::from("record types:\n");
         for (ty, n) in &self.by_type {
@@ -89,42 +107,115 @@ impl Stats {
         for (eq, n) in &self.provenance_by_equation {
             out.push_str(&format!("  {eq:<12} {n}\n"));
         }
+        if !self.samples_by_kind.is_empty() {
+            out.push_str("samples by metric kind:\n");
+            for (kind, n) in &self.samples_by_kind {
+                out.push_str(&format!("  {kind:<12} {n}\n"));
+            }
+        }
+        if self.unclosed_spans > 0 {
+            out.push_str(&format!("unclosed spans: {}\n", self.unclosed_spans));
+        }
         out
     }
 }
 
-/// Extracts the value of a `"key":"..."` string pair by scanning; the
-/// validator has already established well-formed JSON, so a simple
-/// substring walk is sound for the exporter's un-escaped tag values.
-fn string_value<'a>(line: &'a str, key: &str) -> Option<&'a str> {
-    let pat = format!("\"{key}\":\"");
-    let start = line.find(&pat)? + pat.len();
-    let rest = &line[start..];
-    let end = rest.find('"')?;
-    Some(&rest[..end])
-}
+/// The metric kinds a `sample` record may carry.
+const SAMPLE_KINDS: [&str; 3] = ["counter", "gauge", "histogram"];
 
-/// Validates the capture and gathers per-type/per-equation counts.
+/// Validates the capture and gathers per-type/per-equation/per-kind
+/// counts. Ordering errors carry the 1-based line number.
 fn check(text: &str) -> Result<Stats, String> {
     let mut stats = Stats::default();
+    // Per-thread high-water marks: one for the live record stream
+    // (ts_us in file order), one for the replayed sample stream (t_ns).
+    let mut ts_watermark: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut sample_watermark: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut open_spans: BTreeSet<u64> = BTreeSet::new();
     for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
         if line.trim().is_empty() {
             continue;
         }
         stats.lines += 1;
-        json::validate(line).map_err(|e| format!("line {}: not valid JSON: {e}", i + 1))?;
-        let ty = string_value(line, "type").unwrap_or("unknown").to_string();
-        if ty == "provenance" {
-            let Some(eq) = string_value(line, "equation").filter(|e| e.starts_with("Eq.")) else {
-                return Err(format!(
-                    "line {}: provenance record without a paper equation id",
-                    i + 1
-                ));
-            };
-            *stats.provenance_by_equation.entry(eq.to_string()).or_insert(0) += 1;
+        let v = json::parse(line).map_err(|e| format!("line {lineno}: not valid JSON: {e}"))?;
+        let ts_us = v
+            .get("ts_us")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| format!("line {lineno}: record missing `ts_us`"))?;
+        let thread = v
+            .get("thread")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| format!("line {lineno}: record missing `thread`"))?;
+        let ty = v
+            .get("type")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("line {lineno}: record missing `type`"))?
+            .to_string();
+        match ty.as_str() {
+            "sample" => {
+                check_sample(&v, lineno, &mut stats)?;
+                // Samples replay buffered capture times; they are
+                // monotone per thread on their own clock.
+                let t_ns = v.get("t_ns").and_then(JsonValue::as_u64).unwrap_or(0);
+                let mark = sample_watermark.entry(thread).or_insert(0);
+                if t_ns < *mark {
+                    return Err(format!(
+                        "line {lineno}: sample timestamp runs backwards on thread \
+                         {thread} ({t_ns} ns after {} ns)",
+                        *mark
+                    ));
+                }
+                *mark = t_ns;
+            }
+            _ => {
+                let mark = ts_watermark.entry(thread).or_insert(0);
+                if ts_us < *mark {
+                    return Err(format!(
+                        "line {lineno}: timestamp runs backwards on thread \
+                         {thread} ({ts_us} us after {} us)",
+                        *mark
+                    ));
+                }
+                *mark = ts_us;
+            }
+        }
+        match ty.as_str() {
+            "span_enter" => {
+                let span = v
+                    .get("span")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or_else(|| format!("line {lineno}: span_enter missing `span`"))?;
+                open_spans.insert(span);
+            }
+            "span_exit" => {
+                let span = v
+                    .get("span")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or_else(|| format!("line {lineno}: span_exit missing `span`"))?;
+                if !open_spans.remove(&span) {
+                    return Err(format!(
+                        "line {lineno}: span {span} exits before it enters"
+                    ));
+                }
+            }
+            "provenance" => {
+                let Some(eq) = v
+                    .get("equation")
+                    .and_then(JsonValue::as_str)
+                    .filter(|e| e.starts_with("Eq."))
+                else {
+                    return Err(format!(
+                        "line {lineno}: provenance record without a paper equation id"
+                    ));
+                };
+                *stats.provenance_by_equation.entry(eq.to_string()).or_insert(0) += 1;
+            }
+            _ => {}
         }
         *stats.by_type.entry(ty).or_insert(0) += 1;
     }
+    stats.unclosed_spans = open_spans.len();
     if stats.lines == 0 {
         return Err("empty trace (no JSONL records)".to_string());
     }
@@ -134,23 +225,66 @@ fn check(text: &str) -> Result<Stats, String> {
     Ok(stats)
 }
 
+/// Validates one `sample` record's payload keys.
+fn check_sample(v: &JsonValue, lineno: usize, stats: &mut Stats) -> Result<(), String> {
+    if v.get("name").and_then(JsonValue::as_str).is_none() {
+        return Err(format!("line {lineno}: sample missing `name`"));
+    }
+    let kind = v
+        .get("metric_kind")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| format!("line {lineno}: sample missing `metric_kind`"))?;
+    if !SAMPLE_KINDS.contains(&kind) {
+        return Err(format!(
+            "line {lineno}: sample has unknown metric_kind `{kind}`"
+        ));
+    }
+    if v.get("t_ns").and_then(JsonValue::as_u64).is_none() {
+        return Err(format!("line {lineno}: sample missing `t_ns`"));
+    }
+    // `value` must be present: a number, or null for a non-finite float.
+    match v.get("value") {
+        Some(JsonValue::Num(_) | JsonValue::Null) => {}
+        Some(_) => return Err(format!("line {lineno}: sample `value` is not a number")),
+        None => return Err(format!("line {lineno}: sample missing `value`")),
+    }
+    *stats.samples_by_kind.entry(kind.to_string()).or_insert(0) += 1;
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::check;
+
+    fn prov(ts_us: u64, thread: u64, eq: &str) -> String {
+        format!(
+            "{{\"ts_us\":{ts_us},\"thread\":{thread},\"type\":\"provenance\",\"span\":null,\
+             \"equation\":\"{eq}\",\"function\":\"f\",\"inputs\":{{}},\"outputs\":{{}}}}"
+        )
+    }
+
+    fn sample(ts_us: u64, thread: u64, t_ns: u64, kind: &str) -> String {
+        format!(
+            "{{\"ts_us\":{ts_us},\"thread\":{thread},\"type\":\"sample\",\"name\":\"m\",\
+             \"metric_kind\":\"{kind}\",\"t_ns\":{t_ns},\"value\":1.5}}"
+        )
+    }
 
     #[test]
     fn accepts_a_valid_capture() {
         let text = concat!(
             "{\"ts_us\":1,\"thread\":1,\"type\":\"span_enter\",\"span\":1,\"parent\":null,\"name\":\"s\",\"fields\":{}}\n",
             "{\"ts_us\":2,\"thread\":1,\"type\":\"provenance\",\"span\":1,\"equation\":\"Eq.4\",\"function\":\"f\",\"inputs\":{},\"outputs\":{}}\n",
+            "{\"ts_us\":3,\"thread\":1,\"type\":\"span_exit\",\"span\":1,\"name\":\"s\",\"elapsed_ns\":2000}\n",
         );
         let stats = check(text).expect("valid capture");
-        assert_eq!(stats.lines, 2);
+        assert_eq!(stats.lines, 3);
         assert_eq!(stats.by_type["span_enter"], 1);
         assert_eq!(stats.provenance_by_equation["Eq.4"], 1);
+        assert_eq!(stats.unclosed_spans, 0);
         let summary = stats.summary();
         assert!(summary.contains("Eq.4"), "{summary}");
-        assert!(stats.one_line().contains("2 records"), "{}", stats.one_line());
+        assert!(stats.one_line().contains("3 records"), "{}", stats.one_line());
     }
 
     #[test]
@@ -165,16 +299,88 @@ mod tests {
 
     #[test]
     fn counts_every_equation_separately() {
-        let rec = |eq: &str| {
-            format!(
-                "{{\"ts_us\":1,\"thread\":1,\"type\":\"provenance\",\"span\":null,\
-                 \"equation\":\"{eq}\",\"function\":\"f\",\"inputs\":{{}},\"outputs\":{{}}}}"
-            )
-        };
-        let text = format!("{}\n{}\n{}\n", rec("Eq.1"), rec("Eq.4"), rec("Eq.4"));
+        let text = format!(
+            "{}\n{}\n{}\n",
+            prov(1, 1, "Eq.1"),
+            prov(1, 1, "Eq.4"),
+            prov(2, 1, "Eq.4")
+        );
         let stats = check(&text).expect("valid capture");
         assert_eq!(stats.provenance_by_equation["Eq.1"], 1);
         assert_eq!(stats.provenance_by_equation["Eq.4"], 2);
         assert_eq!(stats.provenance(), 3);
+    }
+
+    #[test]
+    fn flags_backwards_timestamps_within_a_thread() {
+        // Thread 1 runs backwards; thread 2 interleaving is fine.
+        let bad = format!("{}\n{}\n{}\n", prov(5, 1, "Eq.1"), prov(9, 2, "Eq.1"), prov(4, 1, "Eq.1"));
+        let err = check(&bad).expect_err("must flag");
+        assert!(err.contains("runs backwards"), "{err}");
+        assert!(err.contains("line 3"), "{err}");
+        // Interleaved threads, each monotone: fine.
+        let good =
+            format!("{}\n{}\n{}\n{}\n", prov(5, 1, "Eq.1"), prov(1, 2, "Eq.1"), prov(5, 1, "Eq.1"), prov(2, 2, "Eq.1"));
+        assert!(check(&good).is_ok());
+    }
+
+    #[test]
+    fn flags_span_exit_before_enter() {
+        let text = concat!(
+            "{\"ts_us\":1,\"thread\":1,\"type\":\"provenance\",\"span\":null,\"equation\":\"Eq.1\",\"function\":\"f\",\"inputs\":{},\"outputs\":{}}\n",
+            "{\"ts_us\":2,\"thread\":1,\"type\":\"span_exit\",\"span\":7,\"name\":\"s\",\"elapsed_ns\":10}\n",
+        );
+        let err = check(text).expect_err("must flag");
+        assert!(err.contains("exits before it enters"), "{err}");
+        // An unclosed span is only counted, not fatal.
+        let unclosed = concat!(
+            "{\"ts_us\":1,\"thread\":1,\"type\":\"span_enter\",\"span\":1,\"parent\":null,\"name\":\"s\",\"fields\":{}}\n",
+            "{\"ts_us\":2,\"thread\":1,\"type\":\"provenance\",\"span\":1,\"equation\":\"Eq.1\",\"function\":\"f\",\"inputs\":{},\"outputs\":{}}\n",
+        );
+        let stats = check(unclosed).expect("unclosed tolerated");
+        assert_eq!(stats.unclosed_spans, 1);
+    }
+
+    #[test]
+    fn validates_and_counts_sample_records() {
+        // Samples flush after live records with earlier capture times:
+        // legal, because the two streams have separate watermarks.
+        let text = format!(
+            "{}\n{}\n{}\n{}\n",
+            prov(50, 1, "Eq.2"),
+            sample(60, 1, 1_000, "counter"),
+            sample(60, 1, 2_000, "gauge"),
+            sample(61, 1, 2_000, "counter"),
+        );
+        let stats = check(&text).expect("valid");
+        assert_eq!(stats.samples(), 3);
+        assert_eq!(stats.samples_by_kind["counter"], 2);
+        assert!(stats.summary().contains("samples by metric kind"), "{}", stats.summary());
+        // Backwards t_ns within a thread is flagged.
+        let bad = format!("{}\n{}\n{}\n", prov(50, 1, "Eq.2"), sample(60, 1, 5_000, "counter"), sample(60, 1, 4_000, "counter"));
+        let err = check(&bad).expect_err("must flag");
+        assert!(err.contains("sample timestamp runs backwards"), "{err}");
+        // Unknown metric_kind and missing keys are schema errors.
+        let bad_kind = format!("{}\n{}\n", prov(1, 1, "Eq.2"), sample(2, 1, 100, "stopwatch"));
+        assert!(check(&bad_kind).expect_err("kind").contains("unknown metric_kind"));
+        let no_value = concat!(
+            "{\"ts_us\":1,\"thread\":1,\"type\":\"provenance\",\"span\":null,\"equation\":\"Eq.1\",\"function\":\"f\",\"inputs\":{},\"outputs\":{}}\n",
+            "{\"ts_us\":2,\"thread\":1,\"type\":\"sample\",\"name\":\"m\",\"metric_kind\":\"gauge\",\"t_ns\":10}\n",
+        );
+        assert!(check(no_value).expect_err("value").contains("missing `value`"));
+        // A null value (non-finite float at capture) is legal.
+        let null_value = concat!(
+            "{\"ts_us\":1,\"thread\":1,\"type\":\"provenance\",\"span\":null,\"equation\":\"Eq.1\",\"function\":\"f\",\"inputs\":{},\"outputs\":{}}\n",
+            "{\"ts_us\":2,\"thread\":1,\"type\":\"sample\",\"name\":\"m\",\"metric_kind\":\"gauge\",\"t_ns\":10,\"value\":null}\n",
+        );
+        assert!(check(null_value).is_ok());
+    }
+
+    #[test]
+    fn requires_the_record_envelope() {
+        let no_ts = "{\"thread\":1,\"type\":\"event\",\"name\":\"x\",\"fields\":{}}\n";
+        assert!(check(no_ts).expect_err("ts").contains("missing `ts_us`"));
+        let no_thread = "{\"ts_us\":1,\"type\":\"event\",\"name\":\"x\",\"fields\":{}}\n";
+        assert!(check(no_thread).expect_err("thread").contains("missing `thread`"));
     }
 }

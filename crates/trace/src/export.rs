@@ -66,7 +66,8 @@ pub trait Exporter {
 // ---------------------------------------------------------------------
 
 /// Indented span tree for terminals: `>` opens a span, `<` closes it,
-/// `.` is an event, `=` a provenance record, `#` a metric snapshot.
+/// `.` is an event, `=` a provenance record, `#` a metric snapshot,
+/// `~` a timeline sample.
 #[derive(Debug, Default)]
 pub struct TextTreeExporter {
     depth: HashMap<u64, usize>,
@@ -125,6 +126,11 @@ impl Exporter for TextTreeExporter {
                 "[t{t} {:>8}us] # {metric_kind} {name}{}\n",
                 rec.ts_micros,
                 fields_text(fields)
+            ),
+            RecordKind::Sample { name, metric_kind, t_ns, value } => format!(
+                "[t{t} {:>8}us] ~ {metric_kind} {name}={} @{t_ns}ns\n",
+                rec.ts_micros,
+                crate::value::Value::F64(*value)
             ),
         }
     }
@@ -208,6 +214,13 @@ impl Exporter for JsonlExporter {
                 json_string(metric_kind),
                 fields_json(fields)
             ),
+            RecordKind::Sample { name, metric_kind, t_ns, value } => format!(
+                ",\"name\":{},\"metric_kind\":{},\"t_ns\":{},\"value\":{}",
+                json_string(name),
+                json_string(metric_kind),
+                t_ns,
+                crate::value::Value::F64(*value).render_json()
+            ),
         };
         format!("{head}{body}}}\n")
     }
@@ -281,6 +294,16 @@ impl Exporter for ChromeExporter {
             // Counter events plot numeric args as stacked series.
             RecordKind::Metric { name, fields, .. } => {
                 chrome_event("C", name, ts, t, "", &fields_json(fields))
+            }
+            // Timeline points become a counter track per metric, one
+            // `C` event per sample, plotted at the sample's own
+            // capture time (ns floored to the format's us resolution).
+            RecordKind::Sample { name, t_ns, value, .. } => {
+                let args = format!(
+                    "{{\"value\":{}}}",
+                    crate::value::Value::F64(*value).render_json()
+                );
+                chrome_event("C", name, t_ns / 1_000, t, "", &args)
             }
         };
         format!("{sep}{ev}")

@@ -19,6 +19,11 @@
 //!   records when the trace guard drops; histogram samples stream into
 //!   a [`nanocost_sentinel::LogHistogram`] and flush as percentile
 //!   summaries (p50/p90/p99/p99.9) with bounded relative error.
+//! * **Timelines** ([`timeline`]) — with `NANOCOST_TRACE_SAMPLE` set,
+//!   every metric update also lands a timestamped point in a bounded
+//!   per-thread ring buffer (deterministic 2:1 decimation on overflow,
+//!   exact `dropped` accounting), flushed as `"type":"sample"` records
+//!   and Chrome `"ph":"C"` counter tracks.
 //! * **Exporters** — human-readable span tree, JSONL, and Chrome
 //!   trace-event format (loadable in `chrome://tracing` / Perfetto),
 //!   selected via environment variables (see [`init_from_env`]).
@@ -35,6 +40,7 @@
 //! | `NANOCOST_TRACE` | enables tracing; value selects the format (`text`, `jsonl`, `chrome`; `1`/`on` mean `text`) |
 //! | `NANOCOST_TRACE_FORMAT` | overrides the format when `NANOCOST_TRACE` is just an on-switch |
 //! | `NANOCOST_TRACE_FILE` | writes the trace to this path instead of the default (stderr for `text`/`jsonl`, `nanocost_trace.chrome.json` for `chrome`) |
+//! | `NANOCOST_TRACE_SAMPLE` | enables metric timeline sampling; `1`/`on` use the default per-thread buffer capacity, a number sets it |
 //!
 //! # Example
 //!
@@ -55,6 +61,7 @@ pub mod provenance;
 pub mod record;
 pub mod span;
 pub mod subscriber;
+pub mod timeline;
 pub mod value;
 
 pub use export::{ChromeExporter, Exporter, Format, JsonlExporter, TextTreeExporter};
@@ -126,6 +133,14 @@ pub fn epoch_micros() -> u64 {
     u64::try_from(e.elapsed().as_micros()).unwrap_or(u64::MAX)
 }
 
+/// Nanoseconds since the process trace epoch — the finer clock the
+/// timeline sampler stamps its points with.
+#[must_use]
+pub fn epoch_nanos() -> u64 {
+    let e = EPOCH.get_or_init(Instant::now);
+    u64::try_from(e.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
 /// This thread's small integer id.
 #[must_use]
 pub fn current_thread_id() -> u64 {
@@ -140,11 +155,14 @@ pub(crate) fn next_span_id() -> u64 {
 /// Delivers a record to the active subscriber (thread-local collector
 /// first, then the global sink). A no-op when nothing is listening.
 pub fn dispatch(kind: RecordKind) {
-    let rec = Record {
-        ts_micros: epoch_micros(),
-        thread: current_thread_id(),
-        kind,
-    };
+    dispatch_origin(epoch_micros(), current_thread_id(), kind);
+}
+
+/// [`dispatch`] with an explicit origin: the timeline flush replays
+/// buffered samples with the timestamp and thread they were *captured*
+/// on, not the thread doing the flushing.
+pub fn dispatch_origin(ts_micros: u64, thread: u64, kind: RecordKind) {
+    let rec = Record { ts_micros, thread, kind };
     if LOCAL_COUNT.load(Ordering::Relaxed) > 0 {
         let handled = LOCAL
             .try_with(|l| {
@@ -208,10 +226,12 @@ pub fn with_collector<R>(f: impl FnOnce() -> R) -> (Vec<Record>, R) {
     (collector.take(), result)
 }
 
-/// Flushes pending state: metric snapshots are emitted as records, then
-/// the global subscriber's sink is finalized. Idempotent.
+/// Flushes pending state: buffered timeline samples first (oldest
+/// context first), then metric snapshots, then the global subscriber's
+/// sink is finalized. Idempotent.
 pub fn flush() {
     if GLOBAL_ENABLED.load(Ordering::Relaxed) || LOCAL_COUNT.load(Ordering::Relaxed) > 0 {
+        timeline::flush_samples();
         metrics::flush_metrics();
     }
     if let Some(s) = GLOBAL.get() {
@@ -286,7 +306,25 @@ pub fn init_from_env() -> TraceGuard {
         None => Box::new(std::io::BufWriter::new(std::io::stderr())),
     };
     let installed = set_subscriber(Box::new(WriterSubscriber::new(exporter, out)));
+    if installed {
+        if let Some(capacity) = sample_capacity_from_env() {
+            timeline::enable_sampling(capacity);
+        }
+    }
     TraceGuard { active: installed }
+}
+
+/// Parses `NANOCOST_TRACE_SAMPLE`: `None` means sampling stays off;
+/// `Some(None)` means on at the default capacity; `Some(Some(n))` sets
+/// the per-thread buffer capacity to `n` samples.
+fn sample_capacity_from_env() -> Option<Option<usize>> {
+    let spec = std::env::var("NANOCOST_TRACE_SAMPLE").ok()?;
+    let spec = spec.trim().to_ascii_lowercase();
+    match spec.as_str() {
+        "" | "0" | "off" | "false" => None,
+        "1" | "on" | "true" => Some(None),
+        n => n.parse::<usize>().ok().map(Some),
+    }
 }
 
 /// Where the trace stream goes: an explicit `NANOCOST_TRACE_FILE`, the

@@ -29,28 +29,39 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-/// Adds `n` to the named counter.
+/// Adds `n` to the named counter. With timeline sampling on, the
+/// post-update running total also lands on the counter's timeline.
 pub fn add_counter(name: &'static str, n: u64) {
     if !is_enabled() {
         return;
     }
-    *lock(&COUNTERS).entry(name).or_insert(0) += n;
+    let total = {
+        let mut counters = lock(&COUNTERS);
+        let slot = counters.entry(name).or_insert(0);
+        *slot += n;
+        *slot
+    };
+    crate::timeline::record_sample(name, "counter", total as f64);
 }
 
-/// Sets the named gauge to `v` (last write wins).
+/// Sets the named gauge to `v` (last write wins). With timeline
+/// sampling on, every write lands on the gauge's timeline.
 pub fn set_gauge(name: &'static str, v: f64) {
     if !is_enabled() {
         return;
     }
     lock(&GAUGES).insert(name, v);
+    crate::timeline::record_sample(name, "gauge", v);
 }
 
-/// Records one sample into the named histogram.
+/// Records one sample into the named histogram. With timeline sampling
+/// on, the raw observation also lands on the histogram's timeline.
 pub fn record_histogram(name: &'static str, v: f64) {
     if !is_enabled() {
         return;
     }
     lock(&HISTOGRAMS).entry(name).or_default().record(v);
+    crate::timeline::record_sample(name, "histogram", v);
 }
 
 /// Current value of a counter (0 if never touched). Intended for tests.

@@ -60,6 +60,25 @@ pub enum RecordKind {
         /// histograms).
         fields: Vec<Field>,
     },
+    /// One timestamped point on a metric timeline, captured by the
+    /// sampling layer (see [`crate::timeline`]) and flushed after the
+    /// run. Unlike [`RecordKind::Metric`] — an end-of-run aggregate —
+    /// a sample says *when* the metric held a value: counters carry
+    /// their running total, gauges the value written, histograms the
+    /// observation itself.
+    Sample {
+        /// Metric name.
+        name: &'static str,
+        /// `"counter"`, `"gauge"`, or `"histogram"`.
+        metric_kind: &'static str,
+        /// Nanoseconds since the process trace epoch at capture time
+        /// (finer than the record's own microsecond timestamp, and
+        /// monotone per thread).
+        t_ns: u64,
+        /// The sampled value (counter totals are widened to `f64`;
+        /// exact below 2^53).
+        value: f64,
+    },
 }
 
 impl RecordKind {
@@ -72,6 +91,7 @@ impl RecordKind {
             RecordKind::Event { .. } => "event",
             RecordKind::Provenance { .. } => "provenance",
             RecordKind::Metric { .. } => "metric",
+            RecordKind::Sample { .. } => "sample",
         }
     }
 }

@@ -124,6 +124,26 @@ fn fixture_records() -> Vec<Record> {
                 ],
             },
         },
+        Record {
+            ts_micros: 27,
+            thread: 1,
+            kind: RecordKind::Sample {
+                name: "mc.wafers",
+                metric_kind: "counter",
+                t_ns: 18_500,
+                value: 12.0,
+            },
+        },
+        Record {
+            ts_micros: 27,
+            thread: 2,
+            kind: RecordKind::Sample {
+                name: "optimize.sd_probe",
+                metric_kind: "gauge",
+                t_ns: 21_250,
+                value: 412.5,
+            },
+        },
     ]
 }
 
@@ -175,5 +195,9 @@ fn jsonl_matches_golden_and_every_line_is_json() {
 fn chrome_matches_golden_and_is_one_json_document() {
     let out = render(Format::Chrome);
     nanocost_trace::json::validate(&out).expect("chrome trace is one valid JSON document");
+    assert!(
+        out.contains("\"ph\":\"C\""),
+        "samples must render as Chrome counter tracks"
+    );
     compare("trace.expected.chrome.json", &out);
 }

@@ -34,8 +34,10 @@ static ALLOCATOR: CountingAllocator = CountingAllocator;
 #[test]
 fn disabled_instrumentation_allocates_nothing() {
     // No subscriber is installed anywhere in this test binary, so every
-    // macro below must take its disabled fast path.
+    // macro below must take its disabled fast path — and timeline
+    // sampling, which is only armed by init_from_env, must be off too.
     assert!(!nanocost_trace::is_enabled());
+    assert!(!nanocost_trace::timeline::sampling_enabled());
 
     let before = ALLOCATIONS.load(Ordering::Relaxed);
     let mut acc = 0.0f64;
@@ -51,6 +53,7 @@ fn disabled_instrumentation_allocates_nothing() {
         counter!("hot.counter", 1);
         gauge!("hot.gauge", acc);
         metric_histogram!("hot.histogram", acc);
+        nanocost_trace::timeline::record_sample("hot.sample", "gauge", acc);
         let _timer = nanocost_trace::metrics::Timer::start("hot.timer");
         acc += 1.0;
     }

@@ -17,22 +17,39 @@ cargo test -q --workspace
 echo "==> nanocost-audit --deny"
 cargo run -q --release -p nanocost-audit -- --deny
 
-echo "==> observability smoke: figure4 under NANOCOST_TRACE=jsonl"
+echo "==> timeline smoke: figure4 under NANOCOST_TRACE=jsonl + sampling"
 TRACE_OUT=target/ci-trace.jsonl
 rm -f "$TRACE_OUT"
-NANOCOST_TRACE=jsonl NANOCOST_TRACE_FILE="$TRACE_OUT" \
+NANOCOST_TRACE=jsonl NANOCOST_TRACE_FILE="$TRACE_OUT" NANOCOST_TRACE_SAMPLE=1 \
     cargo run -q --release -p nanocost-bench --bin figure4 >/dev/null
 if [[ ! -s "$TRACE_OUT" ]]; then
     echo "ci: FAIL: $TRACE_OUT is missing or empty" >&2
     exit 1
 fi
-cargo run -q --release -p nanocost-trace --bin trace_check -- "$TRACE_OUT"
+# trace_check enforces schema, span balance, AND per-thread timestamp
+# monotonicity (both record order and sample capture times).
+cargo run -q --release -p nanocost-trace --bin trace_check -- --summary "$TRACE_OUT"
 cargo run -q --release -p nanocost-sentinel --bin trace_profile -- "$TRACE_OUT" >/dev/null
+# Windowed metrics view over the back half of the capture must succeed.
+cargo run -q --release -p nanocost-sentinel --bin trace_profile -- \
+    --since 50% --metrics "$TRACE_OUT" >/dev/null
+# The live dashboard must render one frame from the same capture.
+cargo run -q --release -p nanocost-sentinel --bin trace_tail -- --once "$TRACE_OUT" >/dev/null
 
-echo "==> fingerprint gate: Eq.1-7 provenance digests per figure pipeline"
+echo "==> timeline smoke: chrome export carries counter tracks"
+CHROME_OUT=target/ci-trace-chrome.json
+rm -f "$CHROME_OUT"
+NANOCOST_TRACE=chrome NANOCOST_TRACE_FILE="$CHROME_OUT" NANOCOST_TRACE_SAMPLE=1 \
+    cargo run -q --release -p nanocost-bench --bin figure4 >/dev/null
+if ! grep -q '"ph":"C"' "$CHROME_OUT"; then
+    echo "ci: FAIL: $CHROME_OUT has no \"ph\":\"C\" counter-track events" >&2
+    exit 1
+fi
+
+echo "==> fingerprint gate: Eq.1-7 provenance digests per pipeline"
 # NANOCOST_BLESS_FINGERPRINTS=1 turns drift into an in-place update of
 # FINGERPRINTS.json (use after an intentional model change).
-for fig in figure1 figure2 figure3 figure4; do
+for fig in figure1 figure2 figure3 figure4 node_selection wafer_transition delay_study; do
     FP_OUT="target/ci-$fig.jsonl"
     rm -f "$FP_OUT"
     NANOCOST_TRACE=jsonl NANOCOST_TRACE_FILE="$FP_OUT" \
@@ -43,14 +60,17 @@ done
 
 # One bench capture + diff; prints the names of regressed benchmarks
 # (empty = clean). Absolute capture path: cargo runs bench targets with
-# cwd = the package dir.
+# cwd = the package dir. Both checked-in baselines (captured under
+# different machine conditions) pool into one reference distribution,
+# so neither environment's scatter alone decides the verdict.
 perf_regressions() {
     local out="$PWD/target/$1"
     rm -f "$out"
     NANOCOST_BENCH_JSON="$out" cargo bench -q -p nanocost-bench >/dev/null
     # bench_diff exits 1 on regression; the retry logic below decides.
     cargo run -q --release -p nanocost-sentinel --bin bench_diff -- \
-        --against BENCH_baseline.json "$out" --threshold 0.5 \
+        --against BENCH_baseline.json --against BENCH_baseline_2.json \
+        "$out" --threshold 0.5 \
         | awk '$NF == "regressed" {print $1}' || true
 }
 
