@@ -3,14 +3,18 @@
 //!
 //! Run with: `cargo run -p nanocost-bench --bin figure4`
 
-use nanocost_bench::figures::figure4_panel;
-use nanocost_core::Figure4Scenario;
+use nanocost_bench::figures::figure4_panel_cached;
+use nanocost_core::{Figure4Scenario, ScenarioCache};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let _trace = nanocost_trace::init_from_env();
     let _root = nanocost_trace::span!("figure4.run");
+    // One cache across both panels: the per-node eq.-5 mask costs (and
+    // any revisited grid points) are replayed, not recomputed, without
+    // changing the figure's provenance fingerprint.
+    let cache = ScenarioCache::paper_figure4();
     for scenario in [Figure4Scenario::paper_4a(), Figure4Scenario::paper_4b()] {
-        let (chart, optima) = figure4_panel(&scenario)?;
+        let (chart, optima) = figure4_panel_cached(&cache, &scenario)?;
         println!("{}", chart.to_table());
         println!("{}", chart.to_ascii(72, 18));
         println!("optima (per node):");
@@ -26,5 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("reading: the high-volume/high-yield panel (4b) optimizes at a much");
     println!("denser layout — neither minimum die size nor maximum yield is the");
     println!("objective, minimum C_tr is (paper §3.1).");
+    let stats = cache.stats();
+    println!(
+        "scenario cache: {} hits / {} misses ({} entries)",
+        stats.hits, stats.misses, stats.entries
+    );
     Ok(())
 }

@@ -2,11 +2,13 @@
 //!
 //! Run with: `cargo run -p nanocost-bench --bin optimum_surface`
 
-use nanocost_bench::figures::{generalized_optimum, optimum_surface_study};
+use nanocost_bench::figures::{generalized_optimum, optimum_surface_study_cached};
+use nanocost_core::ScenarioCache;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let _trace = nanocost_trace::init_from_env();
-    let cells = optimum_surface_study()?;
+    let cache = ScenarioCache::paper_figure4();
+    let cells = optimum_surface_study_cached(&cache)?;
     let volumes: Vec<u64> = {
         let mut v: Vec<u64> = cells.iter().map(|c| c.volume).collect();
         v.sort_unstable();

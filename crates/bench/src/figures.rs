@@ -3,7 +3,7 @@
 
 use nanocost_core::{
     optimal_sd_generalized, optimum_surface, DensityOptimum, DesignPoint, Figure4Error,
-    Figure4Scenario, GeneralizedCostModel, OptimumCell, ProfitModel, ProfitReport,
+    Figure4Scenario, GeneralizedCostModel, OptimumCell, ProfitModel, ProfitReport, ScenarioCache,
     TotalCostModel,
 };
 use nanocost_devices::{figure1_by_class, figure1_by_vendor, table_a1, DeviceRecord};
@@ -84,12 +84,35 @@ pub fn figure3_scenario(scenario: Scenario) -> Result<Vec<Figure3Point>, UnitErr
 pub fn figure4_panel(
     scenario: &Figure4Scenario,
 ) -> Result<(Chart, Vec<(f64, DensityOptimum)>), Figure4Error> {
+    // Deliberately uncached: this is the reference implementation the
+    // fingerprint test compares [`figure4_panel_cached`] against, and
+    // the benches pin its per-evaluation cost without cache overhead.
     let model = TotalCostModel::paper_figure4();
     let masks = MaskCostModel::default();
     let chart = scenario.chart(&model, &masks)?;
     let mut optima = Vec::new();
     for &um in &scenario.lambdas_um {
         optima.push((um, scenario.optimum(&model, &masks, um)?));
+    }
+    Ok((chart, optima))
+}
+
+/// As [`figure4_panel`], but evaluated through a shared [`ScenarioCache`]
+/// batch: the `figure4` bin reuses one cache across both panels, so the
+/// per-node mask costs (and any revisited grid points) are served from
+/// the cache with their provenance replayed.
+///
+/// # Errors
+///
+/// As [`figure4_panel`].
+pub fn figure4_panel_cached(
+    cache: &ScenarioCache,
+    scenario: &Figure4Scenario,
+) -> Result<(Chart, Vec<(f64, DensityOptimum)>), Figure4Error> {
+    let chart = scenario.chart_cached(cache)?;
+    let mut optima = Vec::new();
+    for &um in &scenario.lambdas_um {
+        optima.push((um, scenario.optimum_cached(cache, um)?));
     }
     Ok((chart, optima))
 }
@@ -155,6 +178,8 @@ pub fn test_cost_study() -> Result<Vec<(f64, f64)>, UnitError> {
 ///
 /// Propagates optimizer errors (impossible for the fixed grid used).
 pub fn optimum_surface_study() -> Result<Vec<OptimumCell>, nanocost_core::OptimizeError> {
+    // Deliberately uncached — the reference path the cached variant is
+    // checked against; see [`figure4_panel`].
     optimum_surface(
         &TotalCostModel::paper_figure4(),
         FeatureSize::from_microns(0.18)?,
@@ -165,6 +190,39 @@ pub fn optimum_surface_study() -> Result<Vec<OptimumCell>, nanocost_core::Optimi
         105.0,
         2_500.0,
     )
+}
+
+/// As [`optimum_surface_study`], but every volume × yield optimum is
+/// memoized in the given [`ScenarioCache`], so repeated studies (the
+/// server's `/v1/optimum` traffic, or a re-run of the bin) replay
+/// instead of re-searching.
+///
+/// # Errors
+///
+/// As [`optimum_surface_study`].
+pub fn optimum_surface_study_cached(
+    cache: &ScenarioCache,
+) -> Result<Vec<OptimumCell>, nanocost_core::OptimizeError> {
+    use nanocost_units::Yield;
+    let lambda = FeatureSize::from_microns(0.18)?;
+    let transistors = TransistorCount::from_millions(10.0);
+    let mask_cost = cache.mask_set_cost(lambda);
+    let mut out = Vec::with_capacity(20);
+    for &v in &[1_000u64, 5_000, 20_000, 50_000, 200_000] {
+        for &y in &[0.4, 0.6, 0.8, 0.9] {
+            let optimum = cache.optimal_sd(
+                lambda,
+                transistors,
+                WaferCount::new(v)?,
+                Yield::new(y)?,
+                mask_cost,
+                105.0,
+                2_500.0,
+            )?;
+            out.push(OptimumCell { volume: v, fab_yield: y, optimum });
+        }
+    }
+    Ok(out)
 }
 
 /// The three benchmark layouts of the regularity experiment, with matched

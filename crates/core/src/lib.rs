@@ -39,6 +39,7 @@
 #![warn(missing_debug_implementations)]
 
 mod advisor;
+mod cache;
 mod generalized;
 mod manufacturing;
 mod node_choice;
@@ -50,6 +51,11 @@ mod total;
 mod tradeoff;
 
 pub use advisor::{advise_raw, DfmAdvisor, DfmReport, Recommendation};
+pub use cache::{
+    BatchRequest, BatchResponse, BatchStats, CacheStats, CostQuery, ScenarioCache,
+    DEFAULT_CAPACITY, DOLLARS_QUANTUM, LAMBDA_QUANTUM_UM, SD_QUANTUM, TRANSISTOR_QUANTUM,
+    YIELD_QUANTUM,
+};
 pub use generalized::{DesignPoint, GeneralizedCostModel, GeneralizedReport};
 pub use node_choice::{cheapest_node, node_sweep, NodeChoice};
 pub use manufacturing::ManufacturingCostModel;

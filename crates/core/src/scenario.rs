@@ -11,6 +11,7 @@ use nanocost_units::{
     DecompressionIndex, Dollars, FeatureSize, TransistorCount, UnitError, WaferCount, Yield,
 };
 
+use crate::cache::{BatchRequest, CostQuery, ScenarioCache};
 use crate::optimize::{optimal_sd_total, DensityOptimum, OptimizeError};
 use crate::total::TotalCostModel;
 
@@ -130,6 +131,94 @@ impl Figure4Scenario {
         Ok(chart)
     }
 
+    /// As [`Figure4Scenario::curve`], but evaluated through a
+    /// [`ScenarioCache`] batch: the mask cost (eq. 5) and every eq.-4
+    /// grid point are served from the cache when already known, with
+    /// provenance replayed so figure fingerprints match the uncached
+    /// sweep bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// As [`Figure4Scenario::curve`].
+    pub fn curve_cached(
+        &self,
+        cache: &ScenarioCache,
+        lambda_um: f64,
+    ) -> Result<Series, Figure4Error> {
+        let lambda = FeatureSize::from_microns(lambda_um)?;
+        let mask_cost: Dollars = cache.mask_set_cost(lambda);
+        let (lo, hi) = self.sd_range;
+        let mut grid = Vec::with_capacity(self.samples);
+        let mut queries = Vec::with_capacity(self.samples);
+        for k in 0..self.samples {
+            let s = lo + (hi - lo) * k as f64 / (self.samples - 1) as f64;
+            grid.push(s);
+            queries.push(CostQuery {
+                lambda,
+                sd: DecompressionIndex::new(s)?,
+                transistors: self.transistors,
+                volume: self.volume,
+                fab_yield: self.fab_yield,
+                mask_cost,
+            });
+        }
+        let response = cache.evaluate_batch(&BatchRequest { queries });
+        let mut pts = Vec::with_capacity(self.samples);
+        for (s, result) in grid.into_iter().zip(response.results) {
+            pts.push((s, result?.total().amount()));
+        }
+        Ok(Series::new(format!("λ={lambda_um}µm"), pts)?)
+    }
+
+    /// As [`Figure4Scenario::chart`], but with every curve evaluated
+    /// through the [`ScenarioCache`] batch path (Figure 4's panels
+    /// share each node's eq.-5 mask cost, which hits after the first
+    /// curve).
+    ///
+    /// # Errors
+    ///
+    /// As [`Figure4Scenario::chart`].
+    pub fn chart_cached(&self, cache: &ScenarioCache) -> Result<Chart, Figure4Error> {
+        let mut chart = Chart::new(
+            format!(
+                "Figure {}: C_tr(s_d), N_tr = {}, N_w = {}, Y = {}",
+                self.label, self.transistors, self.volume, self.fab_yield
+            ),
+            "s_d [λ²/tr]",
+            "C_tr [$]",
+        );
+        for &um in &self.lambdas_um {
+            chart.push(self.curve_cached(cache, um)?);
+        }
+        Ok(chart)
+    }
+
+    /// As [`Figure4Scenario::optimum`], but memoized: a repeated §3.1
+    /// optimum query replays the whole recorded search provenance from
+    /// the [`ScenarioCache`] instead of re-running the bracket search.
+    ///
+    /// # Errors
+    ///
+    /// As [`Figure4Scenario::optimum`].
+    pub fn optimum_cached(
+        &self,
+        cache: &ScenarioCache,
+        lambda_um: f64,
+    ) -> Result<DensityOptimum, Figure4Error> {
+        let lambda = FeatureSize::from_microns(lambda_um)?;
+        let mask_cost = cache.mask_set_cost(lambda);
+        let (lo, hi) = self.sd_range;
+        Ok(cache.optimal_sd(
+            lambda,
+            self.transistors,
+            self.volume,
+            self.fab_yield,
+            mask_cost,
+            lo,
+            hi,
+        )?)
+    }
+
     /// Locates the optimum for one node — the cost-minimizing `s_d` that
     /// Figure 4 shows shifting with volume and yield.
     ///
@@ -214,6 +303,27 @@ mod tests {
                 assert!(s.ys().iter().all(|&y| y > 0.0));
             }
         }
+    }
+
+    #[test]
+    fn cached_chart_is_bitwise_identical_to_uncached() {
+        let model = TotalCostModel::paper_figure4();
+        let masks = MaskCostModel::default();
+        let cache = crate::cache::ScenarioCache::paper_figure4();
+        for scenario in [Figure4Scenario::paper_4a(), Figure4Scenario::paper_4b()] {
+            let plain = scenario.chart(&model, &masks).unwrap();
+            let cached = scenario.chart_cached(&cache).unwrap();
+            for (p, c) in plain.series().iter().zip(cached.series()) {
+                for (a, b) in p.points().iter().zip(c.points()) {
+                    assert_eq!(a.0.to_bits(), b.0.to_bits());
+                    assert_eq!(a.1.to_bits(), b.1.to_bits());
+                }
+            }
+            let plain_opt = scenario.optimum(&model, &masks, 0.18).unwrap();
+            let cached_opt = scenario.optimum_cached(&cache, 0.18).unwrap();
+            assert_eq!(plain_opt.sd.to_bits(), cached_opt.sd.to_bits());
+        }
+        assert!(cache.stats().hits > 0, "panels must share cached subterms");
     }
 
     #[test]

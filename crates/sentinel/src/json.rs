@@ -234,16 +234,23 @@ impl Parser<'_> {
                         Some(b'u') => {
                             let cp = self.hex4()?;
                             // Surrogate pairs: JSON escapes astral chars as
-                            // two \uXXXX units.
+                            // two \uXXXX units. A high surrogate must be
+                            // followed by a low one; anything else (a lone
+                            // half, or a second unit outside the low range)
+                            // is rejected rather than combined.
                             let c = if (0xD800..0xDC00).contains(&cp) {
                                 if self.b.get(self.pos + 1) == Some(&b'\\')
                                     && self.b.get(self.pos + 2) == Some(&b'u')
                                 {
                                     self.pos += 2;
                                     let lo = self.hex4()?;
-                                    let combined =
-                                        0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
-                                    char::from_u32(combined)
+                                    if (0xDC00..0xE000).contains(&lo) {
+                                        char::from_u32(
+                                            0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00),
+                                        )
+                                    } else {
+                                        None
+                                    }
                                 } else {
                                     None
                                 }
@@ -288,18 +295,38 @@ impl Parser<'_> {
         Ok(cp)
     }
 
+    /// RFC 8259 number syntax, enforced before the `f64` conversion so
+    /// this parser accepts exactly the grammar the `nanocost-trace`
+    /// validator accepts (the differential property test pins the two
+    /// together): no leading zeros on multi-digit integers, a `.` must
+    /// be followed by digits, an exponent must carry digits.
     fn number(&mut self) -> Result<JsonValue, JsonError> {
         let start = self.pos;
         if self.b.get(self.pos) == Some(&b'-') {
             self.pos += 1;
         }
+        let int_start = self.pos;
         while matches!(self.b.get(self.pos), Some(c) if c.is_ascii_digit()) {
             self.pos += 1;
         }
+        let int_digits = self.pos - int_start;
+        if int_digits == 0 {
+            return Err(self.err("expected digits"));
+        }
+        if int_digits > 1 && self.b.get(int_start) == Some(&b'0') {
+            return Err(JsonError {
+                offset: int_start,
+                message: "leading zero".to_string(),
+            });
+        }
         if self.b.get(self.pos) == Some(&b'.') {
             self.pos += 1;
+            let frac_start = self.pos;
             while matches!(self.b.get(self.pos), Some(c) if c.is_ascii_digit()) {
                 self.pos += 1;
+            }
+            if self.pos == frac_start {
+                return Err(self.err("expected fraction digits"));
             }
         }
         if matches!(self.b.get(self.pos), Some(b'e' | b'E')) {
@@ -307,8 +334,12 @@ impl Parser<'_> {
             if matches!(self.b.get(self.pos), Some(b'+' | b'-')) {
                 self.pos += 1;
             }
+            let exp_start = self.pos;
             while matches!(self.b.get(self.pos), Some(c) if c.is_ascii_digit()) {
                 self.pos += 1;
+            }
+            if self.pos == exp_start {
+                return Err(self.err("expected exponent digits"));
             }
         }
         let text = std::str::from_utf8(&self.b[start..self.pos])
@@ -344,6 +375,24 @@ mod tests {
         for doc in ["", "{", "[1,]", "{\"a\":}", "nul", "\"x", "1 2", "{'a':1}"] {
             assert!(parse(doc).is_err(), "should reject {doc:?}");
         }
+    }
+
+    #[test]
+    fn enforces_rfc8259_number_syntax() {
+        for doc in ["01", "-01", "1.", "1e", "1e+", ".5", "-"] {
+            assert!(parse(doc).is_err(), "should reject {doc:?}");
+        }
+        for doc in ["0", "-0", "0.5", "10", "1e5", "1E-5", "1.25e+3"] {
+            assert!(parse(doc).is_ok(), "should accept {doc:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_lone_and_mismatched_surrogates() {
+        assert!(parse(r#""\ud800""#).is_err(), "lone high surrogate");
+        assert!(parse(r#""\udc00""#).is_err(), "lone low surrogate");
+        assert!(parse(r#""\ud800A""#).is_err(), "high + non-low");
+        assert!(parse(r#""😀""#).is_ok(), "paired astral char");
     }
 
     #[test]

@@ -1,0 +1,202 @@
+//! Differential property test: the sentinel JSON *parser* and the trace
+//! JSON *validator* are independent implementations of RFC 8259 that
+//! must agree on every input.
+//!
+//! Disagreement in either direction is a real bug: a line sentinel
+//! accepts but trace rejects would make `fingerprint` read captures
+//! `trace_check` calls corrupt; the converse would make `trace_check`
+//! bless captures `fingerprint` cannot read. The corpus is (a) real
+//! JSONL rendered from synthesized trace records, (b) hand-picked
+//! edge-case documents, and (c) thousands of printable-ASCII mutations
+//! of both.
+
+use nanocost_numeric::Rng64;
+use nanocost_trace::export::{Exporter, JsonlExporter};
+use nanocost_trace::{Equation, Field, Record, RecordKind, Value};
+
+fn agree(line: &str) {
+    let sentinel_ok = nanocost_sentinel::json::parse(line).is_ok();
+    let trace_ok = nanocost_trace::json::validate(line).is_ok();
+    assert_eq!(
+        sentinel_ok, trace_ok,
+        "parsers disagree (sentinel={sentinel_ok}, trace={trace_ok}) on: {line:?}"
+    );
+}
+
+/// Renders a varied set of genuine trace records to JSONL lines.
+fn rendered_corpus(rng: &mut Rng64) -> Vec<String> {
+    let mut exporter = JsonlExporter;
+    let mut lines = Vec::new();
+    for i in 0..40u64 {
+        let fields = vec![
+            Field::new("lambda_um", Value::F64(rng.random_range(0.01..0.25))),
+            Field::new("sd", Value::F64(rng.random_range(100.0..2500.0))),
+            Field::new("wafers", Value::U64(rng.next_u64() % 100_000)),
+            Field::new("delta", Value::I64((rng.next_u64() as i64) % 1_000)),
+            Field::new("cached", Value::Bool(i % 2 == 0)),
+            Field::new("tag", Value::Str(format!("case-{i}\t\"quoted\" \u{3bb}"))),
+        ];
+        let kinds = [
+            RecordKind::SpanEnter {
+                span: i + 1,
+                parent: if i % 3 == 0 { None } else { Some(i) },
+                name: "serve.request",
+                fields: fields.clone(),
+            },
+            RecordKind::SpanExit {
+                span: i + 1,
+                name: "serve.request",
+                elapsed_nanos: rng.next_u64() % 1_000_000_000,
+            },
+            RecordKind::Event {
+                span: Some(i + 1),
+                name: "cache.lookup",
+                fields: fields.clone(),
+            },
+            RecordKind::Provenance {
+                span: Some(i + 1),
+                equation: Equation::Eq4,
+                function: "nanocost_core::cost::TotalCostModel::transistor_cost",
+                inputs: fields.clone(),
+                outputs: vec![Field::new("c_tr", Value::F64(rng.next_f64()))],
+            },
+            RecordKind::Metric {
+                name: "core.cache.hit",
+                metric_kind: "counter",
+                fields: vec![Field::new("value", Value::U64(1))],
+            },
+            RecordKind::Sample {
+                name: "serve.latency",
+                metric_kind: "gauge",
+                t_ns: rng.next_u64() % u64::from(u32::MAX),
+                value: rng.random_range(0.0..1e6),
+            },
+        ];
+        for kind in kinds {
+            let record = Record {
+                ts_micros: i * 7,
+                thread: 1 + i % 4,
+                kind,
+            };
+            let line = exporter.render(&record);
+            lines.push(line.trim_end().to_string());
+        }
+    }
+    lines
+}
+
+/// Documents chosen to sit right on RFC 8259 boundaries.
+fn edge_corpus() -> Vec<String> {
+    [
+        // Valid.
+        "{}",
+        "[]",
+        "null",
+        "true",
+        "-0.5e-3",
+        "\"\"",
+        "[1,2,3]",
+        "{\"a\":{\"b\":[null,false,1e9]}}",
+        "\"\\u00e9\\u03bb\\ud83d\\ude00\"",
+        "1e308",
+        "[0]",
+        // Invalid.
+        "",
+        "{",
+        "[1,2,]",
+        "{\"a\":1,}",
+        "{\"a\"}",
+        "01",
+        "1.",
+        ".5",
+        "+1",
+        "1e",
+        "--1",
+        "nul",
+        "truee",
+        "\"unterminated",
+        "\"bad escape \\q\"",
+        "\"lone surrogate \\ud83d\"",
+        "\"\\ud83d\\u0041\"",
+        "[1] [2]",
+        "{\"a\":1} trailing",
+        "'single'",
+        "NaN",
+        "Infinity",
+    ]
+    .into_iter()
+    .map(str::to_string)
+    .collect()
+}
+
+/// Applies one printable-ASCII mutation, preserving UTF-8 validity by
+/// construction (we only touch ASCII insertion/replacement and only
+/// remove whole chars).
+fn mutate(line: &str, rng: &mut Rng64) -> String {
+    const ASCII: &[u8] = b" \t{}[]\":,.\\/-+eE0123456789abcdflnrstuxy\"";
+    let mut chars: Vec<char> = line.chars().collect();
+    match rng.random_range(0..4u32) {
+        0 if !chars.is_empty() => {
+            let i = rng.random_range(0..chars.len());
+            chars[i] = ASCII[rng.random_range(0..ASCII.len())] as char;
+        }
+        1 if !chars.is_empty() => {
+            let i = rng.random_range(0..chars.len());
+            chars.remove(i);
+        }
+        2 => {
+            let i = rng.random_range(0..=chars.len());
+            chars.insert(i, ASCII[rng.random_range(0..ASCII.len())] as char);
+        }
+        _ => {
+            // Truncate at a random char boundary.
+            let i = rng.random_range(0..=chars.len());
+            chars.truncate(i);
+        }
+    }
+    chars.into_iter().collect()
+}
+
+#[test]
+fn parsers_agree_on_rendered_trace_lines() {
+    let mut rng = Rng64::seed_from_u64(0xd1ff_0001);
+    for line in rendered_corpus(&mut rng) {
+        // Rendered output must be valid under BOTH implementations…
+        nanocost_sentinel::json::parse(&line)
+            .unwrap_or_else(|e| panic!("sentinel rejects rendered line: {e}\n{line}"));
+        nanocost_trace::json::validate(&line)
+            .unwrap_or_else(|e| panic!("trace rejects rendered line: {e}\n{line}"));
+    }
+}
+
+#[test]
+fn parsers_agree_on_edge_cases() {
+    for line in edge_corpus() {
+        agree(&line);
+    }
+}
+
+#[test]
+fn parsers_agree_on_mutated_rendered_lines() {
+    let mut rng = Rng64::seed_from_u64(0xd1ff_0002);
+    let corpus = rendered_corpus(&mut rng);
+    for _ in 0..4000 {
+        let base = &corpus[rng.random_range(0..corpus.len())];
+        let mut line = base.clone();
+        for _ in 0..rng.random_range(1..4u32) {
+            line = mutate(&line, &mut rng);
+        }
+        agree(&line);
+    }
+}
+
+#[test]
+fn parsers_agree_on_mutated_edge_cases() {
+    let mut rng = Rng64::seed_from_u64(0xd1ff_0003);
+    let corpus = edge_corpus();
+    for _ in 0..4000 {
+        let base = &corpus[rng.random_range(0..corpus.len())];
+        let line = mutate(base, &mut rng);
+        agree(&line);
+    }
+}

@@ -1,0 +1,413 @@
+//! The JSON endpoints: request routing, body decoding, and response
+//! rendering over the scenario cache.
+//!
+//! Every model endpoint runs under a `serve.request` trace span inside
+//! a [`nanocost_trace::with_capture`] frame; the captured records
+//! (span, events, and every Eq.-provenance record the evaluation or
+//! cache replay emitted) are stored under the response's `req_id` and
+//! replayable via `GET /v1/provenance/<req-id>`.
+
+use std::time::Instant;
+
+use nanocost_core::{BatchRequest, CostQuery, ScenarioCache};
+use nanocost_core::{DesignPoint, GeneralizedReport};
+use nanocost_sentinel::json::{self, JsonValue};
+use nanocost_trace::value::json_string;
+use nanocost_trace::{span, with_capture};
+use nanocost_units::{
+    DecompressionIndex, Dollars, FeatureSize, TransistorCount, UnitError, WaferCount, Yield,
+};
+
+use crate::http::{Request, Response};
+use crate::state::ServerState;
+
+/// Default `s_d` bracket for `/v1/optimum`, matching the Figure-4
+/// scenarios.
+pub const DEFAULT_SD_BRACKET: (f64, f64) = (110.0, 1_500.0);
+
+/// An endpoint failure with the HTTP status it maps to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiError {
+    /// HTTP status code (400 malformed, 422 domain violation).
+    pub status: u16,
+    /// Human-readable cause, returned as `{"error": …}`.
+    pub message: String,
+}
+
+impl ApiError {
+    fn bad_request(message: impl Into<String>) -> Self {
+        ApiError {
+            status: 400,
+            message: message.into(),
+        }
+    }
+
+    fn domain(e: &UnitError) -> Self {
+        ApiError {
+            status: 422,
+            message: format!("domain violation: {e}"),
+        }
+    }
+}
+
+impl From<UnitError> for ApiError {
+    fn from(e: UnitError) -> Self {
+        ApiError::domain(&e)
+    }
+}
+
+/// Routes one parsed request to its handler.
+#[must_use]
+pub fn handle(state: &ServerState, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/v1/cost") => model_endpoint(state, "cost", &req.body, cost_endpoint),
+        ("POST", "/v1/yield") => model_endpoint(state, "yield", &req.body, yield_endpoint),
+        ("POST", "/v1/optimum") => model_endpoint(state, "optimum", &req.body, optimum_endpoint),
+        ("POST", "/v1/batch") => model_endpoint(state, "batch", &req.body, batch_endpoint),
+        ("GET", "/v1/metrics") => Response::json(200, state.metrics_json()),
+        ("GET", path) if path.starts_with("/v1/provenance/") => provenance_endpoint(state, path),
+        (_, "/v1/cost" | "/v1/yield" | "/v1/optimum" | "/v1/batch") => {
+            Response::error(405, "use POST")
+        }
+        (_, "/v1/metrics") => Response::error(405, "use GET"),
+        (_, path) if path.starts_with("/v1/provenance/") => Response::error(405, "use GET"),
+        _ => Response::error(404, "unknown endpoint"),
+    }
+}
+
+/// Runs one model endpoint: decode → traced evaluation under a capture
+/// frame → latency observation → provenance storage.
+fn model_endpoint(
+    state: &ServerState,
+    endpoint: &'static str,
+    body: &[u8],
+    run: impl FnOnce(&ScenarioCache, &JsonValue) -> Result<String, ApiError>,
+) -> Response {
+    let text = match std::str::from_utf8(body) {
+        Ok(t) => t,
+        Err(_) => return Response::error(400, "body is not UTF-8"),
+    };
+    let doc = match json::parse(text) {
+        Ok(doc) => doc,
+        Err(e) => return Response::error(400, &format!("body is not JSON: {e}")),
+    };
+    let req_id = state.next_request_id();
+    let started = Instant::now();
+    let (records, result) = with_capture(|| {
+        let _span = span!("serve.request", endpoint = endpoint, req = req_id.as_str());
+        run(state.cache(), &doc)
+    });
+    state.observe(endpoint, started.elapsed().as_secs_f64() * 1e6);
+    match result {
+        Ok(fields) => {
+            state.store_provenance(&req_id, &records);
+            Response::json(
+                200,
+                format!("{{\"req_id\":{},{fields}}}", json_string(&req_id)),
+            )
+        }
+        Err(e) => Response::error(e.status, &e.message),
+    }
+}
+
+fn provenance_endpoint(state: &ServerState, path: &str) -> Response {
+    let id = path.trim_start_matches("/v1/provenance/");
+    match state.provenance(id) {
+        Some(text) => Response::jsonl(200, text),
+        None => Response::error(404, "unknown or evicted request id"),
+    }
+}
+
+// ---- body decoding helpers -------------------------------------------------
+
+fn num(doc: &JsonValue, key: &str) -> Result<f64, ApiError> {
+    doc.get(key)
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| ApiError::bad_request(format!("missing numeric field `{key}`")))
+}
+
+fn num_or(doc: &JsonValue, key: &str, default: f64) -> Result<f64, ApiError> {
+    match doc.get(key) {
+        None | Some(JsonValue::Null) => Ok(default),
+        Some(v) => v
+            .as_f64()
+            .ok_or_else(|| ApiError::bad_request(format!("field `{key}` must be a number"))),
+    }
+}
+
+fn wafers(doc: &JsonValue, key: &str) -> Result<WaferCount, ApiError> {
+    let v = num(doc, key)?;
+    if !(v.is_finite() && v >= 0.0 && v.fract().abs() < f64::EPSILON) {
+        return Err(ApiError::bad_request(format!(
+            "field `{key}` must be a non-negative integer"
+        )));
+    }
+    Ok(WaferCount::new(v as u64)?)
+}
+
+/// Decodes one eq.-4 query object; `mask_cost` defaults to the cached
+/// eq.-5 mask-set cost for the query's node.
+fn cost_query(cache: &ScenarioCache, doc: &JsonValue) -> Result<CostQuery, ApiError> {
+    let lambda = FeatureSize::from_microns(num(doc, "lambda_um")?)?;
+    let mask_cost = match doc.get("mask_cost") {
+        None | Some(JsonValue::Null) => cache.mask_set_cost(lambda),
+        Some(v) => Dollars::new(v.as_f64().ok_or_else(|| {
+            ApiError::bad_request("field `mask_cost` must be a number")
+        })?),
+    };
+    Ok(CostQuery {
+        lambda,
+        sd: DecompressionIndex::new(num(doc, "sd")?)?,
+        transistors: TransistorCount::new(num(doc, "transistors")?)?,
+        volume: wafers(doc, "volume")?,
+        fab_yield: Yield::new(num(doc, "fab_yield")?)?,
+        mask_cost,
+    })
+}
+
+// ---- endpoint bodies -------------------------------------------------------
+
+fn breakdown_fields(b: &nanocost_core::CostBreakdown) -> String {
+    format!(
+        "\"total\":{:e},\"manufacturing\":{:e},\"design\":{:e},\"design_per_cm2\":{:e},\"design_fraction\":{:e}",
+        b.total().amount(),
+        b.manufacturing.amount(),
+        b.design.amount(),
+        b.design_per_cm2.dollars_per_cm2(),
+        b.design_fraction(),
+    )
+}
+
+fn cost_endpoint(cache: &ScenarioCache, doc: &JsonValue) -> Result<String, ApiError> {
+    let q = cost_query(cache, doc)?;
+    let b = cache.transistor_cost(q.lambda, q.sd, q.transistors, q.volume, q.fab_yield, q.mask_cost)?;
+    Ok(format!(
+        "{},\"mask_cost\":{:e}",
+        breakdown_fields(&b),
+        q.mask_cost.amount()
+    ))
+}
+
+fn report_fields(r: &GeneralizedReport) -> String {
+    format!(
+        "\"fab_yield\":{:e},\"effective_yield\":{:e},\"transistor_cost\":{:e},\"test_cost\":{:e},\"die_cost\":{:e},\"cm_sq\":{:e},\"cd_sq\":{:e}",
+        r.fab_yield.value(),
+        r.effective_yield.value(),
+        r.transistor_cost.amount(),
+        r.test_cost.amount(),
+        r.die_cost.amount(),
+        r.cm_sq.dollars_per_cm2(),
+        r.cd_sq.dollars_per_cm2(),
+    )
+}
+
+fn yield_endpoint(cache: &ScenarioCache, doc: &JsonValue) -> Result<String, ApiError> {
+    let point = DesignPoint {
+        lambda: FeatureSize::from_microns(num(doc, "lambda_um")?)?,
+        sd: DecompressionIndex::new(num(doc, "sd")?)?,
+        transistors: TransistorCount::new(num(doc, "transistors")?)?,
+        volume: wafers(doc, "volume")?,
+    };
+    let r = cache.evaluate_generalized(point)?;
+    Ok(report_fields(&r))
+}
+
+fn optimum_endpoint(cache: &ScenarioCache, doc: &JsonValue) -> Result<String, ApiError> {
+    let lambda = FeatureSize::from_microns(num(doc, "lambda_um")?)?;
+    let mask_cost = match doc.get("mask_cost") {
+        None | Some(JsonValue::Null) => cache.mask_set_cost(lambda),
+        Some(v) => Dollars::new(v.as_f64().ok_or_else(|| {
+            ApiError::bad_request("field `mask_cost` must be a number")
+        })?),
+    };
+    let sd_lo = num_or(doc, "sd_lo", DEFAULT_SD_BRACKET.0)?;
+    let sd_hi = num_or(doc, "sd_hi", DEFAULT_SD_BRACKET.1)?;
+    let optimum = cache
+        .optimal_sd(
+            lambda,
+            TransistorCount::new(num(doc, "transistors")?)?,
+            wafers(doc, "volume")?,
+            Yield::new(num(doc, "fab_yield")?)?,
+            mask_cost,
+            sd_lo,
+            sd_hi,
+        )
+        .map_err(|e| ApiError {
+            status: 422,
+            message: format!("optimizer: {e}"),
+        })?;
+    Ok(format!(
+        "\"sd\":{:e},\"cost\":{:e},\"mask_cost\":{:e}",
+        optimum.sd,
+        optimum.cost.amount(),
+        mask_cost.amount()
+    ))
+}
+
+fn batch_endpoint(cache: &ScenarioCache, doc: &JsonValue) -> Result<String, ApiError> {
+    let Some(JsonValue::Arr(items)) = doc.get("queries") else {
+        return Err(ApiError::bad_request("missing array field `queries`"));
+    };
+    let queries = items
+        .iter()
+        .map(|item| cost_query(cache, item))
+        .collect::<Result<Vec<_>, _>>()?;
+    let response = cache.evaluate_batch(&BatchRequest { queries });
+    let mut results = String::from("[");
+    for (i, r) in response.results.iter().enumerate() {
+        if i > 0 {
+            results.push(',');
+        }
+        match r {
+            Ok(b) => {
+                results.push('{');
+                results.push_str(&breakdown_fields(b));
+                results.push('}');
+            }
+            Err(e) => results.push_str(&format!(
+                "{{\"error\":{}}}",
+                json_string(&format!("{e}"))
+            )),
+        }
+    }
+    results.push(']');
+    let s = response.stats;
+    Ok(format!(
+        "\"results\":{results},\"stats\":{{\"requested\":{},\"unique\":{},\"hits\":{},\"misses\":{}}}",
+        s.requested, s.unique, s.hits, s.misses
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn post(path: &str, body: &str) -> Request {
+        Request {
+            method: "POST".into(),
+            path: path.into(),
+            version: "HTTP/1.1".into(),
+            headers: vec![],
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    fn get(path: &str) -> Request {
+        Request {
+            method: "GET".into(),
+            path: path.into(),
+            version: "HTTP/1.1".into(),
+            headers: vec![],
+            body: vec![],
+        }
+    }
+
+    fn body_str(r: &Response) -> String {
+        String::from_utf8(r.body.clone()).unwrap()
+    }
+
+    const COST_BODY: &str =
+        r#"{"lambda_um":0.18,"sd":300,"transistors":1e7,"volume":5000,"fab_yield":0.4}"#;
+
+    #[test]
+    fn cost_endpoint_prices_a_point() {
+        let state = ServerState::new();
+        let r = handle(&state, &post("/v1/cost", COST_BODY));
+        assert_eq!(r.status, 200, "{}", body_str(&r));
+        let body = body_str(&r);
+        nanocost_trace::json::validate(&body).expect("valid JSON");
+        assert!(body.contains("\"req_id\":\"r1\""));
+        assert!(body.contains("\"total\":"));
+    }
+
+    #[test]
+    fn yield_endpoint_reports_the_surface() {
+        let state = ServerState::new();
+        let r = handle(
+            &state,
+            &post(
+                "/v1/yield",
+                r#"{"lambda_um":0.13,"sd":400,"transistors":1e7,"volume":20000}"#,
+            ),
+        );
+        assert_eq!(r.status, 200, "{}", body_str(&r));
+        assert!(body_str(&r).contains("\"effective_yield\":"));
+    }
+
+    #[test]
+    fn optimum_endpoint_locates_sd_star() {
+        let state = ServerState::new();
+        let r = handle(
+            &state,
+            &post(
+                "/v1/optimum",
+                r#"{"lambda_um":0.18,"transistors":1e7,"volume":5000,"fab_yield":0.4}"#,
+            ),
+        );
+        assert_eq!(r.status, 200, "{}", body_str(&r));
+        assert!(body_str(&r).contains("\"sd\":"));
+    }
+
+    #[test]
+    fn batch_endpoint_reports_dedup_stats() {
+        let state = ServerState::new();
+        let q = r#"{"lambda_um":0.18,"sd":300,"transistors":1e7,"volume":5000,"fab_yield":0.4}"#;
+        let body = format!("{{\"queries\":[{q},{q},{q}]}}");
+        let r = handle(&state, &post("/v1/batch", &body));
+        assert_eq!(r.status, 200, "{}", body_str(&r));
+        let body = body_str(&r);
+        nanocost_trace::json::validate(&body).expect("valid JSON");
+        assert!(body.contains("\"requested\":3"));
+        assert!(body.contains("\"unique\":1"));
+        assert!(body.contains("\"hits\":2"));
+    }
+
+    #[test]
+    fn provenance_is_replayable_per_request() {
+        let state = ServerState::new();
+        let r = handle(&state, &post("/v1/cost", COST_BODY));
+        assert_eq!(r.status, 200);
+        let r = handle(&state, &get("/v1/provenance/r1"));
+        assert_eq!(r.status, 200);
+        let capture = body_str(&r);
+        assert!(capture.contains("\"type\":\"provenance\""), "{capture}");
+        assert!(capture.contains("Eq."), "{capture}");
+        for line in capture.lines() {
+            nanocost_trace::json::validate(line).expect("each capture line is JSON");
+        }
+        let r = handle(&state, &get("/v1/provenance/r999"));
+        assert_eq!(r.status, 404);
+    }
+
+    #[test]
+    fn metrics_track_endpoint_latencies() {
+        let state = ServerState::new();
+        handle(&state, &post("/v1/cost", COST_BODY));
+        handle(&state, &post("/v1/cost", COST_BODY));
+        let r = handle(&state, &get("/v1/metrics"));
+        assert_eq!(r.status, 200);
+        let body = body_str(&r);
+        nanocost_trace::json::validate(&body).expect("valid JSON");
+        assert!(body.contains("\"cost\":{\"count\":2"), "{body}");
+        assert!(body.contains("\"hit_rate\":"), "{body}");
+    }
+
+    #[test]
+    fn malformed_and_misrouted_requests_get_clean_errors() {
+        let state = ServerState::new();
+        assert_eq!(handle(&state, &post("/v1/cost", "not json")).status, 400);
+        assert_eq!(handle(&state, &post("/v1/cost", "{}")).status, 400);
+        // sd below s_d0 is an eq.-6 domain violation, not a 500.
+        let r = handle(
+            &state,
+            &post(
+                "/v1/cost",
+                r#"{"lambda_um":0.18,"sd":50,"transistors":1e7,"volume":5000,"fab_yield":0.4}"#,
+            ),
+        );
+        assert_eq!(r.status, 422, "{}", body_str(&r));
+        assert_eq!(handle(&state, &get("/v1/cost")).status, 405);
+        assert_eq!(handle(&state, &post("/v1/metrics", "{}")).status, 405);
+        assert_eq!(handle(&state, &get("/nope")).status, 404);
+    }
+}

@@ -1,0 +1,364 @@
+//! loadgen — drive a running nanocost-serve with a concurrent request
+//! mix and capture client-side latencies.
+//!
+//! Run with:
+//!   `cargo run -p nanocost-serve --bin loadgen -- --addr 127.0.0.1:8077 \
+//!      --requests 200 --mix cost,optimum,batch`
+//!
+//! Options:
+//!   --addr HOST:PORT        server address (required)
+//!   --requests N            total requests (default 200)
+//!   --mix a,b,c             endpoints to cycle through: cost, yield,
+//!                           optimum, batch (default cost,optimum,batch)
+//!   --concurrency C         client threads (default 4)
+//!   --bench-out PATH        write a NANOCOST_BENCH_JSON format-2 capture
+//!                           (one record per endpoint) for bench_diff
+//!   --metrics-out PATH      fetch /v1/metrics afterwards and save it
+//!   --provenance-out PATH   fetch one /v1/provenance/<req-id> and save it
+//!   --require-batch-hits    fail unless the batch endpoint reported
+//!                           cache hits (the overlapping-grid check)
+//!
+//! Exits non-zero on any non-2xx response, so CI can gate on it.
+//!
+//! The request grid deliberately overlaps (a handful of distinct design
+//! points cycled many times) — the paper's interactive exploration
+//! pattern — so the server's scenario cache has hits to report.
+
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use nanocost_sentinel::json::{self, JsonValue};
+use nanocost_trace::value::json_string;
+
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(10);
+
+struct Options {
+    addr: String,
+    requests: usize,
+    mix: Vec<String>,
+    concurrency: usize,
+    bench_out: Option<String>,
+    metrics_out: Option<String>,
+    provenance_out: Option<String>,
+    require_batch_hits: bool,
+}
+
+fn parse_options() -> Result<Options, Box<dyn std::error::Error>> {
+    let mut opts = Options {
+        addr: String::new(),
+        requests: 200,
+        mix: vec!["cost".into(), "optimum".into(), "batch".into()],
+        concurrency: 4,
+        bench_out: None,
+        metrics_out: None,
+        provenance_out: None,
+        require_batch_hits: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => opts.addr = args.next().ok_or("--addr needs HOST:PORT")?,
+            "--requests" => opts.requests = args.next().ok_or("--requests needs N")?.parse()?,
+            "--mix" => {
+                opts.mix = args
+                    .next()
+                    .ok_or("--mix needs a,b,c")?
+                    .split(',')
+                    .map(str::to_string)
+                    .collect();
+            }
+            "--concurrency" => {
+                opts.concurrency = args.next().ok_or("--concurrency needs C")?.parse()?;
+            }
+            "--bench-out" => opts.bench_out = Some(args.next().ok_or("--bench-out needs PATH")?),
+            "--metrics-out" => {
+                opts.metrics_out = Some(args.next().ok_or("--metrics-out needs PATH")?);
+            }
+            "--provenance-out" => {
+                opts.provenance_out = Some(args.next().ok_or("--provenance-out needs PATH")?);
+            }
+            "--require-batch-hits" => opts.require_batch_hits = true,
+            "--help" | "-h" => {
+                println!("usage: loadgen --addr HOST:PORT [--requests N] [--mix cost,optimum,batch] [--concurrency C] [--bench-out PATH] [--metrics-out PATH] [--provenance-out PATH] [--require-batch-hits]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}").into()),
+        }
+    }
+    if opts.addr.is_empty() {
+        return Err("--addr is required".into());
+    }
+    if opts.mix.is_empty() || opts.requests == 0 {
+        return Err("--mix and --requests must be non-empty".into());
+    }
+    for m in &opts.mix {
+        if !matches!(m.as_str(), "cost" | "yield" | "optimum" | "batch") {
+            return Err(format!("unknown endpoint in --mix: {m}").into());
+        }
+    }
+    Ok(opts)
+}
+
+/// The overlapping design-point grid every endpoint cycles through.
+const LAMBDAS: [f64; 3] = [0.25, 0.18, 0.13];
+const SDS: [f64; 6] = [150.0, 250.0, 350.0, 450.0, 550.0, 650.0];
+const SCENARIOS: [(u64, f64); 2] = [(5_000, 0.4), (50_000, 0.9)];
+
+fn body_for(endpoint: &str, i: usize) -> String {
+    let lambda = LAMBDAS[i % LAMBDAS.len()];
+    let sd = SDS[i % SDS.len()];
+    let (volume, fab_yield) = SCENARIOS[i % SCENARIOS.len()];
+    match endpoint {
+        "cost" => format!(
+            "{{\"lambda_um\":{lambda},\"sd\":{sd},\"transistors\":1e7,\"volume\":{volume},\"fab_yield\":{fab_yield}}}"
+        ),
+        "yield" => format!(
+            "{{\"lambda_um\":{lambda},\"sd\":{sd},\"transistors\":1e7,\"volume\":{volume}}}"
+        ),
+        "optimum" => format!(
+            "{{\"lambda_um\":{lambda},\"transistors\":1e7,\"volume\":{volume},\"fab_yield\":{fab_yield}}}"
+        ),
+        _batch => {
+            // Twelve queries over six distinct points: dedup inside the
+            // batch plus hits across batches.
+            let mut queries = Vec::with_capacity(12);
+            for k in 0..12 {
+                let sd = SDS[k % SDS.len()];
+                queries.push(format!(
+                    "{{\"lambda_um\":{lambda},\"sd\":{sd},\"transistors\":1e7,\"volume\":{volume},\"fab_yield\":{fab_yield}}}"
+                ));
+            }
+            format!("{{\"queries\":[{}]}}", queries.join(","))
+        }
+    }
+}
+
+/// One raw HTTP exchange; returns (status, body).
+fn exchange(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(CLIENT_TIMEOUT))?;
+    stream.set_write_timeout(Some(CLIENT_TIMEOUT))?;
+    let body = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8_lossy(&raw);
+    let status: u16 = text
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let payload = match text.find("\r\n\r\n") {
+        Some(i) => text[i + 4..].to_string(),
+        None => String::new(),
+    };
+    Ok((status, payload))
+}
+
+#[derive(Default)]
+struct Outcome {
+    /// (endpoint index in mix, latency seconds) per 2xx response.
+    latencies: Vec<(usize, f64)>,
+    non_2xx: usize,
+    batch_hits: u64,
+    /// A req_id usable for a provenance replay.
+    req_id: Option<String>,
+}
+
+fn drive(opts: &Options) -> Outcome {
+    let plan: Vec<(usize, String)> = (0..opts.requests)
+        .map(|i| {
+            let e = i % opts.mix.len();
+            (e, body_for(&opts.mix[e], i / opts.mix.len()))
+        })
+        .collect();
+    let workers = opts.concurrency.max(1);
+    let results = std::sync::Mutex::new(Vec::<Outcome>::new());
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let plan = &plan;
+            let results = &results;
+            let opts_ref = &*opts;
+            scope.spawn(move || {
+                let mut mine = Outcome::default();
+                for (i, (endpoint_idx, body)) in plan.iter().enumerate() {
+                    if i % workers != w {
+                        continue;
+                    }
+                    let endpoint = &opts_ref.mix[*endpoint_idx];
+                    let path = format!("/v1/{endpoint}");
+                    let started = Instant::now();
+                    match exchange(&opts_ref.addr, "POST", &path, Some(body)) {
+                        Ok((status, payload)) if (200..300).contains(&status) => {
+                            mine.latencies
+                                .push((*endpoint_idx, started.elapsed().as_secs_f64()));
+                            if endpoint == "batch" {
+                                mine.batch_hits += batch_hits_of(&payload);
+                            }
+                            if mine.req_id.is_none() {
+                                mine.req_id = req_id_of(&payload);
+                            }
+                        }
+                        Ok((status, _)) => {
+                            eprintln!("loadgen: {path} -> {status}");
+                            mine.non_2xx += 1;
+                        }
+                        Err(e) => {
+                            eprintln!("loadgen: {path} -> {e}");
+                            mine.non_2xx += 1;
+                        }
+                    }
+                }
+                if let Ok(mut all) = results.lock() {
+                    all.push(mine);
+                }
+            });
+        }
+    });
+    let mut merged = Outcome::default();
+    if let Ok(all) = results.into_inner() {
+        for mut o in all {
+            merged.latencies.append(&mut o.latencies);
+            merged.non_2xx += o.non_2xx;
+            merged.batch_hits += o.batch_hits;
+            merged.req_id = merged.req_id.or(o.req_id);
+        }
+    }
+    merged
+}
+
+fn batch_hits_of(payload: &str) -> u64 {
+    json::parse(payload)
+        .ok()
+        .and_then(|doc| doc.get("stats").and_then(|s| s.get("hits")).and_then(JsonValue::as_f64))
+        .map_or(0, |h| h as u64)
+}
+
+fn req_id_of(payload: &str) -> Option<String> {
+    json::parse(payload)
+        .ok()
+        .and_then(|doc| doc.get("req_id").and_then(|v| v.as_str().map(str::to_string)))
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn write_bench_capture(
+    path: &str,
+    mix: &[String],
+    latencies: &[(usize, f64)],
+) -> std::io::Result<()> {
+    let rustc = std::process::Command::new("rustc")
+        .arg("--version")
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string());
+    let mut out = format!(
+        "{{\"manifest\":{{\"format\":2,\"rustc\":{},\"opt_level\":\"{}\",\"sample_size\":{}}}}}\n",
+        json_string(&rustc),
+        if cfg!(debug_assertions) { "debug" } else { "release" },
+        latencies.len().max(1),
+    );
+    for (e, name) in mix.iter().enumerate() {
+        let mut samples: Vec<f64> = latencies
+            .iter()
+            .filter(|(idx, _)| *idx == e)
+            .map(|(_, s)| *s)
+            .collect();
+        if samples.is_empty() {
+            continue;
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let rendered: Vec<String> = samples.iter().map(|s| format!("{s:e}")).collect();
+        out.push_str(&format!(
+            "{{\"name\":{},\"median_s\":{:e},\"min_s\":{:e},\"max_s\":{:e},\"samples\":{},\"iters\":1,\"samples_s\":[{}]}}\n",
+            json_string(&format!("serve/{name}")),
+            percentile(&samples, 0.5),
+            samples[0],
+            samples[samples.len() - 1],
+            samples.len(),
+            rendered.join(","),
+        ));
+    }
+    std::fs::write(path, out)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = parse_options()?;
+    let outcome = drive(&opts);
+    let ok = outcome.latencies.len();
+    println!(
+        "loadgen: {}/{} ok, {} non-2xx, batch cache hits {}",
+        ok,
+        opts.requests,
+        outcome.non_2xx,
+        outcome.batch_hits
+    );
+    for (e, name) in opts.mix.iter().enumerate() {
+        let mut samples: Vec<f64> = outcome
+            .latencies
+            .iter()
+            .filter(|(idx, _)| *idx == e)
+            .map(|(_, s)| *s)
+            .collect();
+        if samples.is_empty() {
+            continue;
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        println!(
+            "  {name:>8}: n={} p50={:.1}us p99={:.1}us",
+            samples.len(),
+            percentile(&samples, 0.5) * 1e6,
+            percentile(&samples, 0.99) * 1e6,
+        );
+    }
+    if let Some(path) = &opts.bench_out {
+        write_bench_capture(path, &opts.mix, &outcome.latencies)?;
+        println!("loadgen: bench capture -> {path}");
+    }
+    if let Some(path) = &opts.metrics_out {
+        let (status, body) = exchange(&opts.addr, "GET", "/v1/metrics", None)?;
+        if status != 200 || body.is_empty() {
+            return Err(format!("/v1/metrics -> {status}").into());
+        }
+        std::fs::write(path, &body)?;
+        println!("loadgen: metrics -> {path}");
+    }
+    if let Some(path) = &opts.provenance_out {
+        let id = outcome
+            .req_id
+            .clone()
+            .ok_or("no req_id captured for provenance replay")?;
+        let (status, body) = exchange(&opts.addr, "GET", &format!("/v1/provenance/{id}"), None)?;
+        if status != 200 || body.is_empty() {
+            return Err(format!("/v1/provenance/{id} -> {status}").into());
+        }
+        std::fs::write(path, &body)?;
+        println!("loadgen: provenance capture ({id}) -> {path}");
+    }
+    if outcome.non_2xx > 0 {
+        return Err(format!("{} non-2xx responses", outcome.non_2xx).into());
+    }
+    if opts.require_batch_hits && outcome.batch_hits == 0 {
+        return Err("batch endpoint reported zero cache hits".into());
+    }
+    Ok(())
+}

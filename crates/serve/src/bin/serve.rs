@@ -1,0 +1,70 @@
+//! nanocost-serve — serve the cost models over HTTP.
+//!
+//! Run with: `cargo run -p nanocost-serve --bin serve -- --port 8077`
+//!
+//! Options:
+//!   --addr HOST:PORT   bind address (default 127.0.0.1:8077)
+//!   --port PORT        shorthand for 127.0.0.1:PORT (0 = ephemeral)
+//!   --workers N        worker thread count (default 4)
+//!
+//! The process exits cleanly (status 0) on SIGTERM or SIGINT; pair it
+//! with `loadgen` for a driven run, `trace_tail` for a live view, and
+//! `GET /v1/metrics` for latency quantiles and cache hit rates.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use nanocost_serve::{Server, ServerConfig};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+extern "C" {
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+}
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _trace = nanocost_trace::init_from_env();
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:8077".to_string(),
+        ..ServerConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => config.addr = args.next().ok_or("--addr needs HOST:PORT")?,
+            "--port" => {
+                let port: u16 = args.next().ok_or("--port needs a number")?.parse()?;
+                config.addr = format!("127.0.0.1:{port}");
+            }
+            "--workers" => config.workers = args.next().ok_or("--workers needs a number")?.parse()?,
+            "--help" | "-h" => {
+                println!("usage: serve [--addr HOST:PORT | --port PORT] [--workers N]");
+                return Ok(());
+            }
+            other => return Err(format!("unknown argument: {other}").into()),
+        }
+    }
+    unsafe {
+        signal(SIGTERM, on_signal);
+        signal(SIGINT, on_signal);
+    }
+    let server = Server::bind(config)?;
+    // The "listening on" line is the readiness handshake scripts wait
+    // for; flush so a pipe reader sees it immediately.
+    println!("nanocost-serve listening on {}", server.local_addr()?);
+    use std::io::Write as _;
+    std::io::stdout().flush()?;
+    server.run(&SHUTDOWN)?;
+    let stats = server.state().cache().stats();
+    println!(
+        "nanocost-serve shut down cleanly; cache {} hits / {} misses",
+        stats.hits, stats.misses
+    );
+    Ok(())
+}

@@ -1,0 +1,37 @@
+//! `nanocost-serve` — a zero-dependency query server over the nanocost
+//! cost models.
+//!
+//! The paper's eqs. 1–7 are *queries* a design team asks repeatedly
+//! while exploring the `(λ, s_d, N_tr, N_w, Y)` space; this crate turns
+//! the reproduction into the long-running service that exploration loop
+//! wants. Plain `std::net` HTTP/1.1, a fixed worker pool, and JSON
+//! endpoints backed by the [`nanocost_core::ScenarioCache`]:
+//!
+//! | Endpoint | Method | Answers |
+//! |---|---|---|
+//! | `/v1/cost` | POST | eq. 4 cost breakdown at a design point |
+//! | `/v1/yield` | POST | eq. 7 generalized report (yield surface) |
+//! | `/v1/optimum` | POST | §3.1 cost-optimal `s_d*` |
+//! | `/v1/batch` | POST | deduplicated eq.-4 grid evaluation |
+//! | `/v1/metrics` | GET | latency quantiles + cache hit rates |
+//! | `/v1/provenance/<req-id>` | GET | the request's Eq.-provenance capture |
+//!
+//! Every model request runs inside a `nanocost-trace` capture frame;
+//! its records are stored by request id and replayable as JSONL that
+//! passes `trace_check`. Per-endpoint latencies feed
+//! `nanocost-sentinel` [`LogHistogram`](nanocost_sentinel::LogHistogram)s
+//! surfaced at `/v1/metrics`. The `loadgen` bin drives concurrent
+//! request mixes and emits a `NANOCOST_BENCH_JSON` capture so
+//! `bench_diff` can gate server latency like any other benchmark.
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod http;
+pub mod server;
+pub mod state;
+
+pub use api::handle;
+pub use http::{read_request, ParseError, Request, Response};
+pub use server::{Server, ServerConfig};
+pub use state::ServerState;

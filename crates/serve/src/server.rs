@@ -1,0 +1,162 @@
+//! The TCP accept loop and fixed-size worker pool.
+//!
+//! Everything is plain `std`: a non-blocking [`TcpListener`] polled
+//! against a shutdown flag, an `mpsc` channel feeding a fixed pool of
+//! scoped worker threads, and per-connection read/write deadlines so a
+//! stalled peer can never wedge a worker (the bounded-read property the
+//! fuzz suite exercises end to end).
+
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::time::Duration;
+
+use crate::api;
+use crate::http::{self, Response};
+use crate::state::ServerState;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker thread count (clamped to at least one).
+    pub workers: usize,
+    /// Per-connection read/write deadline.
+    pub io_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            io_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+/// How long the accept loop sleeps when idle before re-checking the
+/// shutdown flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// How long a worker blocks on the connection queue before re-checking
+/// the shutdown flag.
+const WORKER_POLL: Duration = Duration::from_millis(50);
+
+/// A bound server, ready to run.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    state: ServerState,
+    config: ServerConfig,
+}
+
+impl Server {
+    /// Binds the listener and builds fresh [`ServerState`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        Ok(Server {
+            listener,
+            state: ServerState::new(),
+            config,
+        })
+    }
+
+    /// The bound address (resolves the ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The shared state (exposed for in-process tests).
+    #[must_use]
+    pub fn state(&self) -> &ServerState {
+        &self.state
+    }
+
+    /// Serves until `shutdown` becomes true: accepts connections on the
+    /// main thread and dispatches them to the worker pool. Returns once
+    /// every worker has drained.
+    ///
+    /// # Errors
+    ///
+    /// Propagates a listener configuration failure; per-connection I/O
+    /// errors are contained to their connection.
+    pub fn run(&self, shutdown: &AtomicBool) -> std::io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Mutex::new(rx);
+        std::thread::scope(|scope| {
+            for _ in 0..self.config.workers.max(1) {
+                scope.spawn(|| worker_loop(&self.state, &rx, shutdown, self.config.io_timeout));
+            }
+            while !shutdown.load(Ordering::Relaxed) {
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        // A send can only fail after every worker exited,
+                        // which only happens on shutdown.
+                        if tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => std::thread::sleep(ACCEPT_POLL),
+                }
+            }
+            drop(tx);
+        });
+        Ok(())
+    }
+}
+
+fn worker_loop(
+    state: &ServerState,
+    rx: &Mutex<mpsc::Receiver<TcpStream>>,
+    shutdown: &AtomicBool,
+    io_timeout: Duration,
+) {
+    loop {
+        let next = {
+            let guard = rx
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            guard.recv_timeout(WORKER_POLL)
+        };
+        match next {
+            Ok(stream) => handle_connection(state, stream, io_timeout),
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Serves one connection: parse, route, respond, close. Parse failures
+/// become their mapped 4xx response; a peer that stalls past the
+/// deadline gets a 408 (or a silent close if it stopped reading too).
+fn handle_connection(state: &ServerState, mut stream: TcpStream, io_timeout: Duration) {
+    let _ = stream.set_read_timeout(Some(io_timeout));
+    let _ = stream.set_write_timeout(Some(io_timeout));
+    let response = match http::read_request(&mut stream) {
+        Ok(request) => api::handle(state, &request),
+        Err(e) => Response::error(e.status(), &e.to_string()),
+    };
+    let _ = response.write_to(&mut stream);
+    let _ = stream.flush();
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}

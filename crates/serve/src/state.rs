@@ -1,0 +1,197 @@
+//! Shared server state: the scenario cache, per-endpoint latency
+//! histograms, and the replayable per-request provenance store.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use nanocost_core::ScenarioCache;
+use nanocost_sentinel::LogHistogram;
+use nanocost_trace::export::{Exporter, JsonlExporter};
+use nanocost_trace::value::json_string;
+use nanocost_trace::Record;
+
+/// How many request provenance captures the ring buffer retains.
+pub const PROVENANCE_RING: usize = 256;
+
+/// Everything the worker threads share.
+pub struct ServerState {
+    cache: ScenarioCache,
+    next_id: AtomicU64,
+    endpoints: Mutex<BTreeMap<&'static str, LogHistogram>>,
+    provenance: Mutex<VecDeque<(String, String)>>,
+    started: Instant,
+}
+
+impl std::fmt::Debug for ServerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerState")
+            .field("cache", &self.cache)
+            .field("requests", &self.next_id.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for ServerState {
+    fn default() -> Self {
+        ServerState::new()
+    }
+}
+
+impl ServerState {
+    /// Fresh state over the paper-Figure-4 scenario cache.
+    #[must_use]
+    pub fn new() -> Self {
+        ServerState {
+            cache: ScenarioCache::paper_figure4(),
+            next_id: AtomicU64::new(0),
+            endpoints: Mutex::new(BTreeMap::new()),
+            provenance: Mutex::new(VecDeque::with_capacity(PROVENANCE_RING)),
+            started: Instant::now(),
+        }
+    }
+
+    /// The scenario cache all model endpoints evaluate through.
+    #[must_use]
+    pub fn cache(&self) -> &ScenarioCache {
+        &self.cache
+    }
+
+    /// Allocates the next request id (`r1`, `r2`, …).
+    #[must_use]
+    pub fn next_request_id(&self) -> String {
+        format!("r{}", self.next_id.fetch_add(1, Ordering::Relaxed) + 1)
+    }
+
+    /// Records one request latency for `endpoint`, in microseconds.
+    pub fn observe(&self, endpoint: &'static str, latency_us: f64) {
+        let mut endpoints = lock(&self.endpoints);
+        endpoints
+            .entry(endpoint)
+            .or_insert_with(LogHistogram::new)
+            .record(latency_us);
+    }
+
+    /// Stores a request's captured trace records, rendered as JSONL,
+    /// under its request id; evicts the oldest capture past
+    /// [`PROVENANCE_RING`].
+    pub fn store_provenance(&self, req_id: &str, records: &[Record]) {
+        let mut exporter = JsonlExporter;
+        let mut text = String::new();
+        for r in records {
+            // render() already terminates each line with '\n'.
+            text.push_str(&exporter.render(r));
+        }
+        let mut ring = lock(&self.provenance);
+        if ring.len() >= PROVENANCE_RING {
+            ring.pop_front();
+        }
+        ring.push_back((req_id.to_string(), text));
+    }
+
+    /// The stored JSONL capture for `req_id`, if still in the ring.
+    #[must_use]
+    pub fn provenance(&self, req_id: &str) -> Option<String> {
+        lock(&self.provenance)
+            .iter()
+            .rev()
+            .find(|(id, _)| id == req_id)
+            .map(|(_, text)| text.clone())
+    }
+
+    /// The most recently stored request id, if any (used by `loadgen`
+    /// to pick a replayable capture).
+    #[must_use]
+    pub fn last_request_id(&self) -> Option<String> {
+        lock(&self.provenance).back().map(|(id, _)| id.clone())
+    }
+
+    /// Renders the `/v1/metrics` document: uptime, per-endpoint latency
+    /// quantiles (p50/p90/p99/p999 in microseconds), and cache traffic.
+    #[must_use]
+    pub fn metrics_json(&self) -> String {
+        let uptime = self.started.elapsed().as_secs_f64();
+        let requests = self.next_id.load(Ordering::Relaxed);
+        let mut out = String::from("{");
+        out.push_str(&format!("\"uptime_s\":{uptime:e},\"requests\":{requests},"));
+        out.push_str("\"endpoints\":{");
+        {
+            let endpoints = lock(&self.endpoints);
+            let mut first = true;
+            for (name, hist) in endpoints.iter() {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str(&format!(
+                    "{}:{{\"count\":{},\"min_us\":{:e},\"max_us\":{:e},\"mean_us\":{:e},\"p50_us\":{:e},\"p90_us\":{:e},\"p99_us\":{:e},\"p999_us\":{:e}}}",
+                    json_string(name),
+                    hist.count(),
+                    hist.min().unwrap_or(0.0),
+                    hist.max().unwrap_or(0.0),
+                    hist.mean().unwrap_or(0.0),
+                    hist.p50().unwrap_or(0.0),
+                    hist.p90().unwrap_or(0.0),
+                    hist.p99().unwrap_or(0.0),
+                    hist.p999().unwrap_or(0.0),
+                ));
+            }
+        }
+        out.push_str("},\"cache\":");
+        let stats = self.cache.stats();
+        out.push_str(&format!(
+            "{{\"hits\":{},\"misses\":{},\"entries\":{},\"capacity\":{},\"hit_rate\":{:e}}}",
+            stats.hits,
+            stats.misses,
+            stats.entries,
+            stats.capacity,
+            stats.hit_rate()
+        ));
+        out.push('}');
+        out
+    }
+}
+
+/// Locks a mutex, recovering the data from a poisoned lock (a panicking
+/// worker must not take the whole server down).
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_ids_are_sequential() {
+        let state = ServerState::new();
+        assert_eq!(state.next_request_id(), "r1");
+        assert_eq!(state.next_request_id(), "r2");
+    }
+
+    #[test]
+    fn provenance_ring_evicts_oldest() {
+        let state = ServerState::new();
+        for i in 0..(PROVENANCE_RING + 5) {
+            state.store_provenance(&format!("r{i}"), &[]);
+        }
+        assert!(state.provenance("r0").is_none());
+        assert!(state.provenance(&format!("r{}", PROVENANCE_RING + 4)).is_some());
+        assert_eq!(
+            state.last_request_id().as_deref(),
+            Some(format!("r{}", PROVENANCE_RING + 4).as_str())
+        );
+    }
+
+    #[test]
+    fn metrics_json_is_valid_json() {
+        let state = ServerState::new();
+        state.observe("cost", 120.0);
+        state.observe("cost", 240.0);
+        let doc = state.metrics_json();
+        nanocost_trace::json::validate(&doc).expect("metrics must be valid JSON");
+        assert!(doc.contains("\"p50_us\""));
+        assert!(doc.contains("\"p99_us\""));
+    }
+}

@@ -103,11 +103,23 @@ fn string(b: &[u8], mut pos: usize) -> Result<usize, String> {
                 match b.get(pos + 1) {
                     Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => pos += 2,
                     Some(b'u') => {
-                        let hex = b.get(pos + 2..pos + 6).ok_or_else(|| {
-                            format!("truncated \\u escape at byte {pos}")
-                        })?;
-                        if !hex.iter().all(u8::is_ascii_hexdigit) {
-                            return Err(format!("bad \\u escape at byte {pos}"));
+                        let cp = hex4(b, pos)?;
+                        // UTF-16 surrogate halves are only valid as a
+                        // high+low pair of consecutive \u escapes —
+                        // same rule as the sentinel parser, pinned by
+                        // the differential property test.
+                        if (0xDC00..0xE000).contains(&cp) {
+                            return Err(format!("lone low surrogate at byte {pos}"));
+                        }
+                        if (0xD800..0xDC00).contains(&cp) {
+                            if b.get(pos + 6) != Some(&b'\\') || b.get(pos + 7) != Some(&b'u') {
+                                return Err(format!("unpaired high surrogate at byte {pos}"));
+                            }
+                            let lo = hex4(b, pos + 6)?;
+                            if !(0xDC00..0xE000).contains(&lo) {
+                                return Err(format!("bad low surrogate at byte {pos}"));
+                            }
+                            pos += 6;
                         }
                         pos += 6;
                     }
@@ -119,6 +131,25 @@ fn string(b: &[u8], mut pos: usize) -> Result<usize, String> {
         }
     }
     Err("unterminated string".to_string())
+}
+
+/// Reads the four hex digits of a `\uXXXX` escape whose backslash sits
+/// at `pos`, returning the code unit.
+fn hex4(b: &[u8], pos: usize) -> Result<u32, String> {
+    let hex = b
+        .get(pos + 2..pos + 6)
+        .ok_or_else(|| format!("truncated \\u escape at byte {pos}"))?;
+    let mut cp = 0u32;
+    for &c in hex {
+        let d = match c {
+            b'0'..=b'9' => u32::from(c - b'0'),
+            b'a'..=b'f' => u32::from(c - b'a') + 10,
+            b'A'..=b'F' => u32::from(c - b'A') + 10,
+            _ => return Err(format!("bad \\u escape at byte {pos}")),
+        };
+        cp = cp * 16 + d;
+    }
+    Ok(cp)
 }
 
 fn number(b: &[u8], mut pos: usize) -> Result<usize, String> {
@@ -208,5 +239,15 @@ mod tests {
     #[test]
     fn rejects_raw_control_chars_in_strings() {
         assert!(validate("\"a\u{1}b\"").is_err());
+    }
+
+    #[test]
+    fn surrogate_escapes_must_pair() {
+        assert!(validate(r#""\ud83d\ude00""#).is_ok(), "paired surrogates");
+        assert!(validate(r#""\u0041""#).is_ok(), "plain BMP escape");
+        assert!(validate(r#""\ud800""#).is_err(), "lone high surrogate");
+        assert!(validate(r#""\udc00""#).is_err(), "lone low surrogate");
+        assert!(validate(r#""\ud800\u0041""#).is_err(), "high + non-low");
+        assert!(validate(r#""\ud800x""#).is_err(), "high + raw char");
     }
 }

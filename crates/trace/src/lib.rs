@@ -94,6 +94,18 @@ thread_local! {
     static LOCAL: RefCell<Option<Rc<dyn Subscriber>>> = const { RefCell::new(None) };
 }
 
+/// Number of capture frames currently open across all threads (see
+/// [`with_capture`]). Zero in production unless a request or a cache
+/// miss is being recorded, so the disabled fast path stays two loads.
+static CAPTURE_COUNT: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// This thread's stack of open capture frames. Unlike [`LOCAL`],
+    /// captures *tee*: every record is appended to each open frame and
+    /// still delivered to the thread-local or global subscriber.
+    static CAPTURE: RefCell<Vec<Vec<Record>>> = const { RefCell::new(Vec::new()) };
+}
+
 /// Monotonic epoch shared by every record in the process; timestamps are
 /// microseconds since the first record (or subscriber installation).
 static EPOCH: OnceLock<Instant> = OnceLock::new();
@@ -117,12 +129,20 @@ thread_local! {
 pub fn is_enabled() -> bool {
     GLOBAL_ENABLED.load(Ordering::Relaxed)
         || (LOCAL_COUNT.load(Ordering::Relaxed) > 0 && has_local())
+        || (CAPTURE_COUNT.load(Ordering::Relaxed) > 0 && has_capture())
 }
 
 /// Does *this* thread have a local collector installed?
 fn has_local() -> bool {
     LOCAL
         .try_with(|l| l.try_borrow().map(|s| s.is_some()).unwrap_or(false))
+        .unwrap_or(false)
+}
+
+/// Does *this* thread have an open capture frame?
+fn has_capture() -> bool {
+    CAPTURE
+        .try_with(|c| c.try_borrow().map(|s| !s.is_empty()).unwrap_or(false))
         .unwrap_or(false)
 }
 
@@ -163,6 +183,18 @@ pub fn dispatch(kind: RecordKind) {
 /// on, not the thread doing the flushing.
 pub fn dispatch_origin(ts_micros: u64, thread: u64, kind: RecordKind) {
     let rec = Record { ts_micros, thread, kind };
+    // Tee into every open capture frame on this thread first, so a
+    // capture sees the record even when a local collector or the
+    // global subscriber also consumes it.
+    if CAPTURE_COUNT.load(Ordering::Relaxed) > 0 {
+        let _ = CAPTURE.try_with(|c| {
+            if let Ok(mut frames) = c.try_borrow_mut() {
+                for frame in frames.iter_mut() {
+                    frame.push(rec.clone());
+                }
+            }
+        });
+    }
     if LOCAL_COUNT.load(Ordering::Relaxed) > 0 {
         let handled = LOCAL
             .try_with(|l| {
@@ -224,6 +256,46 @@ pub fn with_collector<R>(f: impl FnOnce() -> R) -> (Vec<Record>, R) {
         LOCAL_COUNT.fetch_sub(1, Ordering::Relaxed);
     }
     (collector.take(), result)
+}
+
+/// Runs `f` with a *tee* capture frame open on this thread, returning
+/// the records `f` emitted alongside its result. Unlike
+/// [`with_collector`], a capture does not shadow anything: every record
+/// is appended to the frame **and** still delivered to the thread-local
+/// or global subscriber. Captures nest (inner records also land in
+/// outer frames), and while a frame is open the trace macros are
+/// enabled even with no subscriber installed — this is how the scenario
+/// cache records the provenance of a miss and how the query server
+/// snapshots a request for `/v1/provenance/<id>` replay.
+pub fn with_capture<R>(f: impl FnOnce() -> R) -> (Vec<Record>, R) {
+    let installed = CAPTURE
+        .try_with(|c| {
+            if let Ok(mut frames) = c.try_borrow_mut() {
+                frames.push(Vec::new());
+                true
+            } else {
+                false
+            }
+        })
+        .unwrap_or(false);
+    if installed {
+        CAPTURE_COUNT.fetch_add(1, Ordering::Relaxed);
+    }
+    let result = f();
+    let records = if installed {
+        CAPTURE_COUNT.fetch_sub(1, Ordering::Relaxed);
+        CAPTURE
+            .try_with(|c| {
+                c.try_borrow_mut()
+                    .ok()
+                    .and_then(|mut frames| frames.pop())
+                    .unwrap_or_default()
+            })
+            .unwrap_or_default()
+    } else {
+        Vec::new()
+    };
+    (records, result)
 }
 
 /// Flushes pending state: buffered timeline samples first (oldest
@@ -363,6 +435,46 @@ mod tests {
         assert_eq!(records.len(), 1);
         // After the closure, this thread no longer collects.
         assert!(!has_local());
+    }
+
+    #[test]
+    fn capture_tees_into_a_shadowing_collector() {
+        // The collector shadows the global sink; the capture must still
+        // see every record, and the collector must too (tee semantics).
+        let (collected, (captured, _)) = with_collector(|| {
+            with_capture(|| {
+                dispatch(RecordKind::Event {
+                    span: None,
+                    name: "unit.capture",
+                    fields: vec![],
+                });
+            })
+        });
+        assert_eq!(collected.len(), 1);
+        assert_eq!(captured.len(), 1);
+        assert_eq!(collected[0].kind, captured[0].kind);
+    }
+
+    #[test]
+    fn capture_enables_macros_without_a_subscriber() {
+        // No global, no collector: a capture frame alone switches the
+        // macros on for the duration.
+        let (captured, _) = with_capture(|| {
+            event!("unit.capture.solo", v = 1.5);
+        });
+        assert_eq!(captured.len(), 1);
+        assert!(!has_capture(), "frame must close");
+    }
+
+    #[test]
+    fn captures_nest_and_outer_sees_inner() {
+        let (outer, (inner, _)) = with_capture(|| {
+            with_capture(|| {
+                dispatch(RecordKind::Event { span: None, name: "unit.nested", fields: vec![] });
+            })
+        });
+        assert_eq!(inner.len(), 1);
+        assert_eq!(outer.len(), 1);
     }
 
     #[test]

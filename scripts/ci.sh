@@ -58,6 +58,47 @@ for fig in figure1 figure2 figure3 figure4 node_selection wafer_transition delay
         --check "$fig" --file FINGERPRINTS.json "$FP_OUT"
 done
 
+echo "==> serve smoke gate: ephemeral server + loadgen mix"
+SERVE_LOG=target/ci-serve.log
+rm -f "$SERVE_LOG" target/ci-serve-metrics.json target/ci-serve-prov.jsonl target/ci-serve-bench.json
+cargo build -q --release -p nanocost-serve
+./target/release/serve --port 0 --workers 4 >"$SERVE_LOG" 2>&1 &
+SERVE_PID=$!
+# The "listening on" line is the readiness handshake; wait for it.
+SERVE_ADDR=""
+for _ in $(seq 1 100); do
+    SERVE_ADDR="$(sed -n 's/.*listening on //p' "$SERVE_LOG" | head -1)"
+    [[ -n "$SERVE_ADDR" ]] && break
+    sleep 0.1
+done
+if [[ -z "$SERVE_ADDR" ]]; then
+    echo "ci: FAIL: serve never reported its address" >&2
+    kill "$SERVE_PID" 2>/dev/null || true
+    exit 1
+fi
+# 200 requests across the mix: zero non-2xx tolerated, and the batch
+# endpoint must report cache hits (the overlapping-grid property).
+./target/release/loadgen --addr "$SERVE_ADDR" --requests 200 \
+    --mix cost,optimum,batch --concurrency 4 --require-batch-hits \
+    --metrics-out target/ci-serve-metrics.json \
+    --provenance-out target/ci-serve-prov.jsonl \
+    --bench-out target/ci-serve-bench.json
+# The metrics document must carry real latency quantiles.
+if ! grep -q '"p50_us"' target/ci-serve-metrics.json \
+    || ! grep -q '"p99_us"' target/ci-serve-metrics.json; then
+    echo "ci: FAIL: /v1/metrics is missing latency quantiles" >&2
+    kill "$SERVE_PID" 2>/dev/null || true
+    exit 1
+fi
+# The per-request provenance replay must be a valid trace capture.
+cargo run -q --release -p nanocost-trace --bin trace_check -- target/ci-serve-prov.jsonl
+# SIGTERM must be a clean shutdown (exit 0).
+kill -TERM "$SERVE_PID"
+if ! wait "$SERVE_PID"; then
+    echo "ci: FAIL: serve did not exit cleanly on SIGTERM" >&2
+    exit 1
+fi
+
 # One bench capture + diff; prints the names of regressed benchmarks
 # (empty = clean). Absolute capture path: cargo runs bench targets with
 # cwd = the package dir. Both checked-in baselines (captured under
