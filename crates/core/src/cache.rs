@@ -184,9 +184,12 @@ struct LruEntry<V> {
     stamp: u64,
     value: V,
     // Shared so a hit hands back the replay by refcount bump instead of
-    // deep-cloning what can be an ~850-record optimum-search stream. An
-    // empty replay marks an entry stored while tracing was disabled.
-    replay: Arc<Vec<ReplayRecord>>,
+    // deep-cloning what can be an ~850-record optimum-search stream.
+    // `None` marks an entry stored while tracing was disabled; a traced
+    // computation that emitted zero provenance stores `Some(empty)`,
+    // which still counts as captured — the two must not share a
+    // sentinel or such entries would recompute on every traced lookup.
+    replay: Option<Arc<Vec<ReplayRecord>>>,
 }
 
 /// A small LRU map: recency is a monotone stamp, eviction scans for
@@ -208,16 +211,16 @@ impl<K: Eq + Hash + Copy, V: Clone> Lru<K, V> {
         }
     }
 
-    fn get(&mut self, key: &K) -> Option<(V, Arc<Vec<ReplayRecord>>)> {
+    fn get(&mut self, key: &K) -> Option<(V, Option<Arc<Vec<ReplayRecord>>>)> {
         self.clock += 1;
         let clock = self.clock;
         self.map.get_mut(key).map(|e| {
             e.stamp = clock;
-            (e.value.clone(), Arc::clone(&e.replay))
+            (e.value.clone(), e.replay.clone())
         })
     }
 
-    fn insert(&mut self, key: K, value: V, replay: Arc<Vec<ReplayRecord>>) {
+    fn insert(&mut self, key: K, value: V, replay: Option<Arc<Vec<ReplayRecord>>>) {
         self.clock += 1;
         if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
             if let Some(oldest) = self
@@ -616,12 +619,14 @@ impl ScenarioCache {
     /// The one lookup-or-compute path every cached query goes through.
     ///
     /// With tracing enabled, a miss computes under [`with_capture`] and
-    /// stores the provenance for verbatim replay; with tracing disabled
-    /// the capture is skipped (the instrumentation stays on its free
-    /// disabled path) and the entry is stored replay-less. A hit on a
-    /// replay-less entry while tracing *is* enabled would silently drop
-    /// provenance, so it is treated as a miss: recomputed under capture
-    /// and re-stored. Errors are never cached.
+    /// stores the provenance for verbatim replay — even when the
+    /// capture is legitimately empty, which is distinct from "never
+    /// captured". With tracing disabled the capture is skipped (the
+    /// instrumentation stays on its free disabled path) and the entry
+    /// is stored replay-less (`None`). A hit on a replay-less entry
+    /// while tracing *is* enabled would silently drop provenance, so it
+    /// is treated as a miss: recomputed under capture and re-stored.
+    /// Errors are never cached.
     fn cached<K, V, E>(
         &self,
         key: K,
@@ -635,9 +640,11 @@ impl ScenarioCache {
         let enabled = nanocost_trace::is_enabled();
         let found = table(&mut *self.lock()).get(&key);
         if let Some((value, stored)) = found {
-            if !enabled || !stored.is_empty() {
+            if !enabled || stored.is_some() {
                 self.count(true);
-                replay(&stored);
+                if let Some(records) = &stored {
+                    replay(records);
+                }
                 return Ok((value, true));
             }
             // Stored while tracing was off; recapture below.
@@ -645,9 +652,9 @@ impl ScenarioCache {
         self.count(false);
         let (stored, result) = if enabled {
             let (records, result) = with_capture(compute);
-            (Arc::new(replay_of(&records)), result)
+            (Some(Arc::new(replay_of(&records))), result)
         } else {
-            (Arc::new(Vec::new()), compute())
+            (None, compute())
         };
         let value = result?;
         table(&mut *self.lock()).insert(key, value.clone(), stored);
@@ -789,6 +796,30 @@ mod tests {
         let hit = render(&hit_records);
         assert!(!miss.is_empty(), "miss path must emit provenance");
         assert_eq!(miss, hit, "hit must replay the miss's provenance verbatim");
+    }
+
+    #[test]
+    fn traced_entries_with_empty_provenance_still_hit() {
+        let cache = ScenarioCache::paper_figure4();
+        // A traced computation that legitimately emits zero provenance
+        // records must be stored as "captured but empty", not "never
+        // captured" — conflating the two would recompute such entries
+        // on every traced lookup forever.
+        let (_, hits) = with_collector(|| {
+            (0..3)
+                .map(|_| {
+                    let (_, hit) = cache
+                        .cached(-7_i64, |inner| &mut inner.masks, || {
+                            Ok::<_, std::convert::Infallible>(Dollars::ZERO)
+                        })
+                        .unwrap();
+                    hit
+                })
+                .collect::<Vec<_>>()
+        });
+        assert_eq!(hits, [false, true, true]);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (2, 1));
     }
 
     #[test]

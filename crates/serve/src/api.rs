@@ -151,9 +151,11 @@ fn cost_query(cache: &ScenarioCache, doc: &JsonValue) -> Result<CostQuery, ApiEr
     let lambda = FeatureSize::from_microns(num(doc, "lambda_um")?)?;
     let mask_cost = match doc.get("mask_cost") {
         None | Some(JsonValue::Null) => cache.mask_set_cost(lambda),
-        Some(v) => Dollars::new(v.as_f64().ok_or_else(|| {
+        // `try_new`, not `new`: JSON `1e400` parses to +inf (f64 parse
+        // saturates) and must map to a 422, never a panic.
+        Some(v) => Dollars::try_new(v.as_f64().ok_or_else(|| {
             ApiError::bad_request("field `mask_cost` must be a number")
-        })?),
+        })?)?,
     };
     Ok(CostQuery {
         lambda,
@@ -216,9 +218,9 @@ fn optimum_endpoint(cache: &ScenarioCache, doc: &JsonValue) -> Result<String, Ap
     let lambda = FeatureSize::from_microns(num(doc, "lambda_um")?)?;
     let mask_cost = match doc.get("mask_cost") {
         None | Some(JsonValue::Null) => cache.mask_set_cost(lambda),
-        Some(v) => Dollars::new(v.as_f64().ok_or_else(|| {
+        Some(v) => Dollars::try_new(v.as_f64().ok_or_else(|| {
             ApiError::bad_request("field `mask_cost` must be a number")
-        })?),
+        })?)?,
     };
     let sd_lo = num_or(doc, "sd_lo", DEFAULT_SD_BRACKET.0)?;
     let sd_hi = num_or(doc, "sd_hi", DEFAULT_SD_BRACKET.1)?;
@@ -390,6 +392,29 @@ mod tests {
         nanocost_trace::json::validate(&body).expect("valid JSON");
         assert!(body.contains("\"cost\":{\"count\":2"), "{body}");
         assert!(body.contains("\"hit_rate\":"), "{body}");
+    }
+
+    #[test]
+    fn non_finite_mask_cost_is_a_422_not_a_panic() {
+        // JSON `1e400` saturates to +inf under f64 parse and RFC 8259's
+        // grammar admits it; it must surface as a domain error — a
+        // panic here would kill a worker thread for good.
+        let state = ServerState::new();
+        for mask in ["1e400", "-1e400"] {
+            let body = format!(
+                r#"{{"lambda_um":0.18,"sd":300,"transistors":1e7,"volume":5000,"fab_yield":0.4,"mask_cost":{mask}}}"#
+            );
+            let r = handle(&state, &post("/v1/cost", &body));
+            assert_eq!(r.status, 422, "{}", body_str(&r));
+            let batch = format!("{{\"queries\":[{body}]}}");
+            let r = handle(&state, &post("/v1/batch", &batch));
+            assert_eq!(r.status, 422, "{}", body_str(&r));
+            let opt = format!(
+                r#"{{"lambda_um":0.18,"transistors":1e7,"volume":5000,"fab_yield":0.4,"mask_cost":{mask}}}"#
+            );
+            let r = handle(&state, &post("/v1/optimum", &opt));
+            assert_eq!(r.status, 422, "{}", body_str(&r));
+        }
     }
 
     #[test]

@@ -63,9 +63,15 @@ pub enum ParseError {
     BadRequestLine,
     /// A header line is not `name: value` (or is not valid UTF-8).
     BadHeader,
-    /// `Content-Length` is missing digits, non-numeric, or repeated
+    /// `Content-Length` is not a plain ASCII-digit value (signs,
+    /// leading zeros, and non-digits are all rejected), or is repeated
     /// with conflicting values.
     BadContentLength,
+    /// A `Transfer-Encoding` header was present; this server only
+    /// supports `Content-Length`-delimited bodies, and silently
+    /// treating a chunked body as length 0 would desynchronize framing
+    /// if keep-alive were ever added.
+    UnsupportedTransferEncoding,
     /// The declared body exceeds [`MAX_BODY_BYTES`].
     BodyTooLarge,
     /// The underlying stream failed (including read timeouts).
@@ -79,6 +85,8 @@ impl ParseError {
         match self {
             ParseError::HeadTooLarge | ParseError::BodyTooLarge => 413,
             ParseError::Io(std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut) => 408,
+            // RFC 9112 §6.1: an unhandled transfer coding gets a 501.
+            ParseError::UnsupportedTransferEncoding => 501,
             _ => 400,
         }
     }
@@ -93,6 +101,9 @@ impl std::fmt::Display for ParseError {
             ParseError::BadRequestLine => write!(f, "malformed request line"),
             ParseError::BadHeader => write!(f, "malformed header"),
             ParseError::BadContentLength => write!(f, "malformed content-length"),
+            ParseError::UnsupportedTransferEncoding => {
+                write!(f, "transfer-encoding is not supported")
+            }
             ParseError::BodyTooLarge => write!(f, "body exceeds {MAX_BODY_BYTES} bytes"),
             ParseError::Io(kind) => write!(f, "i/o error: {kind:?}"),
         }
@@ -147,6 +158,12 @@ pub fn read_request(stream: &mut impl Read) -> Result<Request, ParseError> {
             return Err(ParseError::BadHeader);
         }
         headers.push((name.to_string(), value.trim().to_string()));
+    }
+    if headers
+        .iter()
+        .any(|(n, _)| n.eq_ignore_ascii_case("transfer-encoding"))
+    {
+        return Err(ParseError::UnsupportedTransferEncoding);
     }
     let content_length = content_length(&headers)?;
     if content_length > MAX_BODY_BYTES {
@@ -228,6 +245,15 @@ fn content_length(headers: &[(String, String)]) -> Result<usize, ParseError> {
         if !name.eq_ignore_ascii_case("content-length") {
             continue;
         }
+        // RFC 9110 grammar is 1*DIGIT. `usize::from_str` alone also
+        // admits `+42`, and `042` normalizes silently — reject both so
+        // the parsed length is exactly what the client wrote.
+        if value.is_empty()
+            || !value.bytes().all(|b| b.is_ascii_digit())
+            || (value.len() > 1 && value.starts_with('0'))
+        {
+            return Err(ParseError::BadContentLength);
+        }
         let parsed: usize = value.parse().map_err(|_| ParseError::BadContentLength)?;
         match out {
             Some(prev) if prev != parsed => return Err(ParseError::BadContentLength),
@@ -293,6 +319,8 @@ impl Response {
             413 => "Payload Too Large",
             422 => "Unprocessable Entity",
             500 => "Internal Server Error",
+            501 => "Not Implemented",
+            503 => "Service Unavailable",
             _ => "Response",
         }
     }
@@ -380,6 +408,30 @@ mod tests {
             parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"),
             Err(ParseError::UnexpectedEof)
         );
+    }
+
+    #[test]
+    fn non_canonical_content_lengths_are_rejected() {
+        // `+4` and `042` parse under usize::from_str but are not RFC
+        // 9110 1*DIGIT forms a well-formed client sends.
+        for bad in ["+4", "042", "4a", "0x4", "-1", ""] {
+            let req = format!("POST / HTTP/1.1\r\nContent-Length: {bad}\r\n\r\nabcd");
+            assert_eq!(
+                parse(req.as_bytes()),
+                Err(ParseError::BadContentLength),
+                "{bad:?}"
+            );
+        }
+        // A bare zero stays canonical.
+        assert!(parse(b"POST / HTTP/1.1\r\nContent-Length: 0\r\n\r\n").is_ok());
+    }
+
+    #[test]
+    fn transfer_encoding_is_rejected_not_ignored() {
+        let err = parse(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n")
+            .expect_err("chunked framing must be rejected");
+        assert_eq!(err, ParseError::UnsupportedTransferEncoding);
+        assert_eq!(err.status(), 501);
     }
 
     #[test]

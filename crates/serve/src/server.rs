@@ -1,10 +1,13 @@
 //! The TCP accept loop and fixed-size worker pool.
 //!
 //! Everything is plain `std`: a non-blocking [`TcpListener`] polled
-//! against a shutdown flag, an `mpsc` channel feeding a fixed pool of
-//! scoped worker threads, and per-connection read/write deadlines so a
-//! stalled peer can never wedge a worker (the bounded-read property the
-//! fuzz suite exercises end to end).
+//! against a shutdown flag, a *bounded* `mpsc::sync_channel` feeding a
+//! fixed pool of scoped worker threads, and per-connection read/write
+//! deadlines so a stalled peer can never wedge a worker (the
+//! bounded-read property the fuzz suite exercises end to end). A burst
+//! of slow clients cannot grow the queue or the open-fd count without
+//! bound either: connections arriving while the queue is full are shed
+//! with a best-effort 503 and closed.
 
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -45,6 +48,16 @@ const ACCEPT_POLL: Duration = Duration::from_millis(5);
 /// the shutdown flag.
 const WORKER_POLL: Duration = Duration::from_millis(50);
 
+/// Per-worker depth of the bounded connection queue. With the default
+/// 2s deadline a full queue drains in a few seconds, so a deeper
+/// backlog would only hold file descriptors open for peers that will
+/// time out anyway — shed them instead.
+const QUEUE_DEPTH_PER_WORKER: usize = 8;
+
+/// Write deadline for the best-effort 503 sent to a shed connection;
+/// the accept loop must never block on a peer that refuses to read.
+const SHED_WRITE_TIMEOUT: Duration = Duration::from_millis(100);
+
 /// A bound server, ready to run.
 #[derive(Debug)]
 pub struct Server {
@@ -84,8 +97,10 @@ impl Server {
     }
 
     /// Serves until `shutdown` becomes true: accepts connections on the
-    /// main thread and dispatches them to the worker pool. Returns once
-    /// every worker has drained.
+    /// main thread and dispatches them to the worker pool through a
+    /// bounded queue. Connections arriving while the queue is full are
+    /// shed with a 503 rather than queued. Returns once every worker
+    /// has drained.
     ///
     /// # Errors
     ///
@@ -93,21 +108,24 @@ impl Server {
     /// errors are contained to their connection.
     pub fn run(&self, shutdown: &AtomicBool) -> std::io::Result<()> {
         self.listener.set_nonblocking(true)?;
-        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let workers = self.config.workers.max(1);
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(workers * QUEUE_DEPTH_PER_WORKER);
         let rx = Mutex::new(rx);
         std::thread::scope(|scope| {
-            for _ in 0..self.config.workers.max(1) {
+            for _ in 0..workers {
                 scope.spawn(|| worker_loop(&self.state, &rx, shutdown, self.config.io_timeout));
             }
             while !shutdown.load(Ordering::Relaxed) {
                 match self.listener.accept() {
-                    Ok((stream, _peer)) => {
-                        // A send can only fail after every worker exited,
-                        // which only happens on shutdown.
-                        if tx.send(stream).is_err() {
-                            break;
-                        }
-                    }
+                    Ok((stream, _peer)) => match tx.try_send(stream) {
+                        Ok(()) => {}
+                        // Queue saturated (slowloris burst or plain
+                        // overload): shed instead of queueing, keeping
+                        // backlog and open-fd count bounded.
+                        Err(mpsc::TrySendError::Full(stream)) => reject_busy(stream),
+                        // Workers only exit on shutdown.
+                        Err(mpsc::TrySendError::Disconnected(_)) => break,
+                    },
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         std::thread::sleep(ACCEPT_POLL);
                     }
@@ -119,6 +137,14 @@ impl Server {
         });
         Ok(())
     }
+}
+
+/// Sheds one connection when the worker queue is full: a best-effort
+/// 503 under a short write deadline, then close.
+fn reject_busy(mut stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(SHED_WRITE_TIMEOUT));
+    let _ = Response::error(503, "connection queue full").write_to(&mut stream);
+    let _ = stream.shutdown(std::net::Shutdown::Both);
 }
 
 fn worker_loop(

@@ -211,6 +211,50 @@ fn stalled_peer_is_answered_within_the_deadline() {
 }
 
 #[test]
+fn slow_client_burst_is_shed_not_queued_without_bound() {
+    // 2 workers × 8 queue slots: a burst of 40 idle (slowloris-style)
+    // connections overflows the bounded queue, so the overflow must be
+    // answered 503 immediately instead of accumulating open fds, and
+    // the server must come back once the burst drains.
+    with_server(Duration::from_millis(200), |addr| {
+        let idle: Vec<TcpStream> = (0..40)
+            .map(|_| TcpStream::connect(addr).expect("connect"))
+            .collect();
+        let mut shed = 0;
+        for mut stream in idle {
+            stream
+                .set_read_timeout(Some(Duration::from_secs(5)))
+                .expect("timeout");
+            let mut response = Vec::new();
+            let _ = stream.read_to_end(&mut response);
+            if String::from_utf8_lossy(&response).starts_with("HTTP/1.1 503") {
+                shed += 1;
+            }
+        }
+        assert!(shed > 0, "overflow connections must be shed with a 503");
+        // The pool recovers: a real request succeeds once slots free up.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream
+                .set_read_timeout(Some(Duration::from_secs(5)))
+                .expect("timeout");
+            let _ = stream.write_all(b"GET /v1/metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+            let mut response = Vec::new();
+            let _ = stream.read_to_end(&mut response);
+            if String::from_utf8_lossy(&response).starts_with("HTTP/1.1 200") {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "server did not recover after the burst"
+            );
+            std::thread::sleep(Duration::from_millis(100));
+        }
+    });
+}
+
+#[test]
 fn end_to_end_cost_request_round_trips() {
     with_server(Duration::from_secs(2), |addr| {
         let body = "{\"lambda_um\":0.18,\"sd\":300,\"transistors\":1e7,\"volume\":5000,\"fab_yield\":0.4}";
