@@ -1,0 +1,33 @@
+//! R10 fixture: the provenance contract checked both ways — a cited fn
+//! that never emits (forward), an emitter whose doc is silent (reverse),
+//! and the clean direct and transitive shapes.
+
+/// Eq. 3: silicon cost per good die, emitting matching provenance — clean.
+pub fn cited_and_emitting(v: f64) -> f64 {
+    provenance!(equation: Eq3, v = v);
+    v
+}
+
+/// Eq. 4: transistor cost; promises provenance but never emits it —
+/// violates R10 forward.
+pub fn cited_silent(v: f64) -> f64 {
+    v
+}
+
+/// Eq. 5: mask-set amortization; the emit lives in the helper — clean.
+pub fn cited_via_helper(masks: f64) -> f64 {
+    helper_emit(masks)
+}
+
+/// Eq. 5 helper emitter for [`cited_via_helper`].
+fn helper_emit(masks: f64) -> f64 {
+    provenance!(equation: Eq5, masks = masks);
+    masks
+}
+
+/// Folds one Figure 4 sample into the running total; its body emits
+/// provenance the doc never cites — violates R10 reverse.
+fn silent_emitter(total: f64) -> f64 {
+    provenance!(equation: Eq6, total = total);
+    total
+}

@@ -13,7 +13,7 @@ pub fn progress(step: u64) {
     eprint!("!");
 }
 
-/// Eq. (7) fallback path; a reasoned pragma suppresses the deliberate write.
+/// Fallback path for Eq. (7); a reasoned pragma suppresses the deliberate write.
 pub fn last_resort() {
     // nanocost-audit: allow(R6, reason = "stderr is the only channel left when the trace sink fails")
     eprintln!("trace sink unavailable");

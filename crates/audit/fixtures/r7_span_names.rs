@@ -11,7 +11,7 @@ pub fn dynamic_name(metric: &str) {
     counter!(metric, 1u64);
 }
 
-/// Eq. (7) hot loop with compliant lowercase dotted names; clean.
+/// Hot loop from Eq. (7) with compliant lowercase dotted names; clean.
 pub fn good_names(wafers: u64) {
     span!("figure4.run");
     event!("mc.batch_done", wafers = wafers);

@@ -1,0 +1,51 @@
+//! R8 fixture: untrusted inputs reaching model arithmetic, indexing, and
+//! allocation sizing, alongside every validated shape the engine
+//! credits — guards, `parse`, taint stoppers, and a reasoned waiver.
+
+/// Scales a Figure 4 sweep by a JSON-supplied factor without validating
+/// it; the raw value reaches model arithmetic — violates R8.
+pub fn scaled_sweep(doc: &JsonValue, base: f64) -> f64 {
+    let factor = doc.get("factor").and_then(JsonValue::as_f64).unwrap_or(0.0);
+    base * factor
+}
+
+/// Sizes and indexes a Table A1 row buffer straight from the process
+/// environment — violates R8 at both the allocation and the index.
+pub fn env_row(rows: &[f64]) -> Vec<f64> {
+    let n = std::env::var("NANOCOST_ROW").unwrap_or_default();
+    let mut out = Vec::with_capacity(n);
+    out.push(rows[n]);
+    out
+}
+
+/// Range-checks a JSON wafer count with the divergent guard shape from
+/// Figure 4 before indexing; the guard validates the value — clean.
+pub fn guarded(doc: &JsonValue, rows: &[f64]) -> Result<f64, Error> {
+    let v = doc.get("w").and_then(JsonValue::as_f64).unwrap_or(0.0);
+    if !v.is_finite() || v < 1.0 {
+        return Err(Error::Bad);
+    }
+    Ok(rows[v as usize])
+}
+
+/// Parses a Table A1 override through `str::parse`, which is a
+/// sanitizer — clean.
+pub fn parsed() -> Vec<u8> {
+    let n: usize = std::env::var("NANOCOST_N").unwrap_or_default().parse().unwrap_or(8);
+    Vec::with_capacity(n)
+}
+
+/// Sizes a buffer from a file's length (Table A1 report replay); `len`
+/// is a taint stopper because byte counts are not attacker values — clean.
+pub fn counted() -> Vec<u8> {
+    let body = std::fs::read_to_string("report.txt").unwrap_or_default();
+    Vec::with_capacity(body.len())
+}
+
+/// Deliberately raw sizing for the Table A1 bench harness; the reasoned
+/// waiver documents the trust boundary — suppressed, not reported.
+pub fn waived() -> Vec<u8> {
+    let n = std::env::var("NANOCOST_BENCH_N").unwrap_or_default();
+    // nanocost-audit: allow(R8, reason = "bench harness trusts its own launcher env")
+    Vec::with_capacity(n)
+}

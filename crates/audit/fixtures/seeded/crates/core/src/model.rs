@@ -1,0 +1,18 @@
+//! Seeded model file: re-introduces the pre-hardening mask-cost flow the
+//! real workspace used to have — a raw JSON number crossing straight
+//! into model arithmetic and an infallible unit constructor.
+
+/// Eq. 5: mask-set cost from a raw scenario document. The JSON number
+/// reaches model arithmetic and `Dollars::new` unvalidated (seeded R8),
+/// and no Eq. 5 provenance emit is reachable (seeded R10 forward).
+pub fn mask_cost(doc: &JsonValue) -> Dollars {
+    let masks = doc.get("masks").and_then(JsonValue::as_f64).unwrap_or(0.0);
+    Dollars::new(masks * MASK_UNIT_COST)
+}
+
+/// Folds one Figure 4 sample into the running total; its body emits
+/// provenance the doc never cites (seeded R10 reverse).
+fn tally(total: f64) -> f64 {
+    provenance!(equation: Eq2, total = total);
+    total
+}

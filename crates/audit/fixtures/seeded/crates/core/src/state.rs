@@ -1,0 +1,24 @@
+//! Seeded shared state: poison-panicking acquisition, a lock-order
+//! inversion, and a channel send under a held guard.
+
+/// Reads the Table A1 cache hit counter with a poison panic (seeded R9).
+pub fn cache_hits(&self) -> u64 {
+    let g = self.cache.lock().unwrap();
+    g.hits
+}
+
+/// Refreshes the Figure 4 sweep taking cache before stats (seeded R9
+/// inversion, paired with `snapshot` below).
+pub fn refresh(&self) {
+    let _c = self.cache.lock().unwrap_or_else(PoisonError::into_inner);
+    let _s = self.stats.lock().unwrap_or_else(PoisonError::into_inner);
+}
+
+/// Snapshots the Figure 4 totals taking stats before cache, then sends
+/// while both guards are still held (seeded R9: inversion + I/O under
+/// lock).
+pub fn snapshot(&self, tx: &Sender<u64>) {
+    let s = self.stats.lock().unwrap_or_else(PoisonError::into_inner);
+    let _c = self.cache.lock().unwrap_or_else(PoisonError::into_inner);
+    tx.send(s.total);
+}

@@ -1,0 +1,16 @@
+//! Seeded serve file: raw request numbers reaching allocation and
+//! indexing sinks with no range guard.
+
+/// Sizes the Table A1 batch reply buffer straight from the request body
+/// (seeded R8 allocation sink).
+pub fn batch_buffer(doc: &JsonValue) -> Vec<f64> {
+    let n = doc.get("count").and_then(JsonValue::as_f64).unwrap_or(0.0);
+    Vec::with_capacity(n as usize)
+}
+
+/// Picks a Figure 4 scenario row by a request-supplied index (seeded R8
+/// index sink).
+pub fn scenario_row(doc: &JsonValue, rows: &[f64]) -> f64 {
+    let i = doc.get("row").and_then(JsonValue::as_f64).unwrap_or(0.0);
+    rows[i as usize]
+}

@@ -1,0 +1,19 @@
+//! Seeded units crate: the infallible/fallible constructor pair the
+//! taint engine distinguishes. `Dollars::new` is the classic R8 sink;
+//! `Dollars::try_new` is the validator that should be used instead.
+
+impl Dollars {
+    /// Wraps a raw USD amount with no validation.
+    pub fn new(v: f64) -> Dollars {
+        Dollars(v)
+    }
+
+    /// Validated wrap: rejects non-finite and negative amounts.
+    pub fn try_new(v: f64) -> Result<Dollars, CostError> {
+        if v.is_finite() && v >= 0.0 {
+            Ok(Dollars(v))
+        } else {
+            Err(CostError::Range)
+        }
+    }
+}

@@ -1,7 +1,8 @@
 //! Command-line front-end for the `nanocost-audit` static-analysis pass.
 //!
 //! ```text
-//! nanocost-audit [--root DIR] [--format text|json] [--deny] [--list-rules]
+//! nanocost-audit [--root DIR] [--format text|json] [--deny]
+//!                [--strict-pragmas] [--list-rules] [--explain RULE]
 //! ```
 //!
 //! Exit codes: 0 clean (warnings allowed unless `--deny`), 1 findings failed
@@ -10,23 +11,33 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use nanocost_audit::diagnostics::{render_json_report, RuleId, Severity};
-use nanocost_audit::{audit_workspace, verdict, walk, Verdict};
+use nanocost_audit::diagnostics::{render_json_report, Severity, EXPLANATIONS};
+use nanocost_audit::{audit_workspace, verdict, walk, AuditOptions, Verdict};
 
 /// Parsed command-line options.
 struct Options {
     root: Option<PathBuf>,
     json: bool,
     deny: bool,
+    strict_pragmas: bool,
     list_rules: bool,
+    explain: Option<String>,
     help: bool,
 }
 
-const USAGE: &str = "usage: nanocost-audit [--root DIR] [--format text|json] [--deny] [--list-rules]";
+const USAGE: &str = "usage: nanocost-audit [--root DIR] [--format text|json] [--deny] \
+                     [--strict-pragmas] [--list-rules] [--explain RULE]";
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
-    let mut opts =
-        Options { root: None, json: false, deny: false, list_rules: false, help: false };
+    let mut opts = Options {
+        root: None,
+        json: false,
+        deny: false,
+        strict_pragmas: false,
+        list_rules: false,
+        explain: None,
+        help: false,
+    };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -45,12 +56,37 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 }
             },
             "--deny" => opts.deny = true,
+            "--strict-pragmas" => opts.strict_pragmas = true,
             "--list-rules" => opts.list_rules = true,
+            "--explain" => {
+                let rule = it.next().ok_or("--explain requires a rule id (e.g. R8)")?;
+                opts.explain = Some(rule.clone());
+            }
             "--help" | "-h" => opts.help = true,
             other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
         }
     }
     Ok(opts)
+}
+
+/// Prints the full explanation card for one rule (R1–R10, P0, P1).
+fn explain(rule: &str) -> Result<(), String> {
+    let wanted = rule.to_ascii_uppercase();
+    let entry = EXPLANATIONS
+        .iter()
+        .find(|e| e.rule.to_string() == wanted)
+        .ok_or_else(|| format!("unknown rule `{rule}`; try --list-rules"))?;
+    println!("{} ({}): {}", entry.rule, entry.rule.severity(), entry.summary);
+    println!();
+    println!("why: {}", entry.rationale);
+    println!();
+    println!("example:");
+    for line in entry.example.lines() {
+        println!("    {line}");
+    }
+    println!();
+    println!("fix: {}", entry.fix);
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -68,11 +104,20 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    if let Some(rule) = &opts.explain {
+        return match explain(rule) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("{msg}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
     if opts.list_rules {
-        for rule in RuleId::ALL {
-            println!("{rule} ({}): {}", rule.severity(), rule.describe());
+        for e in EXPLANATIONS {
+            println!("{} ({}): {}", e.rule, e.rule.severity(), e.summary);
         }
-        println!("P0 ({}): {}", RuleId::P0.severity(), RuleId::P0.describe());
         return ExitCode::SUCCESS;
     }
 
@@ -99,7 +144,8 @@ fn main() -> ExitCode {
         }
     };
 
-    let diags = match audit_workspace(&root) {
+    let options = AuditOptions { strict_pragmas: opts.strict_pragmas };
+    let diags = match audit_workspace(&root, options) {
         Ok(d) => d,
         Err(e) => {
             eprintln!("nanocost-audit: scan failed: {e}");

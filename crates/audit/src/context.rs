@@ -28,6 +28,8 @@ pub struct FnInfo {
     pub name: String,
     /// Line of the `fn` keyword.
     pub line: u32,
+    /// Token index of the `fn` keyword.
+    pub tok: usize,
     /// Declared with `pub` (any visibility qualifier counts).
     pub is_pub: bool,
     /// Concatenated doc-comment text attached to the item.
@@ -38,6 +40,12 @@ pub struct FnInfo {
     pub body: Option<(usize, usize)>,
     /// True when the fn lives in test code.
     pub in_test: bool,
+    /// Self type of the enclosing `impl` block, if any (`impl Foo` or
+    /// `impl Trait for Foo` both record `Foo`).
+    pub impl_type: Option<String>,
+    /// True when the declared return type mentions `Result` or `Option`
+    /// (the fallibility signal the taint pass classifies validators by).
+    pub ret_result: bool,
 }
 
 /// Structural facts about one lexed file.
@@ -49,6 +57,8 @@ pub struct FileContext {
     pub const_spans: Vec<(usize, usize)>,
     /// Every `fn` item, including test fns (flagged).
     pub fns: Vec<FnInfo>,
+    /// `impl` blocks: body token span plus the self-type name.
+    pub impl_spans: Vec<(usize, usize, String)>,
 }
 
 impl FileContext {
@@ -98,6 +108,66 @@ fn next_code(tokens: &[Token], mut i: usize) -> Option<usize> {
     None
 }
 
+/// Previous non-trivia token index strictly before `i`.
+fn prev_code(tokens: &[Token], i: usize) -> Option<usize> {
+    (0..i).rev().find(|&k| !tokens[k].is_trivia())
+}
+
+/// Is the `impl` at token `i` an item (an impl block), as opposed to an
+/// `impl Trait` type position inside a signature?
+fn impl_is_item(tokens: &[Token], i: usize) -> bool {
+    match prev_code(tokens, i) {
+        None => true,
+        Some(k) => match &tokens[k].kind {
+            TokenKind::Punct(p) => matches!(p.as_str(), "}" | "{" | ";" | "]"),
+            TokenKind::Ident(id) => matches!(id.as_str(), "unsafe" | "pub"),
+            _ => false,
+        },
+    }
+}
+
+/// Extracts the self-type name of an impl block starting at token `i`
+/// (the `impl` keyword) and the token span of its `{ … }` body.
+/// `impl Trait for Foo` records `Foo`; generics are skipped.
+fn impl_header(tokens: &[Token], i: usize) -> Option<(usize, usize, String)> {
+    let mut angle = 0i32;
+    let mut names: Vec<String> = Vec::new();
+    let mut k = i + 1;
+    while k < tokens.len() {
+        match &tokens[k].kind {
+            TokenKind::Punct(p) if p == "<" => angle += 1,
+            TokenKind::Punct(p) if p == ">" => angle -= 1,
+            TokenKind::Punct(p) if p == "->" => {}
+            TokenKind::Punct(p) if p == "{" && angle <= 0 => {
+                let name = names.last().cloned().unwrap_or_default();
+                return Some((k, matching_brace(tokens, k), name));
+            }
+            TokenKind::Punct(p) if p == ";" && angle <= 0 => return None,
+            TokenKind::Ident(id) if id == "for" && angle <= 0 => names.clear(),
+            TokenKind::Ident(id) if id == "where" && angle <= 0 => {
+                // Type names are settled before the where clause; scan on
+                // for the body brace only.
+                let name = names.last().cloned().unwrap_or_default();
+                let mut m = k;
+                while m < tokens.len() && !tokens[m].is_punct("{") {
+                    if tokens[m].is_punct(";") {
+                        return None;
+                    }
+                    m += 1;
+                }
+                if m < tokens.len() {
+                    return Some((m, matching_brace(tokens, m), name));
+                }
+                return None;
+            }
+            TokenKind::Ident(id) if angle <= 0 => names.push(id.clone()),
+            _ => {}
+        }
+        k += 1;
+    }
+    None
+}
+
 /// Builds the structural context for a lexed file.
 pub fn analyze(tokens: &[Token]) -> FileContext {
     let mut ctx = FileContext::default();
@@ -112,7 +182,9 @@ pub fn analyze(tokens: &[Token]) -> FileContext {
                 pending_doc.push(text.clone());
                 i += 1;
             }
-            TokenKind::Comment(_) => i += 1,
+            // Inner docs describe the enclosing module; they neither
+            // attach to nor separate the next item's outer doc.
+            TokenKind::InnerDoc(_) | TokenKind::Comment(_) => i += 1,
             TokenKind::Punct(p) if p == "#" => {
                 // Attribute: `#[ … ]` or `#![ … ]`.
                 let mut j = i + 1;
@@ -209,8 +281,10 @@ pub fn analyze(tokens: &[Token]) -> FileContext {
                     }
                     k += 1;
                 }
+                // An unclosed `(` leaves `b == a`; clamp so malformed
+                // input degrades to "no params" instead of panicking.
                 let params = params_span
-                    .map(|(a, b)| parse_params(&tokens[a + 1..b]))
+                    .map(|(a, b)| parse_params(&tokens[(a + 1).min(b)..b]))
                     .unwrap_or_default();
                 // Find the body `{` (or `;` for a declaration) after params.
                 let search_from = params_span.map(|(_, b)| b + 1).unwrap_or(i + 1);
@@ -232,15 +306,44 @@ pub fn analyze(tokens: &[Token]) -> FileContext {
                         ctx.test_spans.push((a, b));
                     }
                 }
+                // Return type: tokens between the param list and the body
+                // brace (or `;`); `Result`/`Option` anywhere in it marks
+                // the fn fallible.
+                let ret_end = body.map(|(a, _)| a).unwrap_or(m);
+                let ret_result = tokens[search_from.min(ret_end)..ret_end]
+                    .iter()
+                    .any(|t| t.is_ident("Result") || t.is_ident("Option"));
+                let impl_type = ctx
+                    .impl_spans
+                    .iter()
+                    .rev()
+                    .find(|&&(a, b, _)| i > a && i < b)
+                    .map(|(_, _, n)| n.clone())
+                    .filter(|n| !n.is_empty());
                 ctx.fns.push(FnInfo {
                     name,
                     line: fn_line,
+                    tok: i,
                     is_pub: pending_pub,
                     doc: pending_doc.join("\n"),
                     params,
                     body,
                     in_test,
+                    impl_type,
+                    ret_result,
                 });
+                pending_doc.clear();
+                pending_test = false;
+                pending_pub = false;
+                i += 1;
+            }
+            TokenKind::Ident(id) if id == "impl" && impl_is_item(tokens, i) => {
+                if let Some((open, close, name)) = impl_header(tokens, i) {
+                    ctx.impl_spans.push((open, close, name));
+                    if pending_test {
+                        ctx.test_spans.push((open, close));
+                    }
+                }
                 pending_doc.clear();
                 pending_test = false;
                 pending_pub = false;
@@ -454,5 +557,36 @@ mod tests {
         let ctx = ctx_of("impl T { pub fn go(&mut self, p: f64) {} }\n");
         assert_eq!(ctx.fns[0].params.len(), 1);
         assert_eq!(ctx.fns[0].params[0].name, "p");
+    }
+
+    #[test]
+    fn impl_blocks_record_self_type() {
+        let src = "impl Dollars { pub fn new(v: f64) -> Dollars { Dollars(v) } }\n\
+                   impl std::fmt::Display for Dollars { fn fmt(&self) {} }\n";
+        let ctx = ctx_of(src);
+        assert_eq!(ctx.impl_spans.len(), 2);
+        assert_eq!(ctx.impl_spans[0].2, "Dollars");
+        assert_eq!(ctx.impl_spans[1].2, "Dollars", "impl Trait for T records T");
+        assert_eq!(ctx.fns[0].impl_type.as_deref(), Some("Dollars"));
+        assert_eq!(ctx.fns[1].impl_type.as_deref(), Some("Dollars"));
+    }
+
+    #[test]
+    fn impl_trait_in_signature_is_not_an_impl_block() {
+        let ctx = ctx_of("pub fn eval(f: impl Fn(f64) -> f64) -> f64 { f(0.0) }\n");
+        assert!(ctx.impl_spans.is_empty());
+        assert_eq!(ctx.fns.len(), 1);
+        assert!(ctx.fns[0].impl_type.is_none());
+    }
+
+    #[test]
+    fn return_type_fallibility_is_detected() {
+        let src = "fn a() -> Result<f64, E> { Ok(0.0) }\n\
+                   fn b() -> f64 { 0.0 }\n\
+                   fn c(x: Result<u8, E>) -> f64 { 0.0 }\n";
+        let ctx = ctx_of(src);
+        assert!(ctx.fns[0].ret_result);
+        assert!(!ctx.fns[1].ret_result);
+        assert!(!ctx.fns[2].ret_result, "Result in params is not a fallible return");
     }
 }

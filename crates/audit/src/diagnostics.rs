@@ -1,4 +1,9 @@
-//! Diagnostic records and their text/JSON renderings.
+//! Diagnostic records, the rule registry (with rationale/example/fix
+//! explanations), and the text/JSON renderings.
+//!
+//! [`EXPLANATIONS`] is the single source of truth for what each rule
+//! means: `--list-rules`, `--explain`, and the crate documentation all
+//! render from it, so the help text cannot drift from the rules.
 
 use std::fmt;
 
@@ -27,14 +32,161 @@ pub enum RuleId {
     /// static lowercase `snake_case` (dot-separated) string literals, so
     /// flamegraph and fingerprint keys stay stable across runs.
     R7,
+    /// Taint: untrusted values (JSON numeric accessors, `std::env`, file
+    /// reads) must pass a fallible validator before reaching an
+    /// infallible constructor, model arithmetic, slice indexing, or
+    /// allocation sizing.
+    R8,
+    /// Lock discipline: no `.lock().unwrap()`/`.lock().expect()` poison
+    /// panics in library code, no inconsistent global lock-acquisition
+    /// order, no guard held across I/O or channel sends.
+    R9,
+    /// Provenance completeness: a `core` function whose doc *leads* with
+    /// an `Eq. N` citation must (transitively) emit `Eq.N` provenance,
+    /// and every provenance emit site must cite its equation in its doc.
+    R10,
     /// Meta-rule: a `nanocost-audit:` suppression pragma is malformed
     /// (unknown rule id, missing mandatory reason, or bad syntax).
     P0,
+    /// Meta-rule: a suppression pragma that suppresses zero diagnostics
+    /// is stale and must be removed (error under `--strict-pragmas`).
+    P1,
 }
 
+/// One row of the rule registry: everything `--explain` prints.
+pub struct Explanation {
+    /// The rule this row explains.
+    pub rule: RuleId,
+    /// One-line description (used by `--list-rules` and [`RuleId::describe`]).
+    pub summary: &'static str,
+    /// Why the rule exists — the discipline argument behind it.
+    pub rationale: &'static str,
+    /// A minimal code shape that fires the rule.
+    pub example: &'static str,
+    /// The sanctioned fix.
+    pub fix: &'static str,
+}
+
+/// The rule registry. Ordered as [`RuleId::ALL`] then the meta-rules;
+/// a unit test pins the one-row-per-rule invariant.
+pub const EXPLANATIONS: &[Explanation] = &[
+    Explanation {
+        rule: RuleId::R1,
+        summary: "no unwrap()/expect()/panic!/unreachable!/todo!/unimplemented! in library code",
+        rationale: "A cost model embedded in a server or a larger flow must degrade into an \
+                    error value, never an abort: a panic in a worker thread wedges the worker \
+                    for the life of the process.",
+        example: "fn f(x: Option<f64>) -> f64 { x.unwrap() }",
+        fix: "Propagate with `?`/`ok_or`, or prove impossibility and carry an \
+              `allow(R1, reason = ...)` pragma naming the invariant.",
+    },
+    Explanation {
+        rule: RuleId::R2,
+        summary: "no direct ==/!= comparison with floating-point operands",
+        rationale: "Float equality is representation-dependent; model outputs must be compared \
+                    against explicit tolerances so results stay stable across rustc versions \
+                    and optimization levels.",
+        example: "if cost == 0.37 { ... }",
+        fix: "Compare with an explicit tolerance, e.g. `(cost - K).abs() < EPS`, or use \
+              `total_cmp` for ordering.",
+    },
+    Explanation {
+        rule: RuleId::R3,
+        summary: "no bare numeric literals in model functions outside const/calibration code",
+        rationale: "Every calibration constant must be named and traceable to the paper; an \
+                    inline `0.37` is a silent fork of the model.",
+        example: "fn yield_at(d: f64) -> f64 { (-0.37 * d).exp() }",
+        fix: "Hoist the value into a `const` with a doc comment citing the paper \
+              equation/table it came from.",
+    },
+    Explanation {
+        rule: RuleId::R4,
+        summary: "public model functions must use nanocost-units newtypes, not raw f64",
+        rationale: "The paper's symbols (lambda, s_d, Y, ...) each have a unit-checked newtype; \
+                    raw f64 parameters let callers transpose arguments silently.",
+        example: "pub fn chip_cost(lambda: f64) -> f64 { ... }",
+        fix: "Take the `nanocost_units` newtype (e.g. `FeatureSize`) named in the diagnostic.",
+    },
+    Explanation {
+        rule: RuleId::R5,
+        summary: "every public model function cites the paper equation/figure/table it implements",
+        rationale: "Model trustworthiness rests on every output being traceable to a named \
+                    equation; an uncited function is unreviewable against the source.",
+        example: "/// Computes stuff.\npub fn chip_cost(...) { ... }",
+        fix: "Cite the paper in the doc comment: `Implements eq. (4)`, `Figure 4`, `§3.1`, ...",
+    },
+    Explanation {
+        rule: RuleId::R6,
+        summary: "no println!/eprintln!/print!/eprint! in library code; use nanocost-trace or return values",
+        rationale: "Console writes bypass the exporters: output that matters must be structured \
+                    (trace records, return values) so it is machine-diffable and replayable.",
+        example: "fn solve() { println!(\"converged\"); }",
+        fix: "Emit an `event!`/`counter!` or return the value; bins may print freely.",
+    },
+    Explanation {
+        rule: RuleId::R7,
+        summary: "span!/event!/metric names in library code must be static lowercase snake_case string literals",
+        rationale: "Computed or mixed-case trace names make flamegraph stacks and fingerprint \
+                    keys unstable run-to-run, silently breaking bench_diff and the fingerprint \
+                    gate.",
+        example: "span!(format!(\"run-{i}\"));",
+        fix: "Use a static lowercase dotted snake_case literal: `span!(\"figure4.run\")`.",
+    },
+    Explanation {
+        rule: RuleId::R8,
+        summary: "untrusted values must pass a fallible validator before infallible constructors, model arithmetic, indexing, or allocation sizing",
+        rationale: "JSON admits 1e400 (which parses to +inf), env vars admit anything; an \
+                    unvalidated value reaching `Dollars::new` panics a worker permanently \
+                    (the PR-5 remote DoS). Validation must be a fallible step the caller \
+                    cannot skip.",
+        example: "let v = doc.get(\"mask_cost\").and_then(JsonValue::as_f64)?;\nlet c = Dollars::new(v);",
+        fix: "Route through the fallible twin (`Dollars::try_new(v)?`) or an explicit range \
+              check returning `Result` before the sink.",
+    },
+    Explanation {
+        rule: RuleId::R9,
+        summary: "lock discipline: no poison-panic lock(), consistent global lock order, no guard held across I/O or channel sends",
+        rationale: "`.lock().unwrap()` turns one panicked thread into a poisoned-forever \
+                    subsystem; inconsistent acquisition order deadlocks under load; a guard \
+                    held across I/O stalls every other thread behind a slow peer.",
+        example: "let a = self.x.lock().unwrap();\nlet b = self.y.lock(); // elsewhere: y before x",
+        fix: "Recover with `unwrap_or_else(PoisonError::into_inner)`, acquire locks in one \
+              global order, and drop guards before I/O (I/O on the guarded resource itself \
+              is exempt).",
+    },
+    Explanation {
+        rule: RuleId::R10,
+        summary: "core fns with a leading Eq. citation must emit matching provenance, and emit sites must cite their equation",
+        rationale: "The provenance stream is the mechanical audit trail tying every number to \
+                    a paper equation (the fingerprint gate hashes it); a doc that claims \
+                    `Eq. 4` without emitting it — or an emit without a citation — breaks the \
+                    doc/trace cross-check.",
+        example: "/// Eq. 4 end to end: ...\npub fn transistor_cost(...) { /* no provenance!(Eq4) */ }",
+        fix: "Emit `provenance!(equation: EqN, ...)` in the function (or a callee), or \
+              reword the doc so it does not lead with an equation claim.",
+    },
+    Explanation {
+        rule: RuleId::P0,
+        summary: "suppression pragma is malformed (unknown rule, missing reason, or bad syntax)",
+        rationale: "A suppression without a stated reason is an unreviewable waiver; a typo'd \
+                    rule id silently suppresses nothing.",
+        example: "// nanocost-audit: allow(R1)",
+        fix: "State the reason: `// nanocost-audit: allow(R1, reason = \"len checked above\")`.",
+    },
+    Explanation {
+        rule: RuleId::P1,
+        summary: "suppression pragma suppresses zero diagnostics (stale)",
+        rationale: "A pragma that no longer masks anything is a waiver outliving the code it \
+                    excused; left in place it will silently swallow the next real finding on \
+                    that line.",
+        example: "let v = compute(); // nanocost-audit: allow(R1, reason = \"...\") — but nothing fires here",
+        fix: "Delete the pragma (or the no-longer-needed rule id from its list).",
+    },
+];
+
 impl RuleId {
-    /// All rules, in report order.
-    pub const ALL: [RuleId; 7] = [
+    /// All non-meta rules, in report order.
+    pub const ALL: [RuleId; 10] = [
         RuleId::R1,
         RuleId::R2,
         RuleId::R3,
@@ -42,10 +194,13 @@ impl RuleId {
         RuleId::R5,
         RuleId::R6,
         RuleId::R7,
+        RuleId::R8,
+        RuleId::R9,
+        RuleId::R10,
     ];
 
-    /// Parses `"R1"`…`"R7"` (case-insensitive). `P0` is not parseable:
-    /// pragma hygiene cannot itself be suppressed by a pragma.
+    /// Parses `"R1"`…`"R10"` (case-insensitive). `P0`/`P1` are not
+    /// parseable: pragma hygiene cannot itself be suppressed by a pragma.
     pub fn parse(s: &str) -> Option<RuleId> {
         match s.trim().to_ascii_uppercase().as_str() {
             "R1" => Some(RuleId::R1),
@@ -55,29 +210,41 @@ impl RuleId {
             "R5" => Some(RuleId::R5),
             "R6" => Some(RuleId::R6),
             "R7" => Some(RuleId::R7),
+            "R8" => Some(RuleId::R8),
+            "R9" => Some(RuleId::R9),
+            "R10" => Some(RuleId::R10),
             _ => None,
         }
     }
 
-    /// One-line description used by `--list-rules` and the docs.
-    pub fn describe(self) -> &'static str {
-        match self {
-            RuleId::R1 => "no unwrap()/expect()/panic!/unreachable!/todo!/unimplemented! in library code",
-            RuleId::R2 => "no direct ==/!= comparison with floating-point operands",
-            RuleId::R3 => "no bare numeric literals in model functions outside const/calibration code",
-            RuleId::R4 => "public model functions must use nanocost-units newtypes, not raw f64",
-            RuleId::R5 => "every public model function cites the paper equation/figure/table it implements",
-            RuleId::R6 => "no println!/eprintln!/print!/eprint! in library code; use nanocost-trace or return values",
-            RuleId::R7 => "span!/event!/metric names in library code must be static lowercase snake_case string literals",
-            RuleId::P0 => "suppression pragma is malformed (unknown rule, missing reason, or bad syntax)",
-        }
+    /// The registry row for this rule.
+    #[must_use]
+    pub fn explanation(self) -> &'static Explanation {
+        // The registry is pinned complete by a unit test; the linear
+        // scan is over a 12-element const table.
+        EXPLANATIONS
+            .iter()
+            .find(|e| e.rule == self)
+            .unwrap_or(&EXPLANATIONS[0])
     }
 
-    /// Default severity for this rule's findings.
+    /// One-line description used by `--list-rules` and the docs.
+    pub fn describe(self) -> &'static str {
+        self.explanation().summary
+    }
+
+    /// Default severity for this rule's findings. `P1` escalates to
+    /// error under `--strict-pragmas` (handled by the caller).
     pub fn severity(self) -> Severity {
         match self {
-            RuleId::R1 | RuleId::R2 | RuleId::P0 => Severity::Error,
-            RuleId::R3 | RuleId::R4 | RuleId::R5 | RuleId::R6 | RuleId::R7 => Severity::Warning,
+            RuleId::R1 | RuleId::R2 | RuleId::R8 | RuleId::R9 | RuleId::P0 => Severity::Error,
+            RuleId::R3
+            | RuleId::R4
+            | RuleId::R5
+            | RuleId::R6
+            | RuleId::R7
+            | RuleId::R10
+            | RuleId::P1 => Severity::Warning,
         }
     }
 }
@@ -92,7 +259,11 @@ impl fmt::Display for RuleId {
             RuleId::R5 => write!(f, "R5"),
             RuleId::R6 => write!(f, "R6"),
             RuleId::R7 => write!(f, "R7"),
+            RuleId::R8 => write!(f, "R8"),
+            RuleId::R9 => write!(f, "R9"),
+            RuleId::R10 => write!(f, "R10"),
             RuleId::P0 => write!(f, "P0"),
+            RuleId::P1 => write!(f, "P1"),
         }
     }
 }
@@ -153,6 +324,11 @@ impl Diagnostic {
     }
 }
 
+/// The JSON report schema version. Bumped to 2 when the top-level
+/// `"schema"` field itself was introduced (diagnostics sorted by
+/// path, line, rule — byte-deterministic for diffing runs).
+pub const JSON_SCHEMA_VERSION: u32 = 2;
+
 /// Sorts diagnostics by file, line, then rule, for deterministic output.
 pub fn sort_diagnostics(diags: &mut [Diagnostic]) {
     diags.sort_by(|a, b| {
@@ -161,13 +337,16 @@ pub fn sort_diagnostics(diags: &mut [Diagnostic]) {
 }
 
 /// Renders the full report as a JSON document:
-/// `{"diagnostics":[…],"counts":{"error":N,"warning":M}}`.
+/// `{"schema":2,"diagnostics":[…],"counts":{"error":N,"warning":M}}`.
+/// Output is byte-deterministic: the diagnostics array is sorted by
+/// (path, line, rule) and key order is fixed.
 pub fn render_json_report(diags: &[Diagnostic]) -> String {
     let items: Vec<String> = diags.iter().map(Diagnostic::render_json).collect();
     let errors = diags.iter().filter(|d| d.severity == Severity::Error).count();
     let warnings = diags.iter().filter(|d| d.severity == Severity::Warning).count();
     format!(
-        "{{\"diagnostics\":[{}],\"counts\":{{\"error\":{},\"warning\":{}}}}}\n",
+        "{{\"schema\":{},\"diagnostics\":[{}],\"counts\":{{\"error\":{},\"warning\":{}}}}}\n",
+        JSON_SCHEMA_VERSION,
         items.join(","),
         errors,
         warnings
@@ -213,7 +392,24 @@ mod tests {
             assert_eq!(RuleId::parse(&r.to_string()), Some(r));
         }
         assert_eq!(RuleId::parse("r3"), Some(RuleId::R3));
-        assert_eq!(RuleId::parse("R9"), None);
+        assert_eq!(RuleId::parse("r10"), Some(RuleId::R10));
+        assert_eq!(RuleId::parse("R11"), None);
+        assert_eq!(RuleId::parse("P0"), None, "meta-rules are not suppressible");
+        assert_eq!(RuleId::parse("P1"), None, "meta-rules are not suppressible");
+    }
+
+    #[test]
+    fn registry_has_exactly_one_row_per_rule_in_order() {
+        let mut expected: Vec<RuleId> = RuleId::ALL.to_vec();
+        expected.push(RuleId::P0);
+        expected.push(RuleId::P1);
+        let rows: Vec<RuleId> = EXPLANATIONS.iter().map(|e| e.rule).collect();
+        assert_eq!(rows, expected, "EXPLANATIONS must cover every rule exactly once, in order");
+        for e in EXPLANATIONS {
+            assert!(!e.summary.is_empty() && !e.rationale.is_empty());
+            assert!(!e.example.is_empty() && !e.fix.is_empty());
+            assert_eq!(e.summary, e.rule.describe());
+        }
     }
 
     #[test]
@@ -233,15 +429,30 @@ mod tests {
     }
 
     #[test]
-    fn report_counts_by_severity() {
+    fn report_counts_by_severity_and_carries_schema() {
         let out = render_json_report(&[diag("a.rs", 1, RuleId::R1), diag("a.rs", 2, RuleId::R3)]);
+        assert!(out.starts_with("{\"schema\":2,\"diagnostics\":["));
         assert!(out.contains("\"counts\":{\"error\":1,\"warning\":1}"));
     }
 
     #[test]
     fn sorting_is_stable_by_location() {
-        let mut ds = vec![diag("b.rs", 1, RuleId::R1), diag("a.rs", 9, RuleId::R2)];
+        let mut ds = vec![
+            diag("b.rs", 1, RuleId::R1),
+            diag("a.rs", 9, RuleId::R2),
+            diag("a.rs", 9, RuleId::R1),
+        ];
         sort_diagnostics(&mut ds);
         assert_eq!(ds[0].file, "a.rs");
+        assert_eq!(ds[0].rule, RuleId::R1, "rule breaks line ties");
+        assert_eq!(ds[2].file, "b.rs");
+    }
+
+    #[test]
+    fn new_rule_severities() {
+        assert_eq!(RuleId::R8.severity(), Severity::Error);
+        assert_eq!(RuleId::R9.severity(), Severity::Error);
+        assert_eq!(RuleId::R10.severity(), Severity::Warning);
+        assert_eq!(RuleId::P1.severity(), Severity::Warning);
     }
 }

@@ -32,8 +32,12 @@ pub enum TokenKind {
     Punct(String),
     /// A non-doc comment (`// …` or `/* … */`) with its text.
     Comment(String),
-    /// A doc comment (`/// …`, `//! …`, `/** … */`, `/*! … */`) with its text.
+    /// An outer doc comment (`/// …`, `/** … */`) with its text; attaches
+    /// to the item that follows.
     DocComment(String),
+    /// An inner doc comment (`//! …`, `/*! … */`) with its text; documents
+    /// the enclosing module and must never attach to the next item.
+    InnerDoc(String),
 }
 
 /// One lexed token with the 1-based line it starts on.
@@ -58,7 +62,10 @@ impl Token {
 
     /// True for comment or doc-comment tokens.
     pub fn is_trivia(&self) -> bool {
-        matches!(self.kind, TokenKind::Comment(_) | TokenKind::DocComment(_))
+        matches!(
+            self.kind,
+            TokenKind::Comment(_) | TokenKind::DocComment(_) | TokenKind::InnerDoc(_)
+        )
     }
 }
 
@@ -86,6 +93,14 @@ struct Lexer<'a> {
 
 impl Lexer<'_> {
     fn run(mut self) -> Vec<Token> {
+        // A shebang (`#!/usr/bin/env …`) is legal on line 1 of a Rust
+        // source file and is not a token; `#![…]` is an inner attribute
+        // and must still lex normally.
+        if self.text.starts_with("#!") && !self.text.starts_with("#![") {
+            while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                self.pos += 1;
+            }
+        }
         while self.pos < self.src.len() {
             let start_line = self.line;
             let c = self.src[self.pos];
@@ -136,10 +151,10 @@ impl Lexer<'_> {
             self.pos += 1;
         }
         let text = &self.text[start..self.pos];
-        let is_doc = (text.starts_with("///") && !text.starts_with("////"))
-            || text.starts_with("//!");
         let body = text.trim_start_matches(['/', '!']).to_string();
-        if is_doc {
+        if text.starts_with("//!") {
+            self.push(TokenKind::InnerDoc(body), line);
+        } else if text.starts_with("///") && !text.starts_with("////") {
             self.push(TokenKind::DocComment(body), line);
         } else {
             self.push(TokenKind::Comment(text[2..].to_string()), line);
@@ -151,6 +166,7 @@ impl Lexer<'_> {
         let start = self.pos;
         let is_doc = self.text[self.pos..].starts_with("/**") && !self.text[self.pos..].starts_with("/***")
             || self.text[self.pos..].starts_with("/*!");
+        let is_inner = self.text[self.pos..].starts_with("/*!");
         self.pos += 2;
         let mut depth = 1usize;
         while self.pos < self.src.len() && depth > 0 {
@@ -171,7 +187,9 @@ impl Lexer<'_> {
             .trim_start_matches(['/', '*', '!'])
             .trim_end_matches(['/', '*'])
             .to_string();
-        if is_doc {
+        if is_inner {
+            self.push(TokenKind::InnerDoc(text), line);
+        } else if is_doc {
             self.push(TokenKind::DocComment(text), line);
         } else {
             self.push(TokenKind::Comment(text), line);
@@ -449,7 +467,7 @@ mod tests {
     fn comments_are_classified() {
         assert!(matches!(&kinds("// plain")[0], TokenKind::Comment(c) if c.trim() == "plain"));
         assert!(matches!(&kinds("/// doc")[0], TokenKind::DocComment(c) if c.trim() == "doc"));
-        assert!(matches!(&kinds("//! inner")[0], TokenKind::DocComment(_)));
+        assert!(matches!(&kinds("//! inner")[0], TokenKind::InnerDoc(_)));
         assert!(matches!(&kinds("/* block */")[0], TokenKind::Comment(_)));
         assert!(matches!(&kinds("/* outer /* nested */ rest */")[0], TokenKind::Comment(_)));
     }

@@ -13,26 +13,92 @@
 //! file. The `reason` is mandatory: a pragma without a stated reason (or one
 //! naming an unknown rule) is itself reported under the meta-rule `P0`, and
 //! suppresses nothing.
+//!
+//! Suppression is *accounted*: each pragma records which of its rules
+//! actually masked a finding, and a rule that masked nothing is reported
+//! as stale under the meta-rule `P1` (see [`Suppressions::stale`]), so a
+//! waiver cannot outlive the code it excused.
 
 use crate::diagnostics::RuleId;
 use crate::lexer::{Token, TokenKind};
 use std::collections::HashSet;
 
-/// Parsed suppression state for one file.
+/// What a line-scoped or file-wide pragma applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Target {
+    /// `allow-file(...)`: the whole file.
+    File,
+    /// `allow(...)`: one source line.
+    Line(u32),
+}
+
+/// One well-formed pragma.
+#[derive(Debug)]
+struct Pragma {
+    /// Line of the pragma comment itself (where `P1` reports).
+    line: u32,
+    /// Rules the pragma names.
+    rules: Vec<RuleId>,
+    /// Scope.
+    target: Target,
+}
+
+/// Parsed suppression state for one file, with per-rule usage accounting.
 #[derive(Debug, Default)]
 pub struct Suppressions {
-    /// Rules suppressed for the entire file.
-    file_wide: HashSet<RuleId>,
-    /// (rule, line) pairs suppressed by line-scoped pragmas.
-    lines: HashSet<(RuleId, u32)>,
+    pragmas: Vec<Pragma>,
+    /// Per pragma: the subset of its rules that suppressed ≥1 finding.
+    used: Vec<HashSet<RuleId>>,
     /// Pragmas that failed to parse: (line, explanation).
     pub malformed: Vec<(u32, String)>,
 }
 
 impl Suppressions {
-    /// Is `rule` suppressed at `line`?
+    /// Is `rule` suppressed at `line`? Read-only (no usage accounting).
     pub fn allows(&self, rule: RuleId, line: u32) -> bool {
-        self.file_wide.contains(&rule) || self.lines.contains(&(rule, line))
+        self.pragmas.iter().any(|p| p.rules.contains(&rule) && p.covers(line))
+    }
+
+    /// Like [`Suppressions::allows`], but records the hit against every
+    /// covering pragma so stale pragmas can be reported afterwards.
+    pub fn suppress(&mut self, rule: RuleId, line: u32) -> bool {
+        let mut hit = false;
+        for (i, p) in self.pragmas.iter().enumerate() {
+            if p.rules.contains(&rule) && p.covers(line) {
+                self.used[i].insert(rule);
+                hit = true;
+            }
+        }
+        hit
+    }
+
+    /// Stale entries after all findings were run through
+    /// [`Suppressions::suppress`]: for each pragma, the rules it names
+    /// that suppressed nothing. Returned as (pragma line, stale rules);
+    /// pragmas whose every rule was used do not appear.
+    pub fn stale(&self) -> Vec<(u32, Vec<RuleId>)> {
+        self.pragmas
+            .iter()
+            .zip(&self.used)
+            .filter_map(|(p, used)| {
+                let unused: Vec<RuleId> =
+                    p.rules.iter().copied().filter(|r| !used.contains(r)).collect();
+                if unused.is_empty() {
+                    None
+                } else {
+                    Some((p.line, unused))
+                }
+            })
+            .collect()
+    }
+}
+
+impl Pragma {
+    fn covers(&self, line: u32) -> bool {
+        match self.target {
+            Target::File => true,
+            Target::Line(l) => l == line,
+        }
     }
 }
 
@@ -57,12 +123,13 @@ pub fn collect(tokens: &[Token]) -> Suppressions {
         let body = text[at + MARKER.len()..].trim();
         match parse_pragma(body) {
             Ok((rules, file_wide)) => {
-                if file_wide {
-                    out.file_wide.extend(rules);
+                let target = if file_wide {
+                    Target::File
                 } else {
-                    let target = target_line(tokens, idx);
-                    out.lines.extend(rules.into_iter().map(|r| (r, target)));
-                }
+                    Target::Line(target_line(tokens, idx))
+                };
+                out.pragmas.push(Pragma { line: tok.line, rules, target });
+                out.used.push(HashSet::new());
             }
             Err(why) => out.malformed.push((tok.line, why)),
         }
@@ -222,8 +289,16 @@ mod tests {
 
     #[test]
     fn unknown_rule_is_malformed() {
-        let s = collect(&lex("// nanocost-audit: allow(R9, reason = \"x\")\nx();\n"));
+        let s = collect(&lex("// nanocost-audit: allow(R99, reason = \"x\")\nx();\n"));
         assert_eq!(s.malformed.len(), 1);
+    }
+
+    #[test]
+    fn new_rule_ids_are_suppressible() {
+        let s = collect(&lex("// nanocost-audit: allow(R8, R10, reason = \"seeded fixture\")\nx();\n"));
+        assert!(s.malformed.is_empty());
+        assert!(s.allows(RuleId::R8, 2));
+        assert!(s.allows(RuleId::R10, 2));
     }
 
     #[test]
@@ -232,5 +307,31 @@ mod tests {
         let s = collect(&lex(src));
         assert!(s.allows(RuleId::R1, 2));
         assert!(s.malformed.is_empty());
+    }
+
+    #[test]
+    fn unused_pragma_rules_are_stale() {
+        let src = "x.unwrap(); // nanocost-audit: allow(R1, R2, reason = \"shim\")\n";
+        let mut s = collect(&lex(src));
+        assert!(s.suppress(RuleId::R1, 1));
+        let stale = s.stale();
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0], (1, vec![RuleId::R2]), "R2 suppressed nothing");
+    }
+
+    #[test]
+    fn fully_used_pragma_is_not_stale() {
+        let src = "x.unwrap(); // nanocost-audit: allow(R1, reason = \"shim\")\n";
+        let mut s = collect(&lex(src));
+        assert!(s.suppress(RuleId::R1, 1));
+        assert!(s.stale().is_empty());
+    }
+
+    #[test]
+    fn never_hit_file_pragma_is_stale() {
+        let src = "// nanocost-audit: allow-file(R6, reason = \"demo\")\nfn f() {}\n";
+        let mut s = collect(&lex(src));
+        assert!(!s.suppress(RuleId::R1, 2));
+        assert_eq!(s.stale(), vec![(1, vec![RuleId::R6])]);
     }
 }

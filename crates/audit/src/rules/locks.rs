@@ -1,0 +1,524 @@
+//! R9 — lock discipline.
+//!
+//! Three invariants over every library fn, checked on the parsed bodies:
+//!
+//! 1. **No poison panics**: `.lock().unwrap()` / `.lock().expect(…)`
+//!    turn a poisoned mutex into a crash loop; library code must use
+//!    `unwrap_or_else(PoisonError::into_inner)` or surface the `Err`.
+//! 2. **Consistent global ordering**: if one fn acquires lock `a` then
+//!    `b` while another acquires `b` then `a`, the workspace has a
+//!    deadlock waiting for the right interleaving. Both sites are
+//!    reported.
+//! 3. **No I/O under a lock**: socket/file writes, reads, accepts, and
+//!    channel sends while a guard is live stall every other thread on
+//!    the peer's timetable. Calls *through* the guarded resource itself
+//!    (`inner.out.write_all(…)` where `inner` is the guard) are the
+//!    point of holding the lock and are exempt, as are bounded
+//!    `recv_timeout` polls.
+//!
+//! Locks are identified by the last field segment of the receiver chain
+//! (`self.cache.lock()` → `cache`); a bare `self.lock()` uses the
+//! `impl` type's name. The helper form `lock(&self.endpoints)` resolves
+//! through its argument.
+
+use std::collections::HashMap;
+
+use crate::diagnostics::{Diagnostic, RuleId};
+use crate::parse::{Arm, Block, Expr, Stmt};
+use crate::symbols::{FileData, SymbolTable};
+
+/// Method names that are I/O when called under a live guard.
+const IO_METHODS: &[&str] = &[
+    "send",
+    "try_send",
+    "write",
+    "write_all",
+    "write_fmt",
+    "flush",
+    "read",
+    "read_to_end",
+    "read_to_string",
+    "read_exact",
+    "accept",
+    "connect",
+];
+
+/// Runs the lock-discipline scan over every library fn.
+pub fn rule_r9(files: &[FileData<'_>], table: &SymbolTable) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    // (first, second) -> acquisition sites of `second` under `first`.
+    let mut orders: HashMap<(String, String), Vec<(String, u32)>> = HashMap::new();
+    for f in &table.fns {
+        let path = files[f.file].path;
+        if super::is_bin_path(path) {
+            continue;
+        }
+        let Some(body) = &f.body else { continue };
+        let impl_type = files[f.file].ctx.fns[f.fn_idx].impl_type.clone();
+        let mut scan = LockScan {
+            impl_type,
+            live: Vec::new(),
+            stmt_locks: Vec::new(),
+            poison: Vec::new(),
+            io: Vec::new(),
+            pairs: Vec::new(),
+        };
+        scan.block(body);
+        for (line, msg) in scan.poison {
+            out.push(diag(path, line, format!("in `{}`: {msg}", f.name)));
+        }
+        for (line, msg) in scan.io {
+            out.push(diag(path, line, format!("in `{}`: {msg}", f.name)));
+        }
+        for (first, second, line) in scan.pairs {
+            orders.entry((first, second)).or_default().push((path.to_string(), line));
+        }
+    }
+    // Inconsistent global ordering: both (a,b) and (b,a) observed.
+    for ((a, b), sites) in &orders {
+        if a < b && orders.contains_key(&(b.clone(), a.clone())) {
+            let reversed = &orders[&(b.clone(), a.clone())];
+            for (file, line) in sites.iter().chain(reversed) {
+                out.push(diag(
+                    file,
+                    *line,
+                    format!(
+                        "locks `{a}` and `{b}` are acquired in inconsistent order \
+                         across the workspace (deadlock risk); pick one global order"
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+fn diag(path: &str, line: u32, message: String) -> Diagnostic {
+    Diagnostic {
+        file: path.to_string(),
+        line,
+        rule: RuleId::R9,
+        severity: RuleId::R9.severity(),
+        message,
+    }
+}
+
+/// One live, bound guard.
+struct Guard {
+    /// The `let` binding name.
+    name: String,
+    /// The lock's identity.
+    id: String,
+}
+
+struct LockScan {
+    impl_type: Option<String>,
+    live: Vec<Guard>,
+    /// Acquisitions seen while scanning the current statement
+    /// (unbound temporaries).
+    stmt_locks: Vec<String>,
+    poison: Vec<(u32, String)>,
+    io: Vec<(u32, String)>,
+    /// (first held, then acquired, line of the second acquisition).
+    pairs: Vec<(String, String, u32)>,
+}
+
+impl LockScan {
+    fn block(&mut self, b: &Block) {
+        let scope = self.live.len();
+        for s in &b.stmts {
+            self.stmt_locks.clear();
+            match s {
+                Stmt::Let { names, init, .. } => {
+                    if let Some(e) = init {
+                        self.expr(e);
+                        if let Some(id) = self.lock_id_of(e) {
+                            if let [name] = names.as_slice() {
+                                self.live.push(Guard { name: name.clone(), id });
+                            }
+                        }
+                    }
+                }
+                Stmt::Assign { value, .. } => self.expr(value),
+                Stmt::Expr { value, .. } => {
+                    // `drop(g)` releases a bound guard early.
+                    if let Expr::Call { path, args, .. } = value {
+                        if path.last().is_some_and(|n| n == "drop") {
+                            if let [Expr::Var(name, _)] = args.as_slice() {
+                                self.live.retain(|g| &g.name != name);
+                                continue;
+                            }
+                        }
+                    }
+                    self.expr(value);
+                }
+                Stmt::Return { value, .. } => {
+                    if let Some(e) = value {
+                        self.expr(e);
+                    }
+                }
+                Stmt::For { iter, body, .. } => {
+                    self.expr(iter);
+                    self.block(body);
+                }
+                Stmt::Loop { body } => self.block(body),
+                Stmt::Block(inner) => self.block(inner),
+                Stmt::Opaque => {}
+            }
+        }
+        self.live.truncate(scope);
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Method { recv, name, args, line } => {
+                if matches!(name.as_str(), "unwrap" | "expect") && is_lock_acq(recv) {
+                    self.poison.push((
+                        *line,
+                        "lock acquired with `.unwrap()`/`.expect()` — a poisoned mutex \
+                         becomes a crash loop; use `unwrap_or_else(PoisonError::into_inner)` \
+                         or surface the `Err`"
+                            .to_string(),
+                    ));
+                }
+                self.expr(recv);
+                for a in args {
+                    self.expr(a);
+                }
+                if name == "lock" {
+                    let id = self.chain_id(recv);
+                    self.acquire(id, *line);
+                } else if IO_METHODS.contains(&name.as_str()) {
+                    self.io_call(recv, name, *line);
+                }
+            }
+            Expr::Call { path, args, line } => {
+                for a in args {
+                    self.expr(a);
+                }
+                if path.last().is_some_and(|n| n == "lock") {
+                    if let [arg] = args.as_slice() {
+                        let id = self.chain_id(arg);
+                        self.acquire(id, *line);
+                    }
+                }
+            }
+            Expr::Field { recv, .. } => self.expr(recv),
+            Expr::Index { recv, index, .. } => {
+                self.expr(recv);
+                self.expr(index);
+            }
+            Expr::Binary { lhs, rhs, .. } => {
+                self.expr(lhs);
+                self.expr(rhs);
+            }
+            Expr::Try { inner, .. } => self.expr(inner),
+            Expr::Struct { fields, .. } => {
+                for (_, v) in fields {
+                    self.expr(v);
+                }
+            }
+            Expr::Tuple { items, .. } | Expr::Array { items, .. } => {
+                for i in items {
+                    self.expr(i);
+                }
+            }
+            Expr::Closure { body, .. } => self.expr(body),
+            Expr::If { cond, then, else_, .. } => {
+                self.expr(cond);
+                self.block(then);
+                if let Some(b) = else_ {
+                    self.block(b);
+                }
+            }
+            Expr::Match { scrutinee, arms, .. } => {
+                self.expr(scrutinee);
+                for Arm { guard, body, .. } in arms {
+                    if let Some(g) = guard {
+                        self.expr(g);
+                    }
+                    self.expr(body);
+                }
+            }
+            Expr::BlockExpr(b) => self.block(b),
+            Expr::Macro { args, .. } => {
+                for a in args {
+                    self.expr(a);
+                }
+            }
+            Expr::Lit(_) | Expr::Var(..) | Expr::Path(..) | Expr::Opaque(_) => {}
+        }
+    }
+
+    fn acquire(&mut self, id: String, line: u32) {
+        for g in &self.live {
+            if g.id != id {
+                self.pairs.push((g.id.clone(), id.clone(), line));
+            }
+        }
+        for t in &self.stmt_locks {
+            if *t != id {
+                self.pairs.push((t.clone(), id.clone(), line));
+            }
+        }
+        self.stmt_locks.push(id);
+    }
+
+    fn io_call(&mut self, recv: &Expr, name: &str, line: u32) {
+        if self.live.is_empty() && self.stmt_locks.is_empty() {
+            return;
+        }
+        // I/O *through* the guarded resource is the point of the lock.
+        if let Some(root) = recv.root_var() {
+            if self.live.iter().any(|g| g.name == root) {
+                return;
+            }
+        }
+        let held = self
+            .live
+            .last()
+            .map(|g| g.id.clone())
+            .or_else(|| self.stmt_locks.last().cloned())
+            .unwrap_or_default();
+        self.io.push((
+            line,
+            format!(
+                "I/O call `{name}` while holding lock `{held}` — \
+                 release the guard before blocking on a peer"
+            ),
+        ));
+    }
+
+    /// Is this `let` initializer a lock acquisition (possibly wrapped in
+    /// `unwrap`/`expect`/`unwrap_or_else`/`map_err`/`?`)? Returns the
+    /// lock's identity when so — the binding becomes a live guard.
+    fn lock_id_of(&self, e: &Expr) -> Option<String> {
+        match e {
+            Expr::Method { recv, name, .. } if name == "lock" => Some(self.chain_id(recv)),
+            Expr::Call { path, args, .. }
+                if path.last().is_some_and(|n| n == "lock") && args.len() == 1 =>
+            {
+                Some(self.chain_id(&args[0]))
+            }
+            Expr::Method { recv, name, .. }
+                if matches!(
+                    name.as_str(),
+                    "unwrap" | "expect" | "unwrap_or_else" | "unwrap_or" | "map_err"
+                ) =>
+            {
+                self.lock_id_of(recv)
+            }
+            Expr::Try { inner, .. } => self.lock_id_of(inner),
+            _ => None,
+        }
+    }
+
+    /// The lock identity of a receiver/argument chain: its last field
+    /// segment, or the variable itself, with `self` resolved to the
+    /// `impl` type.
+    fn chain_id(&self, e: &Expr) -> String {
+        match e {
+            Expr::Field { name, .. } => name.clone(),
+            Expr::Var(n, _) if n == "self" => {
+                self.impl_type.clone().unwrap_or_else(|| n.clone())
+            }
+            Expr::Var(n, _) => n.clone(),
+            Expr::Index { recv, .. }
+            | Expr::Method { recv, .. }
+            | Expr::Try { inner: recv, .. } => self.chain_id(recv),
+            Expr::Call { path, .. } | Expr::Path(path, _) => {
+                path.last().cloned().unwrap_or_else(|| "lock".into())
+            }
+            _ => "lock".into(),
+        }
+    }
+}
+
+/// Is this expression a lock acquisition (method or helper form)?
+fn is_lock_acq(e: &Expr) -> bool {
+    match e {
+        Expr::Method { name, .. } => name == "lock",
+        Expr::Call { path, args, .. } => {
+            path.last().is_some_and(|n| n == "lock") && args.len() == 1
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context;
+    use crate::lexer::{lex, Token};
+    use crate::symbols::SymbolTable;
+
+    struct Owned {
+        path: String,
+        crate_name: String,
+        tokens: Vec<Token>,
+        ctx: crate::context::FileContext,
+    }
+
+    fn prep(files: &[(&str, &str)]) -> Vec<Owned> {
+        files
+            .iter()
+            .map(|(path, src)| {
+                let tokens = lex(src);
+                let ctx = context::analyze(&tokens);
+                Owned {
+                    path: (*path).to_string(),
+                    crate_name: "serve".to_string(),
+                    tokens,
+                    ctx,
+                }
+            })
+            .collect()
+    }
+
+    fn run(owned: &[Owned]) -> Vec<Diagnostic> {
+        let data: Vec<FileData<'_>> = owned
+            .iter()
+            .map(|o| FileData {
+                path: &o.path,
+                crate_name: &o.crate_name,
+                tokens: &o.tokens,
+                ctx: &o.ctx,
+            })
+            .collect();
+        let table = SymbolTable::build(&data);
+        rule_r9(&data, &table)
+    }
+
+    #[test]
+    fn lock_unwrap_is_poison_panic() {
+        let owned = prep(&[(
+            "crates/serve/src/state.rs",
+            "fn f(m: &Mutex<u32>) { let g = m.lock().unwrap(); }\n",
+        )]);
+        let d = run(&owned);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("poisoned"));
+    }
+
+    #[test]
+    fn into_inner_recovery_is_clean() {
+        let owned = prep(&[(
+            "crates/serve/src/state.rs",
+            "fn f(m: &Mutex<u32>) {\n\
+                 let g = m.lock().unwrap_or_else(std::sync::PoisonError::into_inner);\n\
+             }\n",
+        )]);
+        assert!(run(&owned).is_empty());
+    }
+
+    #[test]
+    fn inconsistent_order_fires_at_both_sites() {
+        let owned = prep(&[(
+            "crates/serve/src/state.rs",
+            "impl S {\n\
+                 fn ab(&self) {\n\
+                     let a = lock(&self.alpha);\n\
+                     let b = lock(&self.beta);\n\
+                 }\n\
+                 fn ba(&self) {\n\
+                     let b = lock(&self.beta);\n\
+                     let a = lock(&self.alpha);\n\
+                 }\n\
+             }\n",
+        )]);
+        let d = run(&owned);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d.iter().all(|x| x.message.contains("inconsistent order")));
+        let lines: Vec<u32> = d.iter().map(|x| x.line).collect();
+        assert!(lines.contains(&4) && lines.contains(&8), "{lines:?}");
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let owned = prep(&[(
+            "crates/serve/src/state.rs",
+            "impl S {\n\
+                 fn ab(&self) {\n\
+                     let a = lock(&self.alpha);\n\
+                     let b = lock(&self.beta);\n\
+                 }\n\
+                 fn ab2(&self) {\n\
+                     let a = lock(&self.alpha);\n\
+                     let b = lock(&self.beta);\n\
+                 }\n\
+             }\n",
+        )]);
+        assert!(run(&owned).is_empty());
+    }
+
+    #[test]
+    fn scoped_guard_does_not_nest() {
+        let owned = prep(&[(
+            "crates/serve/src/state.rs",
+            "impl S {\n\
+                 fn f(&self) {\n\
+                     { let a = lock(&self.alpha); a.get(); }\n\
+                     let b = lock(&self.beta);\n\
+                 }\n\
+                 fn g(&self) {\n\
+                     { let b = lock(&self.beta); b.get(); }\n\
+                     let a = lock(&self.alpha);\n\
+                 }\n\
+             }\n",
+        )]);
+        assert!(run(&owned).is_empty(), "scoped guards release before the next lock");
+    }
+
+    #[test]
+    fn io_under_lock_fires() {
+        let owned = prep(&[(
+            "crates/serve/src/server.rs",
+            "fn f(m: &Mutex<u32>, stream: &mut TcpStream) {\n\
+                 let g = lock(m);\n\
+                 stream.write_all(b\"x\");\n\
+             }\n",
+        )]);
+        let d = run(&owned);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("write_all"));
+    }
+
+    #[test]
+    fn io_through_the_guard_is_exempt() {
+        let owned = prep(&[(
+            "crates/trace/src/subscriber.rs",
+            "fn f(m: &Mutex<Out>) {\n\
+                 let inner = lock(m);\n\
+                 inner.out.write_all(b\"x\");\n\
+             }\n",
+        )]);
+        assert!(run(&owned).is_empty());
+    }
+
+    #[test]
+    fn drop_releases_early() {
+        let owned = prep(&[(
+            "crates/serve/src/server.rs",
+            "fn f(m: &Mutex<u32>, stream: &mut TcpStream) {\n\
+                 let g = lock(m);\n\
+                 drop(g);\n\
+                 stream.write_all(b\"x\");\n\
+             }\n",
+        )]);
+        assert!(run(&owned).is_empty());
+    }
+
+    #[test]
+    fn recv_timeout_under_lock_is_allowed() {
+        let owned = prep(&[(
+            "crates/serve/src/server.rs",
+            "fn f(rx: &Mutex<Receiver<J>>) {\n\
+                 let next = {\n\
+                     let guard = rx.lock().unwrap_or_else(std::sync::PoisonError::into_inner);\n\
+                     guard.recv_timeout(POLL)\n\
+                 };\n\
+             }\n",
+        )]);
+        assert!(run(&owned).is_empty());
+    }
+}

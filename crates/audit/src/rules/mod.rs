@@ -1,8 +1,16 @@
-//! The audit rules R1–R7.
+//! The audit rules.
 //!
-//! Each rule is a pure function over one file's token stream plus its
-//! structural [`FileContext`](crate::context::FileContext); suppression
+//! This module holds the per-file structural rules R1–R7: each is a pure
+//! function over one file's token stream plus its structural
+//! [`FileContext`](crate::context::FileContext). The workspace-scoped
+//! dataflow rules live in submodules — [`taint`] (R8), [`locks`] (R9),
+//! [`provenance`] (R10) — and run over the cross-file
+//! [`SymbolTable`](crate::symbols::SymbolTable) instead. Suppression
 //! pragmas are applied by the caller in `lib.rs` so the rules stay simple.
+
+pub mod locks;
+pub mod provenance;
+pub mod taint;
 
 use crate::context::FileContext;
 use crate::diagnostics::{Diagnostic, RuleId};
@@ -73,9 +81,14 @@ pub struct FileInput<'a> {
     pub ctx: &'a FileContext,
 }
 
+/// Is this path binary (CLI) code, exempt from the library-code rules?
+pub(crate) fn is_bin_path(path: &str) -> bool {
+    path.contains("/bin/") || path.ends_with("/main.rs")
+}
+
 impl FileInput<'_> {
     fn is_bin(&self) -> bool {
-        self.path.contains("/bin/") || self.path.ends_with("/main.rs")
+        is_bin_path(self.path)
     }
 
     fn is_model_crate(&self) -> bool {

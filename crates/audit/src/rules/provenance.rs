@@ -1,0 +1,335 @@
+//! R10 — provenance completeness.
+//!
+//! The paper's equations are load-bearing: every `core` model fn whose
+//! doc *leads* with an equation citation ("Eq. 4: …", "Eq.-5 mask-set
+//! cost …") promises that evaluating it emits matching
+//! `provenance!(equation: EqN, …)` records. R10 checks the promise both
+//! ways:
+//!
+//! * **forward** — a public `core` fn whose doc's first line cites
+//!   Eq. N must transitively reach an `EqN` emit over the call graph
+//!   (the emit may live in `fab`/`yield-model`; the cache's replay
+//!   wrappers reach the underlying emitters).
+//! * **reverse** — a `core` fn whose own body emits `EqN` must mention
+//!   Eq. N somewhere in its doc, so the instrumentation is documented
+//!   where it happens.
+//!
+//! Mentions of "Eq." without a digit ("Eq.-provenance stream") are not
+//! citations.
+
+use std::collections::HashSet;
+
+use crate::diagnostics::{Diagnostic, RuleId};
+use crate::parse::{self, Block, Expr};
+use crate::symbols::{FileData, SymbolTable};
+
+/// The crate R10 holds to the citation contract.
+const EQ_CRATE: &str = "core";
+
+/// Runs the provenance-completeness check.
+pub fn rule_r10(files: &[FileData<'_>], table: &SymbolTable) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    // Emits per fn, for every fn in the workspace (reachability may
+    // cross into fab / yield-model).
+    let emits: Vec<HashSet<u8>> = table
+        .fns
+        .iter()
+        .map(|f| f.body.as_ref().map(emitted_eqs).unwrap_or_default())
+        .collect();
+    for (i, f) in table.fns.iter().enumerate() {
+        if f.crate_name != EQ_CRATE {
+            continue;
+        }
+        let path = files[f.file].path;
+        // Forward: leading citation ⇒ reachable emit.
+        if f.is_pub && f.body.is_some() {
+            let cited = leading_citations(&f.doc);
+            if !cited.is_empty() {
+                let reachable = table.reachable(i);
+                let reached: HashSet<u8> =
+                    reachable.iter().flat_map(|&j| emits[j].iter().copied()).collect();
+                for n in cited {
+                    if !reached.contains(&n) {
+                        out.push(diag(
+                            path,
+                            f.line,
+                            format!(
+                                "`{}` cites Eq. {n} but no `provenance!(equation: Eq{n}, …)` \
+                                 emit is reachable from it",
+                                f.name
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        // Reverse: own-body emit ⇒ doc citation.
+        let all_cited = citations(&f.doc);
+        for &n in &emits[i] {
+            if !all_cited.contains(&n) {
+                out.push(diag(
+                    path,
+                    f.line,
+                    format!(
+                        "`{}` emits Eq. {n} provenance but its doc never cites Eq. {n}",
+                        f.name
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+fn diag(path: &str, line: u32, message: String) -> Diagnostic {
+    Diagnostic {
+        file: path.to_string(),
+        line,
+        rule: RuleId::R10,
+        severity: RuleId::R10.severity(),
+        message,
+    }
+}
+
+/// Equation numbers a fn body emits: `provenance!` macro invocations
+/// whose interior names `EqN`, plus `emit(…)` calls passing an `EqN`.
+fn emitted_eqs(body: &Block) -> HashSet<u8> {
+    let mut out = HashSet::new();
+    parse::walk_block(body, &mut |e| match e {
+        Expr::Macro { name, idents, .. } if name == "provenance" => {
+            for id in idents {
+                if let Some(n) = eq_ident(id) {
+                    out.insert(n);
+                }
+            }
+        }
+        Expr::Call { path, args, .. } if path.last().is_some_and(|n| n == "emit") => {
+            for a in args {
+                collect_eq_idents(a, &mut out);
+            }
+        }
+        Expr::Method { name, args, .. } if name == "emit" => {
+            for a in args {
+                collect_eq_idents(a, &mut out);
+            }
+        }
+        _ => {}
+    });
+    out
+}
+
+fn collect_eq_idents(e: &Expr, out: &mut HashSet<u8>) {
+    parse::walk_expr(e, &mut |x| match x {
+        Expr::Var(n, _) => {
+            if let Some(v) = eq_ident(n) {
+                out.insert(v);
+            }
+        }
+        Expr::Path(p, _) => {
+            if let Some(v) = p.last().and_then(|n| eq_ident(n)) {
+                out.insert(v);
+            }
+        }
+        _ => {}
+    });
+}
+
+/// `Eq1`–`Eq7` → the digit.
+fn eq_ident(s: &str) -> Option<u8> {
+    let rest = s.strip_prefix("Eq")?;
+    if rest.len() == 1 {
+        let d = rest.bytes().next()?;
+        if (b'1'..=b'7').contains(&d) {
+            return Some(d - b'0');
+        }
+    }
+    None
+}
+
+/// Equation numbers cited anywhere in a doc comment: an `eq` word
+/// boundary followed (over `.`/`-`/`s`/`(`/space) by a digit 1–7.
+fn citations(doc: &str) -> HashSet<u8> {
+    let mut out = HashSet::new();
+    let lower = doc.to_lowercase();
+    let bytes = lower.as_bytes();
+    let mut i = 0;
+    while let Some(at) = lower[i..].find("eq") {
+        let start = i + at;
+        i = start + 2;
+        // Word boundary on the left: "freq" is not a citation.
+        if start > 0 && bytes[start - 1].is_ascii_alphanumeric() {
+            continue;
+        }
+        let mut j = i;
+        // Optional "uation"/"uations"/"s" suffix, then separators.
+        for suffix in ["uations", "uation", "s"] {
+            if lower[j..].starts_with(suffix) {
+                j += suffix.len();
+                break;
+            }
+        }
+        while j < bytes.len() && matches!(bytes[j], b'.' | b'-' | b'(' | b' ') {
+            j += 1;
+        }
+        if j < bytes.len() && (b'1'..=b'7').contains(&bytes[j]) {
+            // Single-digit equations only; "Eq. 42" is not in the paper.
+            let next_is_digit = bytes.get(j + 1).is_some_and(u8::is_ascii_digit);
+            if !next_is_digit {
+                out.insert(bytes[j] - b'0');
+            }
+        }
+    }
+    out
+}
+
+/// Citations on the doc's *first line*, only when the line leads with
+/// one — the convention that marks a fn as an equation implementation
+/// rather than merely mentioning one.
+fn leading_citations(doc: &str) -> HashSet<u8> {
+    let first = doc.lines().next().unwrap_or("").trim();
+    if !first.to_lowercase().starts_with("eq") {
+        return HashSet::new();
+    }
+    citations(first)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context;
+    use crate::lexer::{lex, Token};
+    use crate::symbols::SymbolTable;
+
+    #[test]
+    fn citation_extraction() {
+        assert_eq!(citations("Eq. 5: spreads fixed costs"), HashSet::from([5]));
+        assert_eq!(citations("Eq.-4 transistor cost"), HashSet::from([4]));
+        assert_eq!(citations("implements equations 3 and also eq (7)"), HashSet::from([3, 7]));
+        assert!(citations("the Eq.-provenance stream").is_empty());
+        assert!(citations("frequency eq8 eq 42").is_empty());
+    }
+
+    #[test]
+    fn leading_citation_requires_the_first_line_to_lead() {
+        assert_eq!(leading_citations("Eq. 4 end to end: breakdown"), HashSet::from([4]));
+        assert!(leading_citations("Computes stuff per Eq. 4").is_empty());
+        assert!(leading_citations("Replays the Eq.-provenance stream").is_empty());
+    }
+
+    struct Owned {
+        path: String,
+        crate_name: String,
+        tokens: Vec<Token>,
+        ctx: crate::context::FileContext,
+    }
+
+    fn prep(files: &[(&str, &str, &str)]) -> Vec<Owned> {
+        files
+            .iter()
+            .map(|(path, krate, src)| {
+                let tokens = lex(src);
+                let ctx = context::analyze(&tokens);
+                Owned {
+                    path: (*path).to_string(),
+                    crate_name: (*krate).to_string(),
+                    tokens,
+                    ctx,
+                }
+            })
+            .collect()
+    }
+
+    fn run(owned: &[Owned]) -> Vec<Diagnostic> {
+        let data: Vec<FileData<'_>> = owned
+            .iter()
+            .map(|o| FileData {
+                path: &o.path,
+                crate_name: &o.crate_name,
+                tokens: &o.tokens,
+                ctx: &o.ctx,
+            })
+            .collect();
+        let table = SymbolTable::build(&data);
+        rule_r10(&data, &table)
+    }
+
+    #[test]
+    fn cited_fn_reaching_emit_transitively_is_clean() {
+        let owned = prep(&[
+            (
+                "crates/core/src/cache.rs",
+                "core",
+                "/// Eq.-5 mask-set cost through the cache.\n\
+                 pub fn mask_set_cost() -> f64 { inner_cost() }\n",
+            ),
+            (
+                "crates/fab/src/mask.rs",
+                "fab",
+                "/// Eq. 5 emitter.\n\
+                 pub fn inner_cost() -> f64 {\n\
+                     provenance!(equation: Eq5, out: 1.0);\n\
+                     1.0\n\
+                 }\n",
+            ),
+        ]);
+        assert!(run(&owned).is_empty());
+    }
+
+    #[test]
+    fn cited_fn_without_reachable_emit_fires() {
+        let owned = prep(&[(
+            "crates/core/src/total.rs",
+            "core",
+            "/// Eq. 5: spreads fixed costs.\n\
+             pub fn amortized() -> f64 { 1.0 }\n",
+        )]);
+        let d = run(&owned);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("cites Eq. 5"));
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn emitting_fn_without_citation_fires() {
+        let owned = prep(&[(
+            "crates/core/src/total.rs",
+            "core",
+            "/// Computes a number.\n\
+             pub fn amortized() -> f64 {\n\
+                 provenance!(equation: Eq5, out: 1.0);\n\
+                 1.0\n\
+             }\n",
+        )]);
+        let d = run(&owned);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("never cites Eq. 5"));
+    }
+
+    #[test]
+    fn non_core_crates_are_out_of_scope() {
+        let owned = prep(&[(
+            "crates/fab/src/mask.rs",
+            "fab",
+            "/// Undocumented emitter.\n\
+             pub fn inner() { provenance!(equation: Eq5, out: 1.0); }\n",
+        )]);
+        assert!(run(&owned).is_empty());
+    }
+
+    #[test]
+    fn wrong_equation_emitted_fires_forward() {
+        let owned = prep(&[(
+            "crates/core/src/total.rs",
+            "core",
+            "/// Eq. 4: breakdown.\n\
+             /// Also emits Eq. 5 records for the mask branch.\n\
+             pub fn breakdown() -> f64 {\n\
+                 provenance!(equation: Eq5, out: 1.0);\n\
+                 1.0\n\
+             }\n",
+        )]);
+        let d = run(&owned);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("cites Eq. 4"), "{d:?}");
+    }
+}

@@ -1,0 +1,38 @@
+//! R8 — untrusted values must be validated before they reach the model.
+//!
+//! The sources, sanitizers, and sinks live in [`crate::dataflow`]; this
+//! module is the thin harness that runs the engine over every
+//! non-binary, non-test function in the workspace and shapes its
+//! findings into diagnostics.
+
+use crate::dataflow::{self, Summary};
+use crate::diagnostics::{Diagnostic, RuleId};
+use crate::symbols::{FileData, SymbolTable};
+
+/// Runs the taint engine over every library fn; one diagnostic per sink
+/// hit.
+pub fn rule_r8(
+    files: &[FileData<'_>],
+    table: &SymbolTable,
+    summaries: &[Summary],
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for f in &table.fns {
+        let path = files[f.file].path;
+        if super::is_bin_path(path) {
+            continue;
+        }
+        let Some(body) = &f.body else { continue };
+        for finding in dataflow::check_fn(table, summaries, &f.crate_name, &f.param_names, body)
+        {
+            out.push(Diagnostic {
+                file: path.to_string(),
+                line: finding.line,
+                rule: RuleId::R8,
+                severity: RuleId::R8.severity(),
+                message: format!("in `{}`: {}", f.name, finding.message),
+            });
+        }
+    }
+    out
+}

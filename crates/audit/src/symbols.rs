@@ -1,0 +1,293 @@
+//! Workspace-wide symbol table and call graph.
+//!
+//! Built once per audit run over every lexed file, this is the substrate
+//! the inter-procedural rules stand on: R8's function summaries resolve
+//! callees here, and R10's provenance reachability walks the call graph.
+//!
+//! Resolution is *name-based*, not type-based: a call `x.foo(…)` edges to
+//! every known fn named `foo`, and `Type::new(…)` prefers fns declared in
+//! an `impl Type` block. That deliberately over-connects the graph —
+//! which keeps reachability checks (R10) permissive and summary lookups
+//! (R8) conservative-but-useful without a type checker.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::context::FileContext;
+use crate::lexer::Token;
+use crate::parse::{self, Block, Expr};
+
+/// One file's inputs to the table (borrowed from the audit pipeline).
+pub struct FileData<'a> {
+    /// Workspace-relative path.
+    pub path: &'a str,
+    /// Owning crate (directory name under `crates/`).
+    pub crate_name: &'a str,
+    /// The file's token stream.
+    pub tokens: &'a [Token],
+    /// The structural pass over it.
+    pub ctx: &'a FileContext,
+}
+
+/// One function in the workspace.
+#[derive(Debug)]
+pub struct FnSym {
+    /// Index of the owning file in the build input.
+    pub file: usize,
+    /// Index into that file's `ctx.fns`.
+    pub fn_idx: usize,
+    /// Bare name.
+    pub name: String,
+    /// `Type::name` when declared in an `impl Type` block.
+    pub qualified: Option<String>,
+    /// Owning crate.
+    pub crate_name: String,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Declared `pub`.
+    pub is_pub: bool,
+    /// Returns `Result`/`Option` (the fallibility signal).
+    pub ret_result: bool,
+    /// Parameter binding names, in order (excluding `self`).
+    pub param_names: Vec<String>,
+    /// Attached doc comment.
+    pub doc: String,
+    /// Parsed body, when the fn has one.
+    pub body: Option<Block>,
+}
+
+/// The workspace symbol table plus its name-resolved call graph.
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    /// Every non-test function with its parsed body.
+    pub fns: Vec<FnSym>,
+    /// Call-graph adjacency: `calls[i]` are the fn indices `fns[i]` may
+    /// invoke (by name resolution).
+    pub calls: Vec<Vec<usize>>,
+    by_name: HashMap<String, Vec<usize>>,
+    by_qualified: HashMap<String, Vec<usize>>,
+}
+
+impl SymbolTable {
+    /// Builds the table and call graph from every file's context.
+    /// Test functions are excluded: they are neither analyzed as library
+    /// code nor valid resolution targets for it.
+    pub fn build(files: &[FileData<'_>]) -> SymbolTable {
+        let mut table = SymbolTable::default();
+        for (file_idx, fd) in files.iter().enumerate() {
+            for (fn_idx, info) in fd.ctx.fns.iter().enumerate() {
+                if info.in_test || info.name.is_empty() {
+                    continue;
+                }
+                let body = info.body.map(|span| parse::parse_body(fd.tokens, span));
+                let qualified = info.impl_type.as_ref().map(|t| format!("{t}::{}", info.name));
+                let idx = table.fns.len();
+                table.by_name.entry(info.name.clone()).or_default().push(idx);
+                if let Some(q) = &qualified {
+                    table.by_qualified.entry(q.clone()).or_default().push(idx);
+                }
+                table.fns.push(FnSym {
+                    file: file_idx,
+                    fn_idx,
+                    name: info.name.clone(),
+                    qualified,
+                    crate_name: fd.crate_name.to_string(),
+                    line: info.line,
+                    is_pub: info.is_pub,
+                    ret_result: info.ret_result,
+                    param_names: info.params.iter().map(|p| p.name.clone()).collect(),
+                    doc: info.doc.clone(),
+                    body,
+                });
+            }
+        }
+        table.calls = table
+            .fns
+            .iter()
+            .map(|f| f.body.as_ref().map(|b| table.callees_of(b)).unwrap_or_default())
+            .collect();
+        table
+    }
+
+    /// Resolves a call path to candidate fn indices. Multi-segment paths
+    /// try the `Type::name` qualification first; anything else falls back
+    /// to the bare name.
+    pub fn resolve_path(&self, path: &[String]) -> &[usize] {
+        if path.len() >= 2 {
+            let q = format!("{}::{}", path[path.len() - 2], path[path.len() - 1]);
+            if let Some(v) = self.by_qualified.get(&q) {
+                return v;
+            }
+        }
+        path.last()
+            .and_then(|n| self.by_name.get(n))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Resolves a bare (method) name.
+    pub fn resolve_name(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Strict resolution for dataflow summaries: a multi-segment path
+    /// must match a known `Type::name` qualification (no bare-name
+    /// fallback — `Config::new` must not borrow `Dollars::new`'s
+    /// summary); a single segment resolves by name.
+    pub fn resolve_call(&self, path: &[String]) -> &[usize] {
+        if path.len() >= 2 {
+            let q = format!("{}::{}", path[path.len() - 2], path[path.len() - 1]);
+            return self.by_qualified.get(&q).map(Vec::as_slice).unwrap_or(&[]);
+        }
+        path.last()
+            .and_then(|n| self.by_name.get(n))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Every callee index a body may invoke: plain calls, method calls,
+    /// and function references passed as values (`JsonValue::as_f64`).
+    fn callees_of(&self, body: &Block) -> Vec<usize> {
+        let mut out: HashSet<usize> = HashSet::new();
+        parse::walk_block(body, &mut |e| match e {
+            Expr::Call { path, .. } => out.extend(self.resolve_path(path).iter().copied()),
+            Expr::Method { name, .. } => out.extend(self.resolve_name(name).iter().copied()),
+            Expr::Path(path, _) => out.extend(self.resolve_path(path).iter().copied()),
+            _ => {}
+        });
+        let mut v: Vec<usize> = out.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The set of fns reachable from `start` (inclusive) over the call
+    /// graph.
+    pub fn reachable(&self, start: usize) -> HashSet<usize> {
+        let mut seen = HashSet::new();
+        let mut queue = VecDeque::new();
+        if start < self.fns.len() {
+            seen.insert(start);
+            queue.push_back(start);
+        }
+        while let Some(i) = queue.pop_front() {
+            for &j in self.calls.get(i).map(Vec::as_slice).unwrap_or(&[]) {
+                if seen.insert(j) {
+                    queue.push_back(j);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context;
+    use crate::lexer::lex;
+
+    struct Owned {
+        path: String,
+        crate_name: String,
+        tokens: Vec<Token>,
+        ctx: FileContext,
+    }
+
+    fn prep(files: &[(&str, &str, &str)]) -> Vec<Owned> {
+        files
+            .iter()
+            .map(|(path, krate, src)| {
+                let tokens = lex(src);
+                let ctx = context::analyze(&tokens);
+                Owned {
+                    path: (*path).to_string(),
+                    crate_name: (*krate).to_string(),
+                    tokens,
+                    ctx,
+                }
+            })
+            .collect()
+    }
+
+    fn build(owned: &[Owned]) -> SymbolTable {
+        let data: Vec<FileData<'_>> = owned
+            .iter()
+            .map(|o| FileData {
+                path: &o.path,
+                crate_name: &o.crate_name,
+                tokens: &o.tokens,
+                ctx: &o.ctx,
+            })
+            .collect();
+        SymbolTable::build(&data)
+    }
+
+    #[test]
+    fn cross_file_calls_resolve() {
+        let owned = prep(&[
+            (
+                "crates/a/src/lib.rs",
+                "a",
+                "pub fn caller() -> f64 { helper(1.0) }\n",
+            ),
+            (
+                "crates/b/src/lib.rs",
+                "b",
+                "pub fn helper(x: f64) -> f64 { x }\n",
+            ),
+        ]);
+        let t = build(&owned);
+        assert_eq!(t.fns.len(), 2);
+        let caller = t.fns.iter().position(|f| f.name == "caller").unwrap();
+        let helper = t.fns.iter().position(|f| f.name == "helper").unwrap();
+        assert_eq!(t.calls[caller], vec![helper]);
+        assert!(t.reachable(caller).contains(&helper));
+    }
+
+    #[test]
+    fn qualified_resolution_prefers_impl_type() {
+        let owned = prep(&[(
+            "crates/u/src/lib.rs",
+            "u",
+            "impl Dollars { pub fn new(v: f64) -> Dollars { Dollars(v) } }\n\
+             impl Cache { pub fn new() -> Cache { Cache }\n\
+                 fn go(&self) { Dollars::new(1.0); } }\n",
+        )]);
+        let t = build(&owned);
+        let path = vec!["Dollars".to_string(), "new".to_string()];
+        let resolved = t.resolve_path(&path);
+        assert_eq!(resolved.len(), 1);
+        assert_eq!(t.fns[resolved[0]].qualified.as_deref(), Some("Dollars::new"));
+    }
+
+    #[test]
+    fn test_fns_are_excluded() {
+        let owned = prep(&[(
+            "crates/a/src/lib.rs",
+            "a",
+            "pub fn live() {}\n#[cfg(test)]\nmod tests { fn helper() {} #[test] fn t() {} }\n",
+        )]);
+        let t = build(&owned);
+        assert_eq!(t.fns.len(), 1);
+        assert_eq!(t.fns[0].name, "live");
+    }
+
+    #[test]
+    fn method_calls_and_fn_refs_edge() {
+        let owned = prep(&[(
+            "crates/a/src/lib.rs",
+            "a",
+            "pub fn as_f64() -> f64 { 0.0 }\n\
+             pub fn go(doc: D) { doc.get(\"k\").and_then(Self::as_f64); }\n\
+             impl M { fn mask_set_cost(&self) { emitit(); } }\n\
+             pub fn emitit() {}\n\
+             pub fn top(m: M) { m.mask_set_cost(); }\n",
+        )]);
+        let t = build(&owned);
+        let go = t.fns.iter().position(|f| f.name == "go").unwrap();
+        let src = t.fns.iter().position(|f| f.name == "as_f64").unwrap();
+        assert!(t.calls[go].contains(&src), "fn ref passed as value edges");
+        let top = t.fns.iter().position(|f| f.name == "top").unwrap();
+        let emit = t.fns.iter().position(|f| f.name == "emitit").unwrap();
+        assert!(t.reachable(top).contains(&emit), "method call edges transitively");
+    }
+}

@@ -4,7 +4,7 @@
 
 use std::path::PathBuf;
 
-use nanocost_audit::{audit_workspace, verdict, Verdict};
+use nanocost_audit::{audit_workspace, verdict, AuditOptions, Verdict};
 
 #[test]
 fn the_workspace_audits_clean_under_deny() {
@@ -12,7 +12,8 @@ fn the_workspace_audits_clean_under_deny() {
         .join("../..")
         .canonicalize()
         .expect("workspace root exists");
-    let diags = audit_workspace(&root).expect("workspace walk succeeds");
+    let diags = audit_workspace(&root, AuditOptions { strict_pragmas: true })
+        .expect("workspace walk succeeds");
     let rendered: Vec<String> = diags.iter().map(|d| d.render_text()).collect();
     assert_eq!(
         verdict(&diags, true),

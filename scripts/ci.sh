@@ -14,8 +14,37 @@ cargo test -q
 echo "==> workspace tests: cargo test -q --workspace"
 cargo test -q --workspace
 
-echo "==> nanocost-audit --deny"
-cargo run -q --release -p nanocost-audit -- --deny
+echo "==> nanocost-audit --deny --strict-pragmas (budget: ${NANOCOST_AUDIT_BUDGET_S:-90}s)"
+# The analyzer is on the merge path, so its wall clock is a gate too:
+# a workspace-wide audit (lex, parse, symbol table, dataflow fixpoint)
+# that cannot finish inside the budget is a regression in its own right.
+AUDIT_T0=$(date +%s)
+cargo run -q --release -p nanocost-audit -- --deny --strict-pragmas
+AUDIT_T1=$(date +%s)
+AUDIT_ELAPSED=$((AUDIT_T1 - AUDIT_T0))
+if (( AUDIT_ELAPSED > ${NANOCOST_AUDIT_BUDGET_S:-90} )); then
+    echo "ci: FAIL: nanocost-audit took ${AUDIT_ELAPSED}s (budget ${NANOCOST_AUDIT_BUDGET_S:-90}s)" >&2
+    exit 1
+fi
+
+echo "==> nanocost-audit negative gate: seeded fixtures must fire"
+# The inverse check: run the analyzer over the seeded-bug mini-workspace
+# and demand it still reports every rule family and exits nonzero. A
+# pass here with an empty report means the analyzer has gone blind.
+SEEDED_OUT=target/ci-audit-seeded.txt
+if cargo run -q --release -p nanocost-audit -- \
+    --root crates/audit/fixtures/seeded --deny >"$SEEDED_OUT" 2>&1; then
+    echo "ci: FAIL: audit of the seeded fixture workspace exited 0" >&2
+    cat "$SEEDED_OUT" >&2
+    exit 1
+fi
+for rule in R8 R9 R10; do
+    if ! grep -q "\[$rule\]" "$SEEDED_OUT"; then
+        echo "ci: FAIL: seeded fixtures did not trip $rule:" >&2
+        cat "$SEEDED_OUT" >&2
+        exit 1
+    fi
+done
 
 echo "==> timeline smoke: figure4 under NANOCOST_TRACE=jsonl + sampling"
 TRACE_OUT=target/ci-trace.jsonl
