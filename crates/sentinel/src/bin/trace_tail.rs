@@ -8,6 +8,7 @@
 //! trace_tail --once <capture.jsonl>           # one frame, then exit (CI)
 //! trace_tail --interval-ms 500 --window-s 10 --width 60 <capture.jsonl>
 //! trace_tail --frames 20 <capture.jsonl>      # render 20 frames, then exit
+//! trace_tail --attach 127.0.0.1:8077          # live-attach to nanocost-serve
 //! ```
 //!
 //! Each frame shows, per metric: a unicode-block sparkline of the
@@ -17,21 +18,30 @@
 //! trailing lines are buffered until their newline arrives, so a
 //! half-written record is never misparsed.
 //!
+//! `--attach <url>` replaces the file with a running `nanocost-serve`:
+//! each frame scrapes `GET /v1/metrics`, converts the per-endpoint
+//! quantiles, cumulative counters, and cache hit rate into timeline
+//! samples, and renders the same dashboard — plus a footer linking each
+//! endpoint's p99 exemplar to its fetchable `/v1/trace/<req-id>`.
+//!
 //! Exit code 0 on success, 2 on usage or I/O errors.
 
-use std::io::{IsTerminal, Read, Seek, SeekFrom};
+use std::io::{IsTerminal, Read, Seek, SeekFrom, Write as _};
 use std::process::ExitCode;
 use std::time::Duration;
 
 use nanocost_sentinel::timeline::Dashboard;
-use nanocost_sentinel::SentinelError;
+use nanocost_sentinel::{json, SentinelError};
 
 const USAGE: &str = "usage: trace_tail [--once] [--frames N] [--interval-ms N] \
-                     [--window-s S] [--width N] <capture.jsonl>";
+                     [--window-s S] [--width N] (<capture.jsonl> | --attach <host:port>)";
 
 /// Parsed command line.
 struct Options {
+    /// Capture file to follow; empty when `--attach` is used.
     path: String,
+    /// `host:port` of a live server to scrape instead of a file.
+    attach: Option<String>,
     interval: Duration,
     window_ns: u64,
     width: usize,
@@ -50,6 +60,7 @@ fn parse_args(argv: &[String]) -> Result<Options, String> {
     let mut width: usize = 40;
     let mut frames: Option<u64> = None;
     let mut path: Option<&str> = None;
+    let mut attach: Option<String> = None;
     let mut args = argv.iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -58,6 +69,10 @@ fn parse_args(argv: &[String]) -> Result<Options, String> {
             "--interval-ms" => interval_ms = parse_num("--interval-ms", args.next())?,
             "--window-s" => window_s = parse_num("--window-s", args.next())?,
             "--width" => width = parse_num("--width", args.next())?,
+            "--attach" => {
+                let url = args.next().ok_or_else(|| format!("--attach needs a URL\n{USAGE}"))?;
+                attach = Some(parse_attach_target(url)?);
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag `{other}`\n{USAGE}"))
@@ -70,17 +85,38 @@ fn parse_args(argv: &[String]) -> Result<Options, String> {
             }
         }
     }
-    let path = path.ok_or_else(|| USAGE.to_string())?.to_string();
+    let path = match (&attach, path) {
+        (Some(_), Some(_)) => {
+            return Err(format!("--attach replaces the capture file\n{USAGE}"))
+        }
+        (Some(_), None) => String::new(),
+        (None, p) => p.ok_or_else(|| USAGE.to_string())?.to_string(),
+    };
     if !window_s.is_finite() || window_s <= 0.0 {
         return Err(format!("--window-s must be positive\n{USAGE}"));
     }
     Ok(Options {
         path,
+        attach,
         interval: Duration::from_millis(interval_ms),
         window_ns: (window_s * 1.0e9) as u64,
         width,
         frames,
     })
+}
+
+/// Normalizes an `--attach` target to `host:port`: accepts a bare
+/// `host:port` or an `http://host:port[/...]` URL.
+fn parse_attach_target(url: &str) -> Result<String, String> {
+    let stripped = url.strip_prefix("http://").unwrap_or(url);
+    let host_port = stripped.split('/').next().unwrap_or_default();
+    let (host, port) = host_port
+        .rsplit_once(':')
+        .ok_or_else(|| format!("--attach {url}: expected host:port\n{USAGE}"))?;
+    if host.is_empty() || port.parse::<u16>().is_err() {
+        return Err(format!("--attach {url}: expected host:port\n{USAGE}"));
+    }
+    Ok(host_port.to_string())
 }
 
 /// Poll-and-seek follower: reads whatever grew past `offset`, splits it
@@ -118,9 +154,7 @@ impl Follower {
             .seek(SeekFrom::Start(self.offset))
             .map_err(|e| format!("seek failed: {e}"))?;
         let mut grown = String::new();
-        let read = self
-            .file
-            .by_ref()
+        let read = Read::by_ref(&mut self.file)
             .take(len - self.offset)
             .read_to_string(&mut grown)
             .map_err(|e| format!("read failed: {e}"))?;
@@ -136,18 +170,128 @@ impl Follower {
     }
 }
 
+/// One scrape of a live server's `/v1/metrics`: raw HTTP over a
+/// `TcpStream` (the same zero-dependency exchange `loadgen` uses).
+fn fetch_metrics(target: &str) -> Result<String, String> {
+    let mut stream = std::net::TcpStream::connect(target)
+        .map_err(|e| format!("connect {target}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .map_err(|e| format!("set timeout: {e}"))?;
+    write!(
+        stream,
+        "GET /v1/metrics HTTP/1.1\r\nHost: {target}\r\nConnection: close\r\n\r\n"
+    )
+    .map_err(|e| format!("write {target}: {e}"))?;
+    let mut response = Vec::new();
+    stream
+        .read_to_end(&mut response)
+        .map_err(|e| format!("read {target}: {e}"))?;
+    let text = String::from_utf8_lossy(&response);
+    let status: u16 = text
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    if status != 200 {
+        return Err(format!("{target}/v1/metrics answered {status}"));
+    }
+    text.split_once("\r\n\r\n")
+        .map(|(_, body)| body.to_string())
+        .ok_or_else(|| format!("{target}: malformed HTTP response"))
+}
+
+/// Converts one `/v1/metrics` scrape into timeline sample lines the
+/// dashboard ingests, plus the exemplar footer. Gauges carry the
+/// quantiles and cache hit rate; counters carry the cumulative totals
+/// (the dashboard derives rates from consecutive scrapes itself).
+fn scrape_to_samples(body: &str) -> Result<(Vec<String>, Vec<String>), String> {
+    let doc = json::parse(body).map_err(|e| format!("metrics scrape is not JSON: {e}"))?;
+    let t_ns = doc
+        .get("t_ns")
+        .and_then(json::JsonValue::as_u64)
+        .ok_or("metrics scrape has no t_ns (server too old for --attach?)")?;
+    let sample = |name: &str, kind: &str, value: f64| {
+        format!(
+            "{{\"ts_us\":{},\"thread\":0,\"type\":\"sample\",\"name\":\"{name}\",\
+             \"metric_kind\":\"{kind}\",\"t_ns\":{t_ns},\"value\":{value:e}}}",
+            t_ns / 1_000
+        )
+    };
+    let mut lines = Vec::new();
+    let mut footer = Vec::new();
+    if let Some(json::JsonValue::Obj(counters)) = doc.get("counters") {
+        for (key, value) in counters {
+            if let Some(v) = value.as_f64() {
+                lines.push(sample(&format!("serve.{key}"), "counter", v));
+            }
+        }
+    }
+    if let Some(json::JsonValue::Obj(endpoints)) = doc.get("endpoints") {
+        for (endpoint, stats) in endpoints {
+            for q in ["p50_us", "p99_us"] {
+                if let Some(v) = stats.get(q).and_then(json::JsonValue::as_f64) {
+                    lines.push(sample(&format!("serve.{endpoint}.{q}"), "gauge", v));
+                }
+            }
+            if let Some(v) = stats.get("count").and_then(json::JsonValue::as_f64) {
+                lines.push(sample(&format!("serve.{endpoint}.requests"), "counter", v));
+            }
+            if let Some(e) = stats.get("p99_exemplar") {
+                if let (Some(req_id), Some(value)) = (
+                    e.get("req_id").and_then(json::JsonValue::as_str),
+                    e.get("value_us").and_then(json::JsonValue::as_f64),
+                ) {
+                    footer.push(format!(
+                        "p99 exemplar {endpoint}: {req_id} @ {value:.1}us  \
+                         (GET /v1/trace/{req_id})"
+                    ));
+                }
+            }
+        }
+    }
+    if let Some(v) = doc
+        .get("cache")
+        .and_then(|c| c.get("hit_rate"))
+        .and_then(json::JsonValue::as_f64)
+    {
+        lines.push(sample("serve.cache.hit_rate", "gauge", v));
+    }
+    Ok((lines, footer))
+}
+
 fn run(opts: &Options) -> Result<(), String> {
-    let mut follower = Follower::open(&opts.path)?;
+    let mut follower = match &opts.attach {
+        None => Some(Follower::open(&opts.path)?),
+        Some(_) => None,
+    };
     let mut dashboard = Dashboard::new(opts.window_ns);
     let clear = std::io::stdout().is_terminal();
     let mut rendered = 0u64;
     loop {
-        follower.drain_into(&mut dashboard)?;
-        let frame = dashboard.render(opts.width);
+        let mut footer = Vec::new();
+        match (&mut follower, &opts.attach) {
+            (Some(f), _) => {
+                f.drain_into(&mut dashboard)?;
+            }
+            (None, Some(target)) => {
+                let body = fetch_metrics(target)?;
+                let (lines, exemplars) = scrape_to_samples(&body)?;
+                for line in &lines {
+                    dashboard.ingest_line(line);
+                }
+                footer = exemplars;
+            }
+            (None, None) => return Err(USAGE.to_string()),
+        }
+        let mut frame = dashboard.render(opts.width);
+        for line in &footer {
+            frame.push_str(line);
+            frame.push('\n');
+        }
         if clear {
             // ANSI home + clear-below keeps a live terminal stable.
             print!("\u{1b}[H\u{1b}[J{frame}");
-            use std::io::Write;
             let _ = std::io::stdout().flush();
         } else {
             print!("{frame}\n");
@@ -194,6 +338,50 @@ mod tests {
         assert!(parse_args(&args(&["--window-s", "0", "x"])).is_err());
         assert!(parse_args(&args(&["--frames", "abc", "x"])).is_err());
         assert!(parse_args(&args(&["--bogus", "x"])).is_err());
+    }
+
+    #[test]
+    fn attach_targets_normalize_and_exclude_the_capture_file() {
+        let o = parse_args(&args(&["--attach", "http://127.0.0.1:8077/v1/metrics"]))
+            .expect("parses");
+        assert_eq!(o.attach.as_deref(), Some("127.0.0.1:8077"));
+        assert!(o.path.is_empty());
+        let o = parse_args(&args(&["--attach", "localhost:9"])).expect("parses");
+        assert_eq!(o.attach.as_deref(), Some("localhost:9"));
+        assert!(parse_args(&args(&["--attach", "no-port"])).is_err());
+        assert!(parse_args(&args(&["--attach", ":8077"])).is_err());
+        assert!(
+            parse_args(&args(&["--attach", "h:1", "cap.jsonl"])).is_err(),
+            "--attach and a capture file are mutually exclusive"
+        );
+    }
+
+    #[test]
+    fn metrics_scrapes_become_dashboard_samples() {
+        let body = "{\"schema\":2,\"uptime_s\":1e0,\"t_ns\":5000000,\"requests\":3,\
+                    \"counters\":{\"requests_total\":3,\"shed_total\":1,\"trace_ring_evicted\":0},\
+                    \"endpoints\":{\"cost\":{\"count\":3,\"min_us\":1e1,\"max_us\":3e1,\
+                    \"mean_us\":2e1,\"p50_us\":2e1,\"p90_us\":3e1,\"p99_us\":3e1,\"p999_us\":3e1,\
+                    \"p99_exemplar\":{\"req_id\":\"r2\",\"value_us\":3e1,\"t_ns\":4000000}}},\
+                    \"cache\":{\"hits\":2,\"misses\":1,\"entries\":1,\"capacity\":64,\
+                    \"hit_rate\":6.6e-1}}";
+        let (lines, footer) = scrape_to_samples(body).expect("scrape converts");
+        let mut d = Dashboard::new(1_000_000_000);
+        for line in &lines {
+            d.ingest_line(line);
+        }
+        assert_eq!(d.parse_errors, 0, "every synthesized line must parse");
+        assert_eq!(d.live_metrics(), lines.len(), "one series per line");
+        let frame = d.render(40);
+        assert!(frame.contains("serve.cost.p99_us"), "{frame}");
+        assert!(frame.contains("serve.shed_total"), "{frame}");
+        assert!(frame.contains("serve.cache.hit_rate"), "{frame}");
+        assert_eq!(footer.len(), 1);
+        assert!(footer[0].contains("r2"), "{}", footer[0]);
+        assert!(footer[0].contains("/v1/trace/r2"), "{}", footer[0]);
+        // A scrape without t_ns (pre-schema-2 server) is a clean error.
+        assert!(scrape_to_samples("{\"uptime_s\":1e0}").is_err());
+        assert!(scrape_to_samples("not json").is_err());
     }
 
     #[test]

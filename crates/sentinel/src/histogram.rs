@@ -31,6 +31,30 @@ const F64_EXP_BIAS: i64 = 1023;
 /// Number of explicit mantissa bits in an `f64`.
 const F64_MANTISSA_BITS: u32 = 52;
 
+/// One concrete observation retained for a bucket: the request that
+/// produced it, the exact value, and when it was recorded. Exemplars
+/// turn an anonymous quantile into a drill-down: the p99 bucket's
+/// exemplar names a `req_id` whose full trace can be fetched from the
+/// query server's `/v1/trace/<req-id>` endpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Exemplar {
+    /// The request the observation was made on behalf of.
+    pub req_id: String,
+    /// The exact observed value (not the bucket midpoint).
+    pub value: f64,
+    /// Nanoseconds since the process trace epoch at observation time.
+    pub t_ns: u64,
+}
+
+impl Exemplar {
+    /// Keep-latest ordering: `self` should be replaced by `other` when
+    /// `other` is newer, with the `req_id` as a deterministic tiebreak
+    /// so merging is commutative even at equal timestamps.
+    fn superseded_by(&self, other: &Exemplar) -> bool {
+        (other.t_ns, other.req_id.as_str()) > (self.t_ns, self.req_id.as_str())
+    }
+}
+
 /// A mergeable log-linear histogram over positive `f64` samples with
 /// percentile queries of bounded relative error.
 ///
@@ -58,6 +82,10 @@ pub struct LogHistogram {
     min: f64,
     /// Exact maximum recorded sample.
     max: f64,
+    /// Per-bucket exemplars (most recent observation per bucket), kept
+    /// to the side of the count table: recording with or without
+    /// exemplars yields byte-identical quantile answers.
+    exemplars: BTreeMap<i64, Exemplar>,
 }
 
 impl Default for LogHistogram {
@@ -73,6 +101,7 @@ impl Default for LogHistogram {
             sum: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
+            exemplars: BTreeMap::new(),
         })
     }
 }
@@ -103,6 +132,7 @@ impl LogHistogram {
             sum: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
+            exemplars: BTreeMap::new(),
         })
     }
 
@@ -138,6 +168,75 @@ impl LogHistogram {
             Some(idx) => *self.buckets.entry(idx).or_insert(0) += n,
             None => self.underflow += n,
         }
+    }
+
+    /// Records one sample and retains it as its bucket's exemplar when
+    /// it is the newest observation that bucket has seen (keep-latest
+    /// by `t_ns`, `req_id` as the deterministic tiebreak). The count
+    /// table is updated exactly as [`Self::record`] would — exemplars
+    /// never alter quantile math. Non-finite and non-positive samples
+    /// update the counts only; the underflow bucket keeps no exemplar.
+    pub fn record_exemplar(&mut self, v: f64, req_id: &str, t_ns: u64) {
+        self.record(v);
+        if !v.is_finite() {
+            return;
+        }
+        if let Some(idx) = self.bucket_index(v) {
+            let candidate = Exemplar { req_id: req_id.to_string(), value: v, t_ns };
+            match self.exemplars.get_mut(&idx) {
+                Some(existing) => {
+                    if existing.superseded_by(&candidate) {
+                        *existing = candidate;
+                    }
+                }
+                None => {
+                    self.exemplars.insert(idx, candidate);
+                }
+            }
+        }
+    }
+
+    /// All retained exemplars in bucket order (ascending value range).
+    pub fn exemplars(&self) -> impl Iterator<Item = &Exemplar> {
+        self.exemplars.values()
+    }
+
+    /// The exemplar attached to the bucket holding quantile `q`'s rank,
+    /// falling back to the nearest bucket (by index distance, ties to
+    /// the lower bucket) that retained one. `None` when the histogram
+    /// is empty or no exemplar was ever recorded.
+    ///
+    /// This is the metrics-to-trace pivot: `quantile_exemplar(0.99)`
+    /// names a request whose latency landed in (or next to) the p99
+    /// bucket, and whose full trace the server can replay.
+    #[must_use]
+    pub fn quantile_exemplar(&self, q: f64) -> Option<&Exemplar> {
+        if self.count == 0 || self.exemplars.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        // Walk the count table to the bucket holding the rank (the
+        // underflow ranks pivot on the lowest populated bucket).
+        let mut target = None;
+        let mut seen = self.underflow;
+        if rank > self.underflow {
+            for (&idx, &n) in &self.buckets {
+                seen += n;
+                if seen >= rank {
+                    target = Some(idx);
+                    break;
+                }
+            }
+        }
+        let target = target.or_else(|| self.buckets.keys().next().copied())?;
+        if let Some(hit) = self.exemplars.get(&target) {
+            return Some(hit);
+        }
+        self.exemplars
+            .iter()
+            .min_by_key(|(idx, _)| (idx.abs_diff(target), **idx))
+            .map(|(_, e)| e)
     }
 
     /// Total recorded samples (including underflow).
@@ -246,6 +345,20 @@ impl LogHistogram {
         }
         for (&idx, &n) in &other.buckets {
             *self.buckets.entry(idx).or_insert(0) += n;
+        }
+        // Exemplars keep the newest observation per bucket, so merge
+        // order cannot change which exemplar survives.
+        for (&idx, theirs) in &other.exemplars {
+            match self.exemplars.get_mut(&idx) {
+                Some(ours) => {
+                    if ours.superseded_by(theirs) {
+                        *ours = theirs.clone();
+                    }
+                }
+                None => {
+                    self.exemplars.insert(idx, theirs.clone());
+                }
+            }
         }
         self.underflow += other.underflow;
         self.count += other.count;
@@ -405,6 +518,54 @@ mod tests {
         let mut a = LogHistogram::with_grid(32).expect("valid grid");
         let b = LogHistogram::with_grid(64).expect("valid grid");
         assert!(matches!(a.merge(&b), Err(SentinelError::GridMismatch(32, 64))));
+    }
+
+    #[test]
+    fn exemplars_keep_latest_per_bucket_and_fall_back_to_nearest() {
+        let mut h = LogHistogram::new();
+        h.record_exemplar(100.0, "r1", 10);
+        h.record_exemplar(100.0, "r2", 20); // same bucket, newer: wins
+        h.record_exemplar(100.0, "r0", 15); // same bucket, older: loses
+        let hit = h.quantile_exemplar(0.5).expect("bucket has an exemplar");
+        assert_eq!(hit.req_id, "r2");
+        assert_eq!(hit.value, 100.0);
+        assert_eq!(hit.t_ns, 20);
+        // A plain record into a far bucket leaves that bucket without
+        // an exemplar; queries there fall back to the nearest one.
+        for _ in 0..1_000 {
+            h.record(100_000.0);
+        }
+        let p99 = h.quantile_exemplar(0.99).expect("fallback exemplar");
+        assert_eq!(p99.req_id, "r2");
+        assert_eq!(h.exemplars().count(), 1);
+    }
+
+    #[test]
+    fn exemplar_timestamp_tie_breaks_on_req_id_for_commutativity() {
+        let mut a = LogHistogram::new();
+        a.record_exemplar(5.0, "ra", 7);
+        let mut b = LogHistogram::new();
+        b.record_exemplar(5.0, "rb", 7);
+        let mut ab = a.clone();
+        ab.merge(&b).expect("same grid");
+        let mut ba = b.clone();
+        ba.merge(&a).expect("same grid");
+        assert_eq!(
+            ab.quantile_exemplar(0.5),
+            ba.quantile_exemplar(0.5),
+            "merge order must not decide the surviving exemplar"
+        );
+        assert_eq!(ab.quantile_exemplar(0.5).map(|e| e.req_id.as_str()), Some("rb"));
+    }
+
+    #[test]
+    fn underflow_and_nonfinite_keep_no_exemplar() {
+        let mut h = LogHistogram::new();
+        h.record_exemplar(-1.0, "neg", 1);
+        h.record_exemplar(f64::NAN, "nan", 2);
+        assert_eq!(h.count(), 1, "NaN ignored, underflow counted");
+        assert!(h.quantile_exemplar(0.5).is_none());
+        assert!(h.exemplars().next().is_none());
     }
 
     #[test]

@@ -8,8 +8,14 @@
 //! deliberately dependency-free so every other crate may depend on it:
 //!
 //! - [`histogram::LogHistogram`] — HDR-style log-linear histogram with a
-//!   bounded relative error and lossless merging; backs the
-//!   `nanocost-trace` metric summaries (p50/p90/p99/p99.9).
+//!   bounded relative error, lossless merging, and per-bucket
+//!   [`histogram::Exemplar`]s (the most recent `(req_id, value, t_ns)`
+//!   per bucket) that pivot an anonymous p99 to a fetchable request
+//!   trace; backs the `nanocost-trace` metric summaries
+//!   (p50/p90/p99/p99.9) and the serve endpoint latency tables.
+//! - [`slo`] — dual-window (fast/slow) SLO burn-rate evaluation over
+//!   cumulative good/bad snapshots; backs the query server's
+//!   `GET /v1/health` verdict and loadgen's soak pass/fail criteria.
 //! - [`stats::mann_whitney`] — rank-based two-sample test used by the
 //!   `bench_diff` bin to separate real latency shifts from noise.
 //! - [`bench`] — parsing and statistical diffing of
@@ -32,10 +38,12 @@ pub mod fingerprint;
 pub mod histogram;
 pub mod json;
 pub mod profile;
+pub mod slo;
 pub mod stats;
 pub mod timeline;
 
-pub use histogram::LogHistogram;
+pub use histogram::{Exemplar, LogHistogram};
+pub use slo::{BurnReport, BurnWindows, Objective, SloMonitor};
 pub use stats::{mann_whitney, MannWhitney, MIN_SAMPLES};
 
 use std::fmt;
@@ -69,6 +77,8 @@ pub enum SentinelError {
         /// The OS error text.
         message: String,
     },
+    /// An SLO monitor was configured with impossible parameters.
+    SloConfig(String),
 }
 
 impl fmt::Display for SentinelError {
@@ -89,6 +99,7 @@ impl fmt::Display for SentinelError {
                 write!(f, "schema error on line {line}: {message}")
             }
             SentinelError::Io { path, message } => write!(f, "{path}: {message}"),
+            SentinelError::SloConfig(message) => write!(f, "bad SLO configuration: {message}"),
         }
     }
 }

@@ -1,0 +1,417 @@
+//! Dual-window SLO burn-rate evaluation.
+//!
+//! An objective ("99 % of requests finish under the latency threshold",
+//! "95 % of connections are not shed") has an error budget of
+//! `1 - target`. The **burn rate** over a time window is the observed
+//! bad fraction divided by that budget: burn 1.0 spends the budget
+//! exactly at the sustainable pace, burn 10 spends a month's budget in
+//! three days. Alerting on a single window forces a bad trade — a short
+//! window pages on blips, a long one pages an hour late — so the
+//! standard practice (Google SRE workbook, ch. 5) is to require **both**
+//! a fast window (default 1 min — is it burning *now*?) and a slow
+//! window (default 30 min — has it burned *enough to matter*?) to
+//! exceed the threshold before firing.
+//!
+//! [`SloMonitor`] implements this over *cumulative* good/bad counters:
+//! the caller feeds monotone snapshots ([`SloMonitor::observe`]), the
+//! monitor keeps a pruned ring of them, and [`SloMonitor::report`]
+//! differences the ring against each window's start to produce the two
+//! burn rates and the firing verdict. The query server evaluates one
+//! monitor per objective on `GET /v1/health` (200 when no objective
+//! fires, 503 otherwise) and `loadgen` applies the same thresholds as
+//! its soak pass/fail criteria.
+
+use std::collections::VecDeque;
+
+use crate::SentinelError;
+
+/// One service-level objective: a name and the target good fraction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Objective {
+    /// Stable identifier, e.g. `latency_p99` or `shed_rate`.
+    pub name: String,
+    /// Target good fraction in `(0, 1)`; the error budget is `1 - target`.
+    pub target: f64,
+}
+
+/// The window pair and firing threshold for burn-rate evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurnWindows {
+    /// Fast window in nanoseconds (default 1 min): is it burning now?
+    pub fast_ns: u64,
+    /// Slow window in nanoseconds (default 30 min): has enough burned?
+    pub slow_ns: u64,
+    /// Both windows' burn rates must exceed this to fire.
+    pub max_burn: f64,
+}
+
+impl Default for BurnWindows {
+    fn default() -> Self {
+        BurnWindows {
+            fast_ns: 60 * 1_000_000_000,
+            slow_ns: 30 * 60 * 1_000_000_000,
+            max_burn: 2.0,
+        }
+    }
+}
+
+/// One cumulative snapshot: totals as of `t_ns`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct Snapshot {
+    t_ns: u64,
+    good: u64,
+    bad: u64,
+}
+
+/// The verdict for one objective at one evaluation instant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BurnReport {
+    /// The objective's name.
+    pub name: String,
+    /// The objective's target good fraction.
+    pub target: f64,
+    /// Burn rate over the fast window (0 when the window saw nothing).
+    pub fast_burn: f64,
+    /// Burn rate over the slow window (0 when the window saw nothing).
+    pub slow_burn: f64,
+    /// The configured firing threshold.
+    pub max_burn: f64,
+    /// `true` when both windows exceed `max_burn`.
+    pub firing: bool,
+    /// Lifetime good events (last snapshot's cumulative total).
+    pub good: u64,
+    /// Lifetime bad events (last snapshot's cumulative total).
+    pub bad: u64,
+}
+
+/// Rolling burn-rate state for one objective (see the module docs).
+#[derive(Debug, Clone)]
+pub struct SloMonitor {
+    objective: Objective,
+    windows: BurnWindows,
+    /// Snapshot ring, oldest first; pruned to the slow window plus one
+    /// baseline point at or before its left edge.
+    points: VecDeque<Snapshot>,
+    /// Snapshots closer together than this coalesce in place, bounding
+    /// the ring at ~64 points per fast window regardless of load.
+    resolution_ns: u64,
+}
+
+impl SloMonitor {
+    /// Builds a monitor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SentinelError::SloConfig`] when `target` is outside
+    /// `(0, 1)`, a window is zero, the fast window is not shorter than
+    /// the slow one, or `max_burn` is not a positive finite number.
+    pub fn new(objective: Objective, windows: BurnWindows) -> Result<Self, SentinelError> {
+        if !(objective.target > 0.0 && objective.target < 1.0) {
+            return Err(SentinelError::SloConfig(format!(
+                "target must be in (0, 1), got {}",
+                objective.target
+            )));
+        }
+        if windows.fast_ns == 0 || windows.fast_ns >= windows.slow_ns {
+            return Err(SentinelError::SloConfig(format!(
+                "need 0 < fast window < slow window, got {} vs {} ns",
+                windows.fast_ns, windows.slow_ns
+            )));
+        }
+        if !(windows.max_burn > 0.0 && windows.max_burn.is_finite()) {
+            return Err(SentinelError::SloConfig(format!(
+                "max_burn must be positive and finite, got {}",
+                windows.max_burn
+            )));
+        }
+        let resolution_ns = (windows.fast_ns / 64).max(1);
+        Ok(SloMonitor { objective, windows, points: VecDeque::new(), resolution_ns })
+    }
+
+    /// The objective this monitor evaluates.
+    #[must_use]
+    pub fn objective(&self) -> &Objective {
+        &self.objective
+    }
+
+    /// The window configuration this monitor evaluates with.
+    #[must_use]
+    pub fn windows(&self) -> BurnWindows {
+        self.windows
+    }
+
+    /// Feeds one cumulative snapshot: `good`/`bad` are lifetime totals
+    /// as of `t_ns`. Snapshots must be fed in non-decreasing `t_ns`
+    /// order with non-decreasing totals; a regression in either (a
+    /// restarted counter) resets the ring rather than reporting a
+    /// negative window delta.
+    pub fn observe(&mut self, t_ns: u64, good: u64, bad: u64) {
+        let snap = Snapshot { t_ns, good, bad };
+        if let Some(last) = self.points.back_mut() {
+            if t_ns < last.t_ns || good < last.good || bad < last.bad {
+                self.points.clear();
+            } else if t_ns - last.t_ns < self.resolution_ns {
+                // Coalesce: the newest totals at (almost) the same
+                // instant replace the previous point.
+                last.good = good;
+                last.bad = bad;
+                last.t_ns = t_ns;
+                self.prune(t_ns);
+                return;
+            }
+        }
+        self.points.push_back(snap);
+        self.prune(t_ns);
+    }
+
+    /// Drops points older than the slow window, keeping one point at or
+    /// before the window's left edge as the differencing baseline.
+    fn prune(&mut self, now_ns: u64) {
+        let edge = now_ns.saturating_sub(self.windows.slow_ns);
+        while self.points.len() >= 2 {
+            // Safe by the length guard; avoids a panic path for R1.
+            let (Some(first), Some(second)) = (self.points.front(), self.points.get(1)) else {
+                return;
+            };
+            if first.t_ns < edge && second.t_ns <= edge {
+                self.points.pop_front();
+            } else {
+                return;
+            }
+        }
+    }
+
+    /// The burn rate over the window ending at `now_ns`: bad fraction
+    /// of the events inside the window divided by the error budget. A
+    /// window with no events burns 0 (an idle service is healthy, not
+    /// unknown).
+    fn window_burn(&self, now_ns: u64, window_ns: u64) -> f64 {
+        let Some(last) = self.points.back() else {
+            return 0.0;
+        };
+        let edge = now_ns.saturating_sub(window_ns);
+        // Baseline: the newest point at or before the window's left
+        // edge; a window older than every point starts from zero.
+        let mut baseline = Snapshot::default();
+        for p in &self.points {
+            if p.t_ns <= edge {
+                baseline = *p;
+            } else {
+                break;
+            }
+        }
+        let good = last.good.saturating_sub(baseline.good);
+        let bad = last.bad.saturating_sub(baseline.bad);
+        let total = good + bad;
+        if total == 0 {
+            return 0.0;
+        }
+        let bad_fraction = bad as f64 / total as f64;
+        let budget = 1.0 - self.objective.target;
+        bad_fraction / budget
+    }
+
+    /// Evaluates both windows as of `now_ns`.
+    #[must_use]
+    pub fn report(&self, now_ns: u64) -> BurnReport {
+        let fast_burn = self.window_burn(now_ns, self.windows.fast_ns);
+        let slow_burn = self.window_burn(now_ns, self.windows.slow_ns);
+        let last = self.points.back().copied().unwrap_or_default();
+        BurnReport {
+            name: self.objective.name.clone(),
+            target: self.objective.target,
+            fast_burn,
+            slow_burn,
+            max_burn: self.windows.max_burn,
+            firing: fast_burn > self.windows.max_burn && slow_burn > self.windows.max_burn,
+            good: last.good,
+            bad: last.bad,
+        }
+    }
+}
+
+impl BurnReport {
+    /// Renders the report as a JSON object with a stable key order.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"name\":{},\"target\":{},\"fast_burn\":{},\"slow_burn\":{},\
+             \"max_burn\":{},\"firing\":{},\"good\":{},\"bad\":{}}}",
+            escape_json(&self.name),
+            fmt_f64(self.target),
+            fmt_f64(self.fast_burn),
+            fmt_f64(self.slow_burn),
+            fmt_f64(self.max_burn),
+            self.firing,
+            self.good,
+            self.bad
+        )
+    }
+}
+
+/// Renders a string as a quoted JSON literal (objective names are
+/// static identifiers, but the report must stay valid JSON for any).
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Shortest-roundtrip float rendering that stays valid JSON (never
+/// `NaN`/`inf`, which burn math cannot produce but belts and braces).
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        if s.contains('.') || s.contains('e') || s.contains('E') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S: u64 = 1_000_000_000;
+
+    fn monitor(target: f64) -> SloMonitor {
+        SloMonitor::new(
+            Objective { name: "latency_p99".to_string(), target },
+            BurnWindows { fast_ns: 60 * S, slow_ns: 1_800 * S, max_burn: 2.0 },
+        )
+        .expect("valid config")
+    }
+
+    #[test]
+    fn rejects_bad_configuration() {
+        let windows = BurnWindows::default();
+        let bad_target = |t| {
+            SloMonitor::new(Objective { name: "x".to_string(), target: t }, windows)
+        };
+        assert!(bad_target(0.0).is_err());
+        assert!(bad_target(1.0).is_err());
+        assert!(bad_target(1.5).is_err());
+        assert!(bad_target(0.99).is_ok());
+        let swapped = BurnWindows { fast_ns: 10 * S, slow_ns: 5 * S, max_burn: 2.0 };
+        assert!(SloMonitor::new(Objective { name: "x".to_string(), target: 0.99 }, swapped).is_err());
+        let no_burn = BurnWindows { max_burn: 0.0, ..BurnWindows::default() };
+        assert!(SloMonitor::new(Objective { name: "x".to_string(), target: 0.99 }, no_burn).is_err());
+    }
+
+    #[test]
+    fn idle_monitor_is_healthy() {
+        let m = monitor(0.99);
+        let r = m.report(3_600 * S);
+        assert_eq!(r.fast_burn, 0.0);
+        assert_eq!(r.slow_burn, 0.0);
+        assert!(!r.firing);
+    }
+
+    #[test]
+    fn steady_burn_at_the_budget_is_burn_one() {
+        let mut m = monitor(0.99);
+        // 1 bad per 100 events, continuously: exactly the budget pace.
+        for i in 0..2_000u64 {
+            let t = i * 2 * S;
+            m.observe(t, i * 99, i);
+        }
+        let r = m.report(2_000 * 2 * S);
+        assert!((r.fast_burn - 1.0).abs() < 0.1, "fast {}", r.fast_burn);
+        assert!((r.slow_burn - 1.0).abs() < 0.1, "slow {}", r.slow_burn);
+        assert!(!r.firing, "burn 1.0 must not fire at max_burn 2.0");
+    }
+
+    #[test]
+    fn fires_only_when_both_windows_exceed_max_burn() {
+        let mut m = monitor(0.99);
+        // A long healthy history…
+        let mut good = 0u64;
+        for i in 0..1_700u64 {
+            good += 100;
+            m.observe(i * S, good, 0);
+        }
+        // …then a heavy 10-second 100%-bad spike, large enough that
+        // even diluted across the slow window it overspends the budget.
+        let mut bad = 0u64;
+        for i in 0..10u64 {
+            bad += 10_000;
+            m.observe((1_700 + i) * S, good, bad);
+        }
+        let r = m.report(1_710 * S);
+        assert!(r.fast_burn > m.windows.max_burn, "fast {}", r.fast_burn);
+        assert!(r.slow_burn > m.windows.max_burn, "slow {}", r.slow_burn);
+        assert!(r.firing, "sustained spike fires");
+
+        // The same spike against a 30-minute flood of good traffic
+        // keeps the slow burn under threshold: no firing.
+        let mut m2 = monitor(0.99);
+        let mut good = 0u64;
+        for i in 0..1_799u64 {
+            good += 100_000;
+            m2.observe(i * S, good, 0);
+        }
+        m2.observe(1_799 * S, good, 200_000);
+        let r2 = m2.report(1_800 * S);
+        assert!(r2.fast_burn > m2.windows.max_burn, "fast {}", r2.fast_burn);
+        assert!(r2.slow_burn < m2.windows.max_burn, "slow {}", r2.slow_burn);
+        assert!(!r2.firing, "short blip must not fire");
+    }
+
+    #[test]
+    fn recovery_clears_the_fast_window_first() {
+        let mut m = monitor(0.95);
+        // A bad minute…
+        for i in 0..60u64 {
+            m.observe(i * S, i, i);
+        }
+        // …then five healthy minutes.
+        for i in 60..360u64 {
+            m.observe(i * S, 60 + (i - 60) * 100, 60);
+        }
+        let r = m.report(360 * S);
+        assert_eq!(r.fast_burn, 0.0, "fast window is clean after recovery");
+        assert!(r.slow_burn > 0.0, "slow window still remembers the incident");
+        assert!(!r.firing);
+    }
+
+    #[test]
+    fn ring_stays_bounded_and_counter_reset_clears() {
+        let mut m = monitor(0.99);
+        for i in 0..1_000_000u64 {
+            // A snapshot every millisecond for ~17 minutes.
+            m.observe(i * 1_000_000, i, 0);
+        }
+        assert!(
+            m.points.len() <= 64 * 31 + 2,
+            "ring must stay bounded, got {}",
+            m.points.len()
+        );
+        // A cumulative total going backwards (process restart) resets.
+        m.observe(1_000_000 * 1_000_000, 5, 0);
+        assert_eq!(m.points.len(), 1);
+    }
+
+    #[test]
+    fn report_renders_stable_json() {
+        let mut m = monitor(0.99);
+        m.observe(10 * S, 99, 1);
+        let json = m.report(10 * S).to_json();
+        assert!(json.starts_with("{\"name\":\"latency_p99\",\"target\":0.99,"));
+        assert!(json.contains("\"firing\":false"));
+        assert!(json.ends_with("\"good\":99,\"bad\":1}"));
+        crate::json::parse(&json).expect("valid JSON");
+    }
+}

@@ -133,6 +133,115 @@ fn merge_equals_recording_the_concatenation() {
     assert_same_distribution(&merged, &histogram_of(&both), "merge must be lossless");
 }
 
+/// Records `samples` with exemplars, tagging sample `i` as request
+/// `r<i>` observed at `t_ns = base + i`.
+fn histogram_with_exemplars(samples: &[f64], base: u64) -> LogHistogram {
+    let mut h = LogHistogram::new();
+    for (i, &s) in samples.iter().enumerate() {
+        h.record_exemplar(s, &format!("r{i}"), base + i as u64);
+    }
+    h
+}
+
+#[test]
+fn exemplars_never_alter_quantile_math() {
+    for seed in [13, 77, 1234] {
+        let samples = log_uniform_samples(seed, 3_000);
+        let plain = histogram_of(&samples);
+        let tagged = histogram_with_exemplars(&samples, 0);
+        assert_same_distribution(&plain, &tagged, "exemplar recording");
+        for i in 0..=500 {
+            let q = f64::from(i) / 500.0;
+            assert_eq!(
+                plain.quantile(q),
+                tagged.quantile(q),
+                "seed {seed}: quantile({q}) shifted by exemplar bookkeeping"
+            );
+        }
+    }
+}
+
+#[test]
+fn merge_keeps_the_newest_exemplar_per_bucket() {
+    let samples = log_uniform_samples(55, 1_000);
+    // The same value stream recorded twice with disjoint timestamp
+    // ranges: after a merge every surviving exemplar must come from the
+    // newer recording, whichever side of the merge it sat on.
+    let older = histogram_with_exemplars(&samples, 0);
+    let newer = histogram_with_exemplars(&samples, 1_000_000);
+    for (a, b, what) in [
+        (older.clone(), newer.clone(), "older.merge(newer)"),
+        (newer.clone(), older.clone(), "newer.merge(older)"),
+    ] {
+        let mut merged = a;
+        merged.merge(&b).expect("same grid");
+        for e in merged.exemplars() {
+            assert!(
+                e.t_ns >= 1_000_000,
+                "{what}: bucket kept a stale exemplar ({} @ {})",
+                e.req_id,
+                e.t_ns
+            );
+        }
+        assert_eq!(
+            merged.exemplars().count(),
+            newer.exemplars().count(),
+            "{what}: exemplar coverage changed"
+        );
+    }
+}
+
+#[test]
+fn merged_exemplars_are_order_independent() {
+    // Interleaved timestamps across two shards: the merged exemplar
+    // table must be identical regardless of merge direction.
+    let xs = log_uniform_samples(91, 600);
+    let mut a = LogHistogram::new();
+    let mut b = LogHistogram::new();
+    for (i, &v) in xs.iter().enumerate() {
+        if i % 2 == 0 {
+            a.record_exemplar(v, &format!("a{i}"), i as u64);
+        } else {
+            b.record_exemplar(v, &format!("b{i}"), i as u64);
+        }
+    }
+    let mut ab = a.clone();
+    ab.merge(&b).expect("same grid");
+    let mut ba = b.clone();
+    ba.merge(&a).expect("same grid");
+    let lhs: Vec<_> = ab.exemplars().cloned().collect();
+    let rhs: Vec<_> = ba.exemplars().cloned().collect();
+    assert_eq!(lhs, rhs, "merge direction changed the exemplar table");
+    // And the quantile pivot resolves to the same request either way.
+    for q in [0.5, 0.9, 0.99] {
+        assert_eq!(
+            ab.quantile_exemplar(q).map(|e| e.req_id.clone()),
+            ba.quantile_exemplar(q).map(|e| e.req_id.clone()),
+            "q {q}"
+        );
+    }
+}
+
+#[test]
+fn quantile_exemplar_lands_near_the_quantile() {
+    let samples = log_uniform_samples(17, 5_000);
+    let h = histogram_with_exemplars(&samples, 0);
+    for q in [0.5, 0.9, 0.99, 0.999] {
+        let value = h.quantile(q).expect("non-empty");
+        let e = h.quantile_exemplar(q).expect("dense stream: every bucket tagged");
+        // A dense log-uniform stream tags every populated bucket, so
+        // the exemplar must come from the rank's own bucket: its exact
+        // value lies within one bucket width of the reported quantile.
+        let rel = (e.value - value).abs() / value;
+        assert!(
+            rel <= 2.0 * h.relative_error_bound(),
+            "q {q}: exemplar {} ({}) is {rel:.3e} away from quantile {value}",
+            e.req_id,
+            e.value
+        );
+    }
+}
+
 #[test]
 fn empty_and_single_sample_edges() {
     let empty = LogHistogram::new();

@@ -73,11 +73,7 @@ fn rendered_corpus(rng: &mut Rng64) -> Vec<String> {
             },
         ];
         for kind in kinds {
-            let record = Record {
-                ts_micros: i * 7,
-                thread: 1 + i % 4,
-                kind,
-            };
+            let record = Record::unscoped(i * 7, 1 + i % 4, kind);
             let line = exporter.render(&record);
             lines.push(line.trim_end().to_string());
         }

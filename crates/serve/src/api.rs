@@ -2,10 +2,14 @@
 //! rendering over the scenario cache.
 //!
 //! Every model endpoint runs under a `serve.request` trace span inside
-//! a [`nanocost_trace::with_capture`] frame; the captured records
-//! (span, events, and every Eq.-provenance record the evaluation or
-//! cache replay emitted) are stored under the response's `req_id` and
-//! replayable via `GET /v1/provenance/<req-id>`.
+//! a [`nanocost_trace::with_capture`] frame with an installed
+//! [`nanocost_trace::request_scope`], so every captured record (span,
+//! events, and every Eq.-provenance record the evaluation or cache
+//! replay emitted) carries the request's `req_id`. The capture is
+//! stored under that id and replayable via `GET /v1/trace/<req-id>`
+//! (`/v1/provenance/<req-id>` remains as an alias). Every request —
+//! model or not — also produces one structured access-log record when
+//! the server was configured with `NANOCOST_SERVE_ACCESS_LOG`.
 
 use std::time::Instant;
 
@@ -56,63 +60,113 @@ impl From<UnitError> for ApiError {
     }
 }
 
-/// Routes one parsed request to its handler.
+/// Routes one parsed request to its handler, timing it and emitting a
+/// structured access-log record (when the server has an access log).
 #[must_use]
 pub fn handle(state: &ServerState, req: &Request) -> Response {
+    let before = state.cache().stats();
+    let started = Instant::now();
+    let (endpoint, req_id, response) = route(state, req);
+    let latency_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let after = state.cache().stats();
+    state.log_access(
+        req_id.as_deref().unwrap_or("-"),
+        endpoint,
+        response.status,
+        latency_ns,
+        after.hits.saturating_sub(before.hits),
+        after.misses.saturating_sub(before.misses),
+    );
+    response
+}
+
+/// Dispatches to the endpoint body; returns the endpoint label for the
+/// access log, the request id (model endpoints only), and the response.
+fn route(state: &ServerState, req: &Request) -> (&'static str, Option<String>, Response) {
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/v1/cost") => model_endpoint(state, "cost", &req.body, cost_endpoint),
         ("POST", "/v1/yield") => model_endpoint(state, "yield", &req.body, yield_endpoint),
         ("POST", "/v1/optimum") => model_endpoint(state, "optimum", &req.body, optimum_endpoint),
         ("POST", "/v1/batch") => model_endpoint(state, "batch", &req.body, batch_endpoint),
-        ("GET", "/v1/metrics") => Response::json(200, state.metrics_json()),
-        ("GET", path) if path.starts_with("/v1/provenance/") => provenance_endpoint(state, path),
-        (_, "/v1/cost" | "/v1/yield" | "/v1/optimum" | "/v1/batch") => {
-            Response::error(405, "use POST")
+        ("GET", "/v1/metrics") => ("metrics", None, Response::json(200, state.metrics_json())),
+        ("GET", "/v1/health") => {
+            let (status, body) = state.health_json(nanocost_trace::epoch_nanos());
+            ("health", None, Response::json(status, body))
         }
-        (_, "/v1/metrics") => Response::error(405, "use GET"),
-        (_, path) if path.starts_with("/v1/provenance/") => Response::error(405, "use GET"),
-        _ => Response::error(404, "unknown endpoint"),
+        ("GET", path) if path.starts_with("/v1/trace/") => {
+            ("trace", None, trace_endpoint(state, path, "/v1/trace/"))
+        }
+        ("GET", path) if path.starts_with("/v1/provenance/") => {
+            ("trace", None, trace_endpoint(state, path, "/v1/provenance/"))
+        }
+        (_, "/v1/cost" | "/v1/yield" | "/v1/optimum" | "/v1/batch") => {
+            ("bad_method", None, Response::error(405, "use POST"))
+        }
+        (_, "/v1/metrics" | "/v1/health") => {
+            ("bad_method", None, Response::error(405, "use GET"))
+        }
+        (_, path) if path.starts_with("/v1/trace/") || path.starts_with("/v1/provenance/") => {
+            ("bad_method", None, Response::error(405, "use GET"))
+        }
+        _ => ("unknown", None, Response::error(404, "unknown endpoint")),
     }
 }
 
 /// Runs one model endpoint: decode → traced evaluation under a capture
-/// frame → latency observation → provenance storage.
+/// frame and request scope → latency + exemplar observation → trace
+/// storage.
 fn model_endpoint(
     state: &ServerState,
     endpoint: &'static str,
     body: &[u8],
     run: impl FnOnce(&ScenarioCache, &JsonValue) -> Result<String, ApiError>,
-) -> Response {
+) -> (&'static str, Option<String>, Response) {
     let text = match std::str::from_utf8(body) {
         Ok(t) => t,
-        Err(_) => return Response::error(400, "body is not UTF-8"),
+        Err(_) => return (endpoint, None, Response::error(400, "body is not UTF-8")),
     };
     let doc = match json::parse(text) {
         Ok(doc) => doc,
-        Err(e) => return Response::error(400, &format!("body is not JSON: {e}")),
+        Err(e) => {
+            return (
+                endpoint,
+                None,
+                Response::error(400, &format!("body is not JSON: {e}")),
+            )
+        }
     };
     let req_id = state.next_request_id();
     let started = Instant::now();
     let (records, result) = with_capture(|| {
+        // Scope before span: the span drops (and its exit record is
+        // emitted) while the request scope is still installed, so the
+        // whole capture carries `req_id`.
+        let _scope = nanocost_trace::request_scope(&req_id);
         let _span = span!("serve.request", endpoint = endpoint, req = req_id.as_str());
         run(state.cache(), &doc)
     });
-    state.observe(endpoint, started.elapsed().as_secs_f64() * 1e6);
+    let latency_us = started.elapsed().as_secs_f64() * 1e6;
+    let t_ns = nanocost_trace::epoch_nanos();
     match result {
         Ok(fields) => {
-            state.store_provenance(&req_id, &records);
-            Response::json(
-                200,
-                format!("{{\"req_id\":{},{fields}}}", json_string(&req_id)),
-            )
+            // Only successful requests store a capture, so only they
+            // leave an exemplar — an exemplar must always round-trip to
+            // a fetchable trace.
+            state.store_trace(&req_id, &records);
+            state.observe(endpoint, latency_us, Some(&req_id), t_ns);
+            let body = format!("{{\"req_id\":{},{fields}}}", json_string(&req_id));
+            (endpoint, Some(req_id), Response::json(200, body))
         }
-        Err(e) => Response::error(e.status, &e.message),
+        Err(e) => {
+            state.observe(endpoint, latency_us, None, t_ns);
+            (endpoint, Some(req_id), Response::error(e.status, &e.message))
+        }
     }
 }
 
-fn provenance_endpoint(state: &ServerState, path: &str) -> Response {
-    let id = path.trim_start_matches("/v1/provenance/");
-    match state.provenance(id) {
+fn trace_endpoint(state: &ServerState, path: &str, prefix: &str) -> Response {
+    let id = path.trim_start_matches(prefix);
+    match state.trace(id) {
         Some(text) => Response::jsonl(200, text),
         None => Response::error(404, "unknown or evicted request id"),
     }
@@ -379,6 +433,54 @@ mod tests {
         }
         let r = handle(&state, &get("/v1/provenance/r999"));
         assert_eq!(r.status, 404);
+    }
+
+    #[test]
+    fn trace_endpoint_serves_request_scoped_captures() {
+        let state = ServerState::new();
+        let r = handle(&state, &post("/v1/cost", COST_BODY));
+        assert_eq!(r.status, 200);
+        let r = handle(&state, &get("/v1/trace/r1"));
+        assert_eq!(r.status, 200);
+        let capture = body_str(&r);
+        // Every record in the capture — the span pair, events, and all
+        // provenance — must carry the request id.
+        for line in capture.lines() {
+            assert!(
+                line.contains("\"req_id\":\"r1\""),
+                "untagged capture record: {line}"
+            );
+        }
+        assert!(capture.contains("\"type\":\"span_enter\""), "{capture}");
+        assert_eq!(handle(&state, &get("/v1/trace/r999")).status, 404);
+        assert_eq!(handle(&state, &post("/v1/trace/r1", "{}")).status, 405);
+    }
+
+    #[test]
+    fn health_reports_ok_on_an_idle_server() {
+        let state = ServerState::new();
+        let r = handle(&state, &get("/v1/health"));
+        assert_eq!(r.status, 200, "{}", body_str(&r));
+        let body = body_str(&r);
+        nanocost_trace::json::validate(&body).expect("valid JSON");
+        assert!(body.contains("\"status\":\"ok\""), "{body}");
+        assert!(body.contains("\"name\":\"latency\""), "{body}");
+        assert_eq!(handle(&state, &post("/v1/health", "{}")).status, 405);
+    }
+
+    #[test]
+    fn successful_requests_leave_a_p99_exemplar() {
+        let state = ServerState::new();
+        handle(&state, &post("/v1/cost", COST_BODY));
+        handle(&state, &post("/v1/cost", COST_BODY));
+        let metrics = body_str(&handle(&state, &get("/v1/metrics")));
+        let marker = "\"p99_exemplar\":{\"req_id\":\"";
+        let at = metrics.find(marker).expect("exemplar in metrics");
+        let rest = &metrics[at + marker.len()..];
+        let req_id = &rest[..rest.find('"').expect("closing quote")];
+        // The exemplar's request id round-trips to a fetchable trace.
+        let r = handle(&state, &get(&format!("/v1/trace/{req_id}")));
+        assert_eq!(r.status, 200, "exemplar {req_id} has no stored trace");
     }
 
     #[test]

@@ -18,7 +18,18 @@
 //!   --require-batch-hits    fail unless the batch endpoint reported
 //!                           cache hits (the overlapping-grid check)
 //!
-//! Exits non-zero on any non-2xx response, so CI can gate on it.
+//! Soak criteria (the SLO-aware pass/fail checks the CI soak gate uses):
+//!   --allow-shed            a 503 counts as shed load, not a failure
+//!   --max-shed-rate F       fail if shed/total exceeds F (requires --allow-shed)
+//!   --slo-p99-us N          fail if the client-observed overall p99 exceeds N us
+//!   --health-out PATH       fetch /v1/health afterwards, require 200, save it
+//!   --exemplar-traces PREFIX  fetch /v1/metrics, follow every endpoint's
+//!                           p99 exemplar to /v1/trace/<req-id>, and save
+//!                           each capture to PREFIX.<endpoint>.jsonl; fail
+//!                           if no endpoint produced an exemplar
+//!
+//! Exits non-zero on any non-2xx response (except shed 503s under
+//! --allow-shed) or any violated soak criterion, so CI can gate on it.
 //!
 //! The request grid deliberately overlaps (a handful of distinct design
 //! points cycled many times) — the paper's interactive exploration
@@ -42,6 +53,11 @@ struct Options {
     metrics_out: Option<String>,
     provenance_out: Option<String>,
     require_batch_hits: bool,
+    allow_shed: bool,
+    max_shed_rate: Option<f64>,
+    slo_p99_us: Option<f64>,
+    health_out: Option<String>,
+    exemplar_traces: Option<String>,
 }
 
 fn parse_options() -> Result<Options, Box<dyn std::error::Error>> {
@@ -54,6 +70,11 @@ fn parse_options() -> Result<Options, Box<dyn std::error::Error>> {
         metrics_out: None,
         provenance_out: None,
         require_batch_hits: false,
+        allow_shed: false,
+        max_shed_rate: None,
+        slo_p99_us: None,
+        health_out: None,
+        exemplar_traces: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -79,8 +100,20 @@ fn parse_options() -> Result<Options, Box<dyn std::error::Error>> {
                 opts.provenance_out = Some(args.next().ok_or("--provenance-out needs PATH")?);
             }
             "--require-batch-hits" => opts.require_batch_hits = true,
+            "--allow-shed" => opts.allow_shed = true,
+            "--max-shed-rate" => {
+                opts.max_shed_rate = Some(args.next().ok_or("--max-shed-rate needs F")?.parse()?);
+            }
+            "--slo-p99-us" => {
+                opts.slo_p99_us = Some(args.next().ok_or("--slo-p99-us needs N")?.parse()?);
+            }
+            "--health-out" => opts.health_out = Some(args.next().ok_or("--health-out needs PATH")?),
+            "--exemplar-traces" => {
+                opts.exemplar_traces =
+                    Some(args.next().ok_or("--exemplar-traces needs PREFIX")?);
+            }
             "--help" | "-h" => {
-                println!("usage: loadgen --addr HOST:PORT [--requests N] [--mix cost,optimum,batch] [--concurrency C] [--bench-out PATH] [--metrics-out PATH] [--provenance-out PATH] [--require-batch-hits]");
+                println!("usage: loadgen --addr HOST:PORT [--requests N] [--mix cost,optimum,batch] [--concurrency C] [--bench-out PATH] [--metrics-out PATH] [--provenance-out PATH] [--require-batch-hits] [--allow-shed] [--max-shed-rate F] [--slo-p99-us N] [--health-out PATH] [--exemplar-traces PREFIX]");
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument: {other}").into()),
@@ -91,6 +124,9 @@ fn parse_options() -> Result<Options, Box<dyn std::error::Error>> {
     }
     if opts.mix.is_empty() || opts.requests == 0 {
         return Err("--mix and --requests must be non-empty".into());
+    }
+    if opts.max_shed_rate.is_some() && !opts.allow_shed {
+        return Err("--max-shed-rate requires --allow-shed".into());
     }
     for m in &opts.mix {
         if !matches!(m.as_str(), "cost" | "yield" | "optimum" | "batch") {
@@ -171,6 +207,8 @@ struct Outcome {
     /// (endpoint index in mix, latency seconds) per 2xx response.
     latencies: Vec<(usize, f64)>,
     non_2xx: usize,
+    /// 503s counted as shed load under `--allow-shed`.
+    shed: usize,
     batch_hits: u64,
     /// A req_id usable for a provenance replay.
     req_id: Option<String>,
@@ -210,6 +248,7 @@ fn drive(opts: &Options) -> Outcome {
                                 mine.req_id = req_id_of(&payload);
                             }
                         }
+                        Ok((503, _)) if opts_ref.allow_shed => mine.shed += 1,
                         Ok((status, _)) => {
                             eprintln!("loadgen: {path} -> {status}");
                             mine.non_2xx += 1;
@@ -231,6 +270,7 @@ fn drive(opts: &Options) -> Outcome {
         for mut o in all {
             merged.latencies.append(&mut o.latencies);
             merged.non_2xx += o.non_2xx;
+            merged.shed += o.shed;
             merged.batch_hits += o.batch_hits;
             merged.req_id = merged.req_id.or(o.req_id);
         }
@@ -306,9 +346,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let outcome = drive(&opts);
     let ok = outcome.latencies.len();
     println!(
-        "loadgen: {}/{} ok, {} non-2xx, batch cache hits {}",
+        "loadgen: {}/{} ok, {} shed, {} non-2xx, batch cache hits {}",
         ok,
         opts.requests,
+        outcome.shed,
         outcome.non_2xx,
         outcome.batch_hits
     );
@@ -354,11 +395,78 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         std::fs::write(path, &body)?;
         println!("loadgen: provenance capture ({id}) -> {path}");
     }
+    if let Some(path) = &opts.health_out {
+        let (status, body) = exchange(&opts.addr, "GET", "/v1/health", None)?;
+        std::fs::write(path, &body)?;
+        println!("loadgen: health ({status}) -> {path}");
+        if status != 200 {
+            return Err(format!("/v1/health -> {status}: {body}").into());
+        }
+    }
+    if let Some(prefix) = &opts.exemplar_traces {
+        let fetched = fetch_exemplar_traces(&opts.addr, prefix)?;
+        if fetched == 0 {
+            return Err("no endpoint produced a p99 exemplar".into());
+        }
+    }
     if outcome.non_2xx > 0 {
         return Err(format!("{} non-2xx responses", outcome.non_2xx).into());
     }
     if opts.require_batch_hits && outcome.batch_hits == 0 {
         return Err("batch endpoint reported zero cache hits".into());
     }
+    if let Some(max) = opts.max_shed_rate {
+        let rate = outcome.shed as f64 / opts.requests.max(1) as f64;
+        if rate > max {
+            return Err(format!("shed rate {rate:.3} exceeds --max-shed-rate {max}").into());
+        }
+    }
+    if let Some(slo) = opts.slo_p99_us {
+        let mut all: Vec<f64> = outcome.latencies.iter().map(|&(_, s)| s * 1e6).collect();
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let p99 = percentile(&all, 0.99);
+        if p99 > slo {
+            return Err(format!("client-observed p99 {p99:.1}us exceeds --slo-p99-us {slo}").into());
+        }
+        println!("loadgen: client p99 {p99:.1}us within SLO {slo}us");
+    }
     Ok(())
+}
+
+/// Follows every endpoint's p99 exemplar from `/v1/metrics` to its
+/// stored `/v1/trace/<req-id>` capture, saving one JSONL file per
+/// endpoint as `<prefix>.<endpoint>.jsonl`. Returns how many captures
+/// were fetched; an advertised exemplar whose trace is missing is an
+/// error (the drill-down contract is exactly that link).
+fn fetch_exemplar_traces(addr: &str, prefix: &str) -> Result<usize, Box<dyn std::error::Error>> {
+    let (status, body) = exchange(addr, "GET", "/v1/metrics", None)?;
+    if status != 200 {
+        return Err(format!("/v1/metrics -> {status}").into());
+    }
+    let doc = json::parse(&body).map_err(|e| format!("metrics is not JSON: {e}"))?;
+    let Some(JsonValue::Obj(endpoints)) = doc.get("endpoints") else {
+        return Err("metrics has no endpoints object".into());
+    };
+    let mut fetched = 0;
+    for (endpoint, stats) in endpoints {
+        let Some(req_id) = stats
+            .get("p99_exemplar")
+            .and_then(|e| e.get("req_id"))
+            .and_then(JsonValue::as_str)
+        else {
+            continue;
+        };
+        let (status, capture) = exchange(addr, "GET", &format!("/v1/trace/{req_id}"), None)?;
+        if status != 200 || capture.is_empty() {
+            return Err(format!(
+                "exemplar {req_id} for {endpoint} did not round-trip: /v1/trace -> {status}"
+            )
+            .into());
+        }
+        let path = format!("{prefix}.{endpoint}.jsonl");
+        std::fs::write(&path, &capture)?;
+        println!("loadgen: exemplar trace {endpoint} ({req_id}) -> {path}");
+        fetched += 1;
+    }
+    Ok(fetched)
 }

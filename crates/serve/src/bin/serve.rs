@@ -7,13 +7,25 @@
 //!   --port PORT        shorthand for 127.0.0.1:PORT (0 = ephemeral)
 //!   --workers N        worker thread count (default 4)
 //!
+//! Observability is configured through the environment (a typo'd value
+//! refuses to start rather than serving with the wrong SLO):
+//!   NANOCOST_SERVE_TRACE_RING       trace-capture ring capacity (256)
+//!   NANOCOST_SERVE_ACCESS_LOG       JSONL access-log path (off)
+//!   NANOCOST_SERVE_SLO_P99_US       latency objective threshold (250000)
+//!   NANOCOST_SERVE_SLO_TARGET      latency good fraction (0.99)
+//!   NANOCOST_SERVE_SLO_SHED_TARGET non-shed fraction (0.95)
+//!   NANOCOST_SERVE_SLO_FAST_S      fast burn window seconds (60)
+//!   NANOCOST_SERVE_SLO_SLOW_S      slow burn window seconds (1800)
+//!   NANOCOST_SERVE_SLO_MAX_BURN    firing threshold (2.0)
+//!
 //! The process exits cleanly (status 0) on SIGTERM or SIGINT; pair it
-//! with `loadgen` for a driven run, `trace_tail` for a live view, and
-//! `GET /v1/metrics` for latency quantiles and cache hit rates.
+//! with `loadgen` for a driven run, `trace_tail --attach` for a live
+//! view, `GET /v1/metrics` for quantiles with exemplars, and
+//! `GET /v1/health` for the SLO burn verdict.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
-use nanocost_serve::{Server, ServerConfig};
+use nanocost_serve::{Server, ServerConfig, ServerState, ServerStateConfig};
 
 static SHUTDOWN: AtomicBool = AtomicBool::new(false);
 
@@ -54,7 +66,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         signal(SIGTERM, on_signal);
         signal(SIGINT, on_signal);
     }
-    let server = Server::bind(config)?;
+    let state_cfg = ServerStateConfig::from_env()?;
+    let state = ServerState::with_config(state_cfg)?;
+    let server = Server::bind_with_state(config, state)?;
     // The "listening on" line is the readiness handshake scripts wait
     // for; flush so a pipe reader sees it immediately.
     println!("nanocost-serve listening on {}", server.local_addr()?);

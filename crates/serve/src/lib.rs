@@ -13,16 +13,25 @@
 //! | `/v1/yield` | POST | eq. 7 generalized report (yield surface) |
 //! | `/v1/optimum` | POST | §3.1 cost-optimal `s_d*` |
 //! | `/v1/batch` | POST | deduplicated eq.-4 grid evaluation |
-//! | `/v1/metrics` | GET | latency quantiles + cache hit rates |
-//! | `/v1/provenance/<req-id>` | GET | the request's Eq.-provenance capture |
+//! | `/v1/metrics` | GET | latency quantiles + p99 exemplars + counters + cache hit rates |
+//! | `/v1/health` | GET | SLO burn-rate verdict (200 ok / 503 firing) |
+//! | `/v1/trace/<req-id>` | GET | the request's full trace capture (JSONL) |
+//! | `/v1/provenance/<req-id>` | GET | alias of `/v1/trace/<req-id>` |
 //!
-//! Every model request runs inside a `nanocost-trace` capture frame;
-//! its records are stored by request id and replayable as JSONL that
-//! passes `trace_check`. Per-endpoint latencies feed
-//! `nanocost-sentinel` [`LogHistogram`](nanocost_sentinel::LogHistogram)s
-//! surfaced at `/v1/metrics`. The `loadgen` bin drives concurrent
-//! request mixes and emits a `NANOCOST_BENCH_JSON` capture so
-//! `bench_diff` can gate server latency like any other benchmark.
+//! Every model request runs inside a `nanocost-trace` capture frame
+//! under an installed request scope, so every captured record carries
+//! the request's `req_id`; captures are stored in a configurable ring
+//! and replayable as JSONL that passes `trace_check`. Per-endpoint
+//! latencies feed `nanocost-sentinel`
+//! [`LogHistogram`](nanocost_sentinel::LogHistogram)s whose per-bucket
+//! exemplars let `/v1/metrics` link an anonymous p99 to a fetchable
+//! trace, and latency/shed events feed dual-window
+//! [`SloMonitor`](nanocost_sentinel::SloMonitor)s behind `/v1/health`.
+//! The `loadgen` bin drives concurrent request mixes, checks soak
+//! pass/fail criteria against those SLOs, and emits a
+//! `NANOCOST_BENCH_JSON` capture so `bench_diff` can gate server
+//! latency like any other benchmark; `trace_tail --attach` renders the
+//! live dashboard from the `/v1/metrics` scrape.
 
 #![warn(missing_docs)]
 
@@ -34,4 +43,4 @@ pub mod state;
 pub use api::handle;
 pub use http::{read_request, ParseError, Request, Response};
 pub use server::{Server, ServerConfig};
-pub use state::ServerState;
+pub use state::{render_access_record, ServerState, ServerStateConfig};

@@ -67,16 +67,26 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds the listener and builds fresh [`ServerState`].
+    /// Binds the listener and builds fresh default [`ServerState`].
     ///
     /// # Errors
     ///
     /// Propagates the bind failure.
     pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
+        Server::bind_with_state(config, ServerState::new())
+    }
+
+    /// Binds the listener around pre-built state (the `serve` bin uses
+    /// this to apply `ServerStateConfig::from_env`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind_with_state(config: ServerConfig, state: ServerState) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         Ok(Server {
             listener,
-            state: ServerState::new(),
+            state,
             config,
         })
     }
@@ -122,7 +132,9 @@ impl Server {
                         // Queue saturated (slowloris burst or plain
                         // overload): shed instead of queueing, keeping
                         // backlog and open-fd count bounded.
-                        Err(mpsc::TrySendError::Full(stream)) => reject_busy(stream),
+                        Err(mpsc::TrySendError::Full(stream)) => {
+                            reject_busy(&self.state, stream);
+                        }
                         // Workers only exit on shutdown.
                         Err(mpsc::TrySendError::Disconnected(_)) => break,
                     },
@@ -140,8 +152,10 @@ impl Server {
 }
 
 /// Sheds one connection when the worker queue is full: a best-effort
-/// 503 under a short write deadline, then close.
-fn reject_busy(mut stream: TcpStream) {
+/// 503 under a short write deadline, then close. Each shed feeds the
+/// shed-rate SLO objective.
+fn reject_busy(state: &ServerState, mut stream: TcpStream) {
+    state.note_shed(nanocost_trace::epoch_nanos());
     let _ = stream.set_write_timeout(Some(SHED_WRITE_TIMEOUT));
     let _ = Response::error(503, "connection queue full").write_to(&mut stream);
     let _ = stream.shutdown(std::net::Shutdown::Both);

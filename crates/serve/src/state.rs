@@ -1,26 +1,151 @@
 //! Shared server state: the scenario cache, per-endpoint latency
-//! histograms, and the replayable per-request provenance store.
+//! histograms with exemplars, the replayable per-request trace ring,
+//! SLO burn-rate monitors, and the structured access log.
 
 use std::collections::{BTreeMap, VecDeque};
+use std::io::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
 use nanocost_core::ScenarioCache;
-use nanocost_sentinel::LogHistogram;
+use nanocost_sentinel::slo::{BurnWindows, Objective};
+use nanocost_sentinel::{LogHistogram, SloMonitor};
 use nanocost_trace::export::{Exporter, JsonlExporter};
 use nanocost_trace::value::json_string;
-use nanocost_trace::Record;
+use nanocost_trace::{counter, Record};
 
-/// How many request provenance captures the ring buffer retains.
-pub const PROVENANCE_RING: usize = 256;
+/// Default per-request trace-capture ring capacity (see
+/// [`ServerStateConfig::trace_ring`]).
+pub const TRACE_RING_DEFAULT: usize = 256;
+
+/// Upper bound on the configurable trace ring: each slot holds a full
+/// rendered JSONL capture, so an unbounded ring is an OOM waiting on a
+/// typo in the environment.
+pub const TRACE_RING_MAX: usize = 65_536;
+
+/// Default latency-SLO threshold: a request slower than this many
+/// microseconds is a "bad" event for the `latency` objective.
+pub const SLO_LATENCY_DEFAULT_US: f64 = 250_000.0;
+
+/// Everything [`ServerState`] is configured with. Build one by hand in
+/// tests or via [`ServerStateConfig::from_env`] in the `serve` bin.
+#[derive(Debug, Clone)]
+pub struct ServerStateConfig {
+    /// Trace-capture ring capacity (`NANOCOST_SERVE_TRACE_RING`,
+    /// default 256, clamped to `1..=65536`).
+    pub trace_ring: usize,
+    /// Structured JSONL access-log path (`NANOCOST_SERVE_ACCESS_LOG`);
+    /// `None` disables access logging.
+    pub access_log: Option<String>,
+    /// Latency threshold in microseconds above which a request counts
+    /// against the latency objective (`NANOCOST_SERVE_SLO_P99_US`).
+    pub latency_threshold_us: f64,
+    /// Target good fraction for the latency objective
+    /// (`NANOCOST_SERVE_SLO_TARGET`, default 0.99).
+    pub latency_target: f64,
+    /// Target non-shed fraction for the shed-rate objective
+    /// (`NANOCOST_SERVE_SLO_SHED_TARGET`, default 0.95).
+    pub shed_target: f64,
+    /// Burn-rate windows and firing threshold shared by both objectives
+    /// (`NANOCOST_SERVE_SLO_FAST_S` / `_SLOW_S` / `_MAX_BURN`).
+    pub windows: BurnWindows,
+}
+
+impl Default for ServerStateConfig {
+    fn default() -> Self {
+        ServerStateConfig {
+            trace_ring: TRACE_RING_DEFAULT,
+            access_log: None,
+            latency_threshold_us: SLO_LATENCY_DEFAULT_US,
+            latency_target: 0.99,
+            shed_target: 0.95,
+            windows: BurnWindows::default(),
+        }
+    }
+}
+
+impl ServerStateConfig {
+    /// Reads the `NANOCOST_SERVE_*` environment variables, falling back
+    /// to the defaults for anything unset.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first variable that is set but does
+    /// not parse (a silently ignored typo would serve with the wrong
+    /// SLO, which is worse than refusing to start).
+    pub fn from_env() -> Result<Self, String> {
+        let mut cfg = ServerStateConfig::default();
+        if let Some(ring) = env_parsed::<usize>("NANOCOST_SERVE_TRACE_RING")? {
+            cfg.trace_ring = ring.clamp(1, TRACE_RING_MAX);
+        }
+        if let Ok(path) = std::env::var("NANOCOST_SERVE_ACCESS_LOG") {
+            if !path.trim().is_empty() {
+                cfg.access_log = Some(path);
+            }
+        }
+        if let Some(us) = env_parsed::<f64>("NANOCOST_SERVE_SLO_P99_US")? {
+            if us.is_finite() && us > 0.0 {
+                cfg.latency_threshold_us = us;
+            } else {
+                return Err(format!(
+                    "NANOCOST_SERVE_SLO_P99_US must be a positive finite number, got {us}"
+                ));
+            }
+        }
+        if let Some(t) = env_parsed::<f64>("NANOCOST_SERVE_SLO_TARGET")? {
+            cfg.latency_target = t;
+        }
+        if let Some(t) = env_parsed::<f64>("NANOCOST_SERVE_SLO_SHED_TARGET")? {
+            cfg.shed_target = t;
+        }
+        if let Some(s) = env_parsed::<u64>("NANOCOST_SERVE_SLO_FAST_S")? {
+            cfg.windows.fast_ns = s.saturating_mul(1_000_000_000);
+        }
+        if let Some(s) = env_parsed::<u64>("NANOCOST_SERVE_SLO_SLOW_S")? {
+            cfg.windows.slow_ns = s.saturating_mul(1_000_000_000);
+        }
+        if let Some(b) = env_parsed::<f64>("NANOCOST_SERVE_SLO_MAX_BURN")? {
+            cfg.windows.max_burn = b;
+        }
+        Ok(cfg)
+    }
+}
+
+/// Reads and parses one environment variable; unset or empty is `None`.
+fn env_parsed<T: std::str::FromStr>(name: &str) -> Result<Option<T>, String> {
+    match std::env::var(name) {
+        Ok(raw) if !raw.trim().is_empty() => raw
+            .trim()
+            .parse::<T>()
+            .map(Some)
+            .map_err(|_| format!("{name} does not parse: `{raw}`")),
+        _ => Ok(None),
+    }
+}
 
 /// Everything the worker threads share.
 pub struct ServerState {
     cache: ScenarioCache,
     next_id: AtomicU64,
     endpoints: Mutex<BTreeMap<&'static str, LogHistogram>>,
-    provenance: Mutex<VecDeque<(String, String)>>,
+    /// The per-request trace ring: full JSONL captures keyed by req_id.
+    traces: Mutex<VecDeque<(String, String)>>,
+    trace_ring: usize,
+    ring_evicted: AtomicU64,
+    /// Model requests completed (any status) — the latency objective's
+    /// event stream and the shed objective's "good" side.
+    completed: AtomicU64,
+    /// Completed requests slower than the latency threshold.
+    latency_bad: AtomicU64,
+    /// Connections shed with a 503 by the accept loop.
+    shed: AtomicU64,
+    latency_threshold_us: f64,
+    /// `[latency, shed_rate]` monitors; empty when the configured
+    /// windows were rejected (then `/v1/health` is always 200).
+    slo: Mutex<Vec<SloMonitor>>,
+    /// The structured access log sink, when configured.
+    access: Option<Mutex<std::io::BufWriter<std::fs::File>>>,
     started: Instant,
 }
 
@@ -29,6 +154,7 @@ impl std::fmt::Debug for ServerState {
         f.debug_struct("ServerState")
             .field("cache", &self.cache)
             .field("requests", &self.next_id.load(Ordering::Relaxed))
+            .field("trace_ring", &self.trace_ring)
             .finish_non_exhaustive()
     }
 }
@@ -40,16 +166,62 @@ impl Default for ServerState {
 }
 
 impl ServerState {
-    /// Fresh state over the paper-Figure-4 scenario cache.
+    /// Fresh state over the paper-Figure-4 scenario cache with the
+    /// default configuration (no access log, default ring and SLOs).
     #[must_use]
     pub fn new() -> Self {
+        // The default config has no access log to open and statically
+        // valid SLO windows, so this cannot actually fail.
+        ServerState::with_config(ServerStateConfig::default())
+            .unwrap_or_else(|_| ServerState::bare(&ServerStateConfig::default()))
+    }
+
+    /// State without an access log or SLO monitors — the infallible
+    /// fallback behind [`ServerState::new`].
+    fn bare(cfg: &ServerStateConfig) -> Self {
         ServerState {
             cache: ScenarioCache::paper_figure4(),
             next_id: AtomicU64::new(0),
             endpoints: Mutex::new(BTreeMap::new()),
-            provenance: Mutex::new(VecDeque::with_capacity(PROVENANCE_RING)),
+            traces: Mutex::new(VecDeque::with_capacity(cfg.trace_ring.min(TRACE_RING_DEFAULT))),
+            trace_ring: cfg.trace_ring.clamp(1, TRACE_RING_MAX),
+            ring_evicted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            latency_bad: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            latency_threshold_us: cfg.latency_threshold_us,
+            slo: Mutex::new(Vec::new()),
+            access: None,
             started: Instant::now(),
         }
+    }
+
+    /// Builds state from an explicit configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the access log cannot be opened or
+    /// the SLO windows are rejected by the sentinel validator; refusing
+    /// to start beats serving with silently absent observability.
+    pub fn with_config(cfg: ServerStateConfig) -> Result<Self, String> {
+        let mut state = ServerState::bare(&cfg);
+        let latency = SloMonitor::new(
+            Objective { name: "latency".to_string(), target: cfg.latency_target },
+            cfg.windows,
+        )
+        .map_err(|e| format!("latency objective: {e}"))?;
+        let shed = SloMonitor::new(
+            Objective { name: "shed_rate".to_string(), target: cfg.shed_target },
+            cfg.windows,
+        )
+        .map_err(|e| format!("shed_rate objective: {e}"))?;
+        state.slo = Mutex::new(vec![latency, shed]);
+        if let Some(path) = &cfg.access_log {
+            let file = std::fs::File::create(path)
+                .map_err(|e| format!("cannot open access log {path}: {e}"))?;
+            state.access = Some(Mutex::new(std::io::BufWriter::new(file)));
+        }
+        Ok(state)
     }
 
     /// The scenario cache all model endpoints evaluate through.
@@ -58,42 +230,119 @@ impl ServerState {
         &self.cache
     }
 
+    /// The configured trace-ring capacity.
+    #[must_use]
+    pub fn trace_ring_capacity(&self) -> usize {
+        self.trace_ring
+    }
+
     /// Allocates the next request id (`r1`, `r2`, …).
     #[must_use]
     pub fn next_request_id(&self) -> String {
         format!("r{}", self.next_id.fetch_add(1, Ordering::Relaxed) + 1)
     }
 
-    /// Records one request latency for `endpoint`, in microseconds.
-    pub fn observe(&self, endpoint: &'static str, latency_us: f64) {
-        let mut endpoints = lock(&self.endpoints);
-        endpoints
-            .entry(endpoint)
-            .or_insert_with(LogHistogram::new)
-            .record(latency_us);
+    /// Records one completed request for `endpoint`: latency into the
+    /// endpoint histogram (with an exemplar when the request produced a
+    /// stored trace), and a good/bad event into both SLO monitors.
+    /// `t_ns` is the trace-epoch observation time exemplars and SLO
+    /// snapshots are stamped with.
+    pub fn observe(
+        &self,
+        endpoint: &'static str,
+        latency_us: f64,
+        exemplar_req: Option<&str>,
+        t_ns: u64,
+    ) {
+        {
+            let mut endpoints = lock(&self.endpoints);
+            let hist = endpoints.entry(endpoint).or_insert_with(LogHistogram::new);
+            match exemplar_req {
+                Some(req_id) => hist.record_exemplar(latency_us, req_id, t_ns),
+                None => hist.record(latency_us),
+            }
+        }
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        if latency_us > self.latency_threshold_us {
+            self.latency_bad.fetch_add(1, Ordering::Relaxed);
+        }
+        self.feed_slo(t_ns);
+    }
+
+    /// Counts one connection shed with a 503 by the accept loop.
+    pub fn note_shed(&self, t_ns: u64) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+        counter!("serve.shed", 1);
+        self.feed_slo(t_ns);
+    }
+
+    /// Pushes the current cumulative totals into both monitors.
+    fn feed_slo(&self, t_ns: u64) {
+        let completed = self.completed.load(Ordering::Relaxed);
+        let latency_bad = self.latency_bad.load(Ordering::Relaxed);
+        let shed = self.shed.load(Ordering::Relaxed);
+        let mut monitors = lock(&self.slo);
+        if let Some(latency) = monitors.first_mut() {
+            latency.observe(t_ns, completed.saturating_sub(latency_bad), latency_bad);
+        }
+        if let Some(shed_rate) = monitors.get_mut(1) {
+            shed_rate.observe(t_ns, completed, shed);
+        }
+    }
+
+    /// Evaluates every SLO monitor as of `now_ns` and renders the
+    /// `/v1/health` document. Returns `(200, …)` when no objective is
+    /// firing and `(503, …)` when at least one is.
+    #[must_use]
+    pub fn health_json(&self, now_ns: u64) -> (u16, String) {
+        let reports: Vec<_> = {
+            let monitors = lock(&self.slo);
+            monitors.iter().map(|m| m.report(now_ns)).collect()
+        };
+        let firing = reports.iter().any(|r| r.firing);
+        let mut out = format!(
+            "{{\"status\":{},\"t_ns\":{now_ns},\"objectives\":[",
+            if firing { "\"failing\"" } else { "\"ok\"" }
+        );
+        for (i, r) in reports.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&r.to_json());
+        }
+        out.push_str("]}");
+        (if firing { 503 } else { 200 }, out)
     }
 
     /// Stores a request's captured trace records, rendered as JSONL,
-    /// under its request id; evicts the oldest capture past
-    /// [`PROVENANCE_RING`].
-    pub fn store_provenance(&self, req_id: &str, records: &[Record]) {
+    /// under its request id; evicts the oldest capture past the
+    /// configured ring capacity (counted in `serve.trace_ring.evicted`).
+    pub fn store_trace(&self, req_id: &str, records: &[Record]) {
         let mut exporter = JsonlExporter;
         let mut text = String::new();
         for r in records {
             // render() already terminates each line with '\n'.
             text.push_str(&exporter.render(r));
         }
-        let mut ring = lock(&self.provenance);
-        if ring.len() >= PROVENANCE_RING {
-            ring.pop_front();
+        let evicted = {
+            let mut ring = lock(&self.traces);
+            let evicted = ring.len() >= self.trace_ring;
+            if evicted {
+                ring.pop_front();
+            }
+            ring.push_back((req_id.to_string(), text));
+            evicted
+        };
+        if evicted {
+            self.ring_evicted.fetch_add(1, Ordering::Relaxed);
+            counter!("serve.trace_ring.evicted", 1);
         }
-        ring.push_back((req_id.to_string(), text));
     }
 
     /// The stored JSONL capture for `req_id`, if still in the ring.
     #[must_use]
-    pub fn provenance(&self, req_id: &str) -> Option<String> {
-        lock(&self.provenance)
+    pub fn trace(&self, req_id: &str) -> Option<String> {
+        lock(&self.traces)
             .iter()
             .rev()
             .find(|(id, _)| id == req_id)
@@ -104,17 +353,52 @@ impl ServerState {
     /// to pick a replayable capture).
     #[must_use]
     pub fn last_request_id(&self) -> Option<String> {
-        lock(&self.provenance).back().map(|(id, _)| id.clone())
+        lock(&self.traces).back().map(|(id, _)| id.clone())
     }
 
-    /// Renders the `/v1/metrics` document: uptime, per-endpoint latency
-    /// quantiles (p50/p90/p99/p999 in microseconds), and cache traffic.
+    /// Appends one structured access-log record (a no-op when no log
+    /// was configured). Each line is flushed so `tail -f` and the soak
+    /// gate see records as they happen.
+    pub fn log_access(
+        &self,
+        req_id: &str,
+        endpoint: &str,
+        status: u16,
+        latency_ns: u64,
+        cache_hits: u64,
+        cache_misses: u64,
+    ) {
+        let Some(sink) = &self.access else {
+            return;
+        };
+        let line =
+            render_access_record(req_id, endpoint, status, latency_ns, cache_hits, cache_misses);
+        let mut w = lock(sink);
+        let _ = w.write_all(line.as_bytes());
+        let _ = w.flush();
+    }
+
+    /// Renders the `/v1/metrics` document (schema 2): uptime, the
+    /// scrape instant `t_ns`, cumulative counters, per-endpoint latency
+    /// quantiles (p50/p90/p99/p999 in microseconds) with the p99
+    /// exemplar, and cache traffic.
     #[must_use]
     pub fn metrics_json(&self) -> String {
         let uptime = self.started.elapsed().as_secs_f64();
         let requests = self.next_id.load(Ordering::Relaxed);
-        let mut out = String::from("{");
-        out.push_str(&format!("\"uptime_s\":{uptime:e},\"requests\":{requests},"));
+        let t_ns = nanocost_trace::epoch_nanos();
+        let mut out = String::from("{\"schema\":2,");
+        out.push_str(&format!(
+            "\"uptime_s\":{uptime:e},\"t_ns\":{t_ns},\"requests\":{requests},"
+        ));
+        out.push_str(&format!(
+            "\"counters\":{{\"requests_total\":{},\"completed_total\":{},\"shed_total\":{},\"latency_bad_total\":{},\"trace_ring_evicted\":{}}},",
+            requests,
+            self.completed.load(Ordering::Relaxed),
+            self.shed.load(Ordering::Relaxed),
+            self.latency_bad.load(Ordering::Relaxed),
+            self.ring_evicted.load(Ordering::Relaxed),
+        ));
         out.push_str("\"endpoints\":{");
         {
             let endpoints = lock(&self.endpoints);
@@ -124,8 +408,19 @@ impl ServerState {
                     out.push(',');
                 }
                 first = false;
+                let exemplar = hist
+                    .quantile_exemplar(0.99)
+                    .map(|e| {
+                        format!(
+                            "{{\"req_id\":{},\"value_us\":{:e},\"t_ns\":{}}}",
+                            json_string(&e.req_id),
+                            e.value,
+                            e.t_ns
+                        )
+                    })
+                    .unwrap_or_else(|| "null".to_string());
                 out.push_str(&format!(
-                    "{}:{{\"count\":{},\"min_us\":{:e},\"max_us\":{:e},\"mean_us\":{:e},\"p50_us\":{:e},\"p90_us\":{:e},\"p99_us\":{:e},\"p999_us\":{:e}}}",
+                    "{}:{{\"count\":{},\"min_us\":{:e},\"max_us\":{:e},\"mean_us\":{:e},\"p50_us\":{:e},\"p90_us\":{:e},\"p99_us\":{:e},\"p999_us\":{:e},\"p99_exemplar\":{}}}",
                     json_string(name),
                     hist.count(),
                     hist.min().unwrap_or(0.0),
@@ -135,6 +430,7 @@ impl ServerState {
                     hist.p90().unwrap_or(0.0),
                     hist.p99().unwrap_or(0.0),
                     hist.p999().unwrap_or(0.0),
+                    exemplar,
                 ));
             }
         }
@@ -151,6 +447,25 @@ impl ServerState {
         out.push('}');
         out
     }
+}
+
+/// Renders one access-log record with a fixed, documented field order:
+/// `req_id`, `endpoint`, `status`, `latency_ns`, `cache_hits`,
+/// `cache_misses`. Pure so the golden test can pin the bytes.
+#[must_use]
+pub fn render_access_record(
+    req_id: &str,
+    endpoint: &str,
+    status: u16,
+    latency_ns: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+) -> String {
+    format!(
+        "{{\"req_id\":{},\"endpoint\":{},\"status\":{status},\"latency_ns\":{latency_ns},\"cache_hits\":{cache_hits},\"cache_misses\":{cache_misses}}}\n",
+        json_string(req_id),
+        json_string(endpoint),
+    )
 }
 
 /// Locks a mutex, recovering the data from a poisoned lock (a panicking
@@ -171,27 +486,87 @@ mod tests {
     }
 
     #[test]
-    fn provenance_ring_evicts_oldest() {
+    fn trace_ring_evicts_oldest_and_counts_evictions() {
         let state = ServerState::new();
-        for i in 0..(PROVENANCE_RING + 5) {
-            state.store_provenance(&format!("r{i}"), &[]);
+        for i in 0..(TRACE_RING_DEFAULT + 5) {
+            state.store_trace(&format!("r{i}"), &[]);
         }
-        assert!(state.provenance("r0").is_none());
-        assert!(state.provenance(&format!("r{}", PROVENANCE_RING + 4)).is_some());
+        assert!(state.trace("r0").is_none());
+        assert!(state.trace(&format!("r{}", TRACE_RING_DEFAULT + 4)).is_some());
         assert_eq!(
             state.last_request_id().as_deref(),
-            Some(format!("r{}", PROVENANCE_RING + 4).as_str())
+            Some(format!("r{}", TRACE_RING_DEFAULT + 4).as_str())
+        );
+        assert!(state.metrics_json().contains("\"trace_ring_evicted\":5"));
+    }
+
+    #[test]
+    fn trace_ring_capacity_is_configurable() {
+        let cfg = ServerStateConfig { trace_ring: 2, ..ServerStateConfig::default() };
+        let state = ServerState::with_config(cfg).expect("valid config");
+        assert_eq!(state.trace_ring_capacity(), 2);
+        for i in 0..3 {
+            state.store_trace(&format!("r{i}"), &[]);
+        }
+        assert!(state.trace("r0").is_none(), "capacity 2 keeps only the newest 2");
+        assert!(state.trace("r1").is_some());
+        assert!(state.trace("r2").is_some());
+    }
+
+    #[test]
+    fn metrics_json_is_valid_json_with_exemplars() {
+        let state = ServerState::new();
+        state.observe("cost", 120.0, Some("r1"), 10);
+        state.observe("cost", 240.0, Some("r2"), 20);
+        let doc = state.metrics_json();
+        nanocost_trace::json::validate(&doc).expect("metrics must be valid JSON");
+        assert!(doc.contains("\"schema\":2"));
+        assert!(doc.contains("\"p50_us\""));
+        assert!(doc.contains("\"p99_us\""));
+        assert!(doc.contains("\"p99_exemplar\":{\"req_id\":\"r2\""), "{doc}");
+        assert!(doc.contains("\"shed_total\":0"));
+    }
+
+    #[test]
+    fn health_flips_to_503_under_sustained_burn() {
+        // A hair-trigger SLO: every request is slower than 0.001 us, so
+        // the latency objective burns at 100x budget immediately.
+        let cfg = ServerStateConfig {
+            latency_threshold_us: 0.001,
+            ..ServerStateConfig::default()
+        };
+        let state = ServerState::with_config(cfg).expect("valid config");
+        let (status, body) = state.health_json(10);
+        assert_eq!(status, 200, "idle server is healthy: {body}");
+        let minute = 60 * 1_000_000_000u64;
+        for i in 0..200u64 {
+            state.observe("cost", 100.0, None, (i + 1) * minute / 4);
+        }
+        let (status, body) = state.health_json(200 * minute / 4);
+        assert_eq!(status, 503, "{body}");
+        nanocost_trace::json::validate(&body).expect("health must be valid JSON");
+        assert!(body.contains("\"status\":\"failing\""), "{body}");
+        assert!(body.contains("\"name\":\"latency\""), "{body}");
+        assert!(body.contains("\"name\":\"shed_rate\""), "{body}");
+    }
+
+    #[test]
+    fn access_record_field_order_is_stable() {
+        assert_eq!(
+            render_access_record("r7", "cost", 200, 12345, 1, 0),
+            "{\"req_id\":\"r7\",\"endpoint\":\"cost\",\"status\":200,\"latency_ns\":12345,\"cache_hits\":1,\"cache_misses\":0}\n"
         );
     }
 
     #[test]
-    fn metrics_json_is_valid_json() {
-        let state = ServerState::new();
-        state.observe("cost", 120.0);
-        state.observe("cost", 240.0);
-        let doc = state.metrics_json();
-        nanocost_trace::json::validate(&doc).expect("metrics must be valid JSON");
-        assert!(doc.contains("\"p50_us\""));
-        assert!(doc.contains("\"p99_us\""));
+    fn config_from_env_rejects_typos() {
+        // Uses a process-global env var: keep the key unique per test.
+        std::env::set_var("NANOCOST_SERVE_TRACE_RING", "not-a-number");
+        let err = ServerStateConfig::from_env().expect_err("typo must refuse to start");
+        assert!(err.contains("NANOCOST_SERVE_TRACE_RING"), "{err}");
+        std::env::set_var("NANOCOST_SERVE_TRACE_RING", "512");
+        let cfg = ServerStateConfig::from_env().expect("valid");
+        assert_eq!(cfg.trace_ring, 512);
+        std::env::remove_var("NANOCOST_SERVE_TRACE_RING");
     }
 }

@@ -1,0 +1,231 @@
+//! End-to-end observability tests over a real socket: the exemplar →
+//! trace drill-down, the SLO health verdict, the structured access
+//! log, and the trace-capture ring — the paths `trace_tail --attach`
+//! and the CI soak gate depend on.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use nanocost_sentinel::json;
+use nanocost_serve::{Server, ServerConfig, ServerState, ServerStateConfig};
+
+const COST_BODY: &str =
+    r#"{"lambda_um":0.18,"sd":300,"transistors":1e7,"volume":5000,"fab_yield":0.4}"#;
+
+/// Runs `f` against a live server built from `state`, then shuts the
+/// server down cleanly.
+fn with_server_state(state: ServerState, f: impl FnOnce(std::net::SocketAddr)) {
+    let server = Server::bind_with_state(
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            io_timeout: Duration::from_secs(2),
+        },
+        state,
+    )
+    .expect("bind");
+    let addr = server.local_addr().expect("local addr");
+    let shutdown = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| server.run(&shutdown));
+        f(addr);
+        shutdown.store(true, Ordering::SeqCst);
+        handle.join().expect("server thread").expect("server run");
+    });
+}
+
+/// One HTTP/1.1 exchange; returns `(status, body)`.
+fn exchange(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("write");
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("read");
+    let text = String::from_utf8_lossy(&response).into_owned();
+    let status: u16 = text
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let body = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn p99_exemplar_round_trips_to_a_clean_request_trace() {
+    with_server_state(ServerState::new(), |addr| {
+        // A mixed workload so every model endpoint has an exemplar.
+        for _ in 0..5 {
+            assert_eq!(exchange(addr, "POST", "/v1/cost", COST_BODY).0, 200);
+        }
+        let yield_body = r#"{"lambda_um":0.13,"sd":400,"transistors":1e7,"volume":20000}"#;
+        assert_eq!(exchange(addr, "POST", "/v1/yield", yield_body).0, 200);
+
+        let (status, metrics) = exchange(addr, "GET", "/v1/metrics", "");
+        assert_eq!(status, 200, "{metrics}");
+        let doc = json::parse(&metrics).expect("metrics is JSON");
+        assert_eq!(doc.get("schema").and_then(json::JsonValue::as_u64), Some(2));
+        let endpoints = doc.get("endpoints").expect("endpoints object");
+        for endpoint in ["cost", "yield"] {
+            let req_id = endpoints
+                .get(endpoint)
+                .and_then(|e| e.get("p99_exemplar"))
+                .and_then(|e| e.get("req_id"))
+                .and_then(json::JsonValue::as_str)
+                .unwrap_or_else(|| panic!("{endpoint} has no p99 exemplar: {metrics}"))
+                .to_string();
+
+            // The drill-down: the anonymous p99 pivots to a fetchable,
+            // fully request-scoped trace capture.
+            let (status, capture) = exchange(addr, "GET", &format!("/v1/trace/{req_id}"), "");
+            assert_eq!(status, 200, "exemplar {req_id} has no stored trace");
+            assert!(!capture.trim().is_empty(), "empty capture for {req_id}");
+            let tag = format!("\"req_id\":\"{req_id}\"");
+            let mut enters = 0usize;
+            let mut exits = 0usize;
+            for line in capture.lines() {
+                nanocost_trace::json::validate(line).expect("capture line is JSON");
+                assert!(line.contains(&tag), "untagged record in {req_id}: {line}");
+                if line.contains("\"type\":\"span_enter\"") {
+                    enters += 1;
+                }
+                if line.contains("\"type\":\"span_exit\"") {
+                    exits += 1;
+                }
+            }
+            assert!(enters >= 1, "capture has no spans: {capture}");
+            assert_eq!(enters, exits, "unbalanced spans in {req_id}: {capture}");
+            assert!(
+                capture.contains("serve.request"),
+                "missing request span: {capture}"
+            );
+        }
+    });
+}
+
+#[test]
+fn health_verdict_is_served_over_the_wire() {
+    with_server_state(ServerState::new(), |addr| {
+        let (status, body) = exchange(addr, "GET", "/v1/health", "");
+        assert_eq!(status, 200, "{body}");
+        let doc = json::parse(&body).expect("health is JSON");
+        assert_eq!(
+            doc.get("status").and_then(json::JsonValue::as_str),
+            Some("ok")
+        );
+        let objectives = doc
+            .get("objectives")
+            .and_then(json::JsonValue::as_arr)
+            .expect("objectives array");
+        let names: Vec<_> = objectives
+            .iter()
+            .filter_map(|o| o.get("name").and_then(json::JsonValue::as_str))
+            .collect();
+        assert_eq!(names, ["latency", "shed_rate"], "{body}");
+    });
+
+    // A hair-trigger latency objective flips the verdict to 503 once
+    // traffic burns through the error budget in both windows.
+    let cfg = ServerStateConfig {
+        latency_threshold_us: 0.001,
+        ..ServerStateConfig::default()
+    };
+    let state = ServerState::with_config(cfg).expect("valid config");
+    with_server_state(state, |addr| {
+        for _ in 0..20 {
+            assert_eq!(exchange(addr, "POST", "/v1/cost", COST_BODY).0, 200);
+        }
+        let (status, body) = exchange(addr, "GET", "/v1/health", "");
+        assert_eq!(status, 503, "every request misses a 1ns SLO: {body}");
+        assert!(body.contains("\"status\":\"failing\""), "{body}");
+    });
+}
+
+#[test]
+fn access_log_records_every_request_in_golden_field_order() {
+    let path = std::env::temp_dir().join(format!(
+        "nanocost_access_log_{}.jsonl",
+        std::process::id()
+    ));
+    let cfg = ServerStateConfig {
+        access_log: Some(path.to_string_lossy().into_owned()),
+        ..ServerStateConfig::default()
+    };
+    let state = ServerState::with_config(cfg).expect("valid config");
+    with_server_state(state, |addr| {
+        assert_eq!(exchange(addr, "POST", "/v1/cost", COST_BODY).0, 200);
+        assert_eq!(exchange(addr, "POST", "/v1/cost", COST_BODY).0, 200);
+        assert_eq!(exchange(addr, "GET", "/v1/metrics", "").0, 200);
+        assert_eq!(exchange(addr, "GET", "/v1/trace/r999", "").0, 404);
+    });
+    let log = std::fs::read_to_string(&path).expect("access log written");
+    let _ = std::fs::remove_file(&path);
+
+    // Normalize the only non-deterministic field (latency digits) and
+    // compare the rest byte for byte.
+    let normalized: Vec<String> = log
+        .lines()
+        .map(|line| {
+            let at = line.find("\"latency_ns\":").expect("latency field");
+            let rest = &line[at + 13..];
+            let end = rest.find(',').expect("field after latency");
+            format!("{}\"latency_ns\":N{}", &line[..at], &rest[end..])
+        })
+        .collect();
+    assert_eq!(
+        normalized,
+        [
+            // A cost request performs two cache lookups (mask-set cost
+            // and the breakdown): the first request misses both, the
+            // identical second hits both.
+            "{\"req_id\":\"r1\",\"endpoint\":\"cost\",\"status\":200,\"latency_ns\":N,\"cache_hits\":0,\"cache_misses\":2}",
+            "{\"req_id\":\"r2\",\"endpoint\":\"cost\",\"status\":200,\"latency_ns\":N,\"cache_hits\":2,\"cache_misses\":0}",
+            "{\"req_id\":\"-\",\"endpoint\":\"metrics\",\"status\":200,\"latency_ns\":N,\"cache_hits\":0,\"cache_misses\":0}",
+            "{\"req_id\":\"-\",\"endpoint\":\"trace\",\"status\":404,\"latency_ns\":N,\"cache_hits\":0,\"cache_misses\":0}",
+        ],
+        "access log drifted from the golden shape:\n{log}"
+    );
+    for line in log.lines() {
+        nanocost_trace::json::validate(line).expect("access record is JSON");
+    }
+}
+
+#[test]
+fn trace_ring_capacity_and_eviction_counter_are_live() {
+    let cfg = ServerStateConfig {
+        trace_ring: 2,
+        ..ServerStateConfig::default()
+    };
+    let state = ServerState::with_config(cfg).expect("valid config");
+    with_server_state(state, |addr| {
+        for _ in 0..4 {
+            assert_eq!(exchange(addr, "POST", "/v1/cost", COST_BODY).0, 200);
+        }
+        // r1/r2 evicted, r3/r4 retained.
+        assert_eq!(exchange(addr, "GET", "/v1/trace/r1", "").0, 404);
+        assert_eq!(exchange(addr, "GET", "/v1/trace/r2", "").0, 404);
+        assert_eq!(exchange(addr, "GET", "/v1/trace/r3", "").0, 200);
+        assert_eq!(exchange(addr, "GET", "/v1/trace/r4", "").0, 200);
+        let (_, metrics) = exchange(addr, "GET", "/v1/metrics", "");
+        let doc = json::parse(&metrics).expect("metrics is JSON");
+        assert_eq!(
+            doc.get("counters")
+                .and_then(|c| c.get("trace_ring_evicted"))
+                .and_then(json::JsonValue::as_u64),
+            Some(2),
+            "{metrics}"
+        );
+    });
+}

@@ -14,6 +14,15 @@
 //! flushed at the end with their *original* capture times — must have
 //! non-decreasing `t_ns` within each thread.
 //!
+//! Schema 2 adds request attribution: a record may carry a `req_id`
+//! envelope key (a non-empty string). A `span_enter` carrying `req_id`
+//! opens a request scope on its thread; every other non-`sample`
+//! record is only allowed to carry `req_id` while such a scope is
+//! open, must match the innermost scope's id, and — conversely — must
+//! carry it while one is open. `sample` records are exempt from the
+//! scope rule because the timeline flush replays them under the
+//! flusher's scope with the capturing thread's id.
+//!
 //! Usage: `trace-check [--summary] <file.jsonl>`
 //!
 //! With `--summary`, also prints a per-record-type breakdown, the
@@ -76,6 +85,10 @@ struct Stats {
     samples_by_kind: BTreeMap<String, usize>,
     /// Spans still open at end of capture (truncation, not an error).
     unclosed_spans: usize,
+    /// Records carrying a `req_id` envelope key.
+    request_records: usize,
+    /// Distinct request ids that opened a scope.
+    requests: BTreeSet<String>,
 }
 
 impl Stats {
@@ -116,6 +129,13 @@ impl Stats {
         if self.unclosed_spans > 0 {
             out.push_str(&format!("unclosed spans: {}\n", self.unclosed_spans));
         }
+        if !self.requests.is_empty() {
+            out.push_str(&format!(
+                "request-scoped records: {} across {} requests\n",
+                self.request_records,
+                self.requests.len()
+            ));
+        }
         out
     }
 }
@@ -132,6 +152,11 @@ fn check(text: &str) -> Result<Stats, String> {
     let mut ts_watermark: BTreeMap<u64, u64> = BTreeMap::new();
     let mut sample_watermark: BTreeMap<u64, u64> = BTreeMap::new();
     let mut open_spans: BTreeSet<u64> = BTreeSet::new();
+    // Per-thread stack of open request scopes: (opening span, req_id).
+    // A scope opens at a `span_enter` carrying `req_id` and closes at
+    // the matching `span_exit`. Left open at EOF = truncation, not an
+    // error (mirrors unclosed spans).
+    let mut req_scopes: BTreeMap<u64, Vec<(u64, String)>> = BTreeMap::new();
     for (i, line) in text.lines().enumerate() {
         let lineno = i + 1;
         if line.trim().is_empty() {
@@ -152,6 +177,50 @@ fn check(text: &str) -> Result<Stats, String> {
             .and_then(JsonValue::as_str)
             .ok_or_else(|| format!("line {lineno}: record missing `type`"))?
             .to_string();
+        // Schema 2: `req_id`, when present, must be a non-empty string.
+        let req_id = match v.get("req_id") {
+            None => None,
+            Some(JsonValue::Str(s)) if !s.is_empty() => Some(s.clone()),
+            Some(JsonValue::Str(_)) => {
+                return Err(format!("line {lineno}: `req_id` is an empty string"));
+            }
+            Some(_) => {
+                return Err(format!("line {lineno}: `req_id` is not a string"));
+            }
+        };
+        if let Some(id) = &req_id {
+            stats.request_records += 1;
+            // Scope rule: outside a `span_enter` (which may open a new
+            // scope) and the exempt `sample` replay stream, a tagged
+            // record must sit inside an open scope with the same id.
+            if ty != "span_enter" && ty != "sample" {
+                match req_scopes.get(&thread).and_then(|s| s.last()) {
+                    Some((_, top)) if top == id => {}
+                    Some((_, top)) => {
+                        return Err(format!(
+                            "line {lineno}: req_id `{id}` does not match the open \
+                             request scope `{top}` on thread {thread}"
+                        ));
+                    }
+                    None => {
+                        return Err(format!(
+                            "line {lineno}: req_id `{id}` outside any request scope \
+                             on thread {thread}"
+                        ));
+                    }
+                }
+            }
+        } else if ty != "sample" {
+            // The converse: inside an open scope, the capture tee tags
+            // every record — an untagged one means the stream was
+            // stitched together from different requests.
+            if let Some((_, top)) = req_scopes.get(&thread).and_then(|s| s.last()) {
+                return Err(format!(
+                    "line {lineno}: record missing `req_id` inside open request \
+                     scope `{top}` on thread {thread}"
+                ));
+            }
+        }
         match ty.as_str() {
             "sample" => {
                 check_sample(&v, lineno, &mut stats)?;
@@ -187,6 +256,18 @@ fn check(text: &str) -> Result<Stats, String> {
                     .and_then(JsonValue::as_u64)
                     .ok_or_else(|| format!("line {lineno}: span_enter missing `span`"))?;
                 open_spans.insert(span);
+                if let Some(id) = &req_id {
+                    let stack = req_scopes.entry(thread).or_default();
+                    match stack.last() {
+                        // An inner span of the already-open request.
+                        Some((_, top)) if top == id => {}
+                        // A new (possibly nested) request scope opens.
+                        _ => {
+                            stats.requests.insert(id.clone());
+                            stack.push((span, id.clone()));
+                        }
+                    }
+                }
             }
             "span_exit" => {
                 let span = v
@@ -197,6 +278,11 @@ fn check(text: &str) -> Result<Stats, String> {
                     return Err(format!(
                         "line {lineno}: span {span} exits before it enters"
                     ));
+                }
+                if let Some(stack) = req_scopes.get_mut(&thread) {
+                    if stack.last().is_some_and(|(opener, _)| *opener == span) {
+                        stack.pop();
+                    }
                 }
             }
             "provenance" => {
@@ -374,6 +460,72 @@ mod tests {
             "{\"ts_us\":2,\"thread\":1,\"type\":\"sample\",\"name\":\"m\",\"metric_kind\":\"gauge\",\"t_ns\":10,\"value\":null}\n",
         );
         assert!(check(null_value).is_ok());
+    }
+
+    /// One request-scoped span wrapping a provenance record, as the
+    /// query server's `/v1/trace/<id>` capture renders it.
+    fn request_capture(id: &str) -> String {
+        format!(
+            concat!(
+                "{{\"ts_us\":1,\"thread\":1,\"req_id\":\"{id}\",\"type\":\"span_enter\",\"span\":1,\"parent\":null,\"name\":\"serve.request\",\"fields\":{{}}}}\n",
+                "{{\"ts_us\":2,\"thread\":1,\"req_id\":\"{id}\",\"type\":\"provenance\",\"span\":1,\"equation\":\"Eq.4\",\"function\":\"f\",\"inputs\":{{}},\"outputs\":{{}}}}\n",
+                "{{\"ts_us\":3,\"thread\":1,\"req_id\":\"{id}\",\"type\":\"span_exit\",\"span\":1,\"name\":\"serve.request\",\"elapsed_ns\":2000}}\n",
+            ),
+            id = id
+        )
+    }
+
+    #[test]
+    fn accepts_a_request_scoped_capture() {
+        let stats = check(&request_capture("r7")).expect("valid request capture");
+        assert_eq!(stats.request_records, 3);
+        assert_eq!(stats.requests.len(), 1);
+        assert!(stats.summary().contains("across 1 requests"), "{}", stats.summary());
+        // Untagged records after the scope closes are fine again.
+        let text = format!("{}{}", request_capture("r7"), prov(9, 1, "Eq.1"));
+        assert!(check(&text).is_ok());
+    }
+
+    #[test]
+    fn rejects_req_id_outside_a_request_scope() {
+        let stray = format!(
+            "{}\n",
+            prov(1, 1, "Eq.4").replace("\"thread\":1,", "\"thread\":1,\"req_id\":\"r7\",")
+        );
+        let err = check(&stray).expect_err("must flag");
+        assert!(err.contains("outside any request scope"), "{err}");
+    }
+
+    #[test]
+    fn rejects_req_id_of_the_wrong_type_or_empty() {
+        let bad_type = request_capture("r7").replace("\"req_id\":\"r7\"", "\"req_id\":7");
+        assert!(check(&bad_type).expect_err("type").contains("not a string"));
+        let empty = request_capture("r7").replace("\"req_id\":\"r7\"", "\"req_id\":\"\"");
+        assert!(check(&empty).expect_err("empty").contains("empty string"));
+    }
+
+    #[test]
+    fn rejects_mismatched_and_missing_req_id_inside_a_scope() {
+        // Line 2 claims a different request than the open scope.
+        let mismatch = request_capture("r7").replacen("\"req_id\":\"r7\",\"type\":\"provenance\"", "\"req_id\":\"r8\",\"type\":\"provenance\"", 1);
+        let err = check(&mismatch).expect_err("must flag");
+        assert!(err.contains("does not match the open request scope"), "{err}");
+        // Line 2 lost its tag: a stitched-together stream.
+        let missing = request_capture("r7").replacen("\"req_id\":\"r7\",\"type\":\"provenance\"", "\"type\":\"provenance\"", 1);
+        let err = check(&missing).expect_err("must flag");
+        assert!(err.contains("missing `req_id` inside open request scope"), "{err}");
+    }
+
+    #[test]
+    fn samples_are_exempt_from_the_scope_rule() {
+        // A replayed sample carrying the flusher's req_id against a
+        // thread with no open scope must not be flagged.
+        let text = format!(
+            "{}{}\n",
+            request_capture("r7"),
+            sample(9, 2, 100, "counter").replace("\"thread\":2,", "\"thread\":2,\"req_id\":\"r7\",")
+        );
+        assert!(check(&text).is_ok());
     }
 
     #[test]

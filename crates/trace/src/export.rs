@@ -174,8 +174,16 @@ fn opt_u64(v: Option<u64>) -> String {
 
 impl Exporter for JsonlExporter {
     fn render(&mut self, rec: &Record) -> String {
+        // Schema 2: records emitted under a request scope carry a
+        // `req_id` key in the envelope; unscoped records omit it, so
+        // pre-existing captures remain valid under the same checker.
+        let req = rec
+            .req_id
+            .as_deref()
+            .map(|id| format!(",\"req_id\":{}", json_string(id)))
+            .unwrap_or_default();
         let head = format!(
-            "{{\"ts_us\":{},\"thread\":{},\"type\":{}",
+            "{{\"ts_us\":{},\"thread\":{}{req},\"type\":{}",
             rec.ts_micros,
             rec.thread,
             json_string(rec.kind.tag())
@@ -322,32 +330,32 @@ mod tests {
 
     fn records() -> Vec<Record> {
         vec![
-            Record {
-                ts_micros: 10,
-                thread: 1,
-                kind: RecordKind::SpanEnter {
+            Record::unscoped(
+                10,
+                1,
+                RecordKind::SpanEnter {
                     span: 1,
                     parent: None,
                     name: "outer",
                     fields: vec![Field::new("volume", Value::U64(5_000))],
                 },
-            },
-            Record {
-                ts_micros: 12,
-                thread: 1,
-                kind: RecordKind::Provenance {
+            ),
+            Record::unscoped(
+                12,
+                1,
+                RecordKind::Provenance {
                     span: Some(1),
                     equation: Equation::Eq4,
                     function: "core::transistor_cost",
                     inputs: vec![Field::new("sd", Value::F64(300.0))],
                     outputs: vec![Field::new("c_tr", Value::F64(1.5e-6))],
                 },
-            },
-            Record {
-                ts_micros: 15,
-                thread: 1,
-                kind: RecordKind::SpanExit { span: 1, name: "outer", elapsed_nanos: 5_000 },
-            },
+            ),
+            Record::unscoped(
+                15,
+                1,
+                RecordKind::SpanExit { span: 1, name: "outer", elapsed_nanos: 5_000 },
+            ),
         ]
     }
 
@@ -376,6 +384,17 @@ mod tests {
             crate::json::validate(line).expect("line parses as JSON");
         }
         assert!(out.contains("\"equation\":\"Eq.4\""));
+        assert!(!out.contains("req_id"), "unscoped records omit req_id");
+    }
+
+    #[test]
+    fn jsonl_envelope_carries_req_id_when_scoped() {
+        let mut rec = records().remove(0);
+        rec.req_id = Some(std::sync::Arc::from("r17"));
+        let mut e = JsonlExporter::new();
+        let line = e.render(&rec);
+        crate::json::validate(line.trim_end()).expect("line parses as JSON");
+        assert!(line.starts_with("{\"ts_us\":10,\"thread\":1,\"req_id\":\"r17\",\"type\":\"span_enter\""));
     }
 
     #[test]

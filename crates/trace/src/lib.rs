@@ -104,6 +104,11 @@ thread_local! {
     /// captures *tee*: every record is appended to each open frame and
     /// still delivered to the thread-local or global subscriber.
     static CAPTURE: RefCell<Vec<Vec<Record>>> = const { RefCell::new(Vec::new()) };
+
+    /// This thread's stack of open request scopes (see
+    /// [`request_scope`]). The innermost scope's id is stamped on every
+    /// record dispatched from this thread.
+    static REQ_SCOPE: RefCell<Vec<std::sync::Arc<str>>> = const { RefCell::new(Vec::new()) };
 }
 
 /// Monotonic epoch shared by every record in the process; timestamps are
@@ -172,6 +177,57 @@ pub(crate) fn next_span_id() -> u64 {
     NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed)
 }
 
+/// RAII guard returned by [`request_scope`]; pops the scope on drop
+/// (including during unwinding), so attribution cannot leak across
+/// requests even when a handler panics.
+#[derive(Debug)]
+pub struct RequestScope {
+    installed: bool,
+}
+
+impl Drop for RequestScope {
+    fn drop(&mut self) {
+        if self.installed {
+            let _ = REQ_SCOPE.try_with(|s| {
+                if let Ok(mut stack) = s.try_borrow_mut() {
+                    stack.pop();
+                }
+            });
+        }
+    }
+}
+
+/// Opens a request scope on this thread: until the returned guard
+/// drops, every record dispatched from this thread carries `id` in its
+/// [`Record::req_id`] field. Scopes nest (innermost wins), so a
+/// sub-request recorded inside a batch keeps its own attribution. The
+/// query server opens one scope per `serve.request` span; everything
+/// emitted while handling the request — span enter/exit, events,
+/// provenance, metric snapshots — is thereby tagged, which is what lets
+/// a histogram exemplar's `req_id` resolve to a full trace later.
+#[must_use]
+pub fn request_scope(id: &str) -> RequestScope {
+    let installed = REQ_SCOPE
+        .try_with(|s| {
+            if let Ok(mut stack) = s.try_borrow_mut() {
+                stack.push(std::sync::Arc::from(id));
+                true
+            } else {
+                false
+            }
+        })
+        .unwrap_or(false);
+    RequestScope { installed }
+}
+
+/// The innermost open request scope's id on this thread, if any.
+#[must_use]
+pub fn current_request_id() -> Option<std::sync::Arc<str>> {
+    REQ_SCOPE
+        .try_with(|s| s.try_borrow().ok().and_then(|stack| stack.last().cloned()))
+        .unwrap_or(None)
+}
+
 /// Delivers a record to the active subscriber (thread-local collector
 /// first, then the global sink). A no-op when nothing is listening.
 pub fn dispatch(kind: RecordKind) {
@@ -182,7 +238,7 @@ pub fn dispatch(kind: RecordKind) {
 /// buffered samples with the timestamp and thread they were *captured*
 /// on, not the thread doing the flushing.
 pub fn dispatch_origin(ts_micros: u64, thread: u64, kind: RecordKind) {
-    let rec = Record { ts_micros, thread, kind };
+    let rec = Record { ts_micros, thread, req_id: current_request_id(), kind };
     // Tee into every open capture frame on this thread first, so a
     // capture sees the record even when a local collector or the
     // global subscriber also consumes it.
@@ -475,6 +531,33 @@ mod tests {
         });
         assert_eq!(inner.len(), 1);
         assert_eq!(outer.len(), 1);
+    }
+
+    #[test]
+    fn request_scope_tags_records_and_pops_on_drop() {
+        let (records, _) = with_capture(|| {
+            dispatch(RecordKind::Event { span: None, name: "unit.before", fields: vec![] });
+            {
+                let _scope = request_scope("r42");
+                dispatch(RecordKind::Event { span: None, name: "unit.inside", fields: vec![] });
+            }
+            dispatch(RecordKind::Event { span: None, name: "unit.after", fields: vec![] });
+        });
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].req_id, None);
+        assert_eq!(records[1].req_id.as_deref(), Some("r42"));
+        assert_eq!(records[2].req_id, None);
+    }
+
+    #[test]
+    fn request_scopes_nest_innermost_wins() {
+        let _outer = request_scope("outer");
+        assert_eq!(current_request_id().as_deref(), Some("outer"));
+        {
+            let _inner = request_scope("inner");
+            assert_eq!(current_request_id().as_deref(), Some("inner"));
+        }
+        assert_eq!(current_request_id().as_deref(), Some("outer"));
     }
 
     #[test]

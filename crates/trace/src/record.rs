@@ -96,15 +96,30 @@ impl RecordKind {
     }
 }
 
-/// One record: when, where, what.
+/// One record: when, where, what — and, under a request scope, *whose*.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Record {
     /// Microseconds since the process trace epoch.
     pub ts_micros: u64,
     /// Small integer id of the emitting thread.
     pub thread: u64,
+    /// The request this record was emitted on behalf of, when the
+    /// emitting thread had a [`crate::request_scope`] open (the query
+    /// server opens one per `serve.request` span). `None` for every
+    /// record emitted outside a request scope — batch pipelines,
+    /// benches, metric flushes at shutdown.
+    pub req_id: Option<std::sync::Arc<str>>,
     /// Payload.
     pub kind: RecordKind,
+}
+
+impl Record {
+    /// A record with no request attribution — the common case for
+    /// anything not emitted under [`crate::request_scope`].
+    #[must_use]
+    pub fn unscoped(ts_micros: u64, thread: u64, kind: RecordKind) -> Self {
+        Record { ts_micros, thread, req_id: None, kind }
+    }
 }
 
 #[cfg(test)]

@@ -123,11 +123,7 @@ mod tests {
     use std::sync::Arc;
 
     fn rec(name: &'static str) -> Record {
-        Record {
-            ts_micros: 1,
-            thread: 1,
-            kind: RecordKind::Event { span: None, name, fields: vec![] },
-        }
+        Record::unscoped(1, 1, RecordKind::Event { span: None, name, fields: vec![] })
     }
 
     /// A shared Vec<u8> writer for inspecting what the subscriber wrote.

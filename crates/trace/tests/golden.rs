@@ -20,6 +20,7 @@ fn fixture_records() -> Vec<Record> {
         Record {
             ts_micros: 10,
             thread: 1,
+            req_id: None,
             kind: RecordKind::SpanEnter {
                 span: 1,
                 parent: None,
@@ -30,6 +31,7 @@ fn fixture_records() -> Vec<Record> {
         Record {
             ts_micros: 12,
             thread: 1,
+            req_id: None,
             kind: RecordKind::Provenance {
                 span: Some(1),
                 equation: Equation::Eq6,
@@ -41,6 +43,7 @@ fn fixture_records() -> Vec<Record> {
         Record {
             ts_micros: 14,
             thread: 1,
+            req_id: None,
             kind: RecordKind::SpanEnter {
                 span: 2,
                 parent: Some(1),
@@ -51,6 +54,7 @@ fn fixture_records() -> Vec<Record> {
         Record {
             ts_micros: 15,
             thread: 2,
+            req_id: None,
             kind: RecordKind::SpanEnter {
                 span: 3,
                 parent: None,
@@ -61,6 +65,7 @@ fn fixture_records() -> Vec<Record> {
         Record {
             ts_micros: 17,
             thread: 1,
+            req_id: None,
             kind: RecordKind::Event {
                 span: Some(2),
                 name: "optimum.found",
@@ -70,11 +75,13 @@ fn fixture_records() -> Vec<Record> {
         Record {
             ts_micros: 20,
             thread: 2,
+            req_id: None,
             kind: RecordKind::SpanExit { span: 3, name: "yield.simulate", elapsed_nanos: 5_000 },
         },
         Record {
             ts_micros: 22,
             thread: 1,
+            req_id: None,
             kind: RecordKind::SpanExit {
                 span: 2,
                 name: "optimize.sd_total",
@@ -84,6 +91,7 @@ fn fixture_records() -> Vec<Record> {
         Record {
             ts_micros: 23,
             thread: 1,
+            req_id: None,
             kind: RecordKind::Provenance {
                 span: Some(1),
                 equation: Equation::Eq4,
@@ -95,6 +103,7 @@ fn fixture_records() -> Vec<Record> {
         Record {
             ts_micros: 25,
             thread: 1,
+            req_id: None,
             kind: RecordKind::SpanExit {
                 span: 1,
                 name: "figure4.panel",
@@ -104,6 +113,7 @@ fn fixture_records() -> Vec<Record> {
         Record {
             ts_micros: 26,
             thread: 1,
+            req_id: None,
             kind: RecordKind::Metric {
                 name: "mc.wafers",
                 metric_kind: "counter",
@@ -113,6 +123,7 @@ fn fixture_records() -> Vec<Record> {
         Record {
             ts_micros: 26,
             thread: 1,
+            req_id: None,
             kind: RecordKind::Metric {
                 name: "bench.sample_s",
                 metric_kind: "histogram",
@@ -127,6 +138,7 @@ fn fixture_records() -> Vec<Record> {
         Record {
             ts_micros: 27,
             thread: 1,
+            req_id: None,
             kind: RecordKind::Sample {
                 name: "mc.wafers",
                 metric_kind: "counter",
@@ -137,11 +149,35 @@ fn fixture_records() -> Vec<Record> {
         Record {
             ts_micros: 27,
             thread: 2,
+            req_id: None,
             kind: RecordKind::Sample {
                 name: "optimize.sd_probe",
                 metric_kind: "gauge",
                 t_ns: 21_250,
                 value: 412.5,
+            },
+        },
+        // A request-scoped pair (schema 2): the JSONL envelope gains a
+        // req_id key; the text and chrome renderings are unchanged.
+        Record {
+            ts_micros: 30,
+            thread: 3,
+            req_id: Some("r9".into()),
+            kind: RecordKind::SpanEnter {
+                span: 4,
+                parent: None,
+                name: "serve.request",
+                fields: vec![f("endpoint", Value::Str("cost".into()))],
+            },
+        },
+        Record {
+            ts_micros: 31,
+            thread: 3,
+            req_id: Some("r9".into()),
+            kind: RecordKind::SpanExit {
+                span: 4,
+                name: "serve.request",
+                elapsed_nanos: 900,
             },
         },
     ]
@@ -188,6 +224,10 @@ fn jsonl_matches_golden_and_every_line_is_json() {
     for line in out.lines() {
         nanocost_trace::json::validate(line).expect("fixture line is valid JSON");
     }
+    assert!(
+        out.contains("\"req_id\":\"r9\""),
+        "request-scoped records must carry req_id in the JSONL envelope"
+    );
     compare("trace.expected.jsonl", &out);
 }
 

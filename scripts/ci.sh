@@ -90,8 +90,11 @@ done
 echo "==> serve smoke gate: ephemeral server + loadgen mix"
 SERVE_LOG=target/ci-serve.log
 rm -f "$SERVE_LOG" target/ci-serve-metrics.json target/ci-serve-prov.jsonl target/ci-serve-bench.json
+rm -f target/ci-serve-access.jsonl target/ci-serve-health.json target/ci-serve-exemplar.*.jsonl
 cargo build -q --release -p nanocost-serve
-./target/release/serve --port 0 --workers 4 >"$SERVE_LOG" 2>&1 &
+NANOCOST_SERVE_TRACE_RING=4096 \
+    NANOCOST_SERVE_ACCESS_LOG=target/ci-serve-access.jsonl \
+    ./target/release/serve --port 0 --workers 4 >"$SERVE_LOG" 2>&1 &
 SERVE_PID=$!
 # The "listening on" line is the readiness handshake; wait for it.
 SERVE_ADDR=""
@@ -121,6 +124,43 @@ if ! grep -q '"p50_us"' target/ci-serve-metrics.json \
 fi
 # The per-request provenance replay must be a valid trace capture.
 cargo run -q --release -p nanocost-trace --bin trace_check -- target/ci-serve-prov.jsonl
+
+echo "==> serve soak gate: elevated concurrency + SLO criteria + exemplar round-trip"
+# A heavier burst against the same server: sheds are tolerated (bounded
+# queue doing its job) but the shed rate, the client-observed p99, and
+# the server's own /v1/health verdict must all hold, and every
+# endpoint's p99 exemplar must round-trip to a fetchable trace.
+./target/release/loadgen --addr "$SERVE_ADDR" --requests 400 \
+    --mix cost,optimum,batch,yield --concurrency 16 \
+    --allow-shed --max-shed-rate 0.5 --slo-p99-us 1000000 \
+    --health-out target/ci-serve-health.json \
+    --exemplar-traces target/ci-serve-exemplar
+# Every fetched exemplar trace must be a trace_check-clean capture with
+# request attribution on each record.
+EXEMPLARS=0
+for cap in target/ci-serve-exemplar.*.jsonl; do
+    [[ -e "$cap" ]] || continue
+    cargo run -q --release -p nanocost-trace --bin trace_check -- "$cap"
+    if grep -vq '"req_id"' "$cap"; then
+        echo "ci: FAIL: $cap has records without req_id" >&2
+        kill "$SERVE_PID" 2>/dev/null || true
+        exit 1
+    fi
+    EXEMPLARS=$((EXEMPLARS + 1))
+done
+if [[ "$EXEMPLARS" -lt 1 ]]; then
+    echo "ci: FAIL: soak produced no exemplar traces" >&2
+    kill "$SERVE_PID" 2>/dev/null || true
+    exit 1
+fi
+# The structured access log must have one JSON record per request.
+if [[ ! -s target/ci-serve-access.jsonl ]] \
+    || ! grep -q '"endpoint":"cost"' target/ci-serve-access.jsonl \
+    || grep -vq '^{"req_id":' target/ci-serve-access.jsonl; then
+    echo "ci: FAIL: access log is missing or malformed" >&2
+    kill "$SERVE_PID" 2>/dev/null || true
+    exit 1
+fi
 # SIGTERM must be a clean shutdown (exit 0).
 kill -TERM "$SERVE_PID"
 if ! wait "$SERVE_PID"; then
