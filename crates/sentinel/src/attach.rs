@@ -1,0 +1,139 @@
+//! Live-attach plumbing: a zero-dependency HTTP/1.1 GET client for
+//! scraping a running `nanocost-serve` (`/v1/metrics`, `/v1/profile`,
+//! `/v1/trace/<req-id>`).
+//!
+//! Both `trace_tail --attach` and `trace_profile --attach` speak to the
+//! server through this module, so target normalization and response
+//! framing live in exactly one place. Errors are plain strings — the
+//! callers are CLIs that print them and exit 2.
+
+use std::io::{Read, Write};
+use std::time::Duration;
+
+/// Socket read timeout for one scrape.
+const SCRAPE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Normalizes an `--attach` target to `host:port`: accepts a bare
+/// `host:port` or an `http://host:port[/...]` URL.
+///
+/// # Errors
+///
+/// A descriptive message when the target has no valid `host:port`.
+pub fn parse_attach_target(url: &str) -> Result<String, String> {
+    let stripped = url.strip_prefix("http://").unwrap_or(url);
+    let host_port = stripped.split('/').next().unwrap_or_default();
+    let (host, port) = host_port
+        .rsplit_once(':')
+        .ok_or_else(|| format!("--attach {url}: expected host:port"))?;
+    if host.is_empty() || port.parse::<u16>().is_err() {
+        return Err(format!("--attach {url}: expected host:port"));
+    }
+    Ok(host_port.to_string())
+}
+
+/// One raw HTTP/1.1 GET against `target` (a `host:port`). Returns the
+/// status code and body; transport failures and unframed responses are
+/// errors, non-200 statuses are not — callers decide what a 410 or 404
+/// means for them.
+///
+/// # Errors
+///
+/// Connect/read/write failures and responses with no header/body split.
+pub fn http_get(target: &str, path: &str) -> Result<(u16, String), String> {
+    let mut stream = std::net::TcpStream::connect(target)
+        .map_err(|e| format!("connect {target}: {e}"))?;
+    stream
+        .set_read_timeout(Some(SCRAPE_TIMEOUT))
+        .map_err(|e| format!("set timeout: {e}"))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {target}\r\nConnection: close\r\n\r\n"
+    )
+    .map_err(|e| format!("write {target}: {e}"))?;
+    let mut response = Vec::new();
+    stream
+        .read_to_end(&mut response)
+        .map_err(|e| format!("read {target}: {e}"))?;
+    let text = String::from_utf8_lossy(&response);
+    let status: u16 = text
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    text.split_once("\r\n\r\n")
+        .map(|(_, body)| (status, body.to_string()))
+        .ok_or_else(|| format!("{target}{path}: malformed HTTP response"))
+}
+
+/// [`http_get`] that additionally treats any non-200 status as an
+/// error — the common case for scrapes of always-available endpoints.
+///
+/// # Errors
+///
+/// Everything [`http_get`] rejects, plus non-200 statuses.
+pub fn http_get_ok(target: &str, path: &str) -> Result<String, String> {
+    let (status, body) = http_get(target, path)?;
+    if status != 200 {
+        return Err(format!("{target}{path} answered {status}"));
+    }
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attach_targets_normalize() {
+        assert_eq!(
+            parse_attach_target("http://127.0.0.1:8077/v1/metrics").as_deref(),
+            Ok("127.0.0.1:8077")
+        );
+        assert_eq!(parse_attach_target("localhost:9").as_deref(), Ok("localhost:9"));
+        assert!(parse_attach_target("no-port").is_err());
+        assert!(parse_attach_target(":8077").is_err());
+        assert!(parse_attach_target("host:notaport").is_err());
+    }
+
+    #[test]
+    fn http_get_round_trips_against_a_local_listener() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let server = std::thread::spawn(move || {
+            let (mut sock, _) = listener.accept().expect("accept");
+            let mut buf = [0u8; 1024];
+            let n = sock.read(&mut buf).expect("read request");
+            let request = String::from_utf8_lossy(&buf[..n]).into_owned();
+            sock.write_all(b"HTTP/1.1 410 Gone\r\nContent-Length: 4\r\n\r\ngone")
+                .expect("write response");
+            request
+        });
+        let (status, body) = http_get(&addr, "/v1/trace/r1").expect("exchange");
+        assert_eq!(status, 410);
+        assert_eq!(body, "gone");
+        let request = server.join().expect("server thread");
+        assert!(request.starts_with("GET /v1/trace/r1 HTTP/1.1\r\n"), "{request}");
+    }
+
+    #[test]
+    fn strict_variant_rejects_non_200() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let server = std::thread::spawn(move || {
+            let (mut sock, _) = listener.accept().expect("accept");
+            let mut buf = [0u8; 1024];
+            let _ = sock.read(&mut buf).expect("read request");
+            sock.write_all(b"HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n")
+                .expect("write response");
+        });
+        let err = http_get_ok(&addr, "/missing").expect_err("404 must error");
+        assert!(err.contains("404"), "{err}");
+        server.join().expect("server thread");
+    }
+
+    #[test]
+    fn transport_failures_are_clean_errors() {
+        // A port nothing listens on: connect (or read) fails, no panic.
+        assert!(http_get("127.0.0.1:1", "/v1/metrics").is_err());
+    }
+}

@@ -10,6 +10,12 @@
 //! trace_profile --since 1000000 --until 90% <capture.jsonl>
 //! trace_profile --metrics <capture.jsonl>   # per-window metric summaries +
 //!                                           # counter flamegraph
+//! trace_profile --samples <capture.jsonl>   # aggregate the sampling
+//!                                           # profiler's stack_sample
+//!                                           # records into report JSON
+//! trace_profile --attach 127.0.0.1:8077     # scrape a live server's
+//!                                           # /v1/profile and render it
+//! trace_profile --attach host:port --window-s 10
 //! ```
 //!
 //! `--since`/`--until` take a nanosecond offset from the capture's
@@ -17,18 +23,29 @@
 //! half-open window `[since, until)` applied to spans (elapsed time
 //! clipped to the overlap) and samples alike.
 //!
+//! `--attach` replaces the capture file with a running `nanocost-serve`:
+//! one `GET /v1/profile?window_s=N` scrape (default 30 s), rendered as
+//! the sampling-profiler hotspot table plus folded stacks. `--samples`
+//! prints the same aggregation of an offline capture as deterministic
+//! [`ProfileReport`] JSON — the `profile_diff` interchange format.
+//!
 //! Exit code 0 on success, 2 on usage, I/O, or parse errors.
 
 use std::process::ExitCode;
 
-use nanocost_sentinel::profile::Profile;
+use nanocost_sentinel::attach::{http_get_ok, parse_attach_target};
+use nanocost_sentinel::profile::{stack_samples_from_jsonl, Profile, ProfileReport};
 use nanocost_sentinel::timeline::{
     counter_folded, metric_summaries, resolve_window, TimelineCapture, WindowSpec,
 };
 use nanocost_sentinel::SentinelError;
 
-const USAGE: &str = "usage: trace_profile [--folded | --hotspots | --metrics] \
-                     [--since NS|P%] [--until NS|P%] <capture.jsonl>";
+const USAGE: &str = "usage: trace_profile [--folded | --hotspots | --metrics | --samples] \
+                     [--since NS|P%] [--until NS|P%] \
+                     (<capture.jsonl> | --attach <host:port> [--window-s N])";
+
+/// Default `/v1/profile` window for `--attach`, in seconds.
+const DEFAULT_ATTACH_WINDOW_S: u64 = 30;
 
 fn parse_spec(flag: &str, value: Option<&String>) -> Result<WindowSpec, String> {
     let raw = value.ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))?;
@@ -40,17 +57,31 @@ fn run(argv: &[String]) -> Result<String, String> {
     let mut folded_only = false;
     let mut hotspots_only = false;
     let mut metrics_mode = false;
+    let mut samples_mode = false;
     let mut since: Option<WindowSpec> = None;
     let mut until: Option<WindowSpec> = None;
     let mut path: Option<&str> = None;
+    let mut attach: Option<String> = None;
+    let mut window_s: u64 = DEFAULT_ATTACH_WINDOW_S;
     let mut args = argv.iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--folded" => folded_only = true,
             "--hotspots" => hotspots_only = true,
             "--metrics" => metrics_mode = true,
+            "--samples" => samples_mode = true,
             "--since" => since = Some(parse_spec("--since", args.next())?),
             "--until" => until = Some(parse_spec("--until", args.next())?),
+            "--attach" => {
+                let url = args.next().ok_or_else(|| format!("--attach needs a URL\n{USAGE}"))?;
+                attach = Some(parse_attach_target(url).map_err(|e| format!("{e}\n{USAGE}"))?);
+            }
+            "--window-s" => {
+                let raw = args.next().ok_or_else(|| format!("--window-s needs a value\n{USAGE}"))?;
+                window_s = raw
+                    .parse()
+                    .map_err(|_| format!("--window-s {raw}: not a number\n{USAGE}"))?;
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag `{other}`\n{USAGE}"))
@@ -63,9 +94,36 @@ fn run(argv: &[String]) -> Result<String, String> {
             }
         }
     }
+    if let Some(target) = attach {
+        if path.is_some() {
+            return Err(format!("--attach replaces the capture file\n{USAGE}"));
+        }
+        let body = http_get_ok(&target, &format!("/v1/profile?window_s={window_s}"))?;
+        let report = ProfileReport::from_json(&body).map_err(|e| format!("{target}: {e}"))?;
+        let mut out = report.hotspot_table();
+        if !hotspots_only {
+            out.push_str("\n# folded stacks (sample counts)\n");
+            out.push_str(&report.folded_text());
+        }
+        return Ok(out);
+    }
     let path = path.ok_or_else(|| USAGE.to_string())?;
     let text = std::fs::read_to_string(path)
         .map_err(|e| SentinelError::io(path, &e).to_string())?;
+    if samples_mode {
+        let samples = stack_samples_from_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+        // The stack samples' own t_ns range anchors the window.
+        let window = if since.is_some() || until.is_some() {
+            let lo = samples.iter().map(|s| s.t_ns).min().unwrap_or(0);
+            let hi = samples.iter().map(|s| s.t_ns).max().unwrap_or(0);
+            Some(resolve_window(since, until, lo, hi))
+        } else {
+            None
+        };
+        let mut out = ProfileReport::from_samples(&samples, window).to_json();
+        out.push('\n');
+        return Ok(out);
+    }
     // The capture's own time range anchors both window endpoints.
     let capture = TimelineCapture::parse(&text).map_err(|e| format!("{path}: {e}"))?;
     let window = if since.is_some() || until.is_some() {
@@ -180,5 +238,37 @@ mod tests {
         assert!(run(&args(&["--since"])).is_err());
         assert!(run(&args(&["--since", "150%", "x.jsonl"])).is_err());
         assert!(run(&args(&["--until", "abc", "x.jsonl"])).is_err());
+    }
+
+    #[test]
+    fn samples_mode_emits_deterministic_report_json() {
+        let mut lines = capture_lines();
+        lines.push(
+            "{\"ts_us\":50,\"thread\":1,\"req_id\":\"r1\",\"type\":\"stack_sample\",\
+             \"depth\":2,\"t_ns\":50000,\"frames\":[\"run\",\"serve.endpoint.cost\"]}"
+                .to_string(),
+        );
+        let path = write_capture("samples.jsonl", &lines);
+        let out = run(&args(&["--samples", &path])).expect("runs");
+        let again = run(&args(&["--samples", &path])).expect("runs twice");
+        assert_eq!(out, again, "report JSON must be byte-deterministic");
+        let report = ProfileReport::from_json(out.trim_end()).expect("valid report");
+        assert_eq!(report.samples, 1);
+        assert_eq!(report.endpoints.get("cost"), Some(&1));
+        // Windowing applies to the samples' own t_ns range.
+        let windowed = run(&args(&["--samples", "--since", "90%", &path])).expect("runs");
+        let report = ProfileReport::from_json(windowed.trim_end()).expect("valid report");
+        assert_eq!(report.samples, 1, "single sample anchors its own window");
+    }
+
+    #[test]
+    fn attach_flags_validate_before_connecting() {
+        assert!(run(&args(&["--attach"])).is_err());
+        assert!(run(&args(&["--attach", "no-port"])).is_err());
+        assert!(
+            run(&args(&["--attach", "h:1", "cap.jsonl"])).is_err(),
+            "--attach and a capture file are mutually exclusive"
+        );
+        assert!(run(&args(&["--attach", "h:1", "--window-s", "abc"])).is_err());
     }
 }

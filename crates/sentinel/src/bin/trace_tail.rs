@@ -22,7 +22,11 @@
 //! each frame scrapes `GET /v1/metrics`, converts the per-endpoint
 //! quantiles, cumulative counters, and cache hit rate into timeline
 //! samples, and renders the same dashboard — plus a footer linking each
-//! endpoint's p99 exemplar to its fetchable `/v1/trace/<req-id>`.
+//! endpoint's p99 exemplar to its fetchable `/v1/trace/<req-id>`, a
+//! per-worker utilization bar (busy share of wall-clock, from the
+//! worker-pool telemetry), the queue-depth/backlog gauges, and the top
+//! self-time frames from a best-effort `GET /v1/profile` scrape (the
+//! footer is simply omitted when the server runs with profiling off).
 //!
 //! Exit code 0 on success, 2 on usage or I/O errors.
 
@@ -30,8 +34,19 @@ use std::io::{IsTerminal, Read, Seek, SeekFrom, Write as _};
 use std::process::ExitCode;
 use std::time::Duration;
 
+use nanocost_sentinel::attach::{http_get, http_get_ok, parse_attach_target};
+use nanocost_sentinel::profile::ProfileReport;
 use nanocost_sentinel::timeline::Dashboard;
 use nanocost_sentinel::{json, SentinelError};
+
+/// Width of a worker utilization bar, in character cells.
+const WORKER_BAR_WIDTH: usize = 20;
+
+/// How many frames the profiler footer shows.
+const TOP_FRAMES: usize = 5;
+
+/// Window the footer's `/v1/profile` scrape asks for, in seconds.
+const PROFILE_FOOTER_WINDOW_S: u64 = 30;
 
 const USAGE: &str = "usage: trace_tail [--once] [--frames N] [--interval-ms N] \
                      [--window-s S] [--width N] (<capture.jsonl> | --attach <host:port>)";
@@ -71,7 +86,7 @@ fn parse_args(argv: &[String]) -> Result<Options, String> {
             "--width" => width = parse_num("--width", args.next())?,
             "--attach" => {
                 let url = args.next().ok_or_else(|| format!("--attach needs a URL\n{USAGE}"))?;
-                attach = Some(parse_attach_target(url)?);
+                attach = Some(parse_attach_target(url).map_err(|e| format!("{e}\n{USAGE}"))?);
             }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other if other.starts_with('-') => {
@@ -103,20 +118,6 @@ fn parse_args(argv: &[String]) -> Result<Options, String> {
         width,
         frames,
     })
-}
-
-/// Normalizes an `--attach` target to `host:port`: accepts a bare
-/// `host:port` or an `http://host:port[/...]` URL.
-fn parse_attach_target(url: &str) -> Result<String, String> {
-    let stripped = url.strip_prefix("http://").unwrap_or(url);
-    let host_port = stripped.split('/').next().unwrap_or_default();
-    let (host, port) = host_port
-        .rsplit_once(':')
-        .ok_or_else(|| format!("--attach {url}: expected host:port\n{USAGE}"))?;
-    if host.is_empty() || port.parse::<u16>().is_err() {
-        return Err(format!("--attach {url}: expected host:port\n{USAGE}"));
-    }
-    Ok(host_port.to_string())
 }
 
 /// Poll-and-seek follower: reads whatever grew past `offset`, splits it
@@ -168,37 +169,6 @@ impl Follower {
         }
         Ok(fed)
     }
-}
-
-/// One scrape of a live server's `/v1/metrics`: raw HTTP over a
-/// `TcpStream` (the same zero-dependency exchange `loadgen` uses).
-fn fetch_metrics(target: &str) -> Result<String, String> {
-    let mut stream = std::net::TcpStream::connect(target)
-        .map_err(|e| format!("connect {target}: {e}"))?;
-    stream
-        .set_read_timeout(Some(Duration::from_secs(5)))
-        .map_err(|e| format!("set timeout: {e}"))?;
-    write!(
-        stream,
-        "GET /v1/metrics HTTP/1.1\r\nHost: {target}\r\nConnection: close\r\n\r\n"
-    )
-    .map_err(|e| format!("write {target}: {e}"))?;
-    let mut response = Vec::new();
-    stream
-        .read_to_end(&mut response)
-        .map_err(|e| format!("read {target}: {e}"))?;
-    let text = String::from_utf8_lossy(&response);
-    let status: u16 = text
-        .split(' ')
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0);
-    if status != 200 {
-        return Err(format!("{target}/v1/metrics answered {status}"));
-    }
-    text.split_once("\r\n\r\n")
-        .map(|(_, body)| body.to_string())
-        .ok_or_else(|| format!("{target}: malformed HTTP response"))
 }
 
 /// Converts one `/v1/metrics` scrape into timeline sample lines the
@@ -257,7 +227,68 @@ fn scrape_to_samples(body: &str) -> Result<(Vec<String>, Vec<String>), String> {
     {
         lines.push(sample("serve.cache.hit_rate", "gauge", v));
     }
+    if let Some(json::JsonValue::Obj(gauges)) = doc.get("gauges") {
+        for (key, value) in gauges {
+            if let Some(v) = value.as_f64() {
+                lines.push(sample(&format!("serve.{key}"), "gauge", v));
+            }
+        }
+    }
+    footer.extend(worker_bars(&doc));
     Ok((lines, footer))
+}
+
+/// Renders one utilization bar per worker from the `workers` section of
+/// a metrics scrape (empty on servers that predate the telemetry).
+fn worker_bars(doc: &json::JsonValue) -> Vec<String> {
+    let Some(json::JsonValue::Arr(workers)) = doc.get("workers") else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for (i, w) in workers.iter().enumerate() {
+        let busy = w.get("busy_ns").and_then(json::JsonValue::as_f64).unwrap_or(0.0);
+        let idle = w.get("idle_ns").and_then(json::JsonValue::as_f64).unwrap_or(0.0);
+        let served = w.get("served").and_then(json::JsonValue::as_u64).unwrap_or(0);
+        let share = if busy + idle > 0.0 { busy / (busy + idle) } else { 0.0 };
+        let filled = ((share * WORKER_BAR_WIDTH as f64).round() as usize).min(WORKER_BAR_WIDTH);
+        let bar: String = std::iter::repeat('█')
+            .take(filled)
+            .chain(std::iter::repeat('·').take(WORKER_BAR_WIDTH - filled))
+            .collect();
+        out.push(format!(
+            "worker {i} [{bar}] {:5.1}% busy  {served} served",
+            share * 100.0
+        ));
+    }
+    out
+}
+
+/// Best-effort top-frames footer from a live `/v1/profile` scrape.
+/// Returns nothing (rather than an error) when the server has profiling
+/// off or predates the endpoint — the dashboard must keep rendering.
+fn profile_footer(target: &str) -> Vec<String> {
+    let path = format!("/v1/profile?window_s={PROFILE_FOOTER_WINDOW_S}");
+    let Ok((200, body)) = http_get(target, &path) else {
+        return Vec::new();
+    };
+    let Ok(report) = ProfileReport::from_json(&body) else {
+        return Vec::new();
+    };
+    if report.samples == 0 {
+        return Vec::new();
+    }
+    let mut out = vec![format!(
+        "profile ({}s window): {} samples, {} threads",
+        PROFILE_FOOTER_WINDOW_S, report.samples, report.threads
+    )];
+    for f in report.frames.iter().filter(|f| f.self_samples > 0).take(TOP_FRAMES) {
+        out.push(format!(
+            "  {:5.1}% {}",
+            f.self_samples as f64 * 100.0 / report.samples as f64,
+            f.name
+        ));
+    }
+    out
 }
 
 fn run(opts: &Options) -> Result<(), String> {
@@ -275,12 +306,13 @@ fn run(opts: &Options) -> Result<(), String> {
                 f.drain_into(&mut dashboard)?;
             }
             (None, Some(target)) => {
-                let body = fetch_metrics(target)?;
+                let body = http_get_ok(target, "/v1/metrics")?;
                 let (lines, exemplars) = scrape_to_samples(&body)?;
                 for line in &lines {
                     dashboard.ingest_line(line);
                 }
                 footer = exemplars;
+                footer.extend(profile_footer(target));
             }
             (None, None) => return Err(USAGE.to_string()),
         }
@@ -360,9 +392,12 @@ mod tests {
     fn metrics_scrapes_become_dashboard_samples() {
         let body = "{\"schema\":2,\"uptime_s\":1e0,\"t_ns\":5000000,\"requests\":3,\
                     \"counters\":{\"requests_total\":3,\"shed_total\":1,\"trace_ring_evicted\":0},\
+                    \"gauges\":{\"queue.depth\":2,\"accept.backlog\":1},\
                     \"endpoints\":{\"cost\":{\"count\":3,\"min_us\":1e1,\"max_us\":3e1,\
                     \"mean_us\":2e1,\"p50_us\":2e1,\"p90_us\":3e1,\"p99_us\":3e1,\"p999_us\":3e1,\
                     \"p99_exemplar\":{\"req_id\":\"r2\",\"value_us\":3e1,\"t_ns\":4000000}}},\
+                    \"workers\":[{\"busy_ns\":750000,\"idle_ns\":250000,\"served\":2},\
+                    {\"busy_ns\":0,\"idle_ns\":1000000,\"served\":1}],\
                     \"cache\":{\"hits\":2,\"misses\":1,\"entries\":1,\"capacity\":64,\
                     \"hit_rate\":6.6e-1}}";
         let (lines, footer) = scrape_to_samples(body).expect("scrape converts");
@@ -376,9 +411,16 @@ mod tests {
         assert!(frame.contains("serve.cost.p99_us"), "{frame}");
         assert!(frame.contains("serve.shed_total"), "{frame}");
         assert!(frame.contains("serve.cache.hit_rate"), "{frame}");
-        assert_eq!(footer.len(), 1);
+        assert!(frame.contains("serve.queue.depth"), "{frame}");
+        assert!(frame.contains("serve.accept.backlog"), "{frame}");
+        // Footer: the exemplar line plus one bar per worker.
+        assert_eq!(footer.len(), 3, "{footer:?}");
         assert!(footer[0].contains("r2"), "{}", footer[0]);
         assert!(footer[0].contains("/v1/trace/r2"), "{}", footer[0]);
+        assert!(footer[1].starts_with("worker 0 ["), "{}", footer[1]);
+        assert!(footer[1].contains("75.0% busy"), "{}", footer[1]);
+        assert!(footer[1].contains("2 served"), "{}", footer[1]);
+        assert!(footer[2].contains("  0.0% busy"), "{}", footer[2]);
         // A scrape without t_ns (pre-schema-2 server) is a clean error.
         assert!(scrape_to_samples("{\"uptime_s\":1e0}").is_err());
         assert!(scrape_to_samples("not json").is_err());

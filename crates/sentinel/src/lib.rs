@@ -22,7 +22,10 @@
 //!   `NANOCOST_BENCH_JSON` capture files against `BENCH_baseline.json`.
 //! - [`profile`] — folds the `NANOCOST_TRACE` JSONL span stream into
 //!   folded-stack flamegraph lines and a self/total-time hotspot table
-//!   (the `trace_profile` bin), with optional time-windowing.
+//!   (the `trace_profile` bin), with optional time-windowing; also
+//!   aggregates the sampling profiler's `stack_sample` records into a
+//!   deterministic [`profile::ProfileReport`] that `/v1/profile` serves
+//!   and the `profile_diff` bin gates on.
 //! - [`timeline`] — the reading side of the metric timeline: sample
 //!   parsing, `--since`/`--until` window algebra, per-window metric
 //!   summaries, counter flamegraphs, sparklines, and the sliding-window
@@ -31,8 +34,12 @@
 //!   stream, checked into `FINGERPRINTS.json` so numeric drift in the
 //!   cost model fails CI with a per-equation diff (the `fingerprint`
 //!   bin).
+//! - [`attach`] — the zero-dependency HTTP GET client behind
+//!   `trace_tail --attach` and `trace_profile --attach`, scraping a
+//!   live `nanocost-serve`'s `/v1/metrics` and `/v1/profile`.
 //! - [`json`] — the minimal value-tree JSON parser the above share.
 
+pub mod attach;
 pub mod bench;
 pub mod fingerprint;
 pub mod histogram;

@@ -16,6 +16,7 @@ use std::time::Instant;
 use nanocost_core::{BatchRequest, CostQuery, ScenarioCache};
 use nanocost_core::{DesignPoint, GeneralizedReport};
 use nanocost_sentinel::json::{self, JsonValue};
+use nanocost_trace::span::Span;
 use nanocost_trace::value::json_string;
 use nanocost_trace::{span, with_capture};
 use nanocost_units::{
@@ -28,6 +29,9 @@ use crate::state::ServerState;
 /// Default `s_d` bracket for `/v1/optimum`, matching the Figure-4
 /// scenarios.
 pub const DEFAULT_SD_BRACKET: (f64, f64) = (110.0, 1_500.0);
+
+/// Default trailing window for `GET /v1/profile`, in seconds.
+pub const PROFILE_WINDOW_DEFAULT_S: u64 = 30;
 
 /// An endpoint failure with the HTTP status it maps to.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -93,6 +97,9 @@ fn route(state: &ServerState, req: &Request) -> (&'static str, Option<String>, R
             let (status, body) = state.health_json(nanocost_trace::epoch_nanos());
             ("health", None, Response::json(status, body))
         }
+        ("GET", path) if path == "/v1/profile" || path.starts_with("/v1/profile?") => {
+            ("profile", None, profile_endpoint(state, path))
+        }
         ("GET", path) if path.starts_with("/v1/trace/") => {
             ("trace", None, trace_endpoint(state, path, "/v1/trace/"))
         }
@@ -103,6 +110,9 @@ fn route(state: &ServerState, req: &Request) -> (&'static str, Option<String>, R
             ("bad_method", None, Response::error(405, "use POST"))
         }
         (_, "/v1/metrics" | "/v1/health") => {
+            ("bad_method", None, Response::error(405, "use GET"))
+        }
+        (_, path) if path == "/v1/profile" || path.starts_with("/v1/profile?") => {
             ("bad_method", None, Response::error(405, "use GET"))
         }
         (_, path) if path.starts_with("/v1/trace/") || path.starts_with("/v1/provenance/") => {
@@ -143,6 +153,9 @@ fn model_endpoint(
         // whole capture carries `req_id`.
         let _scope = nanocost_trace::request_scope(&req_id);
         let _span = span!("serve.request", endpoint = endpoint, req = req_id.as_str());
+        // A static per-endpoint child span (`serve.endpoint.cost` etc.)
+        // so the stack profiler can attribute samples to endpoints.
+        let _ep = endpoint_span(endpoint);
         run(state.cache(), &doc)
     });
     let latency_us = started.elapsed().as_secs_f64() * 1e6;
@@ -164,12 +177,63 @@ fn model_endpoint(
     }
 }
 
+/// The profiler's per-endpoint span. Span names must be `&'static str`
+/// (the seqlock slots publish pointers, not copies), hence the match
+/// instead of a formatted name.
+fn endpoint_span(endpoint: &'static str) -> Span {
+    match endpoint {
+        "cost" => span!("serve.endpoint.cost"),
+        "yield" => span!("serve.endpoint.yield"),
+        "optimum" => span!("serve.endpoint.optimum"),
+        "batch" => span!("serve.endpoint.batch"),
+        _ => Span::inert(),
+    }
+}
+
 fn trace_endpoint(state: &ServerState, path: &str, prefix: &str) -> Response {
     let id = path.trim_start_matches(prefix);
     match state.trace(id) {
         Some(text) => Response::jsonl(200, text),
-        None => Response::error(404, "unknown or evicted request id"),
+        // Distinguish a capture that existed but aged out of the ring
+        // (410 + machine-readable context, so loadgen can tolerate the
+        // exemplar/eviction race) from an id that never existed (404).
+        None if state.likely_evicted(id) => Response::json(
+            410,
+            format!(
+                "{{\"error\":\"trace evicted from ring\",\"context\":\"serve.trace_ring.evicted\",\"req_id\":{}}}",
+                json_string(id)
+            ),
+        ),
+        None => Response::error(404, "unknown request id"),
     }
+}
+
+/// `GET /v1/profile?window_s=N`: the deterministic stack-sample report
+/// over the trailing window (default 30 s, clamped to one hour).
+fn profile_endpoint(state: &ServerState, path: &str) -> Response {
+    let window_s = match path.split_once('?') {
+        None => PROFILE_WINDOW_DEFAULT_S,
+        Some((_, query)) => {
+            let mut window = None;
+            for pair in query.split('&').filter(|p| !p.is_empty()) {
+                let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+                if key != "window_s" {
+                    return Response::error(400, &format!("unknown query parameter `{key}`"));
+                }
+                match value.parse::<u64>() {
+                    Ok(s) if s >= 1 => window = Some(s.min(crate::state::PROFILE_WINDOW_MAX_S)),
+                    _ => {
+                        return Response::error(
+                            400,
+                            "window_s must be a positive integer number of seconds",
+                        )
+                    }
+                }
+            }
+            window.unwrap_or(PROFILE_WINDOW_DEFAULT_S)
+        }
+    };
+    Response::json(200, state.profile_report_json(window_s))
 }
 
 // ---- body decoding helpers -------------------------------------------------
@@ -517,6 +581,54 @@ mod tests {
             let r = handle(&state, &post("/v1/optimum", &opt));
             assert_eq!(r.status, 422, "{}", body_str(&r));
         }
+    }
+
+    #[test]
+    fn profile_endpoint_serves_a_report_and_validates_the_window() {
+        let state = ServerState::new();
+        let r = handle(&state, &get("/v1/profile"));
+        assert_eq!(r.status, 200, "{}", body_str(&r));
+        let body = body_str(&r);
+        nanocost_trace::json::validate(&body).expect("valid JSON");
+        assert!(body.contains("\"samples\":0"), "idle server has an empty report: {body}");
+        // A ring sample within the window shows up in the report.
+        let snap = nanocost_trace::stack_registry::StackSnapshot {
+            thread: 1,
+            frames: vec!["serve.request", "serve.endpoint.cost"],
+            depth: 2,
+            req_id: Some("r1".into()),
+        };
+        state.profile_ring().push_batch(&[snap], nanocost_trace::epoch_nanos());
+        let body = body_str(&handle(&state, &get("/v1/profile?window_s=3600")));
+        assert!(body.contains("\"samples\":1"), "{body}");
+        assert!(body.contains("serve.endpoint.cost"), "{body}");
+        // Window validation.
+        assert_eq!(handle(&state, &get("/v1/profile?window_s=0")).status, 400);
+        assert_eq!(handle(&state, &get("/v1/profile?window_s=abc")).status, 400);
+        assert_eq!(handle(&state, &get("/v1/profile?bogus=1")).status, 400);
+        assert_eq!(handle(&state, &post("/v1/profile", "{}")).status, 405);
+        assert_eq!(handle(&state, &post("/v1/profile?window_s=5", "{}")).status, 405);
+    }
+
+    #[test]
+    fn evicted_traces_answer_410_with_machine_readable_context() {
+        let state = ServerState::with_config(crate::state::ServerStateConfig {
+            trace_ring: 1,
+            ..Default::default()
+        })
+        .expect("valid config");
+        let r = handle(&state, &post("/v1/cost", COST_BODY));
+        assert_eq!(r.status, 200);
+        let r = handle(&state, &post("/v1/cost", COST_BODY));
+        assert_eq!(r.status, 200);
+        // r1's capture was evicted by r2's: gone, not unknown.
+        let r = handle(&state, &get("/v1/trace/r1"));
+        assert_eq!(r.status, 410, "{}", body_str(&r));
+        let body = body_str(&r);
+        assert!(body.contains("\"context\":\"serve.trace_ring.evicted\""), "{body}");
+        assert!(body.contains("\"req_id\":\"r1\""), "{body}");
+        assert_eq!(handle(&state, &get("/v1/trace/r2")).status, 200);
+        assert_eq!(handle(&state, &get("/v1/trace/r999")).status, 404, "never issued");
     }
 
     #[test]

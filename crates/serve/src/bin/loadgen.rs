@@ -27,6 +27,13 @@
 //!                           p99 exemplar to /v1/trace/<req-id>, and save
 //!                           each capture to PREFIX.<endpoint>.jsonl; fail
 //!                           if no endpoint produced an exemplar
+//!   --max-evicted-exemplars N  tolerate up to N exemplars answering
+//!                           410 (evicted from the trace ring under
+//!                           load) instead of failing the drill-down
+//!                           check (default 0)
+//!   --profile-out PATH      fetch /v1/profile?window_s=W afterwards and
+//!                           save the sampling-profiler report JSON
+//!   --profile-window-s W    profile window for --profile-out (default 60)
 //!
 //! Exits non-zero on any non-2xx response (except shed 503s under
 //! --allow-shed) or any violated soak criterion, so CI can gate on it.
@@ -58,6 +65,9 @@ struct Options {
     slo_p99_us: Option<f64>,
     health_out: Option<String>,
     exemplar_traces: Option<String>,
+    max_evicted_exemplars: usize,
+    profile_out: Option<String>,
+    profile_window_s: u64,
 }
 
 fn parse_options() -> Result<Options, Box<dyn std::error::Error>> {
@@ -75,6 +85,9 @@ fn parse_options() -> Result<Options, Box<dyn std::error::Error>> {
         slo_p99_us: None,
         health_out: None,
         exemplar_traces: None,
+        max_evicted_exemplars: 0,
+        profile_out: None,
+        profile_window_s: 60,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -112,8 +125,19 @@ fn parse_options() -> Result<Options, Box<dyn std::error::Error>> {
                 opts.exemplar_traces =
                     Some(args.next().ok_or("--exemplar-traces needs PREFIX")?);
             }
+            "--max-evicted-exemplars" => {
+                opts.max_evicted_exemplars =
+                    args.next().ok_or("--max-evicted-exemplars needs N")?.parse()?;
+            }
+            "--profile-out" => {
+                opts.profile_out = Some(args.next().ok_or("--profile-out needs PATH")?);
+            }
+            "--profile-window-s" => {
+                opts.profile_window_s =
+                    args.next().ok_or("--profile-window-s needs W")?.parse()?;
+            }
             "--help" | "-h" => {
-                println!("usage: loadgen --addr HOST:PORT [--requests N] [--mix cost,optimum,batch] [--concurrency C] [--bench-out PATH] [--metrics-out PATH] [--provenance-out PATH] [--require-batch-hits] [--allow-shed] [--max-shed-rate F] [--slo-p99-us N] [--health-out PATH] [--exemplar-traces PREFIX]");
+                println!("usage: loadgen --addr HOST:PORT [--requests N] [--mix cost,optimum,batch] [--concurrency C] [--bench-out PATH] [--metrics-out PATH] [--provenance-out PATH] [--require-batch-hits] [--allow-shed] [--max-shed-rate F] [--slo-p99-us N] [--health-out PATH] [--exemplar-traces PREFIX] [--max-evicted-exemplars N] [--profile-out PATH] [--profile-window-s W]");
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument: {other}").into()),
@@ -404,10 +428,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     if let Some(prefix) = &opts.exemplar_traces {
-        let fetched = fetch_exemplar_traces(&opts.addr, prefix)?;
+        let fetched = fetch_exemplar_traces(&opts.addr, prefix, opts.max_evicted_exemplars)?;
         if fetched == 0 {
             return Err("no endpoint produced a p99 exemplar".into());
         }
+    }
+    if let Some(path) = &opts.profile_out {
+        let query = format!("/v1/profile?window_s={}", opts.profile_window_s);
+        let (status, body) = exchange(&opts.addr, "GET", &query, None)?;
+        if status != 200 || body.is_empty() {
+            return Err(format!("{query} -> {status}").into());
+        }
+        std::fs::write(path, &body)?;
+        println!("loadgen: profile report -> {path}");
     }
     if outcome.non_2xx > 0 {
         return Err(format!("{} non-2xx responses", outcome.non_2xx).into());
@@ -435,10 +468,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
 /// Follows every endpoint's p99 exemplar from `/v1/metrics` to its
 /// stored `/v1/trace/<req-id>` capture, saving one JSONL file per
-/// endpoint as `<prefix>.<endpoint>.jsonl`. Returns how many captures
-/// were fetched; an advertised exemplar whose trace is missing is an
-/// error (the drill-down contract is exactly that link).
-fn fetch_exemplar_traces(addr: &str, prefix: &str) -> Result<usize, Box<dyn std::error::Error>> {
+/// endpoint as `<prefix>.<endpoint>.jsonl`. Returns how many exemplars
+/// round-tripped; an advertised exemplar whose trace is missing is an
+/// error (the drill-down contract is exactly that link) — except a 410
+/// with the `serve.trace_ring.evicted` context, which means the ring
+/// legitimately rolled past the exemplar under sustained load. Up to
+/// `max_evicted` such answers are tolerated (they still count as
+/// coverage: the server knew the id and said so machine-readably).
+fn fetch_exemplar_traces(
+    addr: &str,
+    prefix: &str,
+    max_evicted: usize,
+) -> Result<usize, Box<dyn std::error::Error>> {
     let (status, body) = exchange(addr, "GET", "/v1/metrics", None)?;
     if status != 200 {
         return Err(format!("/v1/metrics -> {status}").into());
@@ -448,6 +489,7 @@ fn fetch_exemplar_traces(addr: &str, prefix: &str) -> Result<usize, Box<dyn std:
         return Err("metrics has no endpoints object".into());
     };
     let mut fetched = 0;
+    let mut evicted = 0;
     for (endpoint, stats) in endpoints {
         let Some(req_id) = stats
             .get("p99_exemplar")
@@ -457,6 +499,19 @@ fn fetch_exemplar_traces(addr: &str, prefix: &str) -> Result<usize, Box<dyn std:
             continue;
         };
         let (status, capture) = exchange(addr, "GET", &format!("/v1/trace/{req_id}"), None)?;
+        if status == 410 && capture.contains("serve.trace_ring.evicted") {
+            evicted += 1;
+            if evicted > max_evicted {
+                return Err(format!(
+                    "{evicted} exemplars evicted from the trace ring exceeds \
+                     --max-evicted-exemplars {max_evicted} (last: {req_id} for {endpoint})"
+                )
+                .into());
+            }
+            println!("loadgen: exemplar trace {endpoint} ({req_id}) evicted ({evicted}/{max_evicted} tolerated)");
+            fetched += 1;
+            continue;
+        }
         if status != 200 || capture.is_empty() {
             return Err(format!(
                 "exemplar {req_id} for {endpoint} did not round-trip: /v1/trace -> {status}"

@@ -17,11 +17,17 @@
 //!   NANOCOST_SERVE_SLO_FAST_S      fast burn window seconds (60)
 //!   NANOCOST_SERVE_SLO_SLOW_S      slow burn window seconds (1800)
 //!   NANOCOST_SERVE_SLO_MAX_BURN    firing threshold (2.0)
+//!   NANOCOST_PROFILE_HZ            span-stack sampling rate for the
+//!                                  continuous profiler (default 99;
+//!                                  0/off disables, on = default rate)
+//!   NANOCOST_SERVE_PROFILE_RING    profile sample-ring capacity (65536)
 //!
 //! The process exits cleanly (status 0) on SIGTERM or SIGINT; pair it
 //! with `loadgen` for a driven run, `trace_tail --attach` for a live
-//! view, `GET /v1/metrics` for quantiles with exemplars, and
-//! `GET /v1/health` for the SLO burn verdict.
+//! view, `GET /v1/metrics` for quantiles with exemplars,
+//! `GET /v1/health` for the SLO burn verdict, and
+//! `GET /v1/profile?window_s=N` (or `trace_profile --attach`) for the
+//! continuous sampling profiler's hotspot report.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 

@@ -316,6 +316,7 @@ impl Response {
             404 => "Not Found",
             405 => "Method Not Allowed",
             408 => "Request Timeout",
+            410 => "Gone",
             413 => "Payload Too Large",
             422 => "Unprocessable Entity",
             500 => "Internal Server Error",

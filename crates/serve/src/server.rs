@@ -12,12 +12,14 @@
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Mutex};
-use std::time::Duration;
+use std::sync::{mpsc, Arc, Mutex, Weak};
+use std::time::{Duration, Instant};
+
+use nanocost_trace::stack_registry;
 
 use crate::api;
 use crate::http::{self, Response};
-use crate::state::ServerState;
+use crate::state::{ProfileRing, ServerState, WorkerStat};
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -119,25 +121,34 @@ impl Server {
     pub fn run(&self, shutdown: &AtomicBool) -> std::io::Result<()> {
         self.listener.set_nonblocking(true)?;
         let workers = self.config.workers.max(1);
+        let stats = self.state.install_workers(workers);
+        self.start_profiler();
         let (tx, rx) = mpsc::sync_channel::<TcpStream>(workers * QUEUE_DEPTH_PER_WORKER);
         let rx = Mutex::new(rx);
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| worker_loop(&self.state, &rx, shutdown, self.config.io_timeout));
+            for stat in &stats {
+                scope.spawn(|| worker_loop(&self.state, &rx, shutdown, self.config.io_timeout, stat));
             }
             while !shutdown.load(Ordering::Relaxed) {
                 match self.listener.accept() {
-                    Ok((stream, _peer)) => match tx.try_send(stream) {
-                        Ok(()) => {}
-                        // Queue saturated (slowloris burst or plain
-                        // overload): shed instead of queueing, keeping
-                        // backlog and open-fd count bounded.
-                        Err(mpsc::TrySendError::Full(stream)) => {
-                            reject_busy(&self.state, stream);
+                    Ok((stream, _peer)) => {
+                        self.state.note_conn_open();
+                        match tx.try_send(stream) {
+                            Ok(()) => self.state.note_queue_push(),
+                            // Queue saturated (slowloris burst or plain
+                            // overload): shed instead of queueing,
+                            // keeping backlog and open-fd count bounded.
+                            Err(mpsc::TrySendError::Full(stream)) => {
+                                reject_busy(&self.state, stream);
+                            }
+                            // Workers only exit on shutdown.
+                            Err(mpsc::TrySendError::Disconnected(stream)) => {
+                                drop(stream);
+                                self.state.note_conn_close();
+                                break;
+                            }
                         }
-                        // Workers only exit on shutdown.
-                        Err(mpsc::TrySendError::Disconnected(_)) => break,
-                    },
+                    }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         std::thread::sleep(ACCEPT_POLL);
                     }
@@ -149,6 +160,26 @@ impl Server {
         });
         Ok(())
     }
+
+    /// Starts the continuous stack profiler (when configured on) and
+    /// wires its sample stream into this server's profile ring. The
+    /// sink holds a `Weak` so a dropped server (tests bind many) never
+    /// keeps its ring alive, and the process-wide sampler keeps running
+    /// for whichever servers remain.
+    fn start_profiler(&self) {
+        let hz = self.state.profile_hz();
+        if hz == 0 {
+            return;
+        }
+        let ring: Weak<ProfileRing> = Arc::downgrade(self.state.profile_ring());
+        stack_registry::add_sink(Box::new(move |snaps, t_ns| {
+            if let Some(ring) = ring.upgrade() {
+                ring.push_batch(snaps, t_ns);
+            }
+        }));
+        // Idempotent across servers: the first caller's rate wins.
+        let _ = stack_registry::start_sampler(hz);
+    }
 }
 
 /// Sheds one connection when the worker queue is full: a best-effort
@@ -159,6 +190,8 @@ fn reject_busy(state: &ServerState, mut stream: TcpStream) {
     let _ = stream.set_write_timeout(Some(SHED_WRITE_TIMEOUT));
     let _ = Response::error(503, "connection queue full").write_to(&mut stream);
     let _ = stream.shutdown(std::net::Shutdown::Both);
+    // A shed connection was counted open by the accept loop.
+    state.note_conn_close();
 }
 
 fn worker_loop(
@@ -166,16 +199,28 @@ fn worker_loop(
     rx: &Mutex<mpsc::Receiver<TcpStream>>,
     shutdown: &AtomicBool,
     io_timeout: Duration,
+    stat: &WorkerStat,
 ) {
     loop {
+        let wait_started = Instant::now();
         let next = {
             let guard = rx
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
             guard.recv_timeout(WORKER_POLL)
         };
+        let waited = u64::try_from(wait_started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        stat.idle_ns.fetch_add(waited, Ordering::Relaxed);
         match next {
-            Ok(stream) => handle_connection(state, stream, io_timeout),
+            Ok(stream) => {
+                state.note_queue_pop();
+                let busy_started = Instant::now();
+                handle_connection(state, stream, io_timeout);
+                let busy = u64::try_from(busy_started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                stat.busy_ns.fetch_add(busy, Ordering::Relaxed);
+                stat.served.fetch_add(1, Ordering::Relaxed);
+                state.note_conn_close();
+            }
             Err(mpsc::RecvTimeoutError::Timeout) => {
                 if shutdown.load(Ordering::Relaxed) {
                     return;

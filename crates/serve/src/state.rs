@@ -5,15 +5,17 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::io::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use nanocost_core::ScenarioCache;
+use nanocost_sentinel::profile::{ProfileReport, StackSample};
 use nanocost_sentinel::slo::{BurnWindows, Objective};
 use nanocost_sentinel::{LogHistogram, SloMonitor};
 use nanocost_trace::export::{Exporter, JsonlExporter};
+use nanocost_trace::stack_registry::{ProfileHz, StackSnapshot, DEFAULT_PROFILE_HZ};
 use nanocost_trace::value::json_string;
-use nanocost_trace::{counter, Record};
+use nanocost_trace::{counter, gauge, Record};
 
 /// Default per-request trace-capture ring capacity (see
 /// [`ServerStateConfig::trace_ring`]).
@@ -27,6 +29,19 @@ pub const TRACE_RING_MAX: usize = 65_536;
 /// Default latency-SLO threshold: a request slower than this many
 /// microseconds is a "bad" event for the `latency` objective.
 pub const SLO_LATENCY_DEFAULT_US: f64 = 250_000.0;
+
+/// Default stack-sample ring capacity (see
+/// [`ServerStateConfig::profile_ring`]): at the default 99 Hz this
+/// holds roughly ten minutes of a busy 4-worker pool.
+pub const PROFILE_RING_DEFAULT: usize = 65_536;
+
+/// Upper bound on the configurable profile ring — each slot holds one
+/// stack snapshot, so this caps profiler memory at a few hundred MB
+/// even under a hostile environment value.
+pub const PROFILE_RING_MAX: usize = 1_048_576;
+
+/// Upper bound accepted for `/v1/profile?window_s=N` (one hour).
+pub const PROFILE_WINDOW_MAX_S: u64 = 3_600;
 
 /// Everything [`ServerState`] is configured with. Build one by hand in
 /// tests or via [`ServerStateConfig::from_env`] in the `serve` bin.
@@ -50,6 +65,14 @@ pub struct ServerStateConfig {
     /// Burn-rate windows and firing threshold shared by both objectives
     /// (`NANOCOST_SERVE_SLO_FAST_S` / `_SLOW_S` / `_MAX_BURN`).
     pub windows: BurnWindows,
+    /// Stack-profiler sample rate in Hz (`NANOCOST_PROFILE_HZ`); 0
+    /// disables the sampler. Unlike the trace bins — which leave
+    /// profiling off unless asked — the server profiles continuously by
+    /// default, at [`DEFAULT_PROFILE_HZ`].
+    pub profile_hz: u32,
+    /// Stack-sample ring capacity (`NANOCOST_SERVE_PROFILE_RING`,
+    /// default 65536, clamped to `1..=1048576`).
+    pub profile_ring: usize,
 }
 
 impl Default for ServerStateConfig {
@@ -61,6 +84,8 @@ impl Default for ServerStateConfig {
             latency_target: 0.99,
             shed_target: 0.95,
             windows: BurnWindows::default(),
+            profile_hz: DEFAULT_PROFILE_HZ,
+            profile_ring: PROFILE_RING_DEFAULT,
         }
     }
 }
@@ -108,6 +133,17 @@ impl ServerStateConfig {
         if let Some(b) = env_parsed::<f64>("NANOCOST_SERVE_SLO_MAX_BURN")? {
             cfg.windows.max_burn = b;
         }
+        // The shared trace-crate spelling, but with the server's
+        // always-on default: unset keeps DEFAULT_PROFILE_HZ, an explicit
+        // off-switch disables, and a typo refuses to start.
+        match nanocost_trace::stack_registry::profile_hz_from_env()? {
+            ProfileHz::Unset => {}
+            ProfileHz::Off => cfg.profile_hz = 0,
+            ProfileHz::Hz(hz) => cfg.profile_hz = hz,
+        }
+        if let Some(cap) = env_parsed::<usize>("NANOCOST_SERVE_PROFILE_RING")? {
+            cfg.profile_ring = cap.clamp(1, PROFILE_RING_MAX);
+        }
         Ok(cfg)
     }
 }
@@ -122,6 +158,119 @@ fn env_parsed<T: std::str::FromStr>(name: &str) -> Result<Option<T>, String> {
             .map_err(|_| format!("{name} does not parse: `{raw}`")),
         _ => Ok(None),
     }
+}
+
+/// One retained stack sample (frames stay `&'static str` in-process;
+/// they are only materialized into owned strings at report time).
+#[derive(Debug, Clone)]
+struct RingSample {
+    t_ns: u64,
+    thread: u64,
+    req_id: Option<String>,
+    frames: Vec<&'static str>,
+    depth: u64,
+}
+
+/// Bounded in-memory ring of profiler stack samples, fed by a
+/// [`nanocost_trace::stack_registry`] sink and drained by
+/// `GET /v1/profile?window_s=N`. `Arc`-held so the sink (a
+/// process-lifetime callback) can hold a `Weak` and outlive the server.
+#[derive(Debug)]
+pub struct ProfileRing {
+    cap: usize,
+    samples: Mutex<VecDeque<RingSample>>,
+    dropped: AtomicU64,
+}
+
+impl ProfileRing {
+    /// An empty ring holding at most `cap` samples.
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        ProfileRing {
+            cap: cap.max(1),
+            samples: Mutex::new(VecDeque::new()),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends one sampler batch, evicting the oldest samples past
+    /// capacity (counted in `dropped`).
+    pub fn push_batch(&self, snaps: &[StackSnapshot], t_ns: u64) {
+        let mut dropped = 0u64;
+        {
+            let mut ring = lock(&self.samples);
+            for s in snaps {
+                if ring.len() >= self.cap {
+                    ring.pop_front();
+                    dropped += 1;
+                }
+                ring.push_back(RingSample {
+                    t_ns,
+                    thread: s.thread,
+                    req_id: s.req_id.clone(),
+                    frames: s.frames.clone(),
+                    depth: s.depth,
+                });
+            }
+        }
+        if dropped > 0 {
+            self.dropped.fetch_add(dropped, Ordering::Relaxed);
+        }
+    }
+
+    /// Samples whose `t_ns` falls in the half-open `[since, until)`,
+    /// materialized for the sentinel aggregator.
+    #[must_use]
+    pub fn window(&self, since: u64, until: u64) -> Vec<StackSample> {
+        let ring = lock(&self.samples);
+        ring.iter()
+            .filter(|s| s.t_ns >= since && s.t_ns < until)
+            .map(|s| StackSample {
+                t_ns: s.t_ns,
+                thread: s.thread,
+                req_id: s.req_id.clone(),
+                frames: s.frames.iter().map(|f| (*f).to_string()).collect(),
+                depth: s.depth,
+            })
+            .collect()
+    }
+
+    /// Samples currently retained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        lock(&self.samples).len()
+    }
+
+    /// Whether the ring holds no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Samples evicted so far.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+}
+
+/// Cumulative busy/idle wall-clock and served-connection counts for one
+/// worker thread; the worker owns an `Arc` and adds as it goes, the
+/// metrics endpoint reads whatever is current.
+#[derive(Debug, Default)]
+pub struct WorkerStat {
+    /// Nanoseconds spent handling connections.
+    pub busy_ns: AtomicU64,
+    /// Nanoseconds spent waiting on the connection queue.
+    pub idle_ns: AtomicU64,
+    /// Connections handled to completion.
+    pub served: AtomicU64,
 }
 
 /// Everything the worker threads share.
@@ -146,6 +295,21 @@ pub struct ServerState {
     slo: Mutex<Vec<SloMonitor>>,
     /// The structured access log sink, when configured.
     access: Option<Mutex<std::io::BufWriter<std::fs::File>>>,
+    /// Configured stack-profiler rate; 0 = sampler off.
+    profile_hz: u32,
+    /// The stack-sample ring `/v1/profile` reports over.
+    profile: Arc<ProfileRing>,
+    /// Per-worker telemetry, installed by the server's run loop.
+    workers: Mutex<Vec<Arc<WorkerStat>>>,
+    /// Connections currently queued for a worker.
+    queue_depth: AtomicU64,
+    /// Connections accepted but not yet fully handled (queued + in
+    /// flight).
+    accept_backlog: AtomicU64,
+    /// Highest numeric request id evicted from the trace ring; lets
+    /// `/v1/trace/<id>` distinguish "evicted" (410) from "never
+    /// existed" (404).
+    evicted_watermark: AtomicU64,
     started: Instant,
 }
 
@@ -192,6 +356,12 @@ impl ServerState {
             latency_threshold_us: cfg.latency_threshold_us,
             slo: Mutex::new(Vec::new()),
             access: None,
+            profile_hz: cfg.profile_hz,
+            profile: Arc::new(ProfileRing::new(cfg.profile_ring.clamp(1, PROFILE_RING_MAX))),
+            workers: Mutex::new(Vec::new()),
+            queue_depth: AtomicU64::new(0),
+            accept_backlog: AtomicU64::new(0),
+            evicted_watermark: AtomicU64::new(0),
             started: Instant::now(),
         }
     }
@@ -234,6 +404,83 @@ impl ServerState {
     #[must_use]
     pub fn trace_ring_capacity(&self) -> usize {
         self.trace_ring
+    }
+
+    /// The configured stack-profiler rate (0 = off).
+    #[must_use]
+    pub fn profile_hz(&self) -> u32 {
+        self.profile_hz
+    }
+
+    /// The stack-sample ring the sampler sink feeds.
+    #[must_use]
+    pub fn profile_ring(&self) -> &Arc<ProfileRing> {
+        &self.profile
+    }
+
+    /// Renders the `/v1/profile` document: the deterministic
+    /// [`ProfileReport`] over the trailing `window_s` seconds of ring
+    /// samples.
+    #[must_use]
+    pub fn profile_report_json(&self, window_s: u64) -> String {
+        let now = nanocost_trace::epoch_nanos();
+        let since = now.saturating_sub(window_s.saturating_mul(1_000_000_000));
+        let samples = self.profile.window(since, now.saturating_add(1));
+        ProfileReport::from_samples(&samples, None).to_json()
+    }
+
+    /// Installs `n` fresh per-worker telemetry slots, returning one
+    /// handle per worker; previous telemetry (a restarted run loop) is
+    /// replaced.
+    #[must_use]
+    pub fn install_workers(&self, n: usize) -> Vec<Arc<WorkerStat>> {
+        let stats: Vec<Arc<WorkerStat>> = (0..n).map(|_| Arc::new(WorkerStat::default())).collect();
+        *lock(&self.workers) = stats.clone();
+        stats
+    }
+
+    /// One connection entered the worker queue.
+    pub fn note_queue_push(&self) {
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        gauge!("serve.queue.depth", depth as f64);
+    }
+
+    /// One connection left the worker queue for a worker.
+    pub fn note_queue_pop(&self) {
+        let prev = self
+            .queue_depth
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v.saturating_sub(1)))
+            .unwrap_or(0);
+        gauge!("serve.queue.depth", prev.saturating_sub(1) as f64);
+    }
+
+    /// One connection was accepted (queued, in flight, or about to be
+    /// shed).
+    pub fn note_conn_open(&self) {
+        let backlog = self.accept_backlog.fetch_add(1, Ordering::Relaxed) + 1;
+        gauge!("serve.accept.backlog", backlog as f64);
+    }
+
+    /// One accepted connection finished (handled or shed).
+    pub fn note_conn_close(&self) {
+        let prev = self
+            .accept_backlog
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v.saturating_sub(1)))
+            .unwrap_or(0);
+        gauge!("serve.accept.backlog", prev.saturating_sub(1) as f64);
+    }
+
+    /// Whether `req_id` was plausibly evicted from the trace ring: ids
+    /// are issued and stored in near-monotonic order, so anything at or
+    /// below the highest evicted id is gone rather than unknown.
+    #[must_use]
+    pub fn likely_evicted(&self, req_id: &str) -> bool {
+        let Some(n) = req_id.strip_prefix('r').and_then(|n| n.parse::<u64>().ok()) else {
+            return false;
+        };
+        n > 0
+            && n <= self.evicted_watermark.load(Ordering::Relaxed)
+            && n <= self.next_id.load(Ordering::Relaxed)
     }
 
     /// Allocates the next request id (`r1`, `r2`, …).
@@ -326,14 +573,18 @@ impl ServerState {
         }
         let evicted = {
             let mut ring = lock(&self.traces);
-            let evicted = ring.len() >= self.trace_ring;
-            if evicted {
-                ring.pop_front();
-            }
+            let evicted = if ring.len() >= self.trace_ring {
+                ring.pop_front().map(|(id, _)| id)
+            } else {
+                None
+            };
             ring.push_back((req_id.to_string(), text));
             evicted
         };
-        if evicted {
+        if let Some(old_id) = evicted {
+            if let Some(n) = old_id.strip_prefix('r').and_then(|n| n.parse::<u64>().ok()) {
+                self.evicted_watermark.fetch_max(n, Ordering::Relaxed);
+            }
             self.ring_evicted.fetch_add(1, Ordering::Relaxed);
             counter!("serve.trace_ring.evicted", 1);
         }
@@ -398,6 +649,36 @@ impl ServerState {
             self.shed.load(Ordering::Relaxed),
             self.latency_bad.load(Ordering::Relaxed),
             self.ring_evicted.load(Ordering::Relaxed),
+        ));
+        // Instantaneous gauges: present regardless of whether profiling
+        // is on — queue pressure is load telemetry, not profiler output.
+        out.push_str(&format!(
+            "\"gauges\":{{\"queue.depth\":{},\"accept.backlog\":{}}},",
+            self.queue_depth.load(Ordering::Relaxed),
+            self.accept_backlog.load(Ordering::Relaxed),
+        ));
+        out.push_str("\"workers\":[");
+        {
+            let workers = lock(&self.workers);
+            for (i, w) in workers.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"busy_ns\":{},\"idle_ns\":{},\"served\":{}}}",
+                    w.busy_ns.load(Ordering::Relaxed),
+                    w.idle_ns.load(Ordering::Relaxed),
+                    w.served.load(Ordering::Relaxed),
+                ));
+            }
+        }
+        out.push_str("],");
+        out.push_str(&format!(
+            "\"profile\":{{\"hz\":{},\"ring_capacity\":{},\"samples\":{},\"dropped\":{}}},",
+            self.profile_hz,
+            self.profile.capacity(),
+            self.profile.len(),
+            self.profile.dropped(),
         ));
         out.push_str("\"endpoints\":{");
         {
@@ -556,6 +837,92 @@ mod tests {
             render_access_record("r7", "cost", 200, 12345, 1, 0),
             "{\"req_id\":\"r7\",\"endpoint\":\"cost\",\"status\":200,\"latency_ns\":12345,\"cache_hits\":1,\"cache_misses\":0}\n"
         );
+    }
+
+    #[test]
+    fn profile_ring_bounds_retention_and_counts_drops() {
+        let ring = ProfileRing::new(3);
+        let snap = |thread: u64| nanocost_trace::stack_registry::StackSnapshot {
+            thread,
+            frames: vec!["serve.request", "serve.endpoint.cost"],
+            depth: 2,
+            req_id: Some(format!("r{thread}")),
+        };
+        ring.push_batch(&[snap(1), snap(2)], 1_000);
+        ring.push_batch(&[snap(3), snap(4)], 2_000);
+        assert_eq!(ring.len(), 3, "capacity 3 keeps the newest 3");
+        assert_eq!(ring.dropped(), 1);
+        // The oldest sample (thread 1 @ 1000) was evicted.
+        let all = ring.window(0, u64::MAX);
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[0].thread, 2);
+        // Half-open windowing.
+        assert_eq!(ring.window(2_000, 2_001).len(), 2);
+        assert_eq!(ring.window(0, 1_000).len(), 0);
+        let report = ProfileReport::from_samples(&all, None);
+        assert_eq!(report.samples, 3);
+        assert_eq!(report.endpoints.get("cost"), Some(&3));
+    }
+
+    #[test]
+    fn profile_report_json_is_served_from_the_ring() {
+        let state = ServerState::new();
+        let now = nanocost_trace::epoch_nanos();
+        let snap = nanocost_trace::stack_registry::StackSnapshot {
+            thread: 7,
+            frames: vec!["serve.request"],
+            depth: 1,
+            req_id: None,
+        };
+        state.profile_ring().push_batch(&[snap], now);
+        let doc = state.profile_report_json(60);
+        nanocost_trace::json::validate(&doc).expect("profile report is valid JSON");
+        let report = ProfileReport::from_json(&doc).expect("parses back");
+        assert_eq!(report.samples, 1);
+        assert_eq!(report.frames[0].name, "serve.request");
+    }
+
+    #[test]
+    fn gauges_and_worker_telemetry_render_in_metrics() {
+        let state = ServerState::new();
+        let workers = state.install_workers(2);
+        workers[0].busy_ns.fetch_add(750, Ordering::Relaxed);
+        workers[0].idle_ns.fetch_add(250, Ordering::Relaxed);
+        workers[0].served.fetch_add(3, Ordering::Relaxed);
+        state.note_conn_open();
+        state.note_queue_push();
+        let doc = state.metrics_json();
+        nanocost_trace::json::validate(&doc).expect("metrics must be valid JSON");
+        assert!(doc.contains("\"gauges\":{\"queue.depth\":1,\"accept.backlog\":1}"), "{doc}");
+        assert!(doc.contains("\"workers\":[{\"busy_ns\":750,\"idle_ns\":250,\"served\":3},"), "{doc}");
+        assert!(doc.contains("\"profile\":{\"hz\":99,"), "{doc}");
+        state.note_queue_pop();
+        state.note_conn_close();
+        let doc = state.metrics_json();
+        assert!(doc.contains("\"gauges\":{\"queue.depth\":0,\"accept.backlog\":0}"), "{doc}");
+        // Underflow is clamped, not wrapped.
+        state.note_queue_pop();
+        state.note_conn_close();
+        assert!(state.metrics_json().contains("\"queue.depth\":0"));
+    }
+
+    #[test]
+    fn eviction_watermark_distinguishes_evicted_from_unknown() {
+        let cfg = ServerStateConfig { trace_ring: 2, ..ServerStateConfig::default() };
+        let state = ServerState::with_config(cfg).expect("valid config");
+        // Issue ids so the watermark check can bound by them.
+        for _ in 0..4 {
+            let _ = state.next_request_id();
+        }
+        for i in 1..=4 {
+            state.store_trace(&format!("r{i}"), &[]);
+        }
+        // r1, r2 evicted; r3, r4 live; r9 never issued.
+        assert!(state.likely_evicted("r1"));
+        assert!(state.likely_evicted("r2"));
+        assert!(!state.likely_evicted("r3"), "r3 is still in the ring");
+        assert!(!state.likely_evicted("r9"), "r9 was never issued");
+        assert!(!state.likely_evicted("bogus"));
     }
 
     #[test]

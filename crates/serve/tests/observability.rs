@@ -213,9 +213,12 @@ fn trace_ring_capacity_and_eviction_counter_are_live() {
         for _ in 0..4 {
             assert_eq!(exchange(addr, "POST", "/v1/cost", COST_BODY).0, 200);
         }
-        // r1/r2 evicted, r3/r4 retained.
-        assert_eq!(exchange(addr, "GET", "/v1/trace/r1", "").0, 404);
-        assert_eq!(exchange(addr, "GET", "/v1/trace/r2", "").0, 404);
+        // r1/r2 evicted (410 with machine-readable context), r3/r4
+        // retained.
+        let (status, body) = exchange(addr, "GET", "/v1/trace/r1", "");
+        assert_eq!(status, 410, "{body}");
+        assert!(body.contains("serve.trace_ring.evicted"), "{body}");
+        assert_eq!(exchange(addr, "GET", "/v1/trace/r2", "").0, 410);
         assert_eq!(exchange(addr, "GET", "/v1/trace/r3", "").0, 200);
         assert_eq!(exchange(addr, "GET", "/v1/trace/r4", "").0, 200);
         let (_, metrics) = exchange(addr, "GET", "/v1/metrics", "");

@@ -23,6 +23,13 @@
 //! scope rule because the timeline flush replays them under the
 //! flusher's scope with the capturing thread's id.
 //!
+//! `stack_sample` records (the in-process profiler) are validated for
+//! envelope, a non-empty `frames` array of non-empty strings, a
+//! `depth` no smaller than the frame count, and per-thread `t_ns`
+//! monotonicity on their own watermark — the sampler thread emits them
+//! concurrently with the sampled thread's live records, so they join
+//! neither the `ts_us` watermark nor the scope rule.
+//!
 //! Usage: `trace-check [--summary] <file.jsonl>`
 //!
 //! With `--summary`, also prints a per-record-type breakdown, the
@@ -89,6 +96,10 @@ struct Stats {
     request_records: usize,
     /// Distinct request ids that opened a scope.
     requests: BTreeSet<String>,
+    /// Profiler `stack_sample` records seen.
+    stack_samples: usize,
+    /// Distinct threads the profiler sampled.
+    stack_threads: BTreeSet<u64>,
 }
 
 impl Stats {
@@ -136,12 +147,29 @@ impl Stats {
                 self.requests.len()
             ));
         }
+        if self.stack_samples > 0 {
+            out.push_str(&format!(
+                "stack samples: {} across {} threads\n",
+                self.stack_samples,
+                self.stack_threads.len()
+            ));
+        }
         out
     }
 }
 
 /// The metric kinds a `sample` record may carry.
 const SAMPLE_KINDS: [&str; 3] = ["counter", "gauge", "histogram"];
+
+/// Record types emitted by another thread on this thread's behalf (the
+/// timeline flush replays buffered samples; the profiler thread emits
+/// stack samples for the sampled thread). They interleave with the live
+/// stream at arbitrary file positions, so they are exempt from the
+/// request-scope rule and keep their own per-thread `t_ns` watermark
+/// instead of joining the `ts_us` one.
+fn is_replayed(ty: &str) -> bool {
+    ty == "sample" || ty == "stack_sample"
+}
 
 /// Validates the capture and gathers per-type/per-equation/per-kind
 /// counts. Ordering errors carry the 1-based line number.
@@ -151,6 +179,7 @@ fn check(text: &str) -> Result<Stats, String> {
     // (ts_us in file order), one for the replayed sample stream (t_ns).
     let mut ts_watermark: BTreeMap<u64, u64> = BTreeMap::new();
     let mut sample_watermark: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut stack_watermark: BTreeMap<u64, u64> = BTreeMap::new();
     let mut open_spans: BTreeSet<u64> = BTreeSet::new();
     // Per-thread stack of open request scopes: (opening span, req_id).
     // A scope opens at a `span_enter` carrying `req_id` and closes at
@@ -191,9 +220,9 @@ fn check(text: &str) -> Result<Stats, String> {
         if let Some(id) = &req_id {
             stats.request_records += 1;
             // Scope rule: outside a `span_enter` (which may open a new
-            // scope) and the exempt `sample` replay stream, a tagged
-            // record must sit inside an open scope with the same id.
-            if ty != "span_enter" && ty != "sample" {
+            // scope) and the exempt replay streams, a tagged record
+            // must sit inside an open scope with the same id.
+            if ty != "span_enter" && !is_replayed(&ty) {
                 match req_scopes.get(&thread).and_then(|s| s.last()) {
                     Some((_, top)) if top == id => {}
                     Some((_, top)) => {
@@ -210,7 +239,7 @@ fn check(text: &str) -> Result<Stats, String> {
                     }
                 }
             }
-        } else if ty != "sample" {
+        } else if !is_replayed(&ty) {
             // The converse: inside an open scope, the capture tee tags
             // every record — an untagged one means the stream was
             // stitched together from different requests.
@@ -232,6 +261,21 @@ fn check(text: &str) -> Result<Stats, String> {
                     return Err(format!(
                         "line {lineno}: sample timestamp runs backwards on thread \
                          {thread} ({t_ns} ns after {} ns)",
+                        *mark
+                    ));
+                }
+                *mark = t_ns;
+            }
+            "stack_sample" => {
+                check_stack_sample(&v, lineno, thread, &mut stats)?;
+                // The sampler ticks monotonically, so each thread's
+                // stack samples are monotone on the sampler's clock.
+                let t_ns = v.get("t_ns").and_then(JsonValue::as_u64).unwrap_or(0);
+                let mark = stack_watermark.entry(thread).or_insert(0);
+                if t_ns < *mark {
+                    return Err(format!(
+                        "line {lineno}: stack_sample timestamp runs backwards on \
+                         thread {thread} ({t_ns} ns after {} ns)",
                         *mark
                     ));
                 }
@@ -335,6 +379,47 @@ fn check_sample(v: &JsonValue, lineno: usize, stats: &mut Stats) -> Result<(), S
         None => return Err(format!("line {lineno}: sample missing `value`")),
     }
     *stats.samples_by_kind.entry(kind.to_string()).or_insert(0) += 1;
+    Ok(())
+}
+
+/// Validates one `stack_sample` record's payload keys.
+fn check_stack_sample(
+    v: &JsonValue,
+    lineno: usize,
+    thread: u64,
+    stats: &mut Stats,
+) -> Result<(), String> {
+    let Some(JsonValue::Arr(frames)) = v.get("frames") else {
+        return Err(format!("line {lineno}: stack_sample missing `frames` array"));
+    };
+    if frames.is_empty() {
+        return Err(format!("line {lineno}: stack_sample has an empty `frames` array"));
+    }
+    for frame in frames {
+        match frame {
+            JsonValue::Str(s) if !s.is_empty() => {}
+            _ => {
+                return Err(format!(
+                    "line {lineno}: stack_sample frame is not a non-empty string"
+                ));
+            }
+        }
+    }
+    let depth = v
+        .get("depth")
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| format!("line {lineno}: stack_sample missing `depth`"))?;
+    if (depth as usize) < frames.len() {
+        return Err(format!(
+            "line {lineno}: stack_sample depth {depth} is smaller than its {} frames",
+            frames.len()
+        ));
+    }
+    if v.get("t_ns").and_then(JsonValue::as_u64).is_none() {
+        return Err(format!("line {lineno}: stack_sample missing `t_ns`"));
+    }
+    stats.stack_samples += 1;
+    stats.stack_threads.insert(thread);
     Ok(())
 }
 
@@ -524,6 +609,92 @@ mod tests {
             "{}{}\n",
             request_capture("r7"),
             sample(9, 2, 100, "counter").replace("\"thread\":2,", "\"thread\":2,\"req_id\":\"r7\",")
+        );
+        assert!(check(&text).is_ok());
+    }
+
+    fn stack_sample(ts_us: u64, thread: u64, t_ns: u64, frames: &str, depth: u64) -> String {
+        format!(
+            "{{\"ts_us\":{ts_us},\"thread\":{thread},\"type\":\"stack_sample\",\
+             \"depth\":{depth},\"t_ns\":{t_ns},\"frames\":[{frames}]}}"
+        )
+    }
+
+    #[test]
+    fn validates_and_counts_stack_samples() {
+        let text = format!(
+            "{}\n{}\n{}\n{}\n",
+            prov(50, 1, "Eq.2"),
+            stack_sample(60, 1, 1_000, "\"serve.request\",\"model.cost\"", 2),
+            stack_sample(60, 2, 1_000, "\"serve.request\"", 1),
+            stack_sample(61, 1, 2_000, "\"serve.request\"", 1),
+        );
+        let stats = check(&text).expect("valid");
+        assert_eq!(stats.stack_samples, 3);
+        assert_eq!(stats.stack_threads.len(), 2);
+        assert!(
+            stats.summary().contains("stack samples: 3 across 2 threads"),
+            "{}",
+            stats.summary()
+        );
+    }
+
+    #[test]
+    fn stack_samples_keep_their_own_watermark() {
+        // A stack sample whose envelope ts_us is behind the thread's
+        // live stream is fine (the sampler stamps its own tick time),
+        // but t_ns running backwards within a thread is flagged.
+        let interleaved = format!(
+            "{}\n{}\n{}\n",
+            prov(50, 1, "Eq.2"),
+            stack_sample(40, 1, 1_000, "\"serve.request\"", 1),
+            prov(55, 1, "Eq.2"),
+        );
+        assert!(check(&interleaved).is_ok());
+        let backwards = format!(
+            "{}\n{}\n{}\n",
+            prov(50, 1, "Eq.2"),
+            stack_sample(60, 1, 5_000, "\"serve.request\"", 1),
+            stack_sample(61, 1, 4_000, "\"serve.request\"", 1),
+        );
+        let err = check(&backwards).expect_err("must flag");
+        assert!(err.contains("stack_sample timestamp runs backwards"), "{err}");
+    }
+
+    #[test]
+    fn rejects_malformed_stack_samples() {
+        let no_frames = format!(
+            "{}\n{{\"ts_us\":2,\"thread\":1,\"type\":\"stack_sample\",\"depth\":1,\"t_ns\":10}}\n",
+            prov(1, 1, "Eq.2")
+        );
+        assert!(check(&no_frames).expect_err("frames").contains("missing `frames`"));
+        let empty = format!("{}\n{}\n", prov(1, 1, "Eq.2"), stack_sample(2, 1, 10, "", 0));
+        assert!(check(&empty).expect_err("empty").contains("empty `frames`"));
+        let bad_frame = format!("{}\n{}\n", prov(1, 1, "Eq.2"), stack_sample(2, 1, 10, "\"a\",7", 2));
+        assert!(check(&bad_frame).expect_err("frame").contains("not a non-empty string"));
+        let shallow = format!(
+            "{}\n{}\n",
+            prov(1, 1, "Eq.2"),
+            stack_sample(2, 1, 10, "\"a\",\"b\"", 1)
+        );
+        assert!(check(&shallow).expect_err("depth").contains("smaller than"));
+        let no_t = format!(
+            "{}\n{{\"ts_us\":2,\"thread\":1,\"type\":\"stack_sample\",\"depth\":1,\"frames\":[\"a\"]}}\n",
+            prov(1, 1, "Eq.2")
+        );
+        assert!(check(&no_t).expect_err("t_ns").contains("missing `t_ns`"));
+    }
+
+    #[test]
+    fn stack_samples_are_exempt_from_the_scope_rule() {
+        // A profiler sample of a request-scoped thread may land in the
+        // file before that thread's span_enter does; it must not be
+        // held to the file-order scope rule.
+        let text = format!(
+            "{}{}\n",
+            request_capture("r7"),
+            stack_sample(9, 2, 100, "\"serve.request\"", 1)
+                .replace("\"thread\":2,", "\"thread\":2,\"req_id\":\"r9\",")
         );
         assert!(check(&text).is_ok());
     }

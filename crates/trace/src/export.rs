@@ -67,7 +67,7 @@ pub trait Exporter {
 
 /// Indented span tree for terminals: `>` opens a span, `<` closes it,
 /// `.` is an event, `=` a provenance record, `#` a metric snapshot,
-/// `~` a timeline sample.
+/// `~` a timeline sample, `@` a profiler stack sample.
 #[derive(Debug, Default)]
 pub struct TextTreeExporter {
     depth: HashMap<u64, usize>,
@@ -131,6 +131,15 @@ impl Exporter for TextTreeExporter {
                 "[t{t} {:>8}us] ~ {metric_kind} {name}={} @{t_ns}ns\n",
                 rec.ts_micros,
                 crate::value::Value::F64(*value)
+            ),
+            // Stack samples render flat (semicolon-folded, as a
+            // flamegraph line would), not at the thread's span indent:
+            // they come from the sampler thread, whose view of the
+            // sampled thread's depth is the frame list itself.
+            RecordKind::StackSample { frames, depth, t_ns } => format!(
+                "[t{t} {:>8}us] @ {} (depth {depth}) @{t_ns}ns\n",
+                rec.ts_micros,
+                frames.join(";")
             ),
         }
     }
@@ -229,6 +238,17 @@ impl Exporter for JsonlExporter {
                 t_ns,
                 crate::value::Value::F64(*value).render_json()
             ),
+            RecordKind::StackSample { frames, depth, t_ns } => {
+                let mut arr = String::from("[");
+                for (i, frame) in frames.iter().enumerate() {
+                    if i > 0 {
+                        arr.push(',');
+                    }
+                    arr.push_str(&json_string(frame));
+                }
+                arr.push(']');
+                format!(",\"depth\":{depth},\"t_ns\":{t_ns},\"frames\":{arr}")
+            }
         };
         format!("{head}{body}}}\n")
     }
@@ -312,6 +332,22 @@ impl Exporter for ChromeExporter {
                     crate::value::Value::F64(*value).render_json()
                 );
                 chrome_event("C", name, t_ns / 1_000, t, "", &args)
+            }
+            // Stack samples become instants named after the leaf frame,
+            // plotted on the sampled thread's own track at sample time,
+            // with the full stack in args for inspection.
+            RecordKind::StackSample { frames, depth, t_ns } => {
+                let mut arr = String::from("[");
+                for (i, frame) in frames.iter().enumerate() {
+                    if i > 0 {
+                        arr.push(',');
+                    }
+                    arr.push_str(&json_string(frame));
+                }
+                arr.push(']');
+                let leaf = frames.last().copied().unwrap_or("(idle)");
+                let args = format!("{{\"depth\":{depth},\"frames\":{arr}}}");
+                chrome_event("i", leaf, t_ns / 1_000, t, ",\"s\":\"t\"", &args)
             }
         };
         format!("{sep}{ev}")

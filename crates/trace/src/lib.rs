@@ -24,6 +24,10 @@
 //!   per-thread ring buffer (deterministic 2:1 decimation on overflow,
 //!   exact `dropped` accounting), flushed as `"type":"sample"` records
 //!   and Chrome `"ph":"C"` counter tracks.
+//! * **Stack profiler** ([`stack_registry`]) — span guards publish the
+//!   live stack into per-thread seqlock slots; a background sampler
+//!   walks them at `NANOCOST_PROFILE_HZ` and emits
+//!   `"type":"stack_sample"` records with per-request attribution.
 //! * **Exporters** — human-readable span tree, JSONL, and Chrome
 //!   trace-event format (loadable in `chrome://tracing` / Perfetto),
 //!   selected via environment variables (see [`init_from_env`]).
@@ -41,6 +45,7 @@
 //! | `NANOCOST_TRACE_FORMAT` | overrides the format when `NANOCOST_TRACE` is just an on-switch |
 //! | `NANOCOST_TRACE_FILE` | writes the trace to this path instead of the default (stderr for `text`/`jsonl`, `nanocost_trace.chrome.json` for `chrome`) |
 //! | `NANOCOST_TRACE_SAMPLE` | enables metric timeline sampling; `1`/`on` use the default per-thread buffer capacity, a number sets it |
+//! | `NANOCOST_PROFILE_HZ` | starts the stack-sampling profiler (see [`stack_registry`]) at this rate; `0`/`off` disables, `1`/`on` use the 99 Hz default |
 //!
 //! # Example
 //!
@@ -60,6 +65,7 @@ pub mod metrics;
 pub mod provenance;
 pub mod record;
 pub mod span;
+pub mod stack_registry;
 pub mod subscriber;
 pub mod timeline;
 pub mod value;
@@ -126,13 +132,17 @@ thread_local! {
     static THREAD_ID: u64 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
 }
 
-/// Is any subscriber (global or thread-local) listening? This is the
-/// fast path every macro checks first: one or two relaxed atomic loads,
-/// nothing else.
+/// Is any subscriber (global or thread-local) listening, or the stack
+/// profiler armed? This is the fast path every macro checks first: a
+/// handful of relaxed atomic loads, nothing else. Profiling counts as
+/// enabled because span guards are what publish the stacks the sampler
+/// reads — with no subscriber installed their records are simply
+/// dropped at dispatch.
 #[inline]
 #[must_use]
 pub fn is_enabled() -> bool {
     GLOBAL_ENABLED.load(Ordering::Relaxed)
+        || stack_registry::profiling_enabled()
         || (LOCAL_COUNT.load(Ordering::Relaxed) > 0 && has_local())
         || (CAPTURE_COUNT.load(Ordering::Relaxed) > 0 && has_capture())
 }
@@ -239,6 +249,20 @@ pub fn dispatch(kind: RecordKind) {
 /// on, not the thread doing the flushing.
 pub fn dispatch_origin(ts_micros: u64, thread: u64, kind: RecordKind) {
     let rec = Record { ts_micros, thread, req_id: current_request_id(), kind };
+    deliver(&rec);
+}
+
+/// [`dispatch_origin`] with explicit request attribution as well: the
+/// stack sampler emits another thread's stack under *that* thread's
+/// request scope, not the sampler thread's own (which has none).
+pub fn dispatch_stamped(ts_micros: u64, thread: u64, req_id: Option<&str>, kind: RecordKind) {
+    let rec = Record { ts_micros, thread, req_id: req_id.map(std::sync::Arc::from), kind };
+    deliver(&rec);
+}
+
+/// The shared back half of dispatch: tee into captures, then the
+/// thread-local collector, then the global subscriber.
+fn deliver(rec: &Record) {
     // Tee into every open capture frame on this thread first, so a
     // capture sees the record even when a local collector or the
     // global subscriber also consumes it.
@@ -256,7 +280,7 @@ pub fn dispatch_origin(ts_micros: u64, thread: u64, kind: RecordKind) {
             .try_with(|l| {
                 l.try_borrow()
                     .ok()
-                    .and_then(|slot| slot.as_ref().map(|s| s.record(&rec)))
+                    .and_then(|slot| slot.as_ref().map(|s| s.record(rec)))
                     .is_some()
             })
             .unwrap_or(false);
@@ -266,7 +290,7 @@ pub fn dispatch_origin(ts_micros: u64, thread: u64, kind: RecordKind) {
     }
     if GLOBAL_ENABLED.load(Ordering::Relaxed) {
         if let Some(s) = GLOBAL.get() {
-            s.record(&rec);
+            s.record(rec);
         }
     }
 }
@@ -437,6 +461,16 @@ pub fn init_from_env() -> TraceGuard {
     if installed {
         if let Some(capacity) = sample_capacity_from_env() {
             timeline::enable_sampling(capacity);
+        }
+        match stack_registry::profile_hz_from_env() {
+            Ok(stack_registry::ProfileHz::Hz(hz)) => {
+                let _ = stack_registry::start_sampler(hz);
+            }
+            Ok(_) => {}
+            Err(msg) => {
+                // nanocost-audit: allow(R6, reason = "env misconfiguration diagnostic during init; library has no other channel and must not abort the host's run")
+                eprintln!("nanocost-trace: {msg}; profiler stays off");
+            }
         }
     }
     TraceGuard { active: installed }

@@ -79,6 +79,23 @@ pub enum RecordKind {
         /// exact below 2^53).
         value: f64,
     },
+    /// One stack sample from the in-process profiler: a consistent copy
+    /// of the sampled thread's span-name stack, taken by the
+    /// [`crate::stack_registry`] sampler thread. The record's envelope
+    /// carries the *sampled* thread's id and request scope, not the
+    /// sampler's, so per-request CPU attribution falls out of the same
+    /// `req_id` plumbing every other record uses.
+    StackSample {
+        /// Span names, outermost first (clamped to
+        /// [`crate::stack_registry::MAX_FRAMES`] entries).
+        frames: Vec<&'static str>,
+        /// The sampled thread's full logical stack depth; exceeds
+        /// `frames.len()` when the stack was deeper than the clamp.
+        depth: u64,
+        /// Nanoseconds since the process trace epoch at sample time
+        /// (monotone per sampled thread).
+        t_ns: u64,
+    },
 }
 
 impl RecordKind {
@@ -92,6 +109,7 @@ impl RecordKind {
             RecordKind::Provenance { .. } => "provenance",
             RecordKind::Metric { .. } => "metric",
             RecordKind::Sample { .. } => "sample",
+            RecordKind::StackSample { .. } => "stack_sample",
         }
     }
 }

@@ -89,6 +89,9 @@ impl Span {
         let id = next_span_id();
         let parent = current_span();
         push(id);
+        // Publish to the profiler's shared slot as well (a no-op unless
+        // profiling is armed); the sampler reads names, not ids.
+        crate::stack_registry::publish_push(name);
         dispatch(RecordKind::SpanEnter { span: id, parent, name, fields });
         Span {
             live: Some(LiveSpan { id, name, start: Instant::now() }),
@@ -106,6 +109,7 @@ impl Drop for Span {
     fn drop(&mut self) {
         if let Some(live) = self.live.take() {
             pop(live.id);
+            crate::stack_registry::publish_pop();
             let elapsed = u64::try_from(live.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
             dispatch(RecordKind::SpanExit {
                 span: live.id,

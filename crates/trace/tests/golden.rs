@@ -180,6 +180,29 @@ fn fixture_records() -> Vec<Record> {
                 elapsed_nanos: 900,
             },
         },
+        // Profiler stack samples: one request-attributed (the sampler
+        // stamps the *sampled* thread's scope), one unscoped and
+        // depth-clamped.
+        Record {
+            ts_micros: 32,
+            thread: 3,
+            req_id: Some("r9".into()),
+            kind: RecordKind::StackSample {
+                frames: vec!["serve.request", "serve.endpoint.cost"],
+                depth: 2,
+                t_ns: 30_500,
+            },
+        },
+        Record {
+            ts_micros: 32,
+            thread: 1,
+            req_id: None,
+            kind: RecordKind::StackSample {
+                frames: vec!["figure4.panel"],
+                depth: 33,
+                t_ns: 30_500,
+            },
+        },
     ]
 }
 
@@ -227,6 +250,10 @@ fn jsonl_matches_golden_and_every_line_is_json() {
     assert!(
         out.contains("\"req_id\":\"r9\""),
         "request-scoped records must carry req_id in the JSONL envelope"
+    );
+    assert!(
+        out.contains("\"type\":\"stack_sample\""),
+        "profiler samples must render with their own type tag"
     );
     compare("trace.expected.jsonl", &out);
 }

@@ -35,9 +35,11 @@ static ALLOCATOR: CountingAllocator = CountingAllocator;
 fn disabled_instrumentation_allocates_nothing() {
     // No subscriber is installed anywhere in this test binary, so every
     // macro below must take its disabled fast path — and timeline
-    // sampling, which is only armed by init_from_env, must be off too.
+    // sampling and stack profiling, which are only armed by
+    // init_from_env / start_sampler, must be off too.
     assert!(!nanocost_trace::is_enabled());
     assert!(!nanocost_trace::timeline::sampling_enabled());
+    assert!(!nanocost_trace::stack_registry::profiling_enabled());
 
     // The counter is global, so a stray allocation on the libtest
     // harness thread (which runs concurrently with the test body) can
@@ -63,6 +65,11 @@ fn disabled_instrumentation_allocates_nothing() {
             metric_histogram!("hot.histogram", acc);
             nanocost_trace::timeline::record_sample("hot.sample", "gauge", acc);
             let _timer = nanocost_trace::metrics::Timer::start("hot.timer");
+            // The profiler's publication hooks (called from every span
+            // guard) must be a single relaxed load when disabled: no
+            // slot registration, no TLS touch, no allocation.
+            nanocost_trace::stack_registry::publish_push("hot.published");
+            nanocost_trace::stack_registry::publish_pop();
             acc += 1.0;
         }
         let after = ALLOCATIONS.load(Ordering::Relaxed);

@@ -168,6 +168,60 @@ if ! wait "$SERVE_PID"; then
     exit 1
 fi
 
+echo "==> serve profiling gate: continuous sampler + /v1/profile + profile_diff"
+# A second server with the sampling profiler cranked up: the loadgen
+# burst must leave a non-empty /v1/profile report whose stacks
+# attribute work to serve.request, a self-diff must be clean, the live
+# trace_profile --attach view must render, and the JSONL capture must
+# carry trace_check-valid stack_sample records.
+PROF_LOG=target/ci-serve-prof.log
+PROF_TRACE=target/ci-serve-prof.jsonl
+rm -f "$PROF_LOG" "$PROF_TRACE" target/ci-serve-profile.json target/ci-serve-prof-exemplar.*.jsonl
+NANOCOST_PROFILE_HZ=500 NANOCOST_TRACE=jsonl NANOCOST_TRACE_FILE="$PROF_TRACE" \
+    ./target/release/serve --port 0 --workers 4 >"$PROF_LOG" 2>&1 &
+PROF_PID=$!
+PROF_ADDR=""
+for _ in $(seq 1 100); do
+    PROF_ADDR="$(sed -n 's/.*listening on //p' "$PROF_LOG" | head -1)"
+    [[ -n "$PROF_ADDR" ]] && break
+    sleep 0.1
+done
+if [[ -z "$PROF_ADDR" ]]; then
+    echo "ci: FAIL: profiled serve never reported its address" >&2
+    kill "$PROF_PID" 2>/dev/null || true
+    exit 1
+fi
+./target/release/loadgen --addr "$PROF_ADDR" --requests 300 \
+    --mix cost,optimum,batch --concurrency 8 \
+    --allow-shed --max-shed-rate 0.5 \
+    --profile-out target/ci-serve-profile.json --profile-window-s 60 \
+    --exemplar-traces target/ci-serve-prof-exemplar --max-evicted-exemplars 8
+if ! grep -q '"samples":' target/ci-serve-profile.json \
+    || ! grep -q 'serve.request' target/ci-serve-profile.json; then
+    echo "ci: FAIL: /v1/profile report is empty or missing serve.request frames" >&2
+    kill "$PROF_PID" 2>/dev/null || true
+    exit 1
+fi
+# A report diffed against itself must never regress (exit 0).
+cargo run -q --release -p nanocost-sentinel --bin profile_diff -- \
+    --against target/ci-serve-profile.json target/ci-serve-profile.json >/dev/null
+# The live attach view over the same server must render a report.
+cargo run -q --release -p nanocost-sentinel --bin trace_profile -- \
+    --attach "$PROF_ADDR" --window-s 30 >/dev/null
+kill -TERM "$PROF_PID"
+if ! wait "$PROF_PID"; then
+    echo "ci: FAIL: profiled serve did not exit cleanly on SIGTERM" >&2
+    exit 1
+fi
+# The exported capture must be schema-clean including its stack_sample
+# records, and must actually contain some.
+PROF_SUMMARY="$(cargo run -q --release -p nanocost-trace --bin trace_check -- --summary "$PROF_TRACE")"
+echo "$PROF_SUMMARY"
+if ! grep -q 'stack samples: [1-9]' <<<"$PROF_SUMMARY"; then
+    echo "ci: FAIL: profiled capture has no stack_sample records" >&2
+    exit 1
+fi
+
 # One bench capture + diff; prints the names of regressed benchmarks
 # (empty = clean). Absolute capture path: cargo runs bench targets with
 # cwd = the package dir. Both checked-in baselines (captured under
