@@ -1,17 +1,59 @@
 //! Live-attach plumbing: a zero-dependency HTTP/1.1 GET client for
-//! scraping a running `nanocost-serve` (`/v1/metrics`, `/v1/profile`,
-//! `/v1/trace/<req-id>`).
+//! scraping running `nanocost-serve` replicas (`/v1/metrics`,
+//! `/v1/metrics/raw`, `/v1/profile`, `/v1/trace/<req-id>`).
 //!
-//! Both `trace_tail --attach` and `trace_profile --attach` speak to the
-//! server through this module, so target normalization and response
-//! framing live in exactly one place. Errors are plain strings — the
-//! callers are CLIs that print them and exit 2.
+//! `trace_tail --attach`, `trace_profile --attach`, and `fleet_report`
+//! all speak to servers through this module, so target normalization,
+//! response framing, per-scrape deadlines, partial-read handling, and
+//! retry policy live in exactly one place. A scrape is bounded
+//! end-to-end: connect, request, and body reads all draw from one
+//! deadline, a declared `Content-Length` is enforced (a connection that
+//! closes mid-body is a truncation error, not a silently short
+//! payload), and [`scrape`] retries transport failures with a fixed
+//! backoff so a fleet snapshot survives a replica mid-restart. Errors
+//! are plain strings — the callers are CLIs that print them and exit 2.
 
 use std::io::{Read, Write};
-use std::time::Duration;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
-/// Socket read timeout for one scrape.
+/// Default end-to-end budget for one scrape (connect + request + body).
 const SCRAPE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Default number of attempts [`scrape`] makes before giving up.
+const SCRAPE_ATTEMPTS: u32 = 3;
+
+/// Default pause between attempts.
+const SCRAPE_BACKOFF: Duration = Duration::from_millis(100);
+
+/// Floor for per-read socket timeouts: a deadline expiring mid-read
+/// must still map to a valid (non-zero) socket timeout.
+const MIN_READ_TIMEOUT: Duration = Duration::from_millis(1);
+
+/// Read chunk size for the incremental body loop.
+const READ_CHUNK: usize = 8 * 1024;
+
+/// How a scrape retries: `attempts` tries, `backoff` between them, and
+/// a per-attempt end-to-end `deadline`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScrapePolicy {
+    /// Total attempts (≥ 1; 0 behaves as 1).
+    pub attempts: u32,
+    /// Pause between consecutive attempts.
+    pub backoff: Duration,
+    /// End-to-end budget for each attempt.
+    pub deadline: Duration,
+}
+
+impl Default for ScrapePolicy {
+    fn default() -> Self {
+        ScrapePolicy {
+            attempts: SCRAPE_ATTEMPTS,
+            backoff: SCRAPE_BACKOFF,
+            deadline: SCRAPE_TIMEOUT,
+        }
+    }
+}
 
 /// Normalizes an `--attach` target to `host:port`: accepts a bare
 /// `host:port` or an `http://host:port[/...]` URL.
@@ -31,38 +73,18 @@ pub fn parse_attach_target(url: &str) -> Result<String, String> {
     Ok(host_port.to_string())
 }
 
-/// One raw HTTP/1.1 GET against `target` (a `host:port`). Returns the
-/// status code and body; transport failures and unframed responses are
+/// One raw HTTP/1.1 GET against `target` (a `host:port`) with the
+/// default per-scrape deadline. Returns the status code and body;
+/// transport failures, unframed responses, and truncated bodies are
 /// errors, non-200 statuses are not — callers decide what a 410 or 404
 /// means for them.
 ///
 /// # Errors
 ///
-/// Connect/read/write failures and responses with no header/body split.
+/// Connect/read/write failures, deadline overruns, responses with no
+/// header/body split, and bodies shorter than their `Content-Length`.
 pub fn http_get(target: &str, path: &str) -> Result<(u16, String), String> {
-    let mut stream = std::net::TcpStream::connect(target)
-        .map_err(|e| format!("connect {target}: {e}"))?;
-    stream
-        .set_read_timeout(Some(SCRAPE_TIMEOUT))
-        .map_err(|e| format!("set timeout: {e}"))?;
-    write!(
-        stream,
-        "GET {path} HTTP/1.1\r\nHost: {target}\r\nConnection: close\r\n\r\n"
-    )
-    .map_err(|e| format!("write {target}: {e}"))?;
-    let mut response = Vec::new();
-    stream
-        .read_to_end(&mut response)
-        .map_err(|e| format!("read {target}: {e}"))?;
-    let text = String::from_utf8_lossy(&response);
-    let status: u16 = text
-        .split(' ')
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0);
-    text.split_once("\r\n\r\n")
-        .map(|(_, body)| (status, body.to_string()))
-        .ok_or_else(|| format!("{target}{path}: malformed HTTP response"))
+    fetch_once(target, path, SCRAPE_TIMEOUT)
 }
 
 /// [`http_get`] that additionally treats any non-200 status as an
@@ -77,6 +99,148 @@ pub fn http_get_ok(target: &str, path: &str) -> Result<String, String> {
         return Err(format!("{target}{path} answered {status}"));
     }
     Ok(body)
+}
+
+/// A retrying GET: up to `policy.attempts` calls of one bounded fetch
+/// each, pausing `policy.backoff` between them. Transport failures
+/// (refused connections, truncated bodies, deadline overruns) retry;
+/// any well-framed HTTP response — whatever its status — is returned as
+/// soon as it arrives, because a live server saying 503 is an answer,
+/// not an outage.
+///
+/// # Errors
+///
+/// The last attempt's error once every attempt has failed.
+pub fn scrape(target: &str, path: &str, policy: ScrapePolicy) -> Result<(u16, String), String> {
+    let attempts = policy.attempts.max(1);
+    let mut last_err = String::new();
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            std::thread::sleep(policy.backoff);
+        }
+        match fetch_once(target, path, policy.deadline) {
+            Ok(reply) => return Ok(reply),
+            Err(e) => last_err = e,
+        }
+    }
+    Err(format!("{last_err} (after {attempts} attempts)"))
+}
+
+/// [`scrape`] that treats any non-200 status as an error.
+///
+/// # Errors
+///
+/// Everything [`scrape`] rejects, plus non-200 statuses.
+pub fn scrape_ok(target: &str, path: &str, policy: ScrapePolicy) -> Result<String, String> {
+    let (status, body) = scrape(target, path, policy)?;
+    if status != 200 {
+        return Err(format!("{target}{path} answered {status}"));
+    }
+    Ok(body)
+}
+
+/// One bounded fetch: resolve, connect, write the request, and read the
+/// response incrementally, charging every step against `deadline`.
+fn fetch_once(target: &str, path: &str, deadline: Duration) -> Result<(u16, String), String> {
+    let started = Instant::now();
+    let remaining = |started: Instant| -> Result<Duration, String> {
+        deadline
+            .checked_sub(started.elapsed())
+            .filter(|d| !d.is_zero())
+            .ok_or_else(|| format!("{target}{path}: scrape deadline ({deadline:?}) exceeded"))
+    };
+    let addrs = target
+        .to_socket_addrs()
+        .map_err(|e| format!("resolve {target}: {e}"))?;
+    let mut stream: Option<TcpStream> = None;
+    let mut connect_err = format!("connect {target}: no addresses resolved");
+    for addr in addrs {
+        match TcpStream::connect_timeout(&addr, remaining(started)?) {
+            Ok(s) => {
+                stream = Some(s);
+                break;
+            }
+            Err(e) => connect_err = format!("connect {target}: {e}"),
+        }
+    }
+    let mut stream = stream.ok_or(connect_err)?;
+    stream
+        .set_read_timeout(Some(remaining(started)?.max(MIN_READ_TIMEOUT)))
+        .map_err(|e| format!("set timeout: {e}"))?;
+    // One write_all of the pre-formatted request: `write!` would issue
+    // one syscall per format fragment, and a peer that answers (or
+    // resets) after the first fragment would turn a served request into
+    // a spurious EPIPE.
+    let request = format!("GET {path} HTTP/1.1\r\nHost: {target}\r\nConnection: close\r\n\r\n");
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| format!("write {target}: {e}"))?;
+    // Incremental read: partial TCP segments reassemble, each read is
+    // bounded by what is left of the deadline, and the loop ends as
+    // soon as the declared Content-Length is satisfied (a server that
+    // keeps the socket open cannot stall the scrape past its budget).
+    let mut response: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; READ_CHUNK];
+    let mut eof = false;
+    while !eof && !body_complete(&response) {
+        stream
+            .set_read_timeout(Some(remaining(started)?.max(MIN_READ_TIMEOUT)))
+            .map_err(|e| format!("set timeout: {e}"))?;
+        match stream.read(&mut chunk) {
+            Ok(0) => eof = true,
+            Ok(n) => response.extend_from_slice(&chunk[..n]),
+            Err(e) => {
+                return Err(format!(
+                    "read {target}{path}: {e} after {} bytes",
+                    response.len()
+                ))
+            }
+        }
+    }
+    let text = String::from_utf8_lossy(&response);
+    let status: u16 = text
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("{target}{path}: malformed HTTP response"))?;
+    if let Some(declared) = declared_content_length(head) {
+        if body.len() < declared {
+            return Err(format!(
+                "{target}{path}: truncated body ({} of {declared} bytes)",
+                body.len()
+            ));
+        }
+    }
+    Ok((status, body.to_string()))
+}
+
+/// Is the buffered response a complete head plus its declared body?
+/// `false` while the head is still arriving or the body is short;
+/// responses with no `Content-Length` read to EOF.
+fn body_complete(buffered: &[u8]) -> bool {
+    let text = String::from_utf8_lossy(buffered);
+    let Some((head, body)) = text.split_once("\r\n\r\n") else {
+        return false;
+    };
+    match declared_content_length(head) {
+        Some(declared) => body.len() >= declared,
+        None => false,
+    }
+}
+
+/// The response head's `Content-Length`, if it declares one.
+fn declared_content_length(head: &str) -> Option<usize> {
+    head.lines().find_map(|line| {
+        let (name, value) = line.split_once(':')?;
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            value.trim().parse().ok()
+        } else {
+            None
+        }
+    })
 }
 
 #[cfg(test)]
@@ -135,5 +299,92 @@ mod tests {
     fn transport_failures_are_clean_errors() {
         // A port nothing listens on: connect (or read) fails, no panic.
         assert!(http_get("127.0.0.1:1", "/v1/metrics").is_err());
+    }
+
+    #[test]
+    fn split_segments_reassemble_and_stop_at_content_length() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let server = std::thread::spawn(move || {
+            let (mut sock, _) = listener.accept().expect("accept");
+            let mut buf = [0u8; 1024];
+            let _ = sock.read(&mut buf).expect("read request");
+            // Head and body in separate segments, then the socket is
+            // held open: only Content-Length tracking ends the read.
+            sock.write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 8\r\n\r\n")
+                .expect("write head");
+            sock.flush().expect("flush head");
+            std::thread::sleep(Duration::from_millis(20));
+            sock.write_all(b"abcd").expect("write body 1");
+            sock.flush().expect("flush body 1");
+            std::thread::sleep(Duration::from_millis(20));
+            sock.write_all(b"efgh").expect("write body 2");
+            sock.flush().expect("flush body 2");
+            // Keep the connection open long enough that an EOF-driven
+            // reader would block instead of returning.
+            std::thread::sleep(Duration::from_millis(200));
+        });
+        let (status, body) = http_get(&addr, "/v1/metrics").expect("exchange");
+        assert_eq!(status, 200);
+        assert_eq!(body, "abcdefgh");
+        server.join().expect("server thread");
+    }
+
+    #[test]
+    fn truncated_bodies_are_rejected_not_returned_short() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let server = std::thread::spawn(move || {
+            let (mut sock, _) = listener.accept().expect("accept");
+            let mut buf = [0u8; 1024];
+            let _ = sock.read(&mut buf).expect("read request");
+            sock.write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\nabc")
+                .expect("write partial");
+            // Drop: the peer sees EOF three bytes into a ten-byte body.
+        });
+        let err = http_get(&addr, "/v1/metrics").expect_err("truncation must error");
+        assert!(err.contains("truncated"), "{err}");
+        server.join().expect("server thread");
+    }
+
+    #[test]
+    fn scrape_retries_transport_failures() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let server = std::thread::spawn(move || {
+            // First connection: dropped without a byte (a replica
+            // mid-restart). Second: a real answer.
+            let (sock, _) = listener.accept().expect("accept 1");
+            drop(sock);
+            let (mut sock, _) = listener.accept().expect("accept 2");
+            let mut request = Vec::new();
+            let mut buf = [0u8; 1024];
+            while !request.windows(4).any(|w| w == b"\r\n\r\n") {
+                let n = sock.read(&mut buf).expect("read request");
+                assert!(n > 0, "request truncated");
+                request.extend_from_slice(&buf[..n]);
+            }
+            sock.write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok")
+                .expect("write response");
+        });
+        let policy = ScrapePolicy {
+            attempts: 3,
+            backoff: Duration::from_millis(10),
+            deadline: Duration::from_secs(2),
+        };
+        let body = scrape_ok(&addr, "/v1/metrics", policy).expect("second attempt lands");
+        assert_eq!(body, "ok");
+        server.join().expect("server thread");
+    }
+
+    #[test]
+    fn scrape_reports_the_final_error_with_attempt_count() {
+        let policy = ScrapePolicy {
+            attempts: 2,
+            backoff: Duration::from_millis(1),
+            deadline: Duration::from_millis(200),
+        };
+        let err = scrape("127.0.0.1:1", "/v1/metrics", policy).expect_err("nothing listens");
+        assert!(err.contains("after 2 attempts"), "{err}");
     }
 }

@@ -33,7 +33,7 @@
 
 use std::process::ExitCode;
 
-use nanocost_sentinel::attach::{http_get_ok, parse_attach_target};
+use nanocost_sentinel::attach::{parse_attach_target, scrape_ok, ScrapePolicy};
 use nanocost_sentinel::profile::{stack_samples_from_jsonl, Profile, ProfileReport};
 use nanocost_sentinel::timeline::{
     counter_folded, metric_summaries, resolve_window, TimelineCapture, WindowSpec,
@@ -98,7 +98,13 @@ fn run(argv: &[String]) -> Result<String, String> {
         if path.is_some() {
             return Err(format!("--attach replaces the capture file\n{USAGE}"));
         }
-        let body = http_get_ok(&target, &format!("/v1/profile?window_s={window_s}"))?;
+        // The shared retrying scraper: a server mid-restart gets the
+        // default three attempts before the CLI gives up.
+        let body = scrape_ok(
+            &target,
+            &format!("/v1/profile?window_s={window_s}"),
+            ScrapePolicy::default(),
+        )?;
         let report = ProfileReport::from_json(&body).map_err(|e| format!("{target}: {e}"))?;
         let mut out = report.hotspot_table();
         if !hotspots_only {

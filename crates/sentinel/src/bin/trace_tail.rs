@@ -9,6 +9,7 @@
 //! trace_tail --interval-ms 500 --window-s 10 --width 60 <capture.jsonl>
 //! trace_tail --frames 20 <capture.jsonl>      # render 20 frames, then exit
 //! trace_tail --attach 127.0.0.1:8077          # live-attach to nanocost-serve
+//! trace_tail --attach host:8077 --attach host:8078   # fleet dashboard
 //! ```
 //!
 //! Each frame shows, per metric: a unicode-block sparkline of the
@@ -28,13 +29,22 @@
 //! self-time frames from a best-effort `GET /v1/profile` scrape (the
 //! footer is simply omitted when the server runs with profiling off).
 //!
+//! Repeating `--attach` federates: each frame scrapes every replica's
+//! `GET /v1/metrics/raw`, merges the histograms losslessly through
+//! [`FleetView`], and renders fleet-wide quantiles and counters plus a
+//! footer of per-replica utilization rows, per-endpoint p99 skew
+//! (slowest vs fastest replica), and the fleet's merged top self-time
+//! frames. Scrapes retry transport failures, so one replica restarting
+//! does not tear the dashboard down.
+//!
 //! Exit code 0 on success, 2 on usage or I/O errors.
 
 use std::io::{IsTerminal, Read, Seek, SeekFrom, Write as _};
 use std::process::ExitCode;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use nanocost_sentinel::attach::{http_get, http_get_ok, parse_attach_target};
+use nanocost_sentinel::attach::{parse_attach_target, scrape, scrape_ok, ScrapePolicy};
+use nanocost_sentinel::federate::{merge_profiles, FleetView, RawSnapshot};
 use nanocost_sentinel::profile::ProfileReport;
 use nanocost_sentinel::timeline::Dashboard;
 use nanocost_sentinel::{json, SentinelError};
@@ -49,14 +59,16 @@ const TOP_FRAMES: usize = 5;
 const PROFILE_FOOTER_WINDOW_S: u64 = 30;
 
 const USAGE: &str = "usage: trace_tail [--once] [--frames N] [--interval-ms N] \
-                     [--window-s S] [--width N] (<capture.jsonl> | --attach <host:port>)";
+                     [--window-s S] [--width N] \
+                     (<capture.jsonl> | --attach <host:port> [--attach <host:port>...])";
 
 /// Parsed command line.
 struct Options {
     /// Capture file to follow; empty when `--attach` is used.
     path: String,
-    /// `host:port` of a live server to scrape instead of a file.
-    attach: Option<String>,
+    /// `host:port` of live servers to scrape instead of a file: one
+    /// target renders that server's dashboard, two or more federate.
+    attach: Vec<String>,
     interval: Duration,
     window_ns: u64,
     width: usize,
@@ -75,7 +87,7 @@ fn parse_args(argv: &[String]) -> Result<Options, String> {
     let mut width: usize = 40;
     let mut frames: Option<u64> = None;
     let mut path: Option<&str> = None;
-    let mut attach: Option<String> = None;
+    let mut attach: Vec<String> = Vec::new();
     let mut args = argv.iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -86,7 +98,7 @@ fn parse_args(argv: &[String]) -> Result<Options, String> {
             "--width" => width = parse_num("--width", args.next())?,
             "--attach" => {
                 let url = args.next().ok_or_else(|| format!("--attach needs a URL\n{USAGE}"))?;
-                attach = Some(parse_attach_target(url).map_err(|e| format!("{e}\n{USAGE}"))?);
+                attach.push(parse_attach_target(url).map_err(|e| format!("{e}\n{USAGE}"))?);
             }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other if other.starts_with('-') => {
@@ -100,12 +112,12 @@ fn parse_args(argv: &[String]) -> Result<Options, String> {
             }
         }
     }
-    let path = match (&attach, path) {
-        (Some(_), Some(_)) => {
+    let path = match (attach.is_empty(), path) {
+        (false, Some(_)) => {
             return Err(format!("--attach replaces the capture file\n{USAGE}"))
         }
-        (Some(_), None) => String::new(),
-        (None, p) => p.ok_or_else(|| USAGE.to_string())?.to_string(),
+        (false, None) => String::new(),
+        (true, p) => p.ok_or_else(|| USAGE.to_string())?.to_string(),
     };
     if !window_s.is_finite() || window_s <= 0.0 {
         return Err(format!("--window-s must be positive\n{USAGE}"));
@@ -263,22 +275,22 @@ fn worker_bars(doc: &json::JsonValue) -> Vec<String> {
     out
 }
 
-/// Best-effort top-frames footer from a live `/v1/profile` scrape.
-/// Returns nothing (rather than an error) when the server has profiling
-/// off or predates the endpoint — the dashboard must keep rendering.
-fn profile_footer(target: &str) -> Vec<String> {
+/// Best-effort `/v1/profile` scrape of one replica. `None` (rather
+/// than an error) when the server has profiling off, predates the
+/// endpoint, or reported no samples — the dashboard must keep
+/// rendering.
+fn scrape_profile(target: &str) -> Option<ProfileReport> {
     let path = format!("/v1/profile?window_s={PROFILE_FOOTER_WINDOW_S}");
-    let Ok((200, body)) = http_get(target, &path) else {
-        return Vec::new();
+    let Ok((200, body)) = scrape(target, &path, ScrapePolicy::default()) else {
+        return None;
     };
-    let Ok(report) = ProfileReport::from_json(&body) else {
-        return Vec::new();
-    };
-    if report.samples == 0 {
-        return Vec::new();
-    }
+    ProfileReport::from_json(&body).ok().filter(|r| r.samples > 0)
+}
+
+/// Renders a profile report as the dashboard's top-frames footer.
+fn profile_lines(report: &ProfileReport, scope: &str) -> Vec<String> {
     let mut out = vec![format!(
-        "profile ({}s window): {} samples, {} threads",
+        "{scope} profile ({}s window): {} samples, {} threads",
         PROFILE_FOOTER_WINDOW_S, report.samples, report.threads
     )];
     for f in report.frames.iter().filter(|f| f.self_samples > 0).take(TOP_FRAMES) {
@@ -291,30 +303,149 @@ fn profile_footer(target: &str) -> Vec<String> {
     out
 }
 
+/// Converts one federated [`FleetView`] into timeline sample lines the
+/// dashboard ingests. Replica clocks are not comparable across
+/// processes, so fleet series are stamped with the *local* monotone
+/// `t_ns` the caller passes (nanoseconds since the dashboard started).
+fn fleet_to_samples(view: &FleetView, t_ns: u64) -> Vec<String> {
+    let sample = |name: &str, kind: &str, value: f64| {
+        format!(
+            "{{\"ts_us\":{},\"thread\":0,\"type\":\"sample\",\"name\":\"{name}\",\
+             \"metric_kind\":\"{kind}\",\"t_ns\":{t_ns},\"value\":{value:e}}}",
+            t_ns / 1_000
+        )
+    };
+    let mut lines = Vec::new();
+    for (key, value) in &view.counters {
+        lines.push(sample(&format!("fleet.{key}"), "counter", *value as f64));
+    }
+    for (endpoint, hist) in &view.endpoints {
+        if let Some(p50) = hist.quantile(0.50) {
+            lines.push(sample(&format!("fleet.{endpoint}.p50_us"), "gauge", p50));
+        }
+        if let Some(p99) = hist.p99() {
+            lines.push(sample(&format!("fleet.{endpoint}.p99_us"), "gauge", p99));
+        }
+        lines.push(sample(&format!("fleet.{endpoint}.requests"), "counter", hist.count() as f64));
+    }
+    if view.cache.hits + view.cache.misses > 0 {
+        let rate = view.cache.hits as f64 / (view.cache.hits + view.cache.misses) as f64;
+        lines.push(sample("fleet.cache.hit_rate", "gauge", rate));
+    }
+    lines
+}
+
+/// The fleet footer: one utilization row per replica, the per-endpoint
+/// p99 skew (slowest vs fastest replica), any fleet-wide firing
+/// objective, and the merged top self-time frames.
+fn fleet_footer(view: &FleetView) -> Vec<String> {
+    let mut out = vec![format!("fleet: {} replicas", view.replicas.len())];
+    let label_w = view
+        .utilization
+        .iter()
+        .map(|u| u.replica.len())
+        .max()
+        .unwrap_or(1);
+    for u in &view.utilization {
+        let filled = ((u.busy_fraction * WORKER_BAR_WIDTH as f64).round() as usize)
+            .min(WORKER_BAR_WIDTH);
+        let bar: String = std::iter::repeat('█')
+            .take(filled)
+            .chain(std::iter::repeat('·').take(WORKER_BAR_WIDTH - filled))
+            .collect();
+        out.push(format!(
+            "replica {:<label_w$} [{bar}] {:5.1}% busy  {} workers  {} served  {} requests",
+            u.replica,
+            u.busy_fraction * 100.0,
+            u.workers,
+            u.served,
+            u.requests
+        ));
+    }
+    for (endpoint, s) in &view.skew {
+        if s.ratio.is_finite() {
+            out.push(format!(
+                "p99 skew {endpoint}: {} {:.1}us .. {} {:.1}us (x{:.2})",
+                s.min_replica, s.min_p99, s.max_replica, s.max_p99, s.ratio
+            ));
+        }
+    }
+    for report in view.slo.iter().filter(|r| r.firing) {
+        out.push(format!(
+            "SLO {} FIRING fleet-wide (fast burn {:.1}x, slow burn {:.1}x, max {:.1}x)",
+            report.name, report.fast_burn, report.slow_burn, report.max_burn
+        ));
+    }
+    if let Some(report) = &view.profile {
+        out.extend(profile_lines(report, "fleet"));
+    }
+    out
+}
+
+/// One federated frame: scrape every target's raw state (and
+/// best-effort profile), merge, and feed the dashboard.
+fn fleet_frame(
+    targets: &[String],
+    dashboard: &mut Dashboard,
+    t_ns: u64,
+) -> Result<Vec<String>, String> {
+    let policy = ScrapePolicy::default();
+    let mut snapshots = Vec::new();
+    let mut profiles = Vec::new();
+    for target in targets {
+        let body = scrape_ok(target, "/v1/metrics/raw", policy)?;
+        let mut snap = RawSnapshot::parse(&body).map_err(|e| format!("{target}: {e}"))?;
+        if snap.replica.is_empty() {
+            // Unlabeled replica: identify it by its scrape target.
+            snap.replica = target.clone();
+        }
+        if let Some(report) = scrape_profile(target) {
+            profiles.push((snap.replica.clone(), report));
+        }
+        snapshots.push(snap);
+    }
+    let mut view = FleetView::from_snapshots(&snapshots).map_err(|e| e.to_string())?;
+    if !profiles.is_empty() {
+        view.profile = Some(merge_profiles(&profiles));
+    }
+    for line in fleet_to_samples(&view, t_ns) {
+        dashboard.ingest_line(&line);
+    }
+    Ok(fleet_footer(&view))
+}
+
 fn run(opts: &Options) -> Result<(), String> {
-    let mut follower = match &opts.attach {
-        None => Some(Follower::open(&opts.path)?),
-        Some(_) => None,
+    let mut follower = if opts.attach.is_empty() {
+        Some(Follower::open(&opts.path)?)
+    } else {
+        None
     };
     let mut dashboard = Dashboard::new(opts.window_ns);
     let clear = std::io::stdout().is_terminal();
     let mut rendered = 0u64;
+    let started = Instant::now();
     loop {
         let mut footer = Vec::new();
-        match (&mut follower, &opts.attach) {
+        match (&mut follower, opts.attach.as_slice()) {
             (Some(f), _) => {
                 f.drain_into(&mut dashboard)?;
             }
-            (None, Some(target)) => {
-                let body = http_get_ok(target, "/v1/metrics")?;
+            (None, [target]) => {
+                let body = scrape_ok(target, "/v1/metrics", ScrapePolicy::default())?;
                 let (lines, exemplars) = scrape_to_samples(&body)?;
                 for line in &lines {
                     dashboard.ingest_line(line);
                 }
                 footer = exemplars;
-                footer.extend(profile_footer(target));
+                if let Some(report) = scrape_profile(target) {
+                    footer.extend(profile_lines(&report, "server"));
+                }
             }
-            (None, None) => return Err(USAGE.to_string()),
+            (None, targets) if !targets.is_empty() => {
+                let t_ns = started.elapsed().as_nanos() as u64;
+                footer = fleet_frame(targets, &mut dashboard, t_ns)?;
+            }
+            (None, _) => return Err(USAGE.to_string()),
         }
         let mut frame = dashboard.render(opts.width);
         for line in &footer {
@@ -376,15 +507,65 @@ mod tests {
     fn attach_targets_normalize_and_exclude_the_capture_file() {
         let o = parse_args(&args(&["--attach", "http://127.0.0.1:8077/v1/metrics"]))
             .expect("parses");
-        assert_eq!(o.attach.as_deref(), Some("127.0.0.1:8077"));
+        assert_eq!(o.attach, vec!["127.0.0.1:8077"]);
         assert!(o.path.is_empty());
         let o = parse_args(&args(&["--attach", "localhost:9"])).expect("parses");
-        assert_eq!(o.attach.as_deref(), Some("localhost:9"));
+        assert_eq!(o.attach, vec!["localhost:9"]);
         assert!(parse_args(&args(&["--attach", "no-port"])).is_err());
         assert!(parse_args(&args(&["--attach", ":8077"])).is_err());
         assert!(
             parse_args(&args(&["--attach", "h:1", "cap.jsonl"])).is_err(),
             "--attach and a capture file are mutually exclusive"
+        );
+    }
+
+    #[test]
+    fn repeated_attach_targets_collect_in_order() {
+        let o = parse_args(&args(&["--attach", "h:1", "--attach", "http://h:2/"]))
+            .expect("parses");
+        assert_eq!(o.attach, vec!["h:1", "h:2"]);
+        assert!(o.path.is_empty());
+    }
+
+    #[test]
+    fn fleet_views_become_dashboard_samples_and_footer() {
+        use nanocost_sentinel::federate::RawWorker;
+        use nanocost_sentinel::LogHistogram;
+
+        // Two replicas, replica "b" twice as slow, both with one busy
+        // worker; the merged view must render fleet series and per-
+        // replica footer rows.
+        let mut snaps = Vec::new();
+        for (label, scale) in [("a", 1.0_f64), ("b", 2.0_f64)] {
+            let mut hist = LogHistogram::new();
+            for i in 1..=100u32 {
+                hist.record(f64::from(i) * scale);
+            }
+            let mut snap = RawSnapshot { replica: label.to_string(), ..RawSnapshot::default() };
+            snap.counters.insert("requests_total".to_string(), 100);
+            snap.workers.push(RawWorker { busy_ns: 750, idle_ns: 250, served: 100 });
+            snap.endpoints.insert("cost".to_string(), hist);
+            snaps.push(snap);
+        }
+        let view = FleetView::from_snapshots(&snaps).expect("federates");
+        let lines = fleet_to_samples(&view, 5_000_000);
+        let mut d = Dashboard::new(1_000_000_000);
+        for line in &lines {
+            d.ingest_line(line);
+        }
+        assert_eq!(d.parse_errors, 0, "every synthesized line must parse");
+        let frame = d.render(40);
+        assert!(frame.contains("fleet.cost.p99_us"), "{frame}");
+        assert!(frame.contains("fleet.requests_total"), "{frame}");
+        let footer = fleet_footer(&view);
+        assert!(footer[0].contains("2 replicas"), "{}", footer[0]);
+        assert!(
+            footer.iter().any(|l| l.starts_with("replica a") && l.contains("75.0% busy")),
+            "{footer:?}"
+        );
+        assert!(
+            footer.iter().any(|l| l.contains("p99 skew cost:") && l.contains("a ") && l.contains("b ")),
+            "{footer:?}"
         );
     }
 

@@ -44,15 +44,50 @@ pub struct Exemplar {
     pub value: f64,
     /// Nanoseconds since the process trace epoch at observation time.
     pub t_ns: u64,
+    /// The replica that recorded the observation (empty for a single
+    /// process). `t_ns` values are only comparable *within* one
+    /// replica — each process has its own trace epoch — so cross-replica
+    /// exemplar merging orders on the replica tag first.
+    pub replica: String,
 }
 
 impl Exemplar {
-    /// Keep-latest ordering: `self` should be replaced by `other` when
-    /// `other` is newer, with the `req_id` as a deterministic tiebreak
-    /// so merging is commutative even at equal timestamps.
+    /// Keep-latest ordering keyed on `(replica, t_ns, req_id)`: within
+    /// one replica the newest observation wins, with `req_id` as a
+    /// deterministic tiebreak so merging is commutative even at equal
+    /// timestamps. Across replicas the tag itself decides — their trace
+    /// epochs are unrelated, so comparing raw `t_ns` values would let a
+    /// replica with a larger clock base silently shadow every other
+    /// replica's exemplars.
     fn superseded_by(&self, other: &Exemplar) -> bool {
-        (other.t_ns, other.req_id.as_str()) > (self.t_ns, self.req_id.as_str())
+        (other.replica.as_str(), other.t_ns, other.req_id.as_str())
+            > (self.replica.as_str(), self.t_ns, self.req_id.as_str())
     }
+}
+
+/// The full mergeable state of a [`LogHistogram`], decomposed for wire
+/// transport. [`LogHistogram::raw_parts`] produces it and
+/// [`LogHistogram::from_raw_parts`] reconstructs the histogram exactly
+/// (bit-for-bit, including exemplars), which is what lets a federation
+/// layer merge scrapes from independent replicas losslessly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RawHistogram {
+    /// Sub-buckets per octave (must be a power of two in `1..=4096`).
+    pub grid: u32,
+    /// Samples ≤ 0.
+    pub underflow: u64,
+    /// Total recorded samples, including underflow.
+    pub count: u64,
+    /// Exact running sum of all recorded samples.
+    pub sum: f64,
+    /// Exact minimum (`+inf` when empty).
+    pub min: f64,
+    /// Exact maximum (`-inf` when empty).
+    pub max: f64,
+    /// Sparse `(bucket index, count)` pairs in ascending index order.
+    pub buckets: Vec<(i64, u64)>,
+    /// `(bucket index, exemplar)` pairs in ascending index order.
+    pub exemplars: Vec<(i64, Exemplar)>,
 }
 
 /// A mergeable log-linear histogram over positive `f64` samples with
@@ -177,12 +212,25 @@ impl LogHistogram {
     /// never alter quantile math. Non-finite and non-positive samples
     /// update the counts only; the underflow bucket keeps no exemplar.
     pub fn record_exemplar(&mut self, v: f64, req_id: &str, t_ns: u64) {
+        self.record_exemplar_tagged(v, req_id, t_ns, "");
+    }
+
+    /// [`Self::record_exemplar`] with an explicit replica tag, for
+    /// processes that expect their histograms to be federated: the tag
+    /// rides along with the exemplar so a cross-replica merge can order
+    /// observations without comparing unrelated clocks.
+    pub fn record_exemplar_tagged(&mut self, v: f64, req_id: &str, t_ns: u64, replica: &str) {
         self.record(v);
         if !v.is_finite() {
             return;
         }
         if let Some(idx) = self.bucket_index(v) {
-            let candidate = Exemplar { req_id: req_id.to_string(), value: v, t_ns };
+            let candidate = Exemplar {
+                req_id: req_id.to_string(),
+                value: v,
+                t_ns,
+                replica: replica.to_string(),
+            };
             match self.exemplars.get_mut(&idx) {
                 Some(existing) => {
                     if existing.superseded_by(&candidate) {
@@ -374,6 +422,81 @@ impl LogHistogram {
         self.buckets.len() + usize::from(self.underflow > 0)
     }
 
+    /// Decomposes the histogram into its full mergeable state — the
+    /// payload `GET /v1/metrics/raw` ships and the federation layer
+    /// reconstructs. Round-tripping through
+    /// [`Self::from_raw_parts`] yields a histogram equal to this one.
+    #[must_use]
+    pub fn raw_parts(&self) -> RawHistogram {
+        RawHistogram {
+            grid: self.grid,
+            underflow: self.underflow,
+            count: self.count,
+            sum: self.sum,
+            min: self.min,
+            max: self.max,
+            buckets: self.buckets.iter().map(|(&idx, &n)| (idx, n)).collect(),
+            exemplars: self
+                .exemplars
+                .iter()
+                .map(|(&idx, e)| (idx, e.clone()))
+                .collect(),
+        }
+    }
+
+    /// Reconstructs a histogram from [`Self::raw_parts`] output (or a
+    /// parsed wire payload claiming to be one).
+    ///
+    /// # Errors
+    ///
+    /// [`SentinelError::BadGrid`] for an invalid grid, and
+    /// [`SentinelError::Schema`] when the parts are internally
+    /// inconsistent: a zero or duplicated bucket count, a total `count`
+    /// that is not `underflow` plus the bucket counts, an exemplar
+    /// pointing at an empty bucket, or a `min`/`max` envelope that
+    /// cannot have produced the counts.
+    pub fn from_raw_parts(raw: RawHistogram) -> Result<Self, SentinelError> {
+        let mut h = LogHistogram::with_grid(raw.grid)?;
+        let inconsistent = |message: &str| SentinelError::Schema {
+            line: 0,
+            message: message.to_string(),
+        };
+        let mut bucket_total = raw.underflow;
+        for &(idx, n) in &raw.buckets {
+            if n == 0 {
+                return Err(inconsistent("raw histogram bucket with a zero count"));
+            }
+            if h.buckets.insert(idx, n).is_some() {
+                return Err(inconsistent("raw histogram repeats a bucket index"));
+            }
+            bucket_total = bucket_total.saturating_add(n);
+        }
+        if bucket_total != raw.count {
+            return Err(inconsistent(
+                "raw histogram count does not equal underflow plus bucket counts",
+            ));
+        }
+        if raw.count > 0 && !(raw.min <= raw.max) {
+            return Err(inconsistent("raw histogram min/max envelope is inverted"));
+        }
+        for (idx, e) in raw.exemplars {
+            if !h.buckets.contains_key(&idx) {
+                return Err(inconsistent("raw histogram exemplar points at an empty bucket"));
+            }
+            if h.exemplars.insert(idx, e).is_some() {
+                return Err(inconsistent("raw histogram repeats an exemplar index"));
+            }
+        }
+        h.underflow = raw.underflow;
+        h.count = raw.count;
+        h.sum = raw.sum;
+        if raw.count > 0 {
+            h.min = raw.min;
+            h.max = raw.max;
+        }
+        Ok(h)
+    }
+
     /// The bucket index of a positive finite value, or `None` for the
     /// underflow bucket.
     ///
@@ -556,6 +679,74 @@ mod tests {
             "merge order must not decide the surviving exemplar"
         );
         assert_eq!(ab.quantile_exemplar(0.5).map(|e| e.req_id.as_str()), Some("rb"));
+    }
+
+    #[test]
+    fn cross_replica_exemplar_merge_ignores_clock_bases() {
+        // Replica "a" booted long after "b": its trace epoch is newer,
+        // so its raw t_ns values are *smaller* for the same wall-clock
+        // instant. Ordering on t_ns alone would let "b" shadow "a"
+        // forever; the (replica, t_ns, req_id) key keeps the merge
+        // commutative and clock-base-independent.
+        let mut a = LogHistogram::new();
+        a.record_exemplar_tagged(5.0, "ra", 10, "a");
+        let mut b = LogHistogram::new();
+        b.record_exemplar_tagged(5.0, "rb", 1_000_000_000, "b");
+        let mut ab = a.clone();
+        ab.merge(&b).expect("same grid");
+        let mut ba = b.clone();
+        ba.merge(&a).expect("same grid");
+        assert_eq!(
+            ab.quantile_exemplar(0.5),
+            ba.quantile_exemplar(0.5),
+            "cross-replica merge order must not decide the surviving exemplar"
+        );
+        let survivor = ab.quantile_exemplar(0.5).expect("exemplar survives");
+        assert_eq!(survivor.replica, "b", "replica tag decides, not the raw clock");
+        // Within one replica the newest observation still wins.
+        let mut a2 = LogHistogram::new();
+        a2.record_exemplar_tagged(5.0, "r-old", 10, "a");
+        a2.record_exemplar_tagged(5.0, "r-new", 20, "a");
+        assert_eq!(
+            a2.quantile_exemplar(0.5).map(|e| e.req_id.as_str()),
+            Some("r-new")
+        );
+    }
+
+    #[test]
+    fn raw_parts_round_trip_is_exact() {
+        let mut h = LogHistogram::new();
+        h.record(-2.0);
+        for i in 1..=500u32 {
+            h.record(f64::from(i) * 3.7e-5);
+        }
+        h.record_exemplar_tagged(1.25e-3, "r7", 42, "a");
+        let back = LogHistogram::from_raw_parts(h.raw_parts()).expect("valid parts");
+        assert_eq!(back, h, "round trip must be bit-for-bit");
+        // Empty histograms round-trip too (min/max sentinels survive).
+        let empty = LogHistogram::new();
+        let back = LogHistogram::from_raw_parts(empty.raw_parts()).expect("valid parts");
+        assert_eq!(back, empty);
+    }
+
+    #[test]
+    fn from_raw_parts_rejects_inconsistent_state() {
+        let mut h = LogHistogram::new();
+        h.record_exemplar(4.0, "r1", 1);
+        let good = h.raw_parts();
+        assert!(matches!(
+            LogHistogram::from_raw_parts(RawHistogram { grid: 48, ..good.clone() }),
+            Err(SentinelError::BadGrid(48))
+        ));
+        let wrong_count = RawHistogram { count: 7, ..good.clone() };
+        assert!(LogHistogram::from_raw_parts(wrong_count).is_err());
+        let mut dup = good.clone();
+        dup.buckets.extend_from_slice(&good.buckets);
+        dup.count += good.buckets.iter().map(|&(_, n)| n).sum::<u64>();
+        assert!(LogHistogram::from_raw_parts(dup).is_err());
+        let mut stray = good.clone();
+        stray.exemplars[0].0 += 1;
+        assert!(LogHistogram::from_raw_parts(stray).is_err());
     }
 
     #[test]

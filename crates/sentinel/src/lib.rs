@@ -34,13 +34,20 @@
 //!   stream, checked into `FINGERPRINTS.json` so numeric drift in the
 //!   cost model fails CI with a per-equation diff (the `fingerprint`
 //!   bin).
-//! - [`attach`] — the zero-dependency HTTP GET client behind
-//!   `trace_tail --attach` and `trace_profile --attach`, scraping a
-//!   live `nanocost-serve`'s `/v1/metrics` and `/v1/profile`.
+//! - [`attach`] — the zero-dependency retrying HTTP GET client behind
+//!   `trace_tail --attach`, `trace_profile --attach`, and
+//!   `fleet_report`, scraping a live `nanocost-serve`'s `/v1/metrics`,
+//!   `/v1/metrics/raw`, and `/v1/profile` with per-scrape deadlines.
+//! - [`federate`] — the mergeable raw-metrics wire format behind
+//!   `GET /v1/metrics/raw` and the N-replica aggregation (fleet
+//!   quantiles, per-replica skew, summed burn verdicts, merged
+//!   profiles) behind the `fleet_report` bin and the fleet
+//!   `trace_tail` dashboard.
 //! - [`json`] — the minimal value-tree JSON parser the above share.
 
 pub mod attach;
 pub mod bench;
+pub mod federate;
 pub mod fingerprint;
 pub mod histogram;
 pub mod json;
@@ -49,7 +56,8 @@ pub mod slo;
 pub mod stats;
 pub mod timeline;
 
-pub use histogram::{Exemplar, LogHistogram};
+pub use federate::{FleetView, RawSnapshot};
+pub use histogram::{Exemplar, LogHistogram, RawHistogram};
 pub use slo::{BurnReport, BurnWindows, Objective, SloMonitor};
 pub use stats::{mann_whitney, MannWhitney, MIN_SAMPLES};
 

@@ -658,6 +658,76 @@ impl ProfileReport {
         Ok(report)
     }
 
+    /// Merges two reports into one, as the federation layer does with
+    /// per-replica `/v1/profile` scrapes. Folded-stack counts add and
+    /// the per-frame self/total table is recomputed from the merged
+    /// folds, so merging is associative and commutative and agrees
+    /// with having aggregated both sample streams at once. `threads`
+    /// add — replicas sample disjoint OS threads even when their small
+    /// per-process integer ids collide — and the `[since_ns, until_ns)`
+    /// window is the envelope of both (meaningful per replica only, as
+    /// each process stamps its own trace epoch). Request attribution
+    /// merges by id; a federator should namespace ids per replica
+    /// first (see `federate`), since raw `r<N>` ids recur across
+    /// processes.
+    #[must_use]
+    pub fn merged(&self, other: &ProfileReport) -> ProfileReport {
+        let mut report = ProfileReport {
+            samples: self.samples + other.samples,
+            threads: self.threads + other.threads,
+            truncated: self.truncated + other.truncated,
+            ..ProfileReport::default()
+        };
+        report.since_ns = match (self.samples, other.samples) {
+            (0, _) => other.since_ns,
+            (_, 0) => self.since_ns,
+            _ => self.since_ns.min(other.since_ns),
+        };
+        report.until_ns = self.until_ns.max(other.until_ns);
+        report.folded = self.folded.clone();
+        for (stack, count) in &other.folded {
+            *report.folded.entry(stack.clone()).or_insert(0) += count;
+        }
+        // Rebuild the frame table from the merged folds: leaves carry
+        // self counts, distinct names per stack carry total counts —
+        // the same accounting `from_samples` does per sample.
+        let mut frames: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
+        for (stack, &count) in &report.folded {
+            if let Some(leaf) = stack.rsplit(';').next() {
+                frames.entry(leaf).or_insert((0, 0)).0 += count;
+            }
+            let distinct: BTreeSet<&str> = stack.split(';').collect();
+            for name in distinct {
+                frames.entry(name).or_insert((0, 0)).1 += count;
+            }
+        }
+        report.frames = frames
+            .into_iter()
+            .map(|(name, (self_samples, total_samples))| FrameStat {
+                name: name.to_string(),
+                self_samples,
+                total_samples,
+            })
+            .collect();
+        report
+            .frames
+            .sort_by(|a, b| b.self_samples.cmp(&a.self_samples).then_with(|| a.name.cmp(&b.name)));
+        report.endpoints = self.endpoints.clone();
+        for (endpoint, count) in &other.endpoints {
+            *report.endpoints.entry(endpoint.clone()).or_insert(0) += count;
+        }
+        report.distinct_requests = self.distinct_requests + other.distinct_requests;
+        let mut requests: BTreeMap<String, u64> = BTreeMap::new();
+        for (id, count) in self.top_requests.iter().chain(&other.top_requests) {
+            *requests.entry(id.clone()).or_insert(0) += count;
+        }
+        let mut top: Vec<(String, u64)> = requests.into_iter().collect();
+        top.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        top.truncate(TOP_REQUESTS);
+        report.top_requests = top;
+        report
+    }
+
     /// A frame's share of all self samples in `[0, 1]`.
     #[must_use]
     pub fn self_share(&self, name: &str) -> f64 {
@@ -989,6 +1059,24 @@ mod tests {
         // Unknown schema version is refused.
         let bumped = a.replacen("\"schema\":1", "\"schema\":99", 1);
         assert!(ProfileReport::from_json(&bumped).is_err());
+    }
+
+    #[test]
+    fn merged_reports_agree_with_single_stream_aggregation() {
+        // Split the fixture stream across two "replicas" (disjoint
+        // threads and request ids, as distinct processes would have
+        // after namespacing) and merge the per-replica reports.
+        let samples = fixture_samples();
+        let a = ProfileReport::from_samples(&samples[..2], None);
+        let b = ProfileReport::from_samples(&samples[2..], None);
+        let merged = a.merged(&b);
+        let whole = ProfileReport::from_samples(&samples, None);
+        assert_eq!(merged, whole, "merge must equal one-stream aggregation");
+        assert_eq!(merged.to_json(), whole.to_json());
+        assert_eq!(a.merged(&b), b.merged(&a), "merge is commutative");
+        // The empty report is the identity.
+        assert_eq!(whole.merged(&ProfileReport::default()), whole);
+        assert_eq!(ProfileReport::default().merged(&whole), whole);
     }
 
     #[test]

@@ -181,13 +181,15 @@ impl SloMonitor {
         }
     }
 
-    /// The burn rate over the window ending at `now_ns`: bad fraction
-    /// of the events inside the window divided by the error budget. A
-    /// window with no events burns 0 (an idle service is healthy, not
-    /// unknown).
-    fn window_burn(&self, now_ns: u64, window_ns: u64) -> f64 {
+    /// The `(good, bad)` event deltas inside the window ending at
+    /// `now_ns`. These are the *summable* form of the burn state: a
+    /// federation layer can add them across replicas and feed the sums
+    /// to [`burn_rate`], which is exactly how a fleet-wide burn verdict
+    /// is computed from per-replica scrapes.
+    #[must_use]
+    pub fn window_counts(&self, now_ns: u64, window_ns: u64) -> (u64, u64) {
         let Some(last) = self.points.back() else {
-            return 0.0;
+            return (0, 0);
         };
         let edge = now_ns.saturating_sub(window_ns);
         // Baseline: the newest point at or before the window's left
@@ -200,15 +202,19 @@ impl SloMonitor {
                 break;
             }
         }
-        let good = last.good.saturating_sub(baseline.good);
-        let bad = last.bad.saturating_sub(baseline.bad);
-        let total = good + bad;
-        if total == 0 {
-            return 0.0;
-        }
-        let bad_fraction = bad as f64 / total as f64;
-        let budget = 1.0 - self.objective.target;
-        bad_fraction / budget
+        (
+            last.good.saturating_sub(baseline.good),
+            last.bad.saturating_sub(baseline.bad),
+        )
+    }
+
+    /// The burn rate over the window ending at `now_ns`: bad fraction
+    /// of the events inside the window divided by the error budget. A
+    /// window with no events burns 0 (an idle service is healthy, not
+    /// unknown).
+    fn window_burn(&self, now_ns: u64, window_ns: u64) -> f64 {
+        let (good, bad) = self.window_counts(now_ns, window_ns);
+        burn_rate(good, bad, self.objective.target)
     }
 
     /// Evaluates both windows as of `now_ns`.
@@ -249,9 +255,26 @@ impl BurnReport {
     }
 }
 
+/// The burn rate implied by `good`/`bad` event counts against a target
+/// good fraction: bad fraction divided by the error budget
+/// (`1 - target`), 0 when the counts are empty. Shared by the
+/// per-monitor window evaluation and the federation layer's
+/// summed-counter fleet verdict, so both compute burn identically.
+#[must_use]
+pub fn burn_rate(good: u64, bad: u64, target: f64) -> f64 {
+    let total = good + bad;
+    if total == 0 {
+        return 0.0;
+    }
+    let bad_fraction = bad as f64 / total as f64;
+    let budget = 1.0 - target;
+    bad_fraction / budget
+}
+
 /// Renders a string as a quoted JSON literal (objective names are
 /// static identifiers, but the report must stay valid JSON for any).
-fn escape_json(s: &str) -> String {
+/// Shared with the federation layer's snapshot renderer.
+pub(crate) fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -268,7 +291,9 @@ fn escape_json(s: &str) -> String {
 
 /// Shortest-roundtrip float rendering that stays valid JSON (never
 /// `NaN`/`inf`, which burn math cannot produce but belts and braces).
-fn fmt_f64(v: f64) -> String {
+/// Shared with the federation layer so fleet JSON round-trips floats
+/// bit-for-bit.
+pub(crate) fn fmt_f64(v: f64) -> String {
     if v.is_finite() {
         let s = format!("{v}");
         if s.contains('.') || s.contains('e') || s.contains('E') {

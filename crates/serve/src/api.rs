@@ -93,6 +93,9 @@ fn route(state: &ServerState, req: &Request) -> (&'static str, Option<String>, R
         ("POST", "/v1/optimum") => model_endpoint(state, "optimum", &req.body, optimum_endpoint),
         ("POST", "/v1/batch") => model_endpoint(state, "batch", &req.body, batch_endpoint),
         ("GET", "/v1/metrics") => ("metrics", None, Response::json(200, state.metrics_json())),
+        ("GET", "/v1/metrics/raw") => {
+            ("metrics_raw", None, Response::json(200, state.metrics_raw_json()))
+        }
         ("GET", "/v1/health") => {
             let (status, body) = state.health_json(nanocost_trace::epoch_nanos());
             ("health", None, Response::json(status, body))
@@ -109,7 +112,7 @@ fn route(state: &ServerState, req: &Request) -> (&'static str, Option<String>, R
         (_, "/v1/cost" | "/v1/yield" | "/v1/optimum" | "/v1/batch") => {
             ("bad_method", None, Response::error(405, "use POST"))
         }
-        (_, "/v1/metrics" | "/v1/health") => {
+        (_, "/v1/metrics" | "/v1/metrics/raw" | "/v1/health") => {
             ("bad_method", None, Response::error(405, "use GET"))
         }
         (_, path) if path == "/v1/profile" || path.starts_with("/v1/profile?") => {
@@ -530,6 +533,25 @@ mod tests {
         assert!(body.contains("\"status\":\"ok\""), "{body}");
         assert!(body.contains("\"name\":\"latency\""), "{body}");
         assert_eq!(handle(&state, &post("/v1/health", "{}")).status, 405);
+    }
+
+    #[test]
+    fn raw_metrics_endpoint_serves_mergeable_state() {
+        let state = ServerState::new();
+        handle(&state, &post("/v1/cost", COST_BODY));
+        handle(&state, &post("/v1/cost", COST_BODY));
+        let r = handle(&state, &get("/v1/metrics/raw"));
+        assert_eq!(r.status, 200, "{}", body_str(&r));
+        let body = body_str(&r);
+        nanocost_trace::json::validate(&body).expect("valid JSON");
+        let snap =
+            nanocost_sentinel::RawSnapshot::parse(&body).expect("federation parser accepts it");
+        assert_eq!(snap.counters.get("requests_total"), Some(&2));
+        assert_eq!(
+            snap.endpoints.get("cost").map(nanocost_sentinel::LogHistogram::count),
+            Some(2)
+        );
+        assert_eq!(handle(&state, &post("/v1/metrics/raw", "{}")).status, 405);
     }
 
     #[test]

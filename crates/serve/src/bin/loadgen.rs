@@ -6,7 +6,14 @@
 //!      --requests 200 --mix cost,optimum,batch`
 //!
 //! Options:
-//!   --addr HOST:PORT        server address (required)
+//!   --addr HOST:PORT        server address (required unless --replica)
+//!   --replica URL           fleet replica to drive (repeatable; replaces
+//!                           --addr). Requests route by a consistent hash
+//!                           of their quantized scenario key, so one
+//!                           design point always lands on the same
+//!                           replica — per-replica cache locality under
+//!                           fan-out, and a stable assignment when a
+//!                           replica is added or removed
 //!   --requests N            total requests (default 200)
 //!   --mix a,b,c             endpoints to cycle through: cost, yield,
 //!                           optimum, batch (default cost,optimum,batch)
@@ -53,6 +60,9 @@ const CLIENT_TIMEOUT: Duration = Duration::from_secs(10);
 
 struct Options {
     addr: String,
+    /// Fleet targets; when non-empty, requests consistent-hash across
+    /// them and `addr` must be unset.
+    replicas: Vec<String>,
     requests: usize,
     mix: Vec<String>,
     concurrency: usize,
@@ -73,6 +83,7 @@ struct Options {
 fn parse_options() -> Result<Options, Box<dyn std::error::Error>> {
     let mut opts = Options {
         addr: String::new(),
+        replicas: Vec::new(),
         requests: 200,
         mix: vec!["cost".into(), "optimum".into(), "batch".into()],
         concurrency: 4,
@@ -93,6 +104,11 @@ fn parse_options() -> Result<Options, Box<dyn std::error::Error>> {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--addr" => opts.addr = args.next().ok_or("--addr needs HOST:PORT")?,
+            "--replica" => {
+                let url = args.next().ok_or("--replica needs a URL")?;
+                opts.replicas
+                    .push(nanocost_sentinel::attach::parse_attach_target(&url)?);
+            }
             "--requests" => opts.requests = args.next().ok_or("--requests needs N")?.parse()?,
             "--mix" => {
                 opts.mix = args
@@ -137,14 +153,18 @@ fn parse_options() -> Result<Options, Box<dyn std::error::Error>> {
                     args.next().ok_or("--profile-window-s needs W")?.parse()?;
             }
             "--help" | "-h" => {
-                println!("usage: loadgen --addr HOST:PORT [--requests N] [--mix cost,optimum,batch] [--concurrency C] [--bench-out PATH] [--metrics-out PATH] [--provenance-out PATH] [--require-batch-hits] [--allow-shed] [--max-shed-rate F] [--slo-p99-us N] [--health-out PATH] [--exemplar-traces PREFIX] [--max-evicted-exemplars N] [--profile-out PATH] [--profile-window-s W]");
+                println!("usage: loadgen (--addr HOST:PORT | --replica URL ...) [--requests N] [--mix cost,optimum,batch] [--concurrency C] [--bench-out PATH] [--metrics-out PATH] [--provenance-out PATH] [--require-batch-hits] [--allow-shed] [--max-shed-rate F] [--slo-p99-us N] [--health-out PATH] [--exemplar-traces PREFIX] [--max-evicted-exemplars N] [--profile-out PATH] [--profile-window-s W]");
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument: {other}").into()),
         }
     }
-    if opts.addr.is_empty() {
-        return Err("--addr is required".into());
+    match (opts.addr.is_empty(), opts.replicas.is_empty()) {
+        (true, true) => return Err("--addr or --replica is required".into()),
+        (false, false) => {
+            return Err("--addr and --replica are mutually exclusive".into());
+        }
+        _ => {}
     }
     if opts.mix.is_empty() || opts.requests == 0 {
         return Err("--mix and --requests must be non-empty".into());
@@ -194,6 +214,77 @@ fn body_for(endpoint: &str, i: usize) -> String {
     }
 }
 
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a: a tiny, stable, dependency-free 64-bit hash. Stability
+/// matters — the same scenario key must route to the same replica
+/// across loadgen runs, so the scenario cache on each replica warms.
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for byte in data {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Multiplier constants of the splitmix64 finalizer.
+const MIX_MUL_1: u64 = 0xbf58_476d_1ce4_e5b9;
+const MIX_MUL_2: u64 = 0x94d0_49bb_1331_11eb;
+
+/// Finalizing mix (splitmix64's): FNV-1a of short keys leaves the
+/// *high* bits poorly avalanched, and ring position is ordered by the
+/// full `u64` — without this mix a three-replica ring can starve one
+/// replica entirely.
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(MIX_MUL_1);
+    x ^= x >> 27;
+    x = x.wrapping_mul(MIX_MUL_2);
+    x ^ (x >> 31)
+}
+
+/// Virtual nodes per replica on the consistent-hash ring. More nodes
+/// smooth the key distribution; 64 keeps the worst-case imbalance low
+/// for single-digit fleets without making ring construction noticeable.
+const VNODES_PER_REPLICA: usize = 64;
+
+/// A consistent-hash ring over replica indices: each replica owns
+/// [`VNODES_PER_REPLICA`] points on the `u64` circle, and a key routes
+/// to the replica owning the first point at or after the key's hash
+/// (wrapping). Adding or removing one replica only remaps the keys in
+/// the segments that replica owned — every other scenario keeps its
+/// replica, and with it that replica's warm cache entries.
+struct HashRing {
+    /// `(point, replica index)`, sorted by point.
+    points: Vec<(u64, usize)>,
+}
+
+impl HashRing {
+    fn new(replicas: &[String]) -> HashRing {
+        let mut points = Vec::with_capacity(replicas.len() * VNODES_PER_REPLICA);
+        for (idx, replica) in replicas.iter().enumerate() {
+            for vnode in 0..VNODES_PER_REPLICA {
+                points.push((mix64(fnv1a(format!("{replica}#{vnode}").as_bytes())), idx));
+            }
+        }
+        points.sort_unstable();
+        HashRing { points }
+    }
+
+    /// Routes a scenario key to a replica index.
+    fn route(&self, key: &str) -> usize {
+        let hash = mix64(fnv1a(key.as_bytes()));
+        let at = self.points.partition_point(|(point, _)| *point < hash);
+        // Past the last point, the circle wraps to the first.
+        self.points[at % self.points.len()].1
+    }
+}
+
 /// One raw HTTP exchange; returns (status, body).
 fn exchange(
     addr: &str,
@@ -234,34 +325,60 @@ struct Outcome {
     /// 503s counted as shed load under `--allow-shed`.
     shed: usize,
     batch_hits: u64,
-    /// A req_id usable for a provenance replay.
-    req_id: Option<String>,
+    /// (target index, req_id) usable for a provenance replay — the
+    /// replay must go to the replica that served the request.
+    req_id: Option<(usize, String)>,
+    /// Requests planned per target, in `targets()` order.
+    routed: Vec<usize>,
+}
+
+/// The addresses this run drives: the fleet when `--replica` was given,
+/// otherwise the single `--addr`.
+fn targets(opts: &Options) -> Vec<String> {
+    if opts.replicas.is_empty() {
+        vec![opts.addr.clone()]
+    } else {
+        opts.replicas.clone()
+    }
 }
 
 fn drive(opts: &Options) -> Outcome {
-    let plan: Vec<(usize, String)> = (0..opts.requests)
+    let addrs = targets(opts);
+    // Fleet routing: one design point always hashes to one replica, so
+    // each replica's scenario cache sees the same working set run after
+    // run. A single target degenerates to "everything routes to 0".
+    let ring = HashRing::new(&addrs);
+    let plan: Vec<(usize, String, usize)> = (0..opts.requests)
         .map(|i| {
             let e = i % opts.mix.len();
-            (e, body_for(&opts.mix[e], i / opts.mix.len()))
+            let endpoint = &opts.mix[e];
+            let body = body_for(endpoint, i / opts.mix.len());
+            let target = ring.route(&format!("{endpoint}:{body}"));
+            (e, body, target)
         })
         .collect();
+    let mut routed = vec![0usize; addrs.len()];
+    for (_, _, target) in &plan {
+        routed[*target] += 1;
+    }
     let workers = opts.concurrency.max(1);
     let results = std::sync::Mutex::new(Vec::<Outcome>::new());
     std::thread::scope(|scope| {
         for w in 0..workers {
             let plan = &plan;
             let results = &results;
+            let addrs = &addrs;
             let opts_ref = &*opts;
             scope.spawn(move || {
                 let mut mine = Outcome::default();
-                for (i, (endpoint_idx, body)) in plan.iter().enumerate() {
+                for (i, (endpoint_idx, body, target)) in plan.iter().enumerate() {
                     if i % workers != w {
                         continue;
                     }
                     let endpoint = &opts_ref.mix[*endpoint_idx];
                     let path = format!("/v1/{endpoint}");
                     let started = Instant::now();
-                    match exchange(&opts_ref.addr, "POST", &path, Some(body)) {
+                    match exchange(&addrs[*target], "POST", &path, Some(body)) {
                         Ok((status, payload)) if (200..300).contains(&status) => {
                             mine.latencies
                                 .push((*endpoint_idx, started.elapsed().as_secs_f64()));
@@ -269,7 +386,7 @@ fn drive(opts: &Options) -> Outcome {
                                 mine.batch_hits += batch_hits_of(&payload);
                             }
                             if mine.req_id.is_none() {
-                                mine.req_id = req_id_of(&payload);
+                                mine.req_id = req_id_of(&payload).map(|id| (*target, id));
                             }
                         }
                         Ok((503, _)) if opts_ref.allow_shed => mine.shed += 1,
@@ -289,7 +406,7 @@ fn drive(opts: &Options) -> Outcome {
             });
         }
     });
-    let mut merged = Outcome::default();
+    let mut merged = Outcome { routed, ..Outcome::default() };
     if let Ok(all) = results.into_inner() {
         for mut o in all {
             merged.latencies.append(&mut o.latencies);
@@ -368,6 +485,7 @@ fn write_bench_capture(
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let opts = parse_options()?;
     let outcome = drive(&opts);
+    let addrs = targets(&opts);
     let ok = outcome.latencies.len();
     println!(
         "loadgen: {}/{} ok, {} shed, {} non-2xx, batch cache hits {}",
@@ -377,6 +495,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         outcome.non_2xx,
         outcome.batch_hits
     );
+    if addrs.len() > 1 {
+        let spread: Vec<String> = addrs
+            .iter()
+            .zip(&outcome.routed)
+            .map(|(addr, n)| format!("{addr}={n}"))
+            .collect();
+        println!("loadgen: consistent-hash routing: {}", spread.join(" "));
+    }
     for (e, name) in opts.mix.iter().enumerate() {
         let mut samples: Vec<f64> = outcome
             .latencies
@@ -400,7 +526,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("loadgen: bench capture -> {path}");
     }
     if let Some(path) = &opts.metrics_out {
-        let (status, body) = exchange(&opts.addr, "GET", "/v1/metrics", None)?;
+        let (status, body) = exchange(&addrs[0], "GET", "/v1/metrics", None)?;
         if status != 200 || body.is_empty() {
             return Err(format!("/v1/metrics -> {status}").into());
         }
@@ -408,11 +534,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("loadgen: metrics -> {path}");
     }
     if let Some(path) = &opts.provenance_out {
-        let id = outcome
+        let (target, id) = outcome
             .req_id
             .clone()
             .ok_or("no req_id captured for provenance replay")?;
-        let (status, body) = exchange(&opts.addr, "GET", &format!("/v1/provenance/{id}"), None)?;
+        let (status, body) = exchange(&addrs[target], "GET", &format!("/v1/provenance/{id}"), None)?;
         if status != 200 || body.is_empty() {
             return Err(format!("/v1/provenance/{id} -> {status}").into());
         }
@@ -420,7 +546,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("loadgen: provenance capture ({id}) -> {path}");
     }
     if let Some(path) = &opts.health_out {
-        let (status, body) = exchange(&opts.addr, "GET", "/v1/health", None)?;
+        let (status, body) = exchange(&addrs[0], "GET", "/v1/health", None)?;
         std::fs::write(path, &body)?;
         println!("loadgen: health ({status}) -> {path}");
         if status != 200 {
@@ -428,14 +554,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     if let Some(prefix) = &opts.exemplar_traces {
-        let fetched = fetch_exemplar_traces(&opts.addr, prefix, opts.max_evicted_exemplars)?;
+        let fetched = fetch_exemplar_traces(&addrs[0], prefix, opts.max_evicted_exemplars)?;
         if fetched == 0 {
             return Err("no endpoint produced a p99 exemplar".into());
         }
     }
     if let Some(path) = &opts.profile_out {
         let query = format!("/v1/profile?window_s={}", opts.profile_window_s);
-        let (status, body) = exchange(&opts.addr, "GET", &query, None)?;
+        let (status, body) = exchange(&addrs[0], "GET", &query, None)?;
         if status != 200 || body.is_empty() {
             return Err(format!("{query} -> {status}").into());
         }
@@ -524,4 +650,61 @@ fn fetch_exemplar_traces(
         fetched += 1;
     }
     Ok(fetched)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs(list: &[&str]) -> Vec<String> {
+        list.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn fnv1a_is_stable_across_runs() {
+        // Reference vectors for 64-bit FNV-1a; a drifting hash would
+        // silently reshuffle every fleet's scenario assignment.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn ring_routes_deterministically_and_covers_every_replica() {
+        let ring = HashRing::new(&addrs(&["h:1", "h:2", "h:3"]));
+        let mut hit = [0usize; 3];
+        for i in 0..BALANCE_KEYS {
+            let key = format!("cost:{{\"sd\":{}}}", f64::from(i));
+            let first = ring.route(&key);
+            assert_eq!(first, ring.route(&key), "routing must be deterministic");
+            hit[first] += 1;
+        }
+        assert!(hit.iter().all(|n| *n > 0), "every replica owns keys: {hit:?}");
+    }
+
+    /// Keys routed per replica in the balance test.
+    const BALANCE_KEYS: u32 = 300;
+
+    #[test]
+    fn removing_a_replica_only_remaps_its_own_keys() {
+        let three = HashRing::new(&addrs(&["h:1", "h:2", "h:3"]));
+        let two = HashRing::new(&addrs(&["h:1", "h:2"]));
+        for i in 0..BALANCE_KEYS {
+            let key = format!("optimum:{{\"lambda\":{}}}", f64::from(i));
+            let before = three.route(&key);
+            // The surviving replicas' ring points are unchanged, so any
+            // key they owned still routes to them.
+            if before < 2 {
+                assert_eq!(two.route(&key), before, "consistency violated for {key}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_target_routes_everything_to_it() {
+        let ring = HashRing::new(&addrs(&["h:1"]));
+        for i in 0..BALANCE_KEYS {
+            assert_eq!(ring.route(&format!("k{i}")), 0);
+        }
+    }
 }

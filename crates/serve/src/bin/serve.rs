@@ -21,13 +21,20 @@
 //!                                  continuous profiler (default 99;
 //!                                  0/off disables, on = default rate)
 //!   NANOCOST_SERVE_PROFILE_RING    profile sample-ring capacity (65536)
+//!   NANOCOST_REPLICA               this replica's fleet label (unset =
+//!                                  unlabeled); stamped onto trace
+//!                                  records, p99 exemplars, and the
+//!                                  /v1/metrics/raw envelope so
+//!                                  fleet_report can merge replicas
 //!
 //! The process exits cleanly (status 0) on SIGTERM or SIGINT; pair it
 //! with `loadgen` for a driven run, `trace_tail --attach` for a live
 //! view, `GET /v1/metrics` for quantiles with exemplars,
-//! `GET /v1/health` for the SLO burn verdict, and
+//! `GET /v1/health` for the SLO burn verdict,
 //! `GET /v1/profile?window_s=N` (or `trace_profile --attach`) for the
-//! continuous sampling profiler's hotspot report.
+//! continuous sampling profiler's hotspot report, and
+//! `GET /v1/metrics/raw` for the mergeable state `fleet_report` and a
+//! multi-`--attach` `trace_tail` federate across replicas.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 

@@ -14,6 +14,7 @@
 //! | `/v1/optimum` | POST | §3.1 cost-optimal `s_d*` |
 //! | `/v1/batch` | POST | deduplicated eq.-4 grid evaluation |
 //! | `/v1/metrics` | GET | latency quantiles + p99 exemplars + counters + cache hit rates |
+//! | `/v1/metrics/raw` | GET | mergeable raw state (histogram buckets, windowed SLO counters) for federation |
 //! | `/v1/health` | GET | SLO burn-rate verdict (200 ok / 503 firing) |
 //! | `/v1/trace/<req-id>` | GET | the request's full trace capture (JSONL) |
 //! | `/v1/provenance/<req-id>` | GET | alias of `/v1/trace/<req-id>` |
@@ -31,7 +32,13 @@
 //! pass/fail criteria against those SLOs, and emits a
 //! `NANOCOST_BENCH_JSON` capture so `bench_diff` can gate server
 //! latency like any other benchmark; `trace_tail --attach` renders the
-//! live dashboard from the `/v1/metrics` scrape.
+//! live dashboard from the `/v1/metrics` scrape. In a fleet, each
+//! replica is labeled via `NANOCOST_REPLICA`; `/v1/metrics/raw` then
+//! publishes the replica's *mergeable* state (raw histogram buckets
+//! with replica-tagged exemplars, summable windowed SLO counters) in
+//! the [`nanocost_sentinel::federate`] wire format, and `fleet_report`
+//! or a multi-`--attach` `trace_tail` folds N replicas into one
+//! fleet-wide view.
 
 #![warn(missing_docs)]
 

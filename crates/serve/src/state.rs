@@ -9,6 +9,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use nanocost_core::ScenarioCache;
+use nanocost_sentinel::federate::{RawCache, RawSlo, RawSnapshot, RawWorker};
 use nanocost_sentinel::profile::{ProfileReport, StackSample};
 use nanocost_sentinel::slo::{BurnWindows, Objective};
 use nanocost_sentinel::{LogHistogram, SloMonitor};
@@ -73,6 +74,11 @@ pub struct ServerStateConfig {
     /// Stack-sample ring capacity (`NANOCOST_SERVE_PROFILE_RING`,
     /// default 65536, clamped to `1..=1048576`).
     pub profile_ring: usize,
+    /// This replica's fleet label (`NANOCOST_REPLICA`) — stamped onto
+    /// exemplars and the `/v1/metrics/raw` envelope so federated merges
+    /// can tell replicas apart. Empty means unlabeled; federators
+    /// substitute the scrape target.
+    pub replica: String,
 }
 
 impl Default for ServerStateConfig {
@@ -86,6 +92,7 @@ impl Default for ServerStateConfig {
             windows: BurnWindows::default(),
             profile_hz: DEFAULT_PROFILE_HZ,
             profile_ring: PROFILE_RING_DEFAULT,
+            replica: String::new(),
         }
     }
 }
@@ -143,6 +150,11 @@ impl ServerStateConfig {
         }
         if let Some(cap) = env_parsed::<usize>("NANOCOST_SERVE_PROFILE_RING")? {
             cfg.profile_ring = cap.clamp(1, PROFILE_RING_MAX);
+        }
+        // Shared with the trace crate's init_from_env: one variable
+        // names the replica for traces, exemplars, and the raw envelope.
+        if let Ok(label) = std::env::var("NANOCOST_REPLICA") {
+            cfg.replica = label.trim().to_string();
         }
         Ok(cfg)
     }
@@ -310,6 +322,8 @@ pub struct ServerState {
     /// `/v1/trace/<id>` distinguish "evicted" (410) from "never
     /// existed" (404).
     evicted_watermark: AtomicU64,
+    /// Fleet label stamped onto exemplars and the raw-metrics envelope.
+    replica: String,
     started: Instant,
 }
 
@@ -362,6 +376,7 @@ impl ServerState {
             queue_depth: AtomicU64::new(0),
             accept_backlog: AtomicU64::new(0),
             evicted_watermark: AtomicU64::new(0),
+            replica: cfg.replica.clone(),
             started: Instant::now(),
         }
     }
@@ -505,7 +520,9 @@ impl ServerState {
             let mut endpoints = lock(&self.endpoints);
             let hist = endpoints.entry(endpoint).or_insert_with(LogHistogram::new);
             match exemplar_req {
-                Some(req_id) => hist.record_exemplar(latency_us, req_id, t_ns),
+                Some(req_id) => {
+                    hist.record_exemplar_tagged(latency_us, req_id, t_ns, &self.replica);
+                }
                 None => hist.record(latency_us),
             }
         }
@@ -728,6 +745,67 @@ impl ServerState {
         out.push('}');
         out
     }
+
+    /// This replica's configured fleet label (empty when unlabeled).
+    #[must_use]
+    pub fn replica(&self) -> &str {
+        &self.replica
+    }
+
+    /// Renders the `/v1/metrics/raw` document: the full *mergeable*
+    /// state behind [`ServerState::metrics_json`], as the
+    /// byte-deterministic schema-1 wire format owned by
+    /// [`nanocost_sentinel::federate`]. Where `/v1/metrics` publishes
+    /// pre-computed quantiles (which cannot be combined across
+    /// replicas), this publishes raw histogram buckets, cumulative and
+    /// windowed SLO counters, and worker/cache counters — everything a
+    /// federator needs to reconstruct fleet-level truth losslessly.
+    #[must_use]
+    pub fn metrics_raw_json(&self) -> String {
+        let t_ns = nanocost_trace::epoch_nanos();
+        let mut counters = BTreeMap::new();
+        counters.insert("requests_total".to_string(), self.next_id.load(Ordering::Relaxed));
+        counters.insert("completed_total".to_string(), self.completed.load(Ordering::Relaxed));
+        counters.insert("shed_total".to_string(), self.shed.load(Ordering::Relaxed));
+        counters.insert("latency_bad_total".to_string(), self.latency_bad.load(Ordering::Relaxed));
+        counters
+            .insert("trace_ring_evicted".to_string(), self.ring_evicted.load(Ordering::Relaxed));
+        let slo: Vec<RawSlo> = {
+            let monitors = lock(&self.slo);
+            monitors.iter().map(|m| RawSlo::from_monitor(m, t_ns)).collect()
+        };
+        let workers: Vec<RawWorker> = {
+            let workers = lock(&self.workers);
+            workers
+                .iter()
+                .map(|w| RawWorker {
+                    busy_ns: w.busy_ns.load(Ordering::Relaxed),
+                    idle_ns: w.idle_ns.load(Ordering::Relaxed),
+                    served: w.served.load(Ordering::Relaxed),
+                })
+                .collect()
+        };
+        let endpoints: BTreeMap<String, LogHistogram> = {
+            let endpoints = lock(&self.endpoints);
+            endpoints.iter().map(|(name, hist)| ((*name).to_string(), hist.clone())).collect()
+        };
+        let stats = self.cache.stats();
+        RawSnapshot {
+            replica: self.replica.clone(),
+            t_ns,
+            counters,
+            slo,
+            workers,
+            cache: RawCache {
+                hits: stats.hits,
+                misses: stats.misses,
+                entries: stats.entries as u64,
+                capacity: stats.capacity as u64,
+            },
+            endpoints,
+        }
+        .to_json()
+    }
 }
 
 /// Renders one access-log record with a fixed, documented field order:
@@ -806,6 +884,43 @@ mod tests {
         assert!(doc.contains("\"p99_us\""));
         assert!(doc.contains("\"p99_exemplar\":{\"req_id\":\"r2\""), "{doc}");
         assert!(doc.contains("\"shed_total\":0"));
+    }
+
+    #[test]
+    fn raw_metrics_round_trip_through_the_federation_parser() {
+        let cfg = ServerStateConfig { replica: "a".to_string(), ..ServerStateConfig::default() };
+        let state = ServerState::with_config(cfg).expect("valid config");
+        let _ = state.next_request_id();
+        let _ = state.next_request_id();
+        state.observe("cost", 120.0, Some("r1"), 10);
+        state.observe("cost", 240.0, Some("r2"), 20);
+        state.observe("batch", 80.0, None, 30);
+        let workers = state.install_workers(1);
+        workers[0].busy_ns.fetch_add(900, Ordering::Relaxed);
+        workers[0].idle_ns.fetch_add(100, Ordering::Relaxed);
+        let doc = state.metrics_raw_json();
+        nanocost_trace::json::validate(&doc).expect("raw metrics must be valid JSON");
+        let snap = RawSnapshot::parse(&doc).expect("federation parser accepts it");
+        assert_eq!(snap.replica, "a");
+        assert_eq!(snap.counters.get("requests_total"), Some(&2));
+        assert_eq!(snap.counters.get("completed_total"), Some(&3));
+        let cost = snap.endpoints.get("cost").expect("cost endpoint");
+        assert_eq!(cost.count(), 2);
+        // The exemplar carries the replica tag for cross-process merges.
+        let e = cost.quantile_exemplar(0.99).expect("exemplar");
+        assert_eq!(e.replica, "a");
+        assert_eq!(e.req_id, "r2");
+        // Both monitors ship summable window counters.
+        assert_eq!(snap.slo.len(), 2);
+        assert_eq!(snap.slo[0].name, "latency");
+        assert_eq!(snap.slo[0].good, 3);
+        assert_eq!(snap.workers.len(), 1);
+        assert_eq!(snap.workers[0].busy_ns, 900);
+        // Determinism: the same state renders byte-identical documents
+        // modulo the scrape instant.
+        let mut again = RawSnapshot::parse(&state.metrics_raw_json()).expect("parses");
+        again.t_ns = snap.t_ns;
+        assert_eq!(again.to_json(), snap.to_json());
     }
 
     #[test]

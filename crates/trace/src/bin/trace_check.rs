@@ -23,6 +23,14 @@
 //! scope rule because the timeline flush replays them under the
 //! flusher's scope with the capturing thread's id.
 //!
+//! Fleet captures may also tag records with a `replica` envelope key —
+//! the emitting process's fleet label (`NANOCOST_REPLICA`). When
+//! present it must be a non-empty string, and it must be stable per
+//! request: every record sharing a `req_id` carries the same replica
+//! tag, because the label is process-wide and a drifting tag means
+//! streams from different replicas were stitched together under one
+//! request id.
+//!
 //! `stack_sample` records (the in-process profiler) are validated for
 //! envelope, a non-empty `frames` array of non-empty strings, a
 //! `depth` no smaller than the frame count, and per-thread `t_ns`
@@ -33,8 +41,8 @@
 //! Usage: `trace-check [--summary] <file.jsonl>`
 //!
 //! With `--summary`, also prints a per-record-type breakdown, the
-//! provenance count per equation id, and sample counts per metric
-//! kind.
+//! provenance count per equation id, sample counts per metric kind,
+//! and — for fleet captures — the distinct replica count.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::error::Error;
@@ -96,6 +104,8 @@ struct Stats {
     request_records: usize,
     /// Distinct request ids that opened a scope.
     requests: BTreeSet<String>,
+    /// Distinct replica labels seen on `replica` envelope keys.
+    replicas: BTreeSet<String>,
     /// Profiler `stack_sample` records seen.
     stack_samples: usize,
     /// Distinct threads the profiler sampled.
@@ -147,6 +157,9 @@ impl Stats {
                 self.requests.len()
             ));
         }
+        if !self.replicas.is_empty() {
+            out.push_str(&format!("replicas: {}\n", self.replicas.len()));
+        }
         if self.stack_samples > 0 {
             out.push_str(&format!(
                 "stack samples: {} across {} threads\n",
@@ -186,6 +199,10 @@ fn check(text: &str) -> Result<Stats, String> {
     // the matching `span_exit`. Left open at EOF = truncation, not an
     // error (mirrors unclosed spans).
     let mut req_scopes: BTreeMap<u64, Vec<(u64, String)>> = BTreeMap::new();
+    // Per-request replica tag (None = first record was untagged). The
+    // replica label is process-wide, so every record of one request must
+    // agree on it; drift means stitched streams from different replicas.
+    let mut replica_by_req: BTreeMap<String, Option<String>> = BTreeMap::new();
     for (i, line) in text.lines().enumerate() {
         let lineno = i + 1;
         if line.trim().is_empty() {
@@ -217,6 +234,37 @@ fn check(text: &str) -> Result<Stats, String> {
                 return Err(format!("line {lineno}: `req_id` is not a string"));
             }
         };
+        // Fleet captures: `replica`, when present, must be a non-empty
+        // string, and must be stable across all records of a request.
+        let replica = match v.get("replica") {
+            None => None,
+            Some(JsonValue::Str(s)) if !s.is_empty() => Some(s.clone()),
+            Some(JsonValue::Str(_)) => {
+                return Err(format!("line {lineno}: `replica` is an empty string"));
+            }
+            Some(_) => {
+                return Err(format!("line {lineno}: `replica` is not a string"));
+            }
+        };
+        if let Some(label) = &replica {
+            stats.replicas.insert(label.clone());
+        }
+        if let Some(id) = &req_id {
+            match replica_by_req.get(id) {
+                None => {
+                    replica_by_req.insert(id.clone(), replica.clone());
+                }
+                Some(prev) if *prev == replica => {}
+                Some(prev) => {
+                    return Err(format!(
+                        "line {lineno}: req_id `{id}` carries replica tag `{now}` but \
+                         this request's earlier records carry `{prev}`",
+                        now = replica.as_deref().unwrap_or("<untagged>"),
+                        prev = prev.as_deref().unwrap_or("<untagged>"),
+                    ));
+                }
+            }
+        }
         if let Some(id) = &req_id {
             stats.request_records += 1;
             // Scope rule: outside a `span_enter` (which may open a new
@@ -611,6 +659,63 @@ mod tests {
             sample(9, 2, 100, "counter").replace("\"thread\":2,", "\"thread\":2,\"req_id\":\"r7\",")
         );
         assert!(check(&text).is_ok());
+    }
+
+    /// `request_capture` with every record tagged by a fleet replica.
+    fn replica_capture(id: &str, replica: &str) -> String {
+        request_capture(id).replace(
+            &format!("\"req_id\":\"{id}\""),
+            &format!("\"req_id\":\"{id}\",\"replica\":\"{replica}\""),
+        )
+    }
+
+    #[test]
+    fn accepts_replica_tagged_captures_and_counts_distinct_replicas() {
+        let a = replica_capture("r1", "a");
+        // A second replica's stream: distinct thread and span ids, as a
+        // federated multi-attach capture interleaves them.
+        let b = replica_capture("r2", "b")
+            .replace("\"thread\":1", "\"thread\":2")
+            .replace("\"span\":1", "\"span\":2");
+        let stats = check(&format!("{a}{b}")).expect("valid fleet capture");
+        assert_eq!(stats.replicas.len(), 2);
+        assert!(stats.summary().contains("replicas: 2"), "{}", stats.summary());
+        // A single-replica capture still counts itself.
+        let solo = check(&replica_capture("r1", "a")).expect("valid");
+        assert!(solo.summary().contains("replicas: 1"), "{}", solo.summary());
+        // Unlabeled captures print no replica line at all.
+        let unlabeled = check(&request_capture("r1")).expect("valid");
+        assert!(!unlabeled.summary().contains("replicas:"), "{}", unlabeled.summary());
+    }
+
+    #[test]
+    fn rejects_replica_of_the_wrong_type_or_empty() {
+        let tagged = replica_capture("r7", "a");
+        let bad_type = tagged.replacen("\"replica\":\"a\"", "\"replica\":7", 1);
+        assert!(check(&bad_type).expect_err("type").contains("`replica` is not a string"));
+        let empty = tagged.replacen("\"replica\":\"a\"", "\"replica\":\"\"", 1);
+        assert!(check(&empty).expect_err("empty").contains("`replica` is an empty string"));
+    }
+
+    #[test]
+    fn rejects_replica_drift_within_a_request() {
+        // Line 2 claims a different replica than the request's opener.
+        let drift = replica_capture("r7", "a").replacen(
+            "\"replica\":\"a\",\"type\":\"provenance\"",
+            "\"replica\":\"b\",\"type\":\"provenance\"",
+            1,
+        );
+        let err = check(&drift).expect_err("must flag");
+        assert!(err.contains("earlier records carry `a`"), "{err}");
+        assert!(err.contains("line 2"), "{err}");
+        // Losing the tag mid-request is drift too.
+        let lost = replica_capture("r7", "a").replacen(
+            "\"replica\":\"a\",\"type\":\"provenance\"",
+            "\"type\":\"provenance\"",
+            1,
+        );
+        let err = check(&lost).expect_err("must flag");
+        assert!(err.contains("<untagged>"), "{err}");
     }
 
     fn stack_sample(ts_us: u64, thread: u64, t_ns: u64, frames: &str, depth: u64) -> String {

@@ -184,15 +184,22 @@ fn opt_u64(v: Option<u64>) -> String {
 impl Exporter for JsonlExporter {
     fn render(&mut self, rec: &Record) -> String {
         // Schema 2: records emitted under a request scope carry a
-        // `req_id` key in the envelope; unscoped records omit it, so
-        // pre-existing captures remain valid under the same checker.
+        // `req_id` key in the envelope, and records from a labeled
+        // fleet replica carry a `replica` key; both are omitted when
+        // absent, so pre-existing captures remain valid under the same
+        // checker.
         let req = rec
             .req_id
             .as_deref()
             .map(|id| format!(",\"req_id\":{}", json_string(id)))
             .unwrap_or_default();
+        let replica = rec
+            .replica
+            .as_deref()
+            .map(|label| format!(",\"replica\":{}", json_string(label)))
+            .unwrap_or_default();
         let head = format!(
-            "{{\"ts_us\":{},\"thread\":{}{req},\"type\":{}",
+            "{{\"ts_us\":{},\"thread\":{}{req}{replica},\"type\":{}",
             rec.ts_micros,
             rec.thread,
             json_string(rec.kind.tag())
@@ -431,6 +438,30 @@ mod tests {
         let line = e.render(&rec);
         crate::json::validate(line.trim_end()).expect("line parses as JSON");
         assert!(line.starts_with("{\"ts_us\":10,\"thread\":1,\"req_id\":\"r17\",\"type\":\"span_enter\""));
+    }
+
+    #[test]
+    fn jsonl_envelope_carries_replica_after_req_id_when_labeled() {
+        let mut rec = records().remove(0);
+        rec.req_id = Some(std::sync::Arc::from("r17"));
+        rec.replica = Some(std::sync::Arc::from("a"));
+        let mut e = JsonlExporter::new();
+        let line = e.render(&rec);
+        crate::json::validate(line.trim_end()).expect("line parses as JSON");
+        assert!(
+            line.starts_with(
+                "{\"ts_us\":10,\"thread\":1,\"req_id\":\"r17\",\"replica\":\"a\",\"type\":\"span_enter\""
+            ),
+            "{line}"
+        );
+        // Replica labeling is process-wide, not per-request: an
+        // unscoped record from a labeled replica still carries it.
+        rec.req_id = None;
+        let line = e.render(&rec);
+        assert!(
+            line.starts_with("{\"ts_us\":10,\"thread\":1,\"replica\":\"a\",\"type\":"),
+            "{line}"
+        );
     }
 
     #[test]

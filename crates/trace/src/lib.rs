@@ -121,6 +121,12 @@ thread_local! {
 /// microseconds since the first record (or subscriber installation).
 static EPOCH: OnceLock<Instant> = OnceLock::new();
 
+/// The process-wide fleet replica label (set once, from
+/// `NANOCOST_REPLICA` or [`set_replica`]); every dispatched record
+/// carries a clone so multi-replica captures stay distinguishable after
+/// they are merged.
+static REPLICA: OnceLock<std::sync::Arc<str>> = OnceLock::new();
+
 /// Monotonically increasing span-id source.
 static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
 
@@ -238,6 +244,29 @@ pub fn current_request_id() -> Option<std::sync::Arc<str>> {
         .unwrap_or(None)
 }
 
+/// Labels this process as one replica of a fleet: every record
+/// dispatched from now on carries the label in [`Record::replica`], so
+/// captures from different replicas can be merged without confusing
+/// their (per-process, epoch-relative) timestamps. First caller wins —
+/// the label is process-wide identity, not per-request state. Returns
+/// `false` when a label was already set (including by
+/// [`init_from_env`] reading `NANOCOST_REPLICA`). Empty labels are
+/// ignored: an unlabeled process stays unlabeled rather than claiming
+/// the empty string as an identity.
+pub fn set_replica(label: &str) -> bool {
+    let label = label.trim();
+    if label.is_empty() {
+        return false;
+    }
+    REPLICA.set(std::sync::Arc::from(label)).is_ok()
+}
+
+/// The process's fleet replica label, if one was set.
+#[must_use]
+pub fn current_replica() -> Option<std::sync::Arc<str>> {
+    REPLICA.get().cloned()
+}
+
 /// Delivers a record to the active subscriber (thread-local collector
 /// first, then the global sink). A no-op when nothing is listening.
 pub fn dispatch(kind: RecordKind) {
@@ -248,7 +277,13 @@ pub fn dispatch(kind: RecordKind) {
 /// buffered samples with the timestamp and thread they were *captured*
 /// on, not the thread doing the flushing.
 pub fn dispatch_origin(ts_micros: u64, thread: u64, kind: RecordKind) {
-    let rec = Record { ts_micros, thread, req_id: current_request_id(), kind };
+    let rec = Record {
+        ts_micros,
+        thread,
+        req_id: current_request_id(),
+        replica: current_replica(),
+        kind,
+    };
     deliver(&rec);
 }
 
@@ -256,7 +291,13 @@ pub fn dispatch_origin(ts_micros: u64, thread: u64, kind: RecordKind) {
 /// stack sampler emits another thread's stack under *that* thread's
 /// request scope, not the sampler thread's own (which has none).
 pub fn dispatch_stamped(ts_micros: u64, thread: u64, req_id: Option<&str>, kind: RecordKind) {
-    let rec = Record { ts_micros, thread, req_id: req_id.map(std::sync::Arc::from), kind };
+    let rec = Record {
+        ts_micros,
+        thread,
+        req_id: req_id.map(std::sync::Arc::from),
+        replica: current_replica(),
+        kind,
+    };
     deliver(&rec);
 }
 
@@ -422,8 +463,10 @@ impl Drop for TraceGuard {
 
 /// Reads `NANOCOST_TRACE` / `NANOCOST_TRACE_FORMAT` /
 /// `NANOCOST_TRACE_FILE` and installs a [`WriterSubscriber`]
-/// accordingly. Call once near the top of `main` and keep the returned
-/// guard alive for the whole run:
+/// accordingly; also adopts `NANOCOST_REPLICA` as the process's fleet
+/// label (see [`set_replica`]) whether or not a sink is configured.
+/// Call once near the top of `main` and keep the returned guard alive
+/// for the whole run:
 ///
 /// ```no_run
 /// fn main() {
@@ -433,6 +476,13 @@ impl Drop for TraceGuard {
 /// ```
 #[must_use]
 pub fn init_from_env() -> TraceGuard {
+    // The replica label applies regardless of whether a trace sink is
+    // configured: capture frames (the serve trace ring) tee records
+    // even with no global subscriber, and those records must still be
+    // distinguishable once merged across a fleet.
+    if let Ok(label) = std::env::var("NANOCOST_REPLICA") {
+        let _ = set_replica(&label);
+    }
     let Some(spec) = std::env::var_os("NANOCOST_TRACE") else {
         return TraceGuard::inactive();
     };

@@ -127,16 +127,23 @@ pub struct Record {
     /// record emitted outside a request scope — batch pipelines,
     /// benches, metric flushes at shutdown.
     pub req_id: Option<std::sync::Arc<str>>,
+    /// The fleet replica this record was emitted by, when the process
+    /// was labeled (`NANOCOST_REPLICA` or [`crate::set_replica`]).
+    /// `None` in unlabeled single-process runs. Timestamps are only
+    /// comparable *within* one replica — each process has its own trace
+    /// epoch — so federated tooling keys on `(replica, t)` pairs.
+    pub replica: Option<std::sync::Arc<str>>,
     /// Payload.
     pub kind: RecordKind,
 }
 
 impl Record {
     /// A record with no request attribution — the common case for
-    /// anything not emitted under [`crate::request_scope`].
+    /// anything not emitted under [`crate::request_scope`]. The replica
+    /// label still applies: it is process-wide, not per-request.
     #[must_use]
     pub fn unscoped(ts_micros: u64, thread: u64, kind: RecordKind) -> Self {
-        Record { ts_micros, thread, req_id: None, kind }
+        Record { ts_micros, thread, req_id: None, replica: crate::current_replica(), kind }
     }
 }
 

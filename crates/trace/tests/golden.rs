@@ -21,6 +21,7 @@ fn fixture_records() -> Vec<Record> {
             ts_micros: 10,
             thread: 1,
             req_id: None,
+            replica: None,
             kind: RecordKind::SpanEnter {
                 span: 1,
                 parent: None,
@@ -32,6 +33,7 @@ fn fixture_records() -> Vec<Record> {
             ts_micros: 12,
             thread: 1,
             req_id: None,
+            replica: None,
             kind: RecordKind::Provenance {
                 span: Some(1),
                 equation: Equation::Eq6,
@@ -44,6 +46,7 @@ fn fixture_records() -> Vec<Record> {
             ts_micros: 14,
             thread: 1,
             req_id: None,
+            replica: None,
             kind: RecordKind::SpanEnter {
                 span: 2,
                 parent: Some(1),
@@ -55,6 +58,7 @@ fn fixture_records() -> Vec<Record> {
             ts_micros: 15,
             thread: 2,
             req_id: None,
+            replica: None,
             kind: RecordKind::SpanEnter {
                 span: 3,
                 parent: None,
@@ -66,6 +70,7 @@ fn fixture_records() -> Vec<Record> {
             ts_micros: 17,
             thread: 1,
             req_id: None,
+            replica: None,
             kind: RecordKind::Event {
                 span: Some(2),
                 name: "optimum.found",
@@ -76,12 +81,14 @@ fn fixture_records() -> Vec<Record> {
             ts_micros: 20,
             thread: 2,
             req_id: None,
+            replica: None,
             kind: RecordKind::SpanExit { span: 3, name: "yield.simulate", elapsed_nanos: 5_000 },
         },
         Record {
             ts_micros: 22,
             thread: 1,
             req_id: None,
+            replica: None,
             kind: RecordKind::SpanExit {
                 span: 2,
                 name: "optimize.sd_total",
@@ -92,6 +99,7 @@ fn fixture_records() -> Vec<Record> {
             ts_micros: 23,
             thread: 1,
             req_id: None,
+            replica: None,
             kind: RecordKind::Provenance {
                 span: Some(1),
                 equation: Equation::Eq4,
@@ -104,6 +112,7 @@ fn fixture_records() -> Vec<Record> {
             ts_micros: 25,
             thread: 1,
             req_id: None,
+            replica: None,
             kind: RecordKind::SpanExit {
                 span: 1,
                 name: "figure4.panel",
@@ -114,6 +123,7 @@ fn fixture_records() -> Vec<Record> {
             ts_micros: 26,
             thread: 1,
             req_id: None,
+            replica: None,
             kind: RecordKind::Metric {
                 name: "mc.wafers",
                 metric_kind: "counter",
@@ -124,6 +134,7 @@ fn fixture_records() -> Vec<Record> {
             ts_micros: 26,
             thread: 1,
             req_id: None,
+            replica: None,
             kind: RecordKind::Metric {
                 name: "bench.sample_s",
                 metric_kind: "histogram",
@@ -139,6 +150,7 @@ fn fixture_records() -> Vec<Record> {
             ts_micros: 27,
             thread: 1,
             req_id: None,
+            replica: None,
             kind: RecordKind::Sample {
                 name: "mc.wafers",
                 metric_kind: "counter",
@@ -150,6 +162,7 @@ fn fixture_records() -> Vec<Record> {
             ts_micros: 27,
             thread: 2,
             req_id: None,
+            replica: None,
             kind: RecordKind::Sample {
                 name: "optimize.sd_probe",
                 metric_kind: "gauge",
@@ -157,12 +170,14 @@ fn fixture_records() -> Vec<Record> {
                 value: 412.5,
             },
         },
-        // A request-scoped pair (schema 2): the JSONL envelope gains a
-        // req_id key; the text and chrome renderings are unchanged.
+        // A request-scoped pair from a labeled fleet replica (schema
+        // 2): the JSONL envelope gains req_id and replica keys; the
+        // text and chrome renderings are unchanged.
         Record {
             ts_micros: 30,
             thread: 3,
             req_id: Some("r9".into()),
+            replica: Some("b".into()),
             kind: RecordKind::SpanEnter {
                 span: 4,
                 parent: None,
@@ -174,6 +189,7 @@ fn fixture_records() -> Vec<Record> {
             ts_micros: 31,
             thread: 3,
             req_id: Some("r9".into()),
+            replica: Some("b".into()),
             kind: RecordKind::SpanExit {
                 span: 4,
                 name: "serve.request",
@@ -187,6 +203,7 @@ fn fixture_records() -> Vec<Record> {
             ts_micros: 32,
             thread: 3,
             req_id: Some("r9".into()),
+            replica: Some("b".into()),
             kind: RecordKind::StackSample {
                 frames: vec!["serve.request", "serve.endpoint.cost"],
                 depth: 2,
@@ -197,6 +214,7 @@ fn fixture_records() -> Vec<Record> {
             ts_micros: 32,
             thread: 1,
             req_id: None,
+            replica: None,
             kind: RecordKind::StackSample {
                 frames: vec!["figure4.panel"],
                 depth: 33,
@@ -250,6 +268,10 @@ fn jsonl_matches_golden_and_every_line_is_json() {
     assert!(
         out.contains("\"req_id\":\"r9\""),
         "request-scoped records must carry req_id in the JSONL envelope"
+    );
+    assert!(
+        out.contains("\"req_id\":\"r9\",\"replica\":\"b\""),
+        "labeled-replica records must carry replica right after req_id"
     );
     assert!(
         out.contains("\"type\":\"stack_sample\""),

@@ -222,6 +222,72 @@ if ! grep -q 'stack samples: [1-9]' <<<"$PROF_SUMMARY"; then
     exit 1
 fi
 
+echo "==> fleet federation gate: two labeled replicas + consistent-hash loadgen + fleet_report"
+# Two replicas labeled via NANOCOST_REPLICA, driven through loadgen's
+# consistent-hash ring, then federated: the merged requests_total must
+# exactly equal the sum of the per-replica raw scrapes (model requests
+# alone move that counter, so scrape order cannot skew it), --health
+# must agree with the healthy replicas, and --reconcile re-proves the
+# merge invariants (totals == sums, fleet quantiles inside the
+# per-replica envelope) against the live scrapes.
+FLEET_A_LOG=target/ci-fleet-a.log
+FLEET_B_LOG=target/ci-fleet-b.log
+rm -f "$FLEET_A_LOG" "$FLEET_B_LOG" \
+    target/ci-fleet.json target/ci-fleet-a.json target/ci-fleet-b.json
+NANOCOST_REPLICA=a ./target/release/serve --port 0 --workers 2 >"$FLEET_A_LOG" 2>&1 &
+FLEET_A_PID=$!
+NANOCOST_REPLICA=b ./target/release/serve --port 0 --workers 2 >"$FLEET_B_LOG" 2>&1 &
+FLEET_B_PID=$!
+fleet_fail() {
+    echo "ci: FAIL: $1" >&2
+    kill "$FLEET_A_PID" "$FLEET_B_PID" 2>/dev/null || true
+    exit 1
+}
+FLEET_A_ADDR=""
+FLEET_B_ADDR=""
+for _ in $(seq 1 100); do
+    FLEET_A_ADDR="$(sed -n 's/.*listening on //p' "$FLEET_A_LOG" | head -1)"
+    FLEET_B_ADDR="$(sed -n 's/.*listening on //p' "$FLEET_B_LOG" | head -1)"
+    [[ -n "$FLEET_A_ADDR" && -n "$FLEET_B_ADDR" ]] && break
+    sleep 0.1
+done
+[[ -n "$FLEET_A_ADDR" && -n "$FLEET_B_ADDR" ]] \
+    || fleet_fail "a fleet replica never reported its address"
+./target/release/loadgen --replica "$FLEET_A_ADDR" --replica "$FLEET_B_ADDR" \
+    --requests 200 --mix cost,optimum,batch --concurrency 4 \
+    || fleet_fail "fleet loadgen failed"
+# Per-replica ground truth first (single-target fleet_report), then the
+# federated artifact over both.
+cargo run -q --release -p nanocost-sentinel --bin fleet_report -- \
+    "$FLEET_A_ADDR" -o target/ci-fleet-a.json \
+    || fleet_fail "replica-a raw scrape failed"
+cargo run -q --release -p nanocost-sentinel --bin fleet_report -- \
+    "$FLEET_B_ADDR" -o target/ci-fleet-b.json \
+    || fleet_fail "replica-b raw scrape failed"
+cargo run -q --release -p nanocost-sentinel --bin fleet_report -- \
+    "$FLEET_A_ADDR" "$FLEET_B_ADDR" --health --reconcile \
+    -o target/ci-fleet.json \
+    || fleet_fail "federated fleet_report --health --reconcile failed"
+fleet_requests() { grep -o '"requests_total":[0-9]*' "$1" | head -1 | cut -d: -f2; }
+FLEET_N="$(fleet_requests target/ci-fleet.json)"
+FLEET_A_N="$(fleet_requests target/ci-fleet-a.json)"
+FLEET_B_N="$(fleet_requests target/ci-fleet-b.json)"
+if [[ "$FLEET_N" -ne $((FLEET_A_N + FLEET_B_N)) || "$FLEET_N" -ne 200 ]]; then
+    fleet_fail "federated requests_total $FLEET_N != ${FLEET_A_N}+${FLEET_B_N} (drove 200)"
+fi
+if [[ "$FLEET_A_N" -lt 1 || "$FLEET_B_N" -lt 1 ]]; then
+    fleet_fail "routing starved a replica (a=$FLEET_A_N b=$FLEET_B_N)"
+fi
+grep -q '"replicas":\["a","b"\]' target/ci-fleet.json \
+    || fleet_fail "fleet artifact is missing the NANOCOST_REPLICA labels"
+# The live fleet dashboard must render one frame over both replicas.
+cargo run -q --release -p nanocost-sentinel --bin trace_tail -- \
+    --attach "$FLEET_A_ADDR" --attach "$FLEET_B_ADDR" --once >/dev/null \
+    || fleet_fail "fleet trace_tail frame failed"
+kill -TERM "$FLEET_A_PID" "$FLEET_B_PID"
+wait "$FLEET_A_PID" || fleet_fail "replica a did not exit cleanly on SIGTERM"
+wait "$FLEET_B_PID" || fleet_fail "replica b did not exit cleanly on SIGTERM"
+
 # One bench capture + diff; prints the names of regressed benchmarks
 # (empty = clean). Absolute capture path: cargo runs bench targets with
 # cwd = the package dir. Both checked-in baselines (captured under
